@@ -1,0 +1,83 @@
+//! Activation functions.
+//!
+//! The paper uses sigmoid hidden units (Fig. 3.2). Output units are linear,
+//! the standard choice for regression targets. The requirements stated in
+//! §3 — non-linear, monotonic, differentiable — are satisfied by both
+//! provided non-linearities.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Logistic sigmoid `1 / (1 + e^-x)` (the paper's hidden units).
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (regression outputs).
+    Linear,
+}
+
+impl Activation {
+    /// Applies the function.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Linear => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* value `y = f(x)`,
+    /// which is what backpropagation has at hand.
+    #[inline]
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_shape() {
+        assert_eq!(Activation::Sigmoid.apply(0.0), 0.5);
+        assert!(Activation::Sigmoid.apply(10.0) > 0.999);
+        assert!(Activation::Sigmoid.apply(-10.0) < 0.001);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for f in [Activation::Sigmoid, Activation::Tanh, Activation::Linear] {
+            for x in [-2.0, -0.5, 0.0, 0.7, 3.0] {
+                let numeric = (f.apply(x + eps) - f.apply(x - eps)) / (2.0 * eps);
+                let analytic = f.derivative_from_output(f.apply(x));
+                assert!(
+                    (numeric - analytic).abs() < 1e-6,
+                    "{f:?} at {x}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotonicity() {
+        for f in [Activation::Sigmoid, Activation::Tanh, Activation::Linear] {
+            let mut prev = f.apply(-5.0);
+            let mut x = -4.5;
+            while x <= 5.0 {
+                let y = f.apply(x);
+                assert!(y > prev);
+                prev = y;
+                x += 0.5;
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! k-fold cross-validation ensembles with error estimation (paper §3.2).
+//!
+//! The dataset is split into `k` folds. Model `m` trains on all folds
+//! except `m` (its test fold) and `m+1 mod k` (its early-stopping fold) —
+//! the rotation of Fig. 3.3. The `k` networks are averaged into an
+//! [`Ensemble`]; the per-point percentage errors each model makes on its
+//! own held-out test fold are pooled into the **error estimate**, the
+//! quantity that lets the architect decide when to stop simulating.
+
+use crate::dataset::{fold_ranges, Dataset, Sample};
+use crate::ensemble::Ensemble;
+use crate::train::{train_network, TrainConfig};
+use archpredict_stats::describe::Accumulator;
+use archpredict_stats::rng::Xoshiro256;
+use serde::{Deserialize, Serialize};
+
+/// Cross-validation estimate of model error over the full design space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorEstimate {
+    /// Estimated mean absolute percentage error.
+    pub mean: f64,
+    /// Estimated standard deviation of the percentage error.
+    pub std_dev: f64,
+    /// Number of held-out points the estimate pools.
+    pub points: u64,
+}
+
+/// Result of fitting a cross-validation ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CvFit {
+    /// The averaged ensemble of `k` networks.
+    pub ensemble: Ensemble,
+    /// Cross-validation error estimate.
+    pub estimate: ErrorEstimate,
+}
+
+/// Trains a `folds`-fold cross-validation ensemble on `dataset`.
+///
+/// The sample order is randomized (seeded) before fold assignment, then
+/// each of the `folds` models trains per Fig. 3.3. Returns the ensemble and
+/// the pooled error estimate.
+///
+/// # Panics
+///
+/// Panics if `folds < 3` (a model needs disjoint train/ES/test folds) or
+/// the dataset has fewer samples than folds.
+pub fn fit_ensemble(dataset: &Dataset, folds: usize, config: &TrainConfig, seed: u64) -> CvFit {
+    assert!(folds >= 3, "cross validation needs at least 3 folds");
+    assert!(
+        dataset.len() >= folds,
+        "dataset smaller than fold count ({} < {folds})",
+        dataset.len()
+    );
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    archpredict_stats::sampling::shuffle(&mut order, &mut rng);
+    let ranges = fold_ranges(dataset.len(), folds);
+    let fold_of = |position: usize| {
+        ranges
+            .iter()
+            .position(|&(a, b)| position >= a && position < b)
+    };
+
+    let samples = dataset.samples();
+    let mut models = Vec::with_capacity(folds);
+    let mut errors = Accumulator::new();
+
+    for m in 0..folds {
+        let es_fold = (m + 1) % folds;
+        let mut train: Vec<&Sample> = Vec::new();
+        let mut es: Vec<&Sample> = Vec::new();
+        let mut test: Vec<&Sample> = Vec::new();
+        for (position, &sample_idx) in order.iter().enumerate() {
+            let fold = fold_of(position).expect("position covered by ranges");
+            let sample = &samples[sample_idx];
+            if fold == m {
+                test.push(sample);
+            } else if fold == es_fold {
+                es.push(sample);
+            } else {
+                train.push(sample);
+            }
+        }
+        let mut model_rng = rng.derive(m as u64 + 1);
+        let model = train_network(&train, &es, config, &mut model_rng);
+        for s in &test {
+            let pred = model.predict(&s.features);
+            errors.add(100.0 * (pred - s.target).abs() / s.target.abs().max(1e-12));
+        }
+        models.push(model);
+    }
+
+    CvFit {
+        ensemble: Ensemble::new(models),
+        estimate: ErrorEstimate {
+            mean: errors.mean(),
+            std_dev: errors.population_std_dev(),
+            points: errors.count(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target_fn(a: f64, b: f64, c: f64) -> f64 {
+        0.2 + 0.6 * (a * 2.5).sin().abs() + 0.3 * b * c + 0.2 * c
+    }
+
+    fn dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = Xoshiro256::seed_from(seed);
+        (0..n)
+            .map(|_| {
+                let (a, b, c) = (rng.next_f64(), rng.next_f64(), rng.next_f64());
+                Sample::new(vec![a, b, c], target_fn(a, b, c))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn estimate_tracks_true_error() {
+        let train = dataset(500, 1);
+        let fit = fit_ensemble(&train, 10, &TrainConfig::default(), 42);
+
+        // True error on unseen points.
+        let test = dataset(400, 2);
+        let mut acc = Accumulator::new();
+        for s in test.iter() {
+            let pred = fit.ensemble.predict(&s.features);
+            acc.add(100.0 * (pred - s.target).abs() / s.target);
+        }
+        let true_mean = acc.mean();
+        let est = fit.estimate.mean;
+        assert!(est > 0.0);
+        assert!(
+            (true_mean - est).abs() < est.max(1.0),
+            "estimate {est:.2}% vs true {true_mean:.2}%"
+        );
+        // And the model must actually be good on this smooth function.
+        assert!(true_mean < 6.0, "true error {true_mean:.2}%");
+    }
+
+    #[test]
+    fn more_data_reduces_error() {
+        let small = fit_ensemble(&dataset(60, 3), 10, &TrainConfig::default(), 7);
+        let large = fit_ensemble(&dataset(600, 3), 10, &TrainConfig::default(), 7);
+        assert!(
+            large.estimate.mean < small.estimate.mean,
+            "600 pts {:.2}% should beat 60 pts {:.2}%",
+            large.estimate.mean,
+            small.estimate.mean
+        );
+    }
+
+    #[test]
+    fn ensemble_beats_typical_member() {
+        // Averaging reduces variance: the ensemble's true error should not
+        // exceed the pooled member test error (which is what the estimate
+        // measures) by any meaningful margin — usually it is lower (§3.2).
+        let train = dataset(300, 4);
+        let fit = fit_ensemble(&train, 10, &TrainConfig::default(), 8);
+        let test = dataset(300, 5);
+        let mut acc = Accumulator::new();
+        for s in test.iter() {
+            acc.add(100.0 * (fit.ensemble.predict(&s.features) - s.target).abs() / s.target);
+        }
+        assert!(
+            acc.mean() <= fit.estimate.mean * 1.25,
+            "ensemble {:.2}% vs member estimate {:.2}%",
+            acc.mean(),
+            fit.estimate.mean
+        );
+    }
+
+    #[test]
+    fn estimate_pools_every_point_once() {
+        let train = dataset(100, 6);
+        let fit = fit_ensemble(&train, 10, &TrainConfig::default(), 9);
+        assert_eq!(fit.estimate.points, 100);
+        assert_eq!(fit.ensemble.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = dataset(100, 10);
+        let a = fit_ensemble(&train, 5, &TrainConfig::default(), 11);
+        let b = fit_ensemble(&train, 5, &TrainConfig::default(), 11);
+        assert_eq!(a.estimate, b.estimate);
+        assert_eq!(
+            a.ensemble.predict(&[0.2, 0.4, 0.6]),
+            b.ensemble.predict(&[0.2, 0.4, 0.6])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 folds")]
+    fn too_few_folds_panics() {
+        fit_ensemble(&dataset(30, 1), 2, &TrainConfig::default(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Training datasets and cross-validation fold layout.
+
+use serde::{Deserialize, Serialize};
+
+/// One training example: raw (unnormalized) features and target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Encoded design-point features (one-hot nominals, raw cardinals…).
+    pub features: Vec<f64>,
+    /// Raw target metric (e.g. IPC).
+    pub target: f64,
+}
+
+impl Sample {
+    /// Convenience constructor.
+    pub fn new(features: Vec<f64>, target: f64) -> Self {
+        Self { features, target }
+    }
+}
+
+/// A growable collection of samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample's dimensionality differs from earlier samples
+    /// or its target is non-finite.
+    pub fn push(&mut self, sample: Sample) {
+        if let Some(first) = self.samples.first() {
+            assert_eq!(
+                first.features.len(),
+                sample.features.len(),
+                "feature dimensionality mismatch"
+            );
+        }
+        assert!(sample.target.is_finite(), "non-finite target");
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterates over samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+}
+
+impl FromIterator<Sample> for Dataset {
+    fn from_iter<I: IntoIterator<Item = Sample>>(iter: I) -> Self {
+        let mut d = Dataset::new();
+        for s in iter {
+            d.push(s);
+        }
+        d
+    }
+}
+
+impl Extend<Sample> for Dataset {
+    fn extend<I: IntoIterator<Item = Sample>>(&mut self, iter: I) {
+        for s in iter {
+            self.push(s);
+        }
+    }
+}
+
+/// Splits `0..n` into `k` contiguous folds whose sizes differ by at most
+/// one (Fig. 3.3's layout: the data arrive in random order, so contiguous
+/// folds are random folds).
+///
+/// Returns `(start, end)` half-open ranges.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds `n`.
+pub fn fold_ranges(n: usize, k: usize) -> Vec<(usize, usize)> {
+    assert!(k > 0, "need at least one fold");
+    assert!(k <= n, "more folds than samples ({k} > {n})");
+    let base = n / k;
+    let extra = n % k;
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        ranges.push((start, start + len));
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_exactly() {
+        for (n, k) in [(1000, 10), (103, 10), (7, 7), (23, 4)] {
+            let ranges = fold_ranges(n, k);
+            assert_eq!(ranges.len(), k);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "folds must be contiguous");
+            }
+            let sizes: Vec<usize> = ranges.iter().map(|(a, b)| b - a).collect();
+            let min = sizes.iter().min().unwrap();
+            let max = sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "balanced folds: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn figure_3_3_layout() {
+        // 1K training points in 10 folds of 100, as the paper's example.
+        let ranges = fold_ranges(1000, 10);
+        assert_eq!(ranges[0], (0, 100));
+        assert_eq!(ranges[9], (900, 1000));
+    }
+
+    #[test]
+    fn dataset_push_validates() {
+        let mut d = Dataset::new();
+        d.push(Sample::new(vec![1.0, 2.0], 0.5));
+        assert_eq!(d.len(), 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut d2 = d.clone();
+            d2.push(Sample::new(vec![1.0], 0.5));
+        }));
+        assert!(result.is_err(), "dimensionality mismatch must panic");
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than samples")]
+    fn too_many_folds_panics() {
+        fold_ranges(5, 6);
+    }
+}

@@ -1,0 +1,128 @@
+//! Prediction-averaging ensembles (paper §3.2).
+//!
+//! The `k` networks produced by cross-validation are combined by averaging
+//! their predictions — "an approach frequently used in weather forecasting"
+//! that usually beats a single network trained on all the data.
+
+use crate::train::TrainedModel;
+use serde::{Deserialize, Serialize};
+
+/// An averaging ensemble of trained models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ensemble {
+    models: Vec<TrainedModel>,
+}
+
+impl Ensemble {
+    /// Wraps trained models into an ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn new(models: Vec<TrainedModel>) -> Self {
+        assert!(!models.is_empty(), "ensemble needs at least one model");
+        Self { models }
+    }
+
+    /// Number of member models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the ensemble has no members (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The member models.
+    pub fn models(&self) -> &[TrainedModel] {
+        &self.models
+    }
+
+    /// Predicts the raw-scale target by averaging member predictions.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let sum: f64 = self.models.iter().map(|m| m.predict(features)).sum();
+        sum / self.models.len() as f64
+    }
+
+    /// Per-member predictions, exposed for query-by-committee active
+    /// learning (disagreement = informativeness; paper §7 future work).
+    pub fn member_predictions(&self, features: &[f64]) -> Vec<f64> {
+        self.models.iter().map(|m| m.predict(features)).collect()
+    }
+
+    /// Sample standard deviation of member predictions — the committee
+    /// disagreement used by the active-learning extension.
+    pub fn disagreement(&self, features: &[f64]) -> f64 {
+        let preds = self.member_predictions(features);
+        let acc: archpredict_stats::Accumulator = preds.into_iter().collect();
+        acc.sample_std_dev()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use crate::train::{train_network, TrainConfig};
+    use archpredict_stats::rng::Xoshiro256;
+
+    fn trained(seed: u64) -> TrainedModel {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let samples: Vec<Sample> = (0..80)
+            .map(|_| {
+                let a = rng.next_f64();
+                Sample::new(vec![a], 0.5 + a)
+            })
+            .collect();
+        let (train, es) = samples.split_at(64);
+        let train_refs: Vec<&Sample> = train.iter().collect();
+        let es_refs: Vec<&Sample> = es.iter().collect();
+        let config = TrainConfig {
+            max_epochs: 60,
+            ..TrainConfig::default()
+        };
+        train_network(&train_refs, &es_refs, &config, &mut rng)
+    }
+
+    #[test]
+    fn average_is_within_member_range() {
+        let ensemble = Ensemble::new(vec![trained(1), trained(2), trained(3)]);
+        let x = [0.4];
+        let preds = ensemble.member_predictions(&x);
+        let min = preds.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = preds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let avg = ensemble.predict(&x);
+        assert!(avg >= min && avg <= max);
+    }
+
+    #[test]
+    fn disagreement_is_zero_for_identical_members() {
+        let m = trained(4);
+        let ensemble = Ensemble::new(vec![m.clone(), m.clone(), m]);
+        assert!(ensemble.disagreement(&[0.3]) < 1e-12);
+    }
+
+    #[test]
+    fn disagreement_positive_for_distinct_members() {
+        let ensemble = Ensemble::new(vec![trained(5), trained(6)]);
+        assert!(ensemble.disagreement(&[0.9]) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn empty_ensemble_panics() {
+        Ensemble::new(Vec::new());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let ensemble = Ensemble::new(vec![trained(7), trained(8), trained(9)]);
+        let json = serde_json::to_string(&ensemble).unwrap();
+        let restored: Ensemble = serde_json::from_str(&json).unwrap();
+        for x in [0.1, 0.5, 0.9] {
+            // JSON float formatting can perturb the last ulp.
+            assert!((ensemble.predict(&[x]) - restored.predict(&[x])).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Fully connected feed-forward networks trained by backpropagation.
+//!
+//! Implements exactly the model of the paper's §3.1: weighted edges between
+//! successive layers, sigmoid hidden units, gradient descent on squared
+//! error with a momentum term (Equations 3.1/3.2), and near-zero uniform
+//! weight initialization (so the network starts as an almost-linear model
+//! and grows non-linearity as weights grow).
+
+use crate::activation::Activation;
+use archpredict_stats::rng::Xoshiro256;
+use serde::{Deserialize, Serialize};
+
+/// Half-width of the uniform weight initialization interval (paper §3.1:
+/// weights start in `[-0.01, 0.01]`).
+pub const INIT_WEIGHT_RANGE: f64 = 0.01;
+
+/// One fully connected layer: `outputs x (inputs + 1)` weights, the final
+/// column being the bias.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Layer {
+    inputs: usize,
+    outputs: usize,
+    activation: Activation,
+    /// Row-major `[output][input + bias]`.
+    weights: Vec<f64>,
+    /// Previous update, for momentum (Eq. 3.2).
+    velocity: Vec<f64>,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, activation: Activation, rng: &mut Xoshiro256) -> Self {
+        let n = outputs * (inputs + 1);
+        Self {
+            inputs,
+            outputs,
+            activation,
+            weights: (0..n)
+                .map(|_| rng.range_f64(-INIT_WEIGHT_RANGE, INIT_WEIGHT_RANGE))
+                .collect(),
+            velocity: vec![0.0; n],
+        }
+    }
+
+    fn forward(&self, input: &[f64], output: &mut Vec<f64>) {
+        output.clear();
+        for o in 0..self.outputs {
+            let row = &self.weights[o * (self.inputs + 1)..(o + 1) * (self.inputs + 1)];
+            let mut net = row[self.inputs]; // bias
+            for (w, x) in row[..self.inputs].iter().zip(input) {
+                net += w * x;
+            }
+            output.push(self.activation.apply(net));
+        }
+    }
+}
+
+/// A feed-forward multi-layer perceptron.
+///
+/// # Example
+///
+/// ```
+/// use archpredict_ann::network::Network;
+/// use archpredict_stats::rng::Xoshiro256;
+///
+/// let mut rng = Xoshiro256::seed_from(1);
+/// let net = Network::new(&[3, 16, 1], &mut rng);
+/// let y = net.predict(&[0.1, 0.5, 0.9]);
+/// assert_eq!(y.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    layers: Vec<Layer>,
+    /// Cached activations per layer (including the input), reused across
+    /// training steps to avoid allocation.
+    #[serde(skip)]
+    scratch: Vec<Vec<f64>>,
+    /// Per-layer delta buffers.
+    #[serde(skip)]
+    deltas: Vec<Vec<f64>>,
+}
+
+impl Network {
+    /// Builds a network with the given layer sizes
+    /// (`[inputs, hidden..., outputs]`), sigmoid hidden units and linear
+    /// outputs, with weights initialized uniformly in ±[`INIT_WEIGHT_RANGE`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given or any size is zero.
+    pub fn new(sizes: &[usize], rng: &mut Xoshiro256) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let layers: Vec<Layer> = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let activation = if i + 2 == sizes.len() {
+                    Activation::Linear
+                } else {
+                    Activation::Sigmoid
+                };
+                Layer::new(w[0], w[1], activation, rng)
+            })
+            .collect();
+        let scratch = sizes.iter().map(|&s| vec![0.0; s]).collect();
+        let deltas = sizes[1..].iter().map(|&s| vec![0.0; s]).collect();
+        Self {
+            layers,
+            scratch,
+            deltas,
+        }
+    }
+
+    /// Number of input units.
+    pub fn inputs(&self) -> usize {
+        self.layers.first().expect("nonempty").inputs
+    }
+
+    /// Number of output units.
+    pub fn outputs(&self) -> usize {
+        self.layers.last().expect("nonempty").outputs
+    }
+
+    fn ensure_buffers(&mut self) {
+        // After deserialization the skipped buffers are empty; rebuild them.
+        if self.scratch.len() != self.layers.len() + 1 {
+            let mut sizes = vec![self.layers[0].inputs];
+            sizes.extend(self.layers.iter().map(|l| l.outputs));
+            self.scratch = sizes.iter().map(|&s| vec![0.0; s]).collect();
+            self.deltas = sizes[1..].iter().map(|&s| vec![0.0; s]).collect();
+        }
+    }
+
+    /// Runs the network forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the input layer size.
+    pub fn predict(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.inputs(), "input dimensionality");
+        let mut current = input.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.forward(&current, &mut next);
+            std::mem::swap(&mut current, &mut next);
+        }
+        current
+    }
+
+    /// One stochastic gradient step on a single example, with momentum
+    /// (paper Eq. 3.2): `w <- w - (lr * dE/dw + momentum * prev_update)`.
+    ///
+    /// Returns the example's squared error before the update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input`/`target` dimensionalities do not match the network.
+    // Index loops mirror the textbook backpropagation formulation and keep
+    // the weight-matrix addressing explicit.
+    #[allow(clippy::needless_range_loop)]
+    pub fn train_example(
+        &mut self,
+        input: &[f64],
+        target: &[f64],
+        learning_rate: f64,
+        momentum: f64,
+    ) -> f64 {
+        assert_eq!(input.len(), self.inputs(), "input dimensionality");
+        assert_eq!(target.len(), self.outputs(), "target dimensionality");
+        self.ensure_buffers();
+
+        // Forward pass, keeping every layer's activations.
+        self.scratch[0].clear();
+        self.scratch[0].extend_from_slice(input);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (before, after) = self.scratch.split_at_mut(i + 1);
+            layer.forward(&before[i], &mut after[0]);
+        }
+
+        // Output deltas: dE/dnet for squared error with linear outputs is
+        // (y - t) * f'(y).
+        let last = self.layers.len() - 1;
+        let mut squared_error = 0.0;
+        for o in 0..self.layers[last].outputs {
+            let y = self.scratch[last + 1][o];
+            let err = y - target[o];
+            squared_error += err * err;
+            self.deltas[last][o] = err * self.layers[last].activation.derivative_from_output(y);
+        }
+
+        // Backward pass: propagate deltas.
+        for l in (0..last).rev() {
+            let (lower, upper) = self.deltas.split_at_mut(l + 1);
+            let next_layer = &self.layers[l + 1];
+            let this_outputs = self.layers[l].outputs;
+            for j in 0..this_outputs {
+                let mut sum = 0.0;
+                for o in 0..next_layer.outputs {
+                    sum += next_layer.weights[o * (next_layer.inputs + 1) + j] * upper[0][o];
+                }
+                let y = self.scratch[l + 1][j];
+                lower[l][j] = sum * self.layers[l].activation.derivative_from_output(y);
+            }
+        }
+
+        // Weight updates with momentum.
+        for (l, layer) in self.layers.iter_mut().enumerate() {
+            let input_act = &self.scratch[l];
+            for o in 0..layer.outputs {
+                let delta = self.deltas[l][o];
+                let row = o * (layer.inputs + 1);
+                for i in 0..layer.inputs {
+                    let idx = row + i;
+                    let update =
+                        -learning_rate * delta * input_act[i] + momentum * layer.velocity[idx];
+                    layer.weights[idx] += update;
+                    layer.velocity[idx] = update;
+                }
+                let idx = row + layer.inputs; // bias
+                let update = -learning_rate * delta + momentum * layer.velocity[idx];
+                layer.weights[idx] += update;
+                layer.velocity[idx] = update;
+            }
+        }
+        squared_error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_network_is_nearly_linear_and_near_zero() {
+        let mut rng = Xoshiro256::seed_from(2);
+        let net = Network::new(&[4, 16, 1], &mut rng);
+        // With weights in ±0.01, outputs are near the bias path: tiny.
+        let y = net.predict(&[1.0, 1.0, 1.0, 1.0]);
+        assert!(y[0].abs() < 0.2, "initial output {y:?}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        // Numeric gradient check on a tiny network: perturb each weight and
+        // compare dE/dw with the backprop update direction.
+        let mut rng = Xoshiro256::seed_from(3);
+        let mut net = Network::new(&[2, 3, 1], &mut rng);
+        // Use larger weights so derivatives are non-trivial.
+        for layer in &mut net.layers {
+            for w in &mut layer.weights {
+                *w = rng.range_f64(-0.8, 0.8);
+            }
+        }
+        let input = [0.3, -0.6];
+        let target = [0.9];
+        let eps = 1e-6;
+
+        let error_of = |net: &Network| {
+            let y = net.predict(&input)[0];
+            (y - target[0]) * (y - target[0])
+        };
+
+        // Analytic gradient via a momentum-free, lr=1 "update": the weight
+        // change equals -dE/dnet contributions; recover gradient by diffing
+        // weights around the update.
+        let mut trained = net.clone();
+        let lr = 1e-4;
+        trained.train_example(&input, &target, lr, 0.0);
+
+        for l in 0..net.layers.len() {
+            for idx in 0..net.layers[l].weights.len() {
+                // Numeric: dE/dw (note E here is the squared error; backprop
+                // uses dE/dw with E = sum err^2, derivative 2*err*...; the
+                // implementation folds the 2 into delta implicitly by using
+                // err, so compare against E/2's gradient).
+                let mut plus = net.clone();
+                plus.layers[l].weights[idx] += eps;
+                let mut minus = net.clone();
+                minus.layers[l].weights[idx] -= eps;
+                let numeric = (error_of(&plus) - error_of(&minus)) / (2.0 * eps) / 2.0;
+                let analytic = -(trained.layers[l].weights[idx] - net.layers[l].weights[idx]) / lr;
+                assert!(
+                    (numeric - analytic).abs() < 1e-4,
+                    "layer {l} weight {idx}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn learns_xor() {
+        // The canonical non-linear task: impossible for a linear model.
+        let data = [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        let mut rng = Xoshiro256::seed_from(5);
+        let mut net = Network::new(&[2, 8, 1], &mut rng);
+        for _ in 0..60_000 {
+            let (x, t) = data[rng.index(4)];
+            net.train_example(&x, &[t], 0.3, 0.5);
+        }
+        for (x, t) in data {
+            let y = net.predict(&x)[0];
+            assert!((y - t).abs() < 0.25, "xor({x:?}) = {y}, want {t}");
+        }
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        // Same seed, same presentations: momentum should reach a lower
+        // error on a smooth problem within a fixed budget.
+        let run = |momentum: f64| {
+            let mut rng = Xoshiro256::seed_from(6);
+            let mut net = Network::new(&[1, 8, 1], &mut rng);
+            let mut data_rng = Xoshiro256::seed_from(7);
+            for _ in 0..4000 {
+                let x = data_rng.next_f64();
+                let t = 0.5 + 0.4 * (x * 6.0).sin();
+                net.train_example(&[x], &[t], 0.05, momentum);
+            }
+            let mut err = 0.0;
+            for i in 0..100 {
+                let x = i as f64 / 100.0;
+                let t = 0.5 + 0.4 * (x * 6.0).sin();
+                let y = net.predict(&[x])[0];
+                err += (y - t) * (y - t);
+            }
+            err
+        };
+        assert!(run(0.5) < run(0.0), "momentum should help on this problem");
+    }
+
+    #[test]
+    fn multi_output_network() {
+        let mut rng = Xoshiro256::seed_from(8);
+        let mut net = Network::new(&[2, 10, 2], &mut rng);
+        // Learn two functions at once (multi-task shape from §7).
+        let mut data_rng = Xoshiro256::seed_from(9);
+        for _ in 0..30_000 {
+            let a = data_rng.next_f64();
+            let b = data_rng.next_f64();
+            net.train_example(&[a, b], &[(a + b) / 2.0, a * b], 0.1, 0.5);
+        }
+        let y = net.predict(&[0.4, 0.6]);
+        assert!((y[0] - 0.5).abs() < 0.1, "sum head {y:?}");
+        assert!((y[1] - 0.24).abs() < 0.1, "product head {y:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimensionality")]
+    fn wrong_input_size_panics() {
+        let mut rng = Xoshiro256::seed_from(1);
+        let net = Network::new(&[3, 4, 1], &mut rng);
+        net.predict(&[1.0]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let mut rng = Xoshiro256::seed_from(10);
+        let mut net = Network::new(&[2, 4, 1], &mut rng);
+        for _ in 0..100 {
+            net.train_example(&[0.2, 0.8], &[0.5], 0.1, 0.5);
+        }
+        let json = serde_json::to_string(&net).unwrap();
+        let mut restored: Network = serde_json::from_str(&json).unwrap();
+        assert_eq!(net.predict(&[0.3, 0.4]), restored.predict(&[0.3, 0.4]));
+        // And training still works after the skipped buffers are rebuilt.
+        restored.train_example(&[0.3, 0.4], &[0.6], 0.1, 0.5);
+    }
+}

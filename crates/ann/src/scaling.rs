@@ -1,0 +1,168 @@
+//! Minimax normalization (paper §3.3).
+//!
+//! Cardinal and continuous inputs — and the target metric — are scaled into
+//! `[0, 1]` using their minimum and maximum over the data, preventing
+//! parameters with wide ranges from dominating the gradient. Predictions
+//! are scaled back to the original range before error is computed, because
+//! the paper reports *percentage* error in real units.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension minimax scaler for feature vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler to rows of equal-length feature vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    pub fn fit<'a, I>(rows: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let mut iter = rows.into_iter();
+        let first = iter.next().expect("cannot fit scaler to no data");
+        let mut mins = first.to_vec();
+        let mut maxs = first.to_vec();
+        for row in iter {
+            assert_eq!(row.len(), mins.len(), "ragged feature rows");
+            for ((m, x), v) in mins.iter_mut().zip(row).zip(maxs.iter_mut()) {
+                *m = m.min(*x);
+                *v = v.max(*x);
+            }
+        }
+        Self { mins, maxs }
+    }
+
+    /// Builds a scaler from explicit per-dimension bounds (e.g. the design
+    /// space's declared parameter ranges, as the paper normalizes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any `min > max`.
+    pub fn from_bounds(mins: Vec<f64>, maxs: Vec<f64>) -> Self {
+        assert_eq!(mins.len(), maxs.len(), "bounds length mismatch");
+        assert!(
+            mins.iter().zip(&maxs).all(|(a, b)| a <= b),
+            "min exceeds max"
+        );
+        Self { mins, maxs }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scales a feature vector into `[0, 1]` per dimension. Constant
+    /// dimensions map to `0.5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.dims(), "dimensionality mismatch");
+        row.iter()
+            .zip(self.mins.iter().zip(&self.maxs))
+            .map(
+                |(&x, (&lo, &hi))| {
+                    if hi > lo {
+                        (x - lo) / (hi - lo)
+                    } else {
+                        0.5
+                    }
+                },
+            )
+            .collect()
+    }
+}
+
+/// Minimax scaler for a scalar target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetScaler {
+    min: f64,
+    max: f64,
+}
+
+impl TargetScaler {
+    /// Fits to observed target values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains non-finite numbers.
+    pub fn fit(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot fit scaler to no data");
+        assert!(values.iter().all(|v| v.is_finite()), "non-finite target");
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self { min, max }
+    }
+
+    /// Scales a raw target into `[0, 1]` (`0.5` for a constant target).
+    pub fn scale(&self, value: f64) -> f64 {
+        if self.max > self.min {
+            (value - self.min) / (self.max - self.min)
+        } else {
+            0.5
+        }
+    }
+
+    /// Maps a normalized prediction back to the raw range.
+    pub fn unscale(&self, normalized: f64) -> f64 {
+        if self.max > self.min {
+            self.min + normalized * (self.max - self.min)
+        } else {
+            self.min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_maps_bounds_to_unit_interval() {
+        let rows = [vec![0.0, 10.0], vec![4.0, 30.0], vec![2.0, 20.0]];
+        let scaler = MinMaxScaler::fit(rows.iter().map(|r| r.as_slice()));
+        assert_eq!(scaler.transform(&[0.0, 10.0]), vec![0.0, 0.0]);
+        assert_eq!(scaler.transform(&[4.0, 30.0]), vec![1.0, 1.0]);
+        assert_eq!(scaler.transform(&[2.0, 20.0]), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_half() {
+        let rows = [vec![3.0], vec![3.0]];
+        let scaler = MinMaxScaler::fit(rows.iter().map(|r| r.as_slice()));
+        assert_eq!(scaler.transform(&[3.0]), vec![0.5]);
+    }
+
+    #[test]
+    fn target_round_trip() {
+        let scaler = TargetScaler::fit(&[0.2, 1.4, 0.8]);
+        for v in [0.2, 0.5, 1.4] {
+            assert!((scaler.unscale(scaler.scale(v)) - v).abs() < 1e-12);
+        }
+        assert_eq!(scaler.scale(0.2), 0.0);
+        assert_eq!(scaler.scale(1.4), 1.0);
+    }
+
+    #[test]
+    fn from_bounds_matches_fit() {
+        let a = MinMaxScaler::from_bounds(vec![0.0, 10.0], vec![4.0, 30.0]);
+        let rows = [vec![0.0, 10.0], vec![4.0, 30.0]];
+        let b = MinMaxScaler::fit(rows.iter().map(|r| r.as_slice()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "min exceeds max")]
+    fn inverted_bounds_panic() {
+        MinMaxScaler::from_bounds(vec![1.0], vec![0.0]);
+    }
+}

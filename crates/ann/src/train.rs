@@ -1,0 +1,353 @@
+//! Single-network training with early stopping (paper §3.1–3.3).
+//!
+//! Training presents examples stochastically; with
+//! [`TrainConfig::percentage_error`] enabled (the paper's default for
+//! architectural targets), examples are drawn at a frequency proportional
+//! to the inverse of their target value, which makes plain squared-error
+//! gradient descent optimize *percentage* error. Early stopping monitors
+//! percentage error on a held-aside set and restores the best weights.
+
+use crate::dataset::Sample;
+use crate::network::Network;
+use crate::scaling::{MinMaxScaler, TargetScaler};
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::WeightedAlias;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters for network training.
+///
+/// Defaults follow the paper's architecture (§3.1): one hidden layer of 16
+/// units, weights initialized in ±0.01, and percentage-error training. The
+/// default learning rate and momentum are higher than the paper's
+/// 0.001/0.5 because our (much smaller) training sets favor faster
+/// convergence; [`TrainConfig::paper`] restores the published values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Hidden units in the first hidden layer.
+    pub hidden_units: usize,
+    /// Units in an optional second hidden layer (paper Fig. 3.1(b); `0`
+    /// selects the paper's default single-hidden-layer topology).
+    pub second_hidden_units: usize,
+    /// Gradient-descent step size (η in Eq. 3.1).
+    pub learning_rate: f64,
+    /// Momentum coefficient (α in Eq. 3.2).
+    pub momentum: f64,
+    /// Hard cap on training epochs.
+    pub max_epochs: usize,
+    /// Stop after this many epochs without improvement on the
+    /// early-stopping set.
+    pub patience: usize,
+    /// Train for percentage error: inverse-target presentation frequency
+    /// and percentage-error early stopping (§3.3).
+    pub percentage_error: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            hidden_units: 16,
+            second_hidden_units: 0,
+            learning_rate: 0.1,
+            momentum: 0.7,
+            max_epochs: 800,
+            patience: 60,
+            percentage_error: true,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// An epoch budget scaled to the training-set size: small sets afford
+    /// (and need) many passes; large sets converge in fewer. Used by the
+    /// experiment harness so every point on a learning curve is trained to
+    /// comparable convergence.
+    pub fn scaled_to(n_samples: usize) -> Self {
+        let max_epochs = (400_000 / n_samples.max(1)).clamp(1_500, 10_000);
+        Self {
+            max_epochs,
+            patience: (max_epochs / 15).max(50),
+            ..Self::default()
+        }
+    }
+
+    /// The paper's exact published hyperparameters (η = 0.001), which need
+    /// more epochs to converge.
+    pub fn paper() -> Self {
+        Self {
+            learning_rate: 0.001,
+            momentum: 0.5,
+            max_epochs: 4000,
+            patience: 150,
+            ..Self::default()
+        }
+    }
+}
+
+/// Layer sizes for a config: `[inputs, hidden, (hidden2,) outputs]`.
+pub(crate) fn layer_sizes(inputs: usize, config: &TrainConfig, outputs: usize) -> Vec<usize> {
+    let mut sizes = vec![inputs, config.hidden_units];
+    if config.second_hidden_units > 0 {
+        sizes.push(config.second_hidden_units);
+    }
+    sizes.push(outputs);
+    sizes
+}
+
+/// A trained network together with the scalers needed to use it on raw
+/// feature vectors and to return raw-scale predictions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedModel {
+    network: Network,
+    input_scaler: MinMaxScaler,
+    target_scaler: TargetScaler,
+    /// Epochs actually run before stopping.
+    pub epochs: usize,
+}
+
+impl TrainedModel {
+    /// Predicts the raw-scale target for raw features.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let x = self.input_scaler.transform(features);
+        self.target_scaler.unscale(self.network.predict(&x)[0])
+    }
+}
+
+/// Mean absolute percentage error (in percent) of `model`-style prediction
+/// over `samples`, using the supplied scalers and network.
+fn percent_error(
+    network: &Network,
+    input_scaler: &MinMaxScaler,
+    target_scaler: &TargetScaler,
+    samples: &[&Sample],
+) -> f64 {
+    let mut total = 0.0;
+    for s in samples {
+        let x = input_scaler.transform(&s.features);
+        let y = target_scaler.unscale(network.predict(&x)[0]);
+        total += 100.0 * (y - s.target).abs() / s.target.abs().max(1e-12);
+    }
+    total / samples.len() as f64
+}
+
+/// Trains one network on `train`, early-stopping on `es`, with scalers
+/// fitted from both sets (the design-space bounds are known up front in
+/// the paper's setting, so scaler fit is not a leak).
+///
+/// # Panics
+///
+/// Panics if either set is empty or samples are inconsistently sized.
+pub fn train_network(
+    train: &[&Sample],
+    es: &[&Sample],
+    config: &TrainConfig,
+    rng: &mut Xoshiro256,
+) -> TrainedModel {
+    assert!(!train.is_empty(), "empty training set");
+    assert!(!es.is_empty(), "empty early-stopping set");
+
+    let input_scaler = MinMaxScaler::fit(train.iter().chain(es).map(|s| s.features.as_slice()));
+    let targets: Vec<f64> = train.iter().chain(es).map(|s| s.target).collect();
+    let target_scaler = TargetScaler::fit(&targets);
+
+    // Pre-normalize the training set once.
+    let inputs: Vec<Vec<f64>> = train
+        .iter()
+        .map(|s| input_scaler.transform(&s.features))
+        .collect();
+    let targets: Vec<f64> = train
+        .iter()
+        .map(|s| target_scaler.scale(s.target))
+        .collect();
+
+    // Presentation distribution: inverse-target frequency for percentage-
+    // error training, uniform otherwise.
+    let weights: Vec<f64> = if config.percentage_error {
+        train
+            .iter()
+            .map(|s| 1.0 / s.target.abs().max(1e-9))
+            .collect()
+    } else {
+        vec![1.0; train.len()]
+    };
+    let alias = WeightedAlias::new(&weights);
+
+    let mut network = Network::new(&layer_sizes(inputs[0].len(), config, 1), rng);
+    let mut best = network.clone();
+    let mut best_error = f64::INFINITY;
+    let mut best_epoch = 0;
+    let mut epochs = 0;
+
+    for epoch in 0..config.max_epochs {
+        epochs = epoch + 1;
+        for _ in 0..inputs.len() {
+            let i = alias.sample(rng);
+            network.train_example(
+                &inputs[i],
+                std::slice::from_ref(&targets[i]),
+                config.learning_rate,
+                config.momentum,
+            );
+        }
+        let es_error = percent_error(&network, &input_scaler, &target_scaler, es);
+        if es_error < best_error {
+            best_error = es_error;
+            best = network.clone();
+            best_epoch = epoch;
+        } else if epoch - best_epoch >= config.patience {
+            break;
+        }
+    }
+
+    TrainedModel {
+        network: best,
+        input_scaler,
+        target_scaler,
+        epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+
+    /// A smooth nonlinear 2-D test function with IPC-like range.
+    fn target_fn(a: f64, b: f64) -> f64 {
+        0.3 + 0.5 * (a * 3.0).sin().abs() + 0.4 * a * b
+    }
+
+    fn make_samples(n: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = Xoshiro256::seed_from(seed);
+        (0..n)
+            .map(|_| {
+                let a = rng.next_f64();
+                let b = rng.next_f64();
+                Sample::new(vec![a, b], target_fn(a, b))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_nonlinear_function_within_a_few_percent() {
+        let samples = make_samples(400, 1);
+        let (train, es) = samples.split_at(320);
+        let train_refs: Vec<&Sample> = train.iter().collect();
+        let es_refs: Vec<&Sample> = es.iter().collect();
+        let mut rng = Xoshiro256::seed_from(2);
+        let model = train_network(&train_refs, &es_refs, &TrainConfig::default(), &mut rng);
+
+        let test = make_samples(200, 3);
+        let mut total = 0.0;
+        for s in &test {
+            total += 100.0 * (model.predict(&s.features) - s.target).abs() / s.target;
+        }
+        let mape = total / test.len() as f64;
+        assert!(mape < 5.0, "test MAPE {mape:.2}%");
+    }
+
+    #[test]
+    fn early_stopping_terminates_before_max_epochs() {
+        let samples = make_samples(200, 4);
+        let (train, es) = samples.split_at(160);
+        let train_refs: Vec<&Sample> = train.iter().collect();
+        let es_refs: Vec<&Sample> = es.iter().collect();
+        let config = TrainConfig {
+            max_epochs: 4000,
+            patience: 10,
+            ..TrainConfig::default()
+        };
+        let mut rng = Xoshiro256::seed_from(5);
+        let model = train_network(&train_refs, &es_refs, &config, &mut rng);
+        assert!(model.epochs < 4000, "ran {} epochs", model.epochs);
+    }
+
+    #[test]
+    fn percentage_training_helps_small_targets() {
+        // An IPC-like target range (0.08..1.3, as across the studied design
+        // spaces): percentage-error training should serve the small-target
+        // region at least as well as plain squared-error training,
+        // averaged over seeds.
+        let mut rng = Xoshiro256::seed_from(6);
+        let samples: Vec<Sample> = (0..500)
+            .map(|_| {
+                let a = rng.next_f64();
+                let b = rng.next_f64();
+                let t = 0.08 + 1.2 * (0.3 * a + 0.7 * a * b).powf(1.5);
+                Sample::new(vec![a, b], t)
+            })
+            .collect();
+        let (train, es) = samples.split_at(400);
+        let train_refs: Vec<&Sample> = train.iter().collect();
+        let es_refs: Vec<&Sample> = es.iter().collect();
+
+        let run = |pct: bool, seed: u64| {
+            let config = TrainConfig {
+                percentage_error: pct,
+                ..TrainConfig::default()
+            };
+            let mut rng = Xoshiro256::seed_from(seed);
+            let model = train_network(&train_refs, &es_refs, &config, &mut rng);
+            let mut total = 0.0;
+            let mut count = 0;
+            for s in &samples {
+                if s.target < 0.3 {
+                    total += 100.0 * (model.predict(&s.features) - s.target).abs() / s.target;
+                    count += 1;
+                }
+            }
+            total / count as f64
+        };
+        let with: f64 = [7, 8, 9].iter().map(|&s| run(true, s)).sum::<f64>() / 3.0;
+        let without: f64 = [7, 8, 9].iter().map(|&s| run(false, s)).sum::<f64>() / 3.0;
+        assert!(
+            with < without * 1.05,
+            "pct training {with:.2}% should not trail plain {without:.2}% on small targets"
+        );
+    }
+
+    #[test]
+    fn two_hidden_layers_also_learn() {
+        let samples = make_samples(400, 21);
+        let (train, es) = samples.split_at(320);
+        let train_refs: Vec<&Sample> = train.iter().collect();
+        let es_refs: Vec<&Sample> = es.iter().collect();
+        // Near-zero init makes two-layer nets slow starters: give the
+        // deeper topology a bigger epoch budget.
+        let config = TrainConfig {
+            second_hidden_units: 8,
+            learning_rate: 0.2,
+            max_epochs: 6000,
+            patience: 500,
+            ..TrainConfig::default()
+        };
+        let mut rng = Xoshiro256::seed_from(22);
+        let model = train_network(&train_refs, &es_refs, &config, &mut rng);
+        let test = make_samples(150, 23);
+        let mut total = 0.0;
+        for s in &test {
+            total += 100.0 * (model.predict(&s.features) - s.target).abs() / s.target;
+        }
+        let mape = total / test.len() as f64;
+        assert!(mape < 8.0, "two-layer MAPE {mape:.2}%");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let samples = make_samples(120, 8);
+        let (train, es) = samples.split_at(100);
+        let train_refs: Vec<&Sample> = train.iter().collect();
+        let es_refs: Vec<&Sample> = es.iter().collect();
+        let mut r1 = Xoshiro256::seed_from(9);
+        let mut r2 = Xoshiro256::seed_from(9);
+        let m1 = train_network(&train_refs, &es_refs, &TrainConfig::default(), &mut r1);
+        let m2 = train_network(&train_refs, &es_refs, &TrainConfig::default(), &mut r2);
+        assert_eq!(m1.predict(&[0.3, 0.3]), m2.predict(&[0.3, 0.3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_train_panics() {
+        let mut rng = Xoshiro256::seed_from(1);
+        train_network(&[], &[], &TrainConfig::default(), &mut rng);
+    }
+}

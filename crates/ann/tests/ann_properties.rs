@@ -1,0 +1,74 @@
+//! Property tests for the neural-network stack.
+
+use archpredict_ann::dataset::fold_ranges;
+use archpredict_ann::network::Network;
+use archpredict_ann::scaling::{MinMaxScaler, TargetScaler};
+use archpredict_stats::rng::Xoshiro256;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Target scaling is a bijection on the fitted range.
+    #[test]
+    fn target_scaler_round_trips(
+        values in prop::collection::vec(-1e6f64..1e6, 2..40),
+        pick in 0usize..40,
+    ) {
+        let scaler = TargetScaler::fit(&values);
+        let v = values[pick % values.len()];
+        let round = scaler.unscale(scaler.scale(v));
+        prop_assert!((round - v).abs() <= 1e-6 * v.abs().max(1.0));
+        prop_assert!((0.0..=1.0).contains(&scaler.scale(v)));
+    }
+
+    /// Input scaling maps fitted rows into the unit hypercube.
+    #[test]
+    fn input_scaler_bounds(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e3f64..1e3, 3),
+            2..30,
+        ),
+    ) {
+        let scaler = MinMaxScaler::fit(rows.iter().map(|r| r.as_slice()));
+        for row in &rows {
+            for x in scaler.transform(row) {
+                prop_assert!((0.0..=1.0).contains(&x), "scaled value {x}");
+            }
+        }
+    }
+
+    /// Fold ranges partition exactly with balanced sizes.
+    #[test]
+    fn folds_partition(n in 10usize..5000, k in 3usize..11) {
+        prop_assume!(k <= n);
+        let ranges = fold_ranges(n, k);
+        prop_assert_eq!(ranges.len(), k);
+        let total: usize = ranges.iter().map(|(a, b)| b - a).sum();
+        prop_assert_eq!(total, n);
+        let sizes: Vec<usize> = ranges.iter().map(|(a, b)| b - a).collect();
+        prop_assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    /// Forward passes are pure: same input, same output.
+    #[test]
+    fn prediction_is_pure(seed in 0u64..1000, x in 0.0f64..1.0, y in 0.0f64..1.0) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let net = Network::new(&[2, 8, 1], &mut rng);
+        prop_assert_eq!(net.predict(&[x, y]), net.predict(&[x, y]));
+    }
+
+    /// Training on one example reduces (or preserves) that example's error
+    /// when momentum is off and the step is small.
+    #[test]
+    fn gradient_step_descends(seed in 0u64..500, x in 0.05f64..0.95, t in 0.1f64..0.9) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut net = Network::new(&[1, 6, 1], &mut rng);
+        let before = (net.predict(&[x])[0] - t).abs();
+        for _ in 0..10 {
+            net.train_example(&[x], &[t], 0.01, 0.0);
+        }
+        let after = (net.predict(&[x])[0] - t).abs();
+        prop_assert!(after <= before + 1e-9, "{before} -> {after}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Ensemble training cost vs training-set size — the Criterion companion
+//! to Figure 5.8 (which uses real study data; this uses a synthetic
+//! response so the bench is self-contained and fast).
+
+use archpredict_ann::{fit_ensemble, Dataset, Sample, TrainConfig};
+use archpredict_stats::rng::Xoshiro256;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn dataset(n: usize) -> Dataset {
+    let mut rng = Xoshiro256::seed_from(5);
+    (0..n)
+        .map(|_| {
+            let a = rng.next_f64();
+            let b = rng.next_f64();
+            let c = rng.next_f64();
+            Sample::new(
+                vec![a, b, c],
+                0.3 + 0.5 * (a * 2.0).sin().abs() + 0.2 * b * c,
+            )
+        })
+        .collect()
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_10fold_ensemble");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let config = TrainConfig {
+        max_epochs: 200,
+        patience: 200,
+        ..TrainConfig::default()
+    };
+    for n in [100usize, 200, 400] {
+        let data = dataset(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| fit_ensemble(data, 10, &config, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Prediction latency: how fast the trained ensemble answers "what is the
+//! IPC of this configuration?" — the quantity that replaces a detailed
+//! simulation once the model is built.
+
+use archpredict::studies::Study;
+use archpredict_ann::{fit_ensemble, Dataset, Sample, TrainConfig};
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::sample_without_replacement;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_prediction(c: &mut Criterion) {
+    let space = Study::MemorySystem.space();
+    let mut rng = Xoshiro256::seed_from(2);
+    // Synthetic targets are fine: prediction cost is target-independent.
+    let data: Dataset = sample_without_replacement(space.size(), 300, &mut rng)
+        .into_iter()
+        .map(|i| {
+            let f = space.encode(&space.point(i));
+            let t = 0.5 + 0.3 * f[0];
+            Sample::new(f, t)
+        })
+        .collect();
+    let config = TrainConfig {
+        max_epochs: 100,
+        ..TrainConfig::default()
+    };
+    let fit = fit_ensemble(&data, 10, &config, 3);
+
+    let mut group = c.benchmark_group("ensemble_prediction");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    let features = space.encode(&space.point(777));
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("single_point", |b| {
+        b.iter(|| fit.ensemble.predict(&features))
+    });
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("sweep_1000_points", |b| {
+        b.iter(|| {
+            (0..1_000)
+                .map(|i| fit.ensemble.predict(&space.encode(&space.point(i * 23))))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

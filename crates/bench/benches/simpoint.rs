@@ -1,0 +1,26 @@
+//! SimPoint plan construction cost: BBV profiling + projection + BIC
+//! k-means over a whole program's intervals.
+
+use archpredict_simpoint::SimPointPlan;
+use archpredict_workloads::{Benchmark, TraceGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simpoint_plan");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for benchmark in [Benchmark::Mgrid, Benchmark::Twolf] {
+        let generator = TraceGenerator::new(benchmark);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark.name()),
+            &generator,
+            |b, generator| b.iter(|| SimPointPlan::build(generator, 2_000, 10)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Simulator throughput: cycle-level simulation speed per benchmark, plus
+//! sensitivity of runtime to the machine configuration.
+
+use archpredict_sim::{simulate_with_warmup, SimConfig};
+use archpredict_workloads::{Benchmark, TraceGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_8k_instructions");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .throughput(Throughput::Elements(8_000));
+    let config = SimConfig::default();
+    for benchmark in [
+        Benchmark::Gzip,
+        Benchmark::Mcf,
+        Benchmark::Mgrid,
+        Benchmark::Mesa,
+    ] {
+        let generator = TraceGenerator::new(benchmark);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark.name()),
+            &generator,
+            |b, generator| {
+                b.iter(|| simulate_with_warmup(&config, generator.interval(0), 2_000, 6_000))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation_10k");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements(10_000));
+    let generator = TraceGenerator::new(Benchmark::Twolf);
+    group.bench_function("twolf", |b| {
+        b.iter(|| generator.interval(0).take(10_000).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Design-space operations: point decode/encode and sampling — these run
+//! inside every explorer round and every full-space prediction sweep.
+
+use archpredict::studies::Study;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::IncrementalSampler;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_space(c: &mut Criterion) {
+    let space = Study::Processor.space();
+    let mut group = c.benchmark_group("design_space");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(space.size() as u64));
+    group.bench_function("decode_encode_full_space", |b| {
+        b.iter(|| {
+            (0..space.size())
+                .map(|i| space.encode(&space.point(i)).len())
+                .sum::<usize>()
+        })
+    });
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("incremental_sample_1000", |b| {
+        b.iter(|| {
+            let mut s = IncrementalSampler::new(space.size(), Xoshiro256::seed_from(1));
+            s.next_batch(1_000).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_space);
+criterion_main!(benches);

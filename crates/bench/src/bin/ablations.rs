@@ -1,0 +1,144 @@
+//! Ablations of the paper's design choices (DESIGN.md §6), measured on
+//! real study data with identical simulation budgets:
+//!
+//! 1. **percentage-error training** (inverse-target presentation) vs plain
+//!    squared-error training;
+//! 2. **cross-validation ensembling** vs a single network trained on all
+//!    the data;
+//! 3. **ANN** vs ordinary least-squares **linear regression** (§3's claim
+//!    that the response surface needs nonlinear regression);
+//! 4. **random sampling** vs the §7 **active-learning** extension.
+
+use archpredict::explorer::{Explorer, ExplorerConfig};
+use archpredict::sampling::Strategy;
+use archpredict::simulate::{CachedEvaluator, Evaluator, SimBudget, StudyEvaluator};
+use archpredict::studies::Study;
+use archpredict_ann::train::train_network;
+use archpredict_ann::{fit_ensemble, Dataset, Sample, TrainConfig};
+use archpredict_bench::ExperimentOpts;
+use archpredict_stats::describe::Accumulator;
+use archpredict_stats::linear::LinearModel;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::sample_without_replacement;
+use archpredict_workloads::{Benchmark, TraceGenerator};
+
+fn main() {
+    let opts = ExperimentOpts::from_args(&[Benchmark::Twolf]);
+    let benchmark = opts.apps[0];
+    let study = Study::MemorySystem;
+    let space = study.space();
+    let generator = TraceGenerator::new(benchmark);
+    let evaluator = CachedEvaluator::new(
+        StudyEvaluator::with_budget(
+            study,
+            benchmark,
+            SimBudget::spread(&generator, 3, 8_000, 16_000),
+        ),
+        space.clone(),
+    );
+
+    let mut rng = Xoshiro256::seed_from(opts.seed);
+    let n_train = 400;
+    let train_idx = sample_without_replacement(space.size(), n_train, &mut rng);
+    let test_idx = sample_without_replacement(space.size(), opts.eval_points, &mut rng);
+    eprintln!(
+        "simulating {} train + {} test points for {benchmark}...",
+        n_train,
+        test_idx.len()
+    );
+    let enc = |i: usize| space.encode(&space.point(i));
+    let data: Dataset = train_idx
+        .iter()
+        .map(|&i| Sample::new(enc(i), evaluator.evaluate(&space.point(i))))
+        .collect();
+    let test: Vec<(Vec<f64>, f64)> = test_idx
+        .iter()
+        .map(|&i| (enc(i), evaluator.evaluate(&space.point(i))))
+        .collect();
+
+    let mape = |predict: &dyn Fn(&[f64]) -> f64| -> (f64, f64) {
+        let mut acc = Accumulator::new();
+        for (x, t) in &test {
+            acc.add(100.0 * (predict(x) - t).abs() / t);
+        }
+        (acc.mean(), acc.population_std_dev())
+    };
+
+    println!("== ablations: {benchmark} on the memory study, {n_train} training sims ==\n");
+
+    // 1. Percentage-error training.
+    let scaled = TrainConfig::scaled_to(n_train);
+    for (label, pct) in [
+        ("pct-error training (paper)", true),
+        ("plain squared error", false),
+    ] {
+        let config = TrainConfig {
+            percentage_error: pct,
+            ..scaled
+        };
+        let fit = fit_ensemble(&data, 10, &config, opts.seed);
+        let (mean, sd) = mape(&|x| fit.ensemble.predict(x));
+        println!("{label:32} {mean:5.2}% ± {sd:.2}");
+    }
+
+    // 2. Ensemble vs single network (same total data; single net uses a
+    //    held-aside 10% early-stopping split).
+    println!();
+    let fit = fit_ensemble(&data, 10, &scaled, opts.seed);
+    let (mean, sd) = mape(&|x| fit.ensemble.predict(x));
+    println!("{:32} {mean:5.2}% ± {sd:.2}", "10-fold CV ensemble (paper)");
+    let samples = data.samples();
+    let split = samples.len() * 9 / 10;
+    let train_refs: Vec<&Sample> = samples[..split].iter().collect();
+    let es_refs: Vec<&Sample> = samples[split..].iter().collect();
+    let mut train_rng = Xoshiro256::seed_from(opts.seed ^ 1);
+    let single = train_network(&train_refs, &es_refs, &scaled, &mut train_rng);
+    let (mean, sd) = mape(&|x| single.predict(x));
+    println!("{:32} {mean:5.2}% ± {sd:.2}", "single network");
+
+    // 3. ANN vs linear regression.
+    println!();
+    let xs: Vec<Vec<f64>> = samples.iter().map(|s| s.features.clone()).collect();
+    let ys: Vec<f64> = samples.iter().map(|s| s.target).collect();
+    let linear = LinearModel::fit(&xs, &ys).expect("well-posed");
+    let (mean, sd) = mape(&|x| linear.predict(x));
+    println!("{:32} {mean:5.2}% ± {sd:.2}", "linear regression baseline");
+    let (mean, sd) = mape(&|x| fit.ensemble.predict(x));
+    println!("{:32} {mean:5.2}% ± {sd:.2}", "ANN ensemble (same data)");
+
+    // 4. Random vs active-learning sampling at the same budget.
+    println!();
+    for (label, strategy) in [
+        ("random sampling (paper)", Strategy::Random),
+        (
+            "active learning (QBC, §7)",
+            Strategy::Active { pool_factor: 4 },
+        ),
+    ] {
+        let config = ExplorerConfig {
+            batch: 50,
+            target_error: 0.0,
+            max_samples: n_train,
+            train: scaled,
+            strategy,
+            seed: opts.seed,
+            ..ExplorerConfig::default()
+        };
+        let mut explorer = Explorer::new(&space, &evaluator, config);
+        explorer.run();
+        let trained: std::collections::HashSet<usize> =
+            explorer.sampled_indices().iter().copied().collect();
+        let mut acc = Accumulator::new();
+        for (&i, (x, t)) in test_idx.iter().zip(&test) {
+            if !trained.contains(&i) {
+                acc.add(100.0 * (explorer.predict(i) - t).abs() / t);
+                let _ = x;
+            }
+        }
+        println!(
+            "{label:32} {:5.2}% ± {:.2}",
+            acc.mean(),
+            acc.population_std_dev()
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 5.6: factor of reduction in simulated instructions achieved by
+//! ANN+SimPoint at three error levels per application.
+
+use archpredict::studies::Study;
+use archpredict_bench::{curve_for, reduction_analysis, CurveOpts, ExperimentOpts};
+use archpredict_workloads::Benchmark;
+
+fn main() {
+    let opts = ExperimentOpts::from_args(&Benchmark::FEATURED);
+    let targets = [1.0, 2.0, 3.5];
+    let mut csv = String::from(
+        "app,target_error,achieved_error,samples,ann_factor,simpoint_factor,combined_factor\n",
+    );
+    println!(
+        "{:28} {:>7} {:>9} {:>8} {:>8} {:>9} {:>10}",
+        "app", "target%", "achieved%", "samples", "ANNx", "SimPointx", "combinedx"
+    );
+    for &benchmark in &opts.apps {
+        let result = curve_for(&CurveOpts {
+            study: Study::Processor,
+            benchmark,
+            batch: opts.batch,
+            max_samples: opts.max_samples,
+            eval_points: opts.eval_points,
+            simpoint: true,
+            seed: opts.seed,
+            cache_dir: Some(format!("{}/simcache", opts.out_dir)),
+        });
+        for row in reduction_analysis(&result, &targets) {
+            println!(
+                "{:28} {:>7.1} {:>9.2} {:>8} {:>8.1} {:>9.1} {:>10.1}",
+                row.app,
+                row.target_error,
+                row.achieved_error,
+                row.samples,
+                row.ann_factor,
+                row.simpoint_factor,
+                row.combined_factor
+            );
+            csv.push_str(&format!(
+                "{},{},{:.3},{},{:.2},{:.2},{:.2}\n",
+                row.app,
+                row.target_error,
+                row.achieved_error,
+                row.samples,
+                row.ann_factor,
+                row.simpoint_factor,
+                row.combined_factor
+            ));
+        }
+    }
+    archpredict_bench::runner::write_artifact(&opts.out_path("fig_5_6.csv"), &csv);
+}

@@ -1,0 +1,50 @@
+//! Figure 5.7: decomposition of the total gains into SimPoint's
+//! per-simulation reduction and ANN modeling's fewer-simulations
+//! reduction; the combined factor is their product.
+
+use archpredict::studies::Study;
+use archpredict_bench::{curve_for, reduction_analysis, CurveOpts, ExperimentOpts};
+use archpredict_workloads::Benchmark;
+
+fn main() {
+    let opts = ExperimentOpts::from_args(&Benchmark::FEATURED);
+    let targets = [1.0, 2.0, 3.5];
+    let mut csv = String::from("app,achieved_error,factor_simpoint,factor_ann,factor_combined\n");
+    for &benchmark in &opts.apps {
+        let result = curve_for(&CurveOpts {
+            study: Study::Processor,
+            benchmark,
+            batch: opts.batch,
+            max_samples: opts.max_samples,
+            eval_points: opts.eval_points,
+            simpoint: true,
+            seed: opts.seed,
+            cache_dir: Some(format!("{}/simcache", opts.out_dir)),
+        });
+        println!("{}", result.curve.label);
+        println!(
+            "  {:>10} | {:>9} {:>7} {:>10}",
+            "error", "SimPointx", "ANNx", "combinedx"
+        );
+        for row in reduction_analysis(&result, &targets) {
+            println!(
+                "  {:>9.2}% | {:>9.1} {:>7.1} {:>10.1}",
+                row.achieved_error, row.simpoint_factor, row.ann_factor, row.combined_factor
+            );
+            assert!(
+                (row.combined_factor - row.simpoint_factor * row.ann_factor).abs() < 1e-6,
+                "decomposition must be multiplicative"
+            );
+            csv.push_str(&format!(
+                "{},{:.3},{:.2},{:.2},{:.2}\n",
+                row.app,
+                row.achieved_error,
+                row.simpoint_factor,
+                row.ann_factor,
+                row.combined_factor
+            ));
+        }
+        println!();
+    }
+    archpredict_bench::runner::write_artifact(&opts.out_path("fig_5_7.csv"), &csv);
+}

@@ -1,0 +1,72 @@
+//! Figure 5.8: wall-clock time to train the 10-fold cross-validation
+//! ensemble as a function of training-set size, for both studies. The
+//! paper's result — training time is linear in the sample count and
+//! negligible next to simulation time — should reproduce directly.
+
+use archpredict::simulate::{CachedEvaluator, Evaluator, SimBudget, StudyEvaluator};
+use archpredict::studies::Study;
+use archpredict_ann::{fit_ensemble, Dataset, Sample, TrainConfig};
+use archpredict_bench::ExperimentOpts;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::sample_without_replacement;
+use archpredict_workloads::{Benchmark, TraceGenerator};
+use std::time::Instant;
+
+fn main() {
+    let opts = ExperimentOpts::from_args(&[Benchmark::Mesa]);
+    let benchmark = opts.apps[0];
+    let mut csv = String::from("study,samples,percent_sampled,train_seconds,epochs_cap\n");
+    for study in Study::ALL {
+        let space = study.space();
+        let generator = TraceGenerator::new(benchmark);
+        let evaluator = CachedEvaluator::new(
+            StudyEvaluator::with_budget(
+                study,
+                benchmark,
+                SimBudget::spread(&generator, 3, 8_000, 16_000),
+            ),
+            space.clone(),
+        );
+        let mut rng = Xoshiro256::seed_from(opts.seed);
+        // Sizes from 1% to 9% of the space, as in the paper's x-axis.
+        let max = (space.size() as f64 * 0.09) as usize;
+        let indices = sample_without_replacement(space.size(), max, &mut rng);
+        eprintln!("[fig 5.8] simulating {} {} points...", max, study.name());
+        let samples: Vec<Sample> = indices
+            .iter()
+            .map(|&i| {
+                Sample::new(
+                    space.encode(&space.point(i)),
+                    evaluator.evaluate(&space.point(i)),
+                )
+            })
+            .collect();
+        println!("{} study ({} points = 9% of space)", study.name(), max);
+        println!("  {:>8} {:>8} {:>12}", "samples", "%space", "train time");
+        for percent in [1, 2, 3, 4, 5, 6, 7, 8, 9] {
+            let n = (space.size() as f64 * percent as f64 / 100.0) as usize;
+            let data: Dataset = samples[..n.min(samples.len())].iter().cloned().collect();
+            // Fixed epoch budget: the figure's claim is that training time
+            // scales linearly with the sample count (the paper's footnote:
+            // O(H(I+O)PD) for P passes over D points).
+            let config = TrainConfig {
+                max_epochs: 400,
+                patience: 400,
+                ..TrainConfig::default()
+            };
+            let start = Instant::now();
+            let _fit = fit_ensemble(&data, 10, &config, opts.seed);
+            let seconds = start.elapsed().as_secs_f64();
+            println!("  {:>8} {:>7}% {:>11.2}s", data.len(), percent, seconds);
+            csv.push_str(&format!(
+                "{},{},{},{:.4},{}\n",
+                study.name(),
+                data.len(),
+                percent,
+                seconds,
+                config.max_epochs
+            ));
+        }
+    }
+    archpredict_bench::runner::write_artifact(&opts.out_path("fig_5_8.csv"), &csv);
+}

@@ -1,0 +1,42 @@
+//! Prints the design-space definitions and sizes (Tables 4.1 / 4.2).
+
+use archpredict::studies::Study;
+use archpredict::ParamKind;
+
+fn main() {
+    for study in Study::ALL {
+        let space = study.space();
+        println!(
+            "== {} study: {} design points ==",
+            study.name(),
+            space.size()
+        );
+        for p in space.params() {
+            let desc = match p.kind() {
+                ParamKind::Cardinal(v) => format!("cardinal {v:?}"),
+                ParamKind::Nominal(v) => format!("nominal {v:?}"),
+                ParamKind::Boolean => "boolean".to_string(),
+                ParamKind::LinkedCardinal { parent, choices } => format!(
+                    "linked(parent={}) {choices:?}",
+                    space.params()[*parent].name()
+                ),
+            };
+            println!("  {:20} {} levels: {}", p.name(), p.levels(), desc);
+        }
+        println!();
+    }
+    let mem = Study::MemorySystem.space().size();
+    let proc = Study::Processor.space().size();
+    println!(
+        "memory    study: {mem} points/app x 8 apps = {} simulations",
+        mem * 8
+    );
+    println!(
+        "processor study: {proc} points/app x 8 apps = {} simulations",
+        proc * 8
+    );
+    println!(
+        "total full-factorial cost: {} simulations (paper: 'over 300K')",
+        (mem + proc) * 8
+    );
+}

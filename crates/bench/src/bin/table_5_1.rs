@@ -1,0 +1,66 @@
+//! Table 5.1: true and estimated mean/SD of percentage error at roughly
+//! 1 %, 2 %, and 4 % training samples, for both studies and all requested
+//! applications.
+
+use archpredict::studies::Study;
+use archpredict_bench::{curve_for, CurveOpts, ExperimentOpts};
+use archpredict_workloads::Benchmark;
+
+fn main() {
+    let opts = ExperimentOpts::from_args(&Benchmark::ALL);
+    let mut csv = String::from("study,app,percent_sampled,true_mean,est_mean,true_sd,est_sd\n");
+    for study in Study::ALL {
+        let space_size = study.space().size();
+        // The paper's sampled fractions: ~1%, ~2%, ~4% of each space.
+        let fractions = [0.01, 0.02, 0.041];
+        let targets: Vec<usize> = fractions
+            .iter()
+            .map(|f| {
+                (((f * space_size as f64) / opts.batch as f64).round() as usize).max(1) * opts.batch
+            })
+            .collect();
+        let max_samples = *targets.last().expect("targets");
+        println!("\n================ {} study ================", study.name());
+        println!(
+            "{:8} {:>7} | {:>9} {:>9} | {:>9} {:>9}",
+            "app", "%space", "true mean", "est mean", "true sd", "est sd"
+        );
+        for &benchmark in &opts.apps {
+            let result = curve_for(&CurveOpts {
+                study,
+                benchmark,
+                batch: opts.batch,
+                max_samples,
+                eval_points: opts.eval_points,
+                simpoint: false,
+                seed: opts.seed,
+                cache_dir: Some(format!("{}/simcache", opts.out_dir)),
+            });
+            for &target in &targets {
+                let Some(row) = result.curve.points.iter().find(|p| p.samples >= target) else {
+                    continue;
+                };
+                println!(
+                    "{:8} {:>6.2}% | {:>8.2}% {:>8.2}% | {:>8.2}% {:>8.2}%",
+                    benchmark.name(),
+                    row.percent_sampled,
+                    row.true_mean.unwrap_or(f64::NAN),
+                    row.estimated_mean,
+                    row.true_std_dev.unwrap_or(f64::NAN),
+                    row.estimated_std_dev,
+                );
+                csv.push_str(&format!(
+                    "{},{},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+                    study.name(),
+                    benchmark.name(),
+                    row.percent_sampled,
+                    row.true_mean.unwrap_or(f64::NAN),
+                    row.estimated_mean,
+                    row.true_std_dev.unwrap_or(f64::NAN),
+                    row.estimated_std_dev,
+                ));
+            }
+        }
+    }
+    archpredict_bench::runner::write_artifact(&opts.out_path("table_5_1.csv"), &csv);
+}

@@ -1,0 +1,137 @@
+//! Minimal command-line options shared by all experiment binaries.
+
+use archpredict_workloads::Benchmark;
+
+/// Options common to every experiment binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOpts {
+    /// Benchmarks to run (`--apps mesa,mcf` / `--apps all` /
+    /// `--apps featured`).
+    pub apps: Vec<Benchmark>,
+    /// Simulations added per refinement round (`--batch`).
+    pub batch: usize,
+    /// Maximum training-set size (`--max-samples`).
+    pub max_samples: usize,
+    /// Held-out points for true-error measurement (`--eval-points`).
+    pub eval_points: usize,
+    /// Paper-scale mode (`--full`): larger evaluation sets and curves.
+    pub full: bool,
+    /// Output directory for CSV artifacts (`--out`, default `results`).
+    pub out_dir: String,
+    /// Master seed (`--seed`).
+    pub seed: u64,
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        Self {
+            apps: Benchmark::FEATURED.to_vec(),
+            batch: 50,
+            max_samples: 950,
+            eval_points: 300,
+            full: false,
+            out_dir: "results".into(),
+            seed: 0x1BEC,
+        }
+    }
+}
+
+impl ExperimentOpts {
+    /// Parses options from `std::env::args`, with `default_apps` as the
+    /// app set used when `--apps` is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags or malformed values —
+    /// appropriate for experiment binaries.
+    pub fn from_args(default_apps: &[Benchmark]) -> Self {
+        let mut opts = ExperimentOpts {
+            apps: default_apps.to_vec(),
+            ..ExperimentOpts::default()
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let mut value = || {
+                i += 1;
+                args.get(i)
+                    .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+                    .clone()
+            };
+            match flag {
+                "--apps" => opts.apps = parse_apps(&value()),
+                "--batch" => opts.batch = parse(&value(), flag),
+                "--max-samples" => opts.max_samples = parse(&value(), flag),
+                "--eval-points" => opts.eval_points = parse(&value(), flag),
+                "--seed" => opts.seed = parse(&value(), flag),
+                "--out" => opts.out_dir = value(),
+                "--full" => {
+                    opts.full = true;
+                    opts.eval_points = opts.eval_points.max(2_000);
+                    opts.max_samples = opts.max_samples.max(2_000);
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --apps <list|all|featured> --batch N --max-samples N \
+                         --eval-points N --seed N --out DIR --full"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other} (try --help)"),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Ensures the output directory exists and returns a path inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn out_path(&self, file: &str) -> std::path::PathBuf {
+        std::fs::create_dir_all(&self.out_dir).expect("create output dir");
+        std::path::Path::new(&self.out_dir).join(file)
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| panic!("invalid value {s:?} for {flag}"))
+}
+
+fn parse_apps(s: &str) -> Vec<Benchmark> {
+    match s {
+        "all" => Benchmark::ALL.to_vec(),
+        "featured" => Benchmark::FEATURED.to_vec(),
+        list => list
+            .split(',')
+            .map(|name| {
+                Benchmark::from_name(name.trim())
+                    .unwrap_or_else(|| panic!("unknown benchmark {name:?}"))
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_apps_variants() {
+        assert_eq!(parse_apps("all").len(), 8);
+        assert_eq!(parse_apps("featured").len(), 4);
+        assert_eq!(
+            parse_apps("mesa,mcf"),
+            vec![Benchmark::Mesa, Benchmark::Mcf]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn bad_app_panics() {
+        parse_apps("nonesuch");
+    }
+}

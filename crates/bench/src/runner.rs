@@ -1,0 +1,381 @@
+//! Shared experiment logic behind the table/figure binaries.
+
+use archpredict::explorer::{Explorer, ExplorerConfig, TrueError};
+use archpredict::report::LearningCurve;
+use archpredict::simulate::{
+    evaluate_batch, CachedEvaluator, Evaluator, SimBudget, SimPointEvaluator, StudyEvaluator,
+};
+use archpredict::studies::Study;
+use archpredict_ann::{Ensemble, TrainConfig};
+use archpredict_stats::describe::Accumulator;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_workloads::{Benchmark, TraceGenerator};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// SimPoint profiling/simulation interval length used by §5.3 experiments.
+pub const SIMPOINT_INTERVAL_LEN: usize = 4_000;
+/// SimPoint maximum cluster count ("maxK").
+pub const SIMPOINT_MAX_K: usize = 16;
+
+/// Options for one application × study learning-curve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurveOpts {
+    /// Which study's space to explore.
+    pub study: Study,
+    /// Which application to model.
+    pub benchmark: Benchmark,
+    /// Simulations per refinement round.
+    pub batch: usize,
+    /// Final training-set size.
+    pub max_samples: usize,
+    /// Held-out points for true-error measurement (0 = skip).
+    pub eval_points: usize,
+    /// Train on SimPoint-estimated (noisy) results instead of full
+    /// simulations (§5.3); truth is always full simulation.
+    pub simpoint: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Directory for the persistent simulation cache (`None` = in-memory).
+    pub cache_dir: Option<String>,
+}
+
+impl CurveOpts {
+    /// Standard options for an application/study pair.
+    pub fn new(study: Study, benchmark: Benchmark) -> Self {
+        Self {
+            study,
+            benchmark,
+            batch: 50,
+            max_samples: 950,
+            eval_points: 300,
+            simpoint: false,
+            seed: 0x1BEC,
+            cache_dir: Some("results/simcache".into()),
+        }
+    }
+}
+
+/// A finished learning-curve run with its simulation accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyCurve {
+    /// The curve (estimated + true error per round).
+    pub curve: LearningCurve,
+    /// Design-space size.
+    pub space_size: usize,
+    /// Instructions one *training* evaluation simulates.
+    pub instructions_per_training_eval: u64,
+    /// Instructions one *full* (truth) evaluation simulates.
+    pub instructions_per_full_eval: u64,
+}
+
+fn truth_budget(study: Study, benchmark: Benchmark, simpoint: bool) -> StudyEvaluator {
+    let generator = TraceGenerator::new(benchmark);
+    let budget = if simpoint {
+        // Truth for SimPoint experiments is the whole program at the
+        // SimPoint interval length (the quantity SimPoint estimates).
+        let warmup = (SIMPOINT_INTERVAL_LEN / 3) as u64;
+        SimBudget {
+            warmup,
+            measured: SIMPOINT_INTERVAL_LEN as u64 - warmup,
+            intervals: (0..generator.num_intervals()).collect(),
+        }
+    } else {
+        SimBudget::spread(&generator, 3, 8_000, 16_000)
+    };
+    StudyEvaluator::with_budget(study, benchmark, budget)
+}
+
+/// Runs one application × study learning curve: explore with batches,
+/// recording the cross-validation estimate and the measured true error on
+/// a fixed held-out set after every round.
+pub fn curve_for(opts: &CurveOpts) -> StudyCurve {
+    let space = opts.study.space();
+    let truth = CachedEvaluator::new(
+        truth_budget(opts.study, opts.benchmark, opts.simpoint),
+        space.clone(),
+    );
+    let cache_tag = format!(
+        "{}_{}_{}truth",
+        opts.study.name(),
+        opts.benchmark.name(),
+        if opts.simpoint { "sp_" } else { "" }
+    );
+    load_cache(&truth, opts.cache_dir.as_deref(), &cache_tag);
+
+    let label = format!(
+        "{} ({}{})",
+        opts.benchmark.name(),
+        opts.study.name(),
+        if opts.simpoint { "/ANN+SimPoint" } else { "" }
+    );
+    let mut curve = LearningCurve::new(label);
+
+    // Fixed held-out evaluation set, disjoint from anything trained on by
+    // construction (the explorer's sampler and this RNG are decorrelated;
+    // overlaps are filtered after exploration).
+    let mut eval_rng = Xoshiro256::seed_from(opts.seed ^ 0xE7A1_0000);
+    let eval_set: Vec<usize> = archpredict_stats::sampling::sample_without_replacement(
+        space.size(),
+        opts.eval_points.min(space.size()),
+        &mut eval_rng,
+    );
+
+    let explorer_config = |train: TrainConfig| ExplorerConfig {
+        batch: opts.batch,
+        folds: 10,
+        target_error: 0.0, // run to the sample cap; curves want every round
+        max_samples: opts.max_samples,
+        train,
+        seed: opts.seed,
+        ..ExplorerConfig::default()
+    };
+
+    let finish = |curve: LearningCurve, training_instr: u64| -> StudyCurve {
+        StudyCurve {
+            curve,
+            space_size: space.size(),
+            instructions_per_training_eval: training_instr,
+            instructions_per_full_eval: truth.inner().instructions_per_evaluation(),
+        }
+    };
+
+    if opts.simpoint {
+        let training = CachedEvaluator::new(
+            SimPointEvaluator::new(
+                opts.study,
+                opts.benchmark,
+                SIMPOINT_INTERVAL_LEN,
+                SIMPOINT_MAX_K,
+            ),
+            space.clone(),
+        );
+        let train_tag = format!("{}_{}_sp_train", opts.study.name(), opts.benchmark.name());
+        load_cache(&training, opts.cache_dir.as_deref(), &train_tag);
+        let per_eval = training.inner().instructions_per_evaluation();
+
+        let mut explorer =
+            Explorer::new(&space, &training, explorer_config(TrainConfig::default()));
+        run_curve(&mut explorer, &truth, &eval_set, opts, &mut curve);
+
+        save_cache(&training, opts.cache_dir.as_deref(), &train_tag);
+        save_cache(&truth, opts.cache_dir.as_deref(), &cache_tag);
+        finish(curve, per_eval)
+    } else {
+        let per_eval = truth.inner().instructions_per_evaluation();
+        let mut explorer = Explorer::new(&space, &truth, explorer_config(TrainConfig::default()));
+        run_curve(&mut explorer, &truth, &eval_set, opts, &mut curve);
+        save_cache(&truth, opts.cache_dir.as_deref(), &cache_tag);
+        finish(curve, per_eval)
+    }
+}
+
+fn run_curve<E: Evaluator, T: Evaluator>(
+    explorer: &mut Explorer<'_, E>,
+    truth: &T,
+    eval_set: &[usize],
+    opts: &CurveOpts,
+    curve: &mut LearningCurve,
+) {
+    let space = opts.study.space();
+    let rounds = opts.max_samples.div_ceil(opts.batch);
+    for round in 0..rounds {
+        // Retrain to a depth matched to the current training-set size.
+        let n = (round + 1) * opts.batch;
+        explorer_set_train(explorer, TrainConfig::scaled_to(n));
+        explorer.step();
+        let record = explorer.history().last().expect("stepped").clone();
+        let true_error = if eval_set.is_empty() {
+            None
+        } else {
+            Some(measure_true_error(
+                explorer.ensemble().expect("trained"),
+                &space,
+                truth,
+                eval_set,
+                explorer.sampled_indices(),
+            ))
+        };
+        curve.push(&record, true_error);
+        eprintln!(
+            "  [{}] n={:4} ({:.2}%) est={:.2}%±{:.2} true={}",
+            curve.label,
+            record.samples,
+            100.0 * record.fraction_sampled,
+            record.estimate.mean,
+            record.estimate.std_dev,
+            true_error
+                .map(|t| format!("{:.2}%±{:.2}", t.mean, t.std_dev))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+}
+
+fn explorer_set_train<E: Evaluator>(explorer: &mut Explorer<'_, E>, train: TrainConfig) {
+    explorer.set_train_config(train);
+}
+
+/// True error of `ensemble` against `truth` on `eval_set`, excluding any
+/// points that ended up in the training set.
+pub fn measure_true_error<T: Evaluator>(
+    ensemble: &Ensemble,
+    space: &archpredict::DesignSpace,
+    truth: &T,
+    eval_set: &[usize],
+    trained: &[usize],
+) -> TrueError {
+    let trained: std::collections::HashSet<usize> = trained.iter().copied().collect();
+    let held_out: Vec<usize> = eval_set
+        .iter()
+        .copied()
+        .filter(|i| !trained.contains(i))
+        .collect();
+    let actuals = evaluate_batch(truth, space, &held_out);
+    let mut acc = Accumulator::new();
+    for (&i, &actual) in held_out.iter().zip(&actuals) {
+        let predicted = ensemble.predict(&space.encode(&space.point(i)));
+        acc.add(100.0 * (predicted - actual).abs() / actual.abs().max(1e-12));
+    }
+    TrueError {
+        mean: acc.mean(),
+        std_dev: acc.population_std_dev(),
+        points: acc.count(),
+    }
+}
+
+/// One row of the Fig. 5.6/5.7 reduction analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionRow {
+    /// Application name.
+    pub app: String,
+    /// Error level the row targets (percent).
+    pub target_error: f64,
+    /// Error actually achieved (percent true error).
+    pub achieved_error: f64,
+    /// Simulations used to get there.
+    pub samples: usize,
+    /// Factor from modeling: space size / simulations.
+    pub ann_factor: f64,
+    /// Factor from SimPoint: full-run instructions / SimPoint instructions.
+    pub simpoint_factor: f64,
+    /// Combined multiplicative factor.
+    pub combined_factor: f64,
+}
+
+/// Derives reduction factors (Figs. 5.6/5.7) from a finished curve: for
+/// each target error, the first round whose *true* error meets it.
+pub fn reduction_analysis(result: &StudyCurve, targets: &[f64]) -> Vec<ReductionRow> {
+    let simpoint_factor =
+        result.instructions_per_full_eval as f64 / result.instructions_per_training_eval as f64;
+    targets
+        .iter()
+        .filter_map(|&target| {
+            let point = result
+                .curve
+                .points
+                .iter()
+                .find(|p| p.true_mean.is_some_and(|m| m <= target))
+                .or(result.curve.points.last())?;
+            let achieved = point.true_mean?;
+            let ann_factor = result.space_size as f64 / point.samples as f64;
+            Some(ReductionRow {
+                app: result.curve.label.clone(),
+                target_error: target,
+                achieved_error: achieved,
+                samples: point.samples,
+                ann_factor,
+                simpoint_factor,
+                combined_factor: ann_factor * simpoint_factor,
+            })
+        })
+        .collect()
+}
+
+/// Writes `content` to `path`, creating parent directories.
+///
+/// # Panics
+///
+/// Panics on I/O failure (acceptable in experiment binaries).
+pub fn write_artifact(path: &Path, content: &str) {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create artifact dir");
+    }
+    let mut f = std::fs::File::create(path).expect("create artifact");
+    f.write_all(content.as_bytes()).expect("write artifact");
+    eprintln!("wrote {}", path.display());
+}
+
+fn cache_path(dir: &str, tag: &str) -> std::path::PathBuf {
+    Path::new(dir).join(format!("{tag}.json"))
+}
+
+fn load_cache<E: Evaluator>(evaluator: &CachedEvaluator<E>, dir: Option<&str>, tag: &str) {
+    let Some(dir) = dir else { return };
+    let path = cache_path(dir, tag);
+    let Ok(bytes) = std::fs::read(&path) else {
+        return;
+    };
+    match serde_json::from_slice::<HashMap<usize, f64>>(&bytes) {
+        Ok(map) => {
+            eprintln!("loaded {} cached sims from {}", map.len(), path.display());
+            evaluator.preload(map);
+        }
+        Err(e) => eprintln!("ignoring corrupt cache {}: {e}", path.display()),
+    }
+}
+
+fn save_cache<E: Evaluator>(evaluator: &CachedEvaluator<E>, dir: Option<&str>, tag: &str) {
+    let Some(dir) = dir else { return };
+    std::fs::create_dir_all(dir).expect("create cache dir");
+    let path = cache_path(dir, tag);
+    let json = serde_json::to_vec(&evaluator.snapshot()).expect("serialize cache");
+    std::fs::write(&path, json).expect("write cache");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archpredict::report::CurvePoint;
+
+    fn fake_curve() -> StudyCurve {
+        let mut curve = LearningCurve::new("x");
+        for (n, true_mean) in [(50, 6.0), (100, 3.0), (200, 1.5), (400, 0.9)] {
+            curve.points.push(CurvePoint {
+                samples: n,
+                percent_sampled: n as f64 / 100.0,
+                estimated_mean: true_mean * 1.1,
+                estimated_std_dev: 1.0,
+                true_mean: Some(true_mean),
+                true_std_dev: Some(1.0),
+                training_seconds: 0.1,
+            });
+        }
+        StudyCurve {
+            curve,
+            space_size: 20_000,
+            instructions_per_training_eval: 10_000,
+            instructions_per_full_eval: 80_000,
+        }
+    }
+
+    #[test]
+    fn reduction_rows_compose_multiplicatively() {
+        let rows = reduction_analysis(&fake_curve(), &[1.0, 2.0, 3.5]);
+        assert_eq!(rows.len(), 3);
+        let at_1 = &rows[0];
+        assert_eq!(at_1.samples, 400);
+        assert!((at_1.ann_factor - 50.0).abs() < 1e-9);
+        assert!((at_1.simpoint_factor - 8.0).abs() < 1e-9);
+        assert!((at_1.combined_factor - 400.0).abs() < 1e-9);
+        let at_2 = &rows[1];
+        assert_eq!(at_2.samples, 200, "first round reaching 2%");
+    }
+
+    #[test]
+    fn unreachable_target_falls_back_to_best() {
+        let rows = reduction_analysis(&fake_curve(), &[0.1]);
+        assert_eq!(rows[0].samples, 400);
+        assert!(rows[0].achieved_error > 0.1);
+    }
+}

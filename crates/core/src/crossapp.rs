@@ -1,0 +1,235 @@
+//! Cross-application predictive modeling (paper §7, future work).
+//!
+//! The paper's studies train one model per benchmark. Its future-work
+//! section proposes exploiting similarity *between* benchmarks: "make the
+//! application name an input into the models and train one large model for
+//! all of the benchmarks". This module implements that idea: design-point
+//! features are extended with a one-hot application identifier, training
+//! samples from several applications are pooled, and a single
+//! cross-validation ensemble models them all — reducing the per-application
+//! sampling requirement when response surfaces share structure.
+
+use crate::simulate::{evaluate_batch, Evaluator};
+use crate::space::DesignSpace;
+use archpredict_ann::cross_validation::{fit_ensemble, ErrorEstimate};
+use archpredict_ann::{Dataset, Ensemble, Sample, TrainConfig};
+use archpredict_stats::describe::Accumulator;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::IncrementalSampler;
+use archpredict_workloads::Benchmark;
+
+/// A single model spanning several applications over one design space.
+///
+/// # Example
+///
+/// See `CrossAppModel::fit` and the crate's integration tests; fitting
+/// requires evaluators, so a self-contained doctest would be misleadingly
+/// synthetic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossAppModel {
+    ensemble: Ensemble,
+    apps: Vec<Benchmark>,
+    /// Pooled cross-validation error estimate.
+    pub estimate: ErrorEstimate,
+}
+
+impl CrossAppModel {
+    /// Pools `per_app_samples` random simulations from each `(benchmark,
+    /// evaluator)` pair and fits one ensemble over the joint input space
+    /// (design-point encoding ⧺ one-hot application id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evaluators` is empty or `per_app_samples` is zero.
+    pub fn fit<E: Evaluator>(
+        space: &DesignSpace,
+        evaluators: &[(Benchmark, E)],
+        per_app_samples: usize,
+        train: &TrainConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(!evaluators.is_empty(), "need at least one application");
+        assert!(per_app_samples > 0, "need samples per application");
+        let apps: Vec<Benchmark> = evaluators.iter().map(|(b, _)| *b).collect();
+        let mut dataset = Dataset::new();
+        for (slot, (_, evaluator)) in evaluators.iter().enumerate() {
+            let rng = Xoshiro256::seed_from(seed).derive(slot as u64 + 1);
+            let mut sampler = IncrementalSampler::new(space.size(), rng);
+            let indices = sampler.next_batch(per_app_samples);
+            let values = evaluate_batch(evaluator, space, &indices);
+            for (&index, &value) in indices.iter().zip(&values) {
+                dataset.push(Sample::new(
+                    encode_with_app(space, index, slot, apps.len()),
+                    value,
+                ));
+            }
+        }
+        let fit = fit_ensemble(&dataset, 10.min(dataset.len()), train, seed ^ 0xC405);
+        Self {
+            ensemble: fit.ensemble,
+            apps,
+            estimate: fit.estimate,
+        }
+    }
+
+    /// The applications this model covers, in input-slot order.
+    pub fn apps(&self) -> &[Benchmark] {
+        &self.apps
+    }
+
+    /// Predicts the metric for `benchmark` at design-point `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benchmark` was not part of the training set.
+    pub fn predict(&self, space: &DesignSpace, index: usize, benchmark: Benchmark) -> f64 {
+        let slot = self
+            .apps
+            .iter()
+            .position(|&b| b == benchmark)
+            .unwrap_or_else(|| panic!("{benchmark} was not in the training set"));
+        self.ensemble
+            .predict(&encode_with_app(space, index, slot, self.apps.len()))
+    }
+
+    /// Measures true percentage error for one application on held-out
+    /// design-point indices.
+    pub fn true_error<E: Evaluator>(
+        &self,
+        space: &DesignSpace,
+        benchmark: Benchmark,
+        evaluator: &E,
+        held_out: &[usize],
+    ) -> (f64, f64) {
+        let actuals = evaluate_batch(evaluator, space, held_out);
+        let mut acc = Accumulator::new();
+        for (&i, &actual) in held_out.iter().zip(&actuals) {
+            let predicted = self.predict(space, i, benchmark);
+            acc.add(100.0 * (predicted - actual).abs() / actual.abs().max(1e-12));
+        }
+        (acc.mean(), acc.population_std_dev())
+    }
+}
+
+/// Design-point encoding with a one-hot application identifier appended —
+/// the exact §7 construction (the application is a *nominal* parameter).
+pub fn encode_with_app(
+    space: &DesignSpace,
+    index: usize,
+    app_slot: usize,
+    n_apps: usize,
+) -> Vec<f64> {
+    let mut features = space.encode(&space.point(index));
+    for s in 0..n_apps {
+        features.push(if s == app_slot { 1.0 } else { 0.0 });
+    }
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use crate::space::DesignPoint;
+
+    /// Two synthetic "applications" sharing surface structure: same
+    /// functional form, different scales — the regime where pooling helps.
+    struct SyntheticApp {
+        space: DesignSpace,
+        scale: f64,
+        offset: f64,
+    }
+
+    impl Evaluator for SyntheticApp {
+        fn evaluate(&self, point: &DesignPoint) -> f64 {
+            let a = self.space.number(point, "a") / 9.0;
+            let b = self.space.number(point, "b") / 9.0;
+            self.offset + self.scale * (0.4 * (a * 2.0).sin().abs() + 0.3 * a * b)
+        }
+        fn instructions_per_evaluation(&self) -> u64 {
+            1
+        }
+    }
+
+    fn space() -> DesignSpace {
+        DesignSpace::new(vec![
+            Param::cardinal("a", (0..10).map(f64::from).collect::<Vec<_>>()),
+            Param::cardinal("b", (0..10).map(f64::from).collect::<Vec<_>>()),
+        ])
+        .unwrap()
+    }
+
+    fn apps(space: &DesignSpace) -> Vec<(Benchmark, SyntheticApp)> {
+        vec![
+            (
+                Benchmark::Gzip,
+                SyntheticApp {
+                    space: space.clone(),
+                    scale: 1.0,
+                    offset: 0.5,
+                },
+            ),
+            (
+                Benchmark::Mcf,
+                SyntheticApp {
+                    space: space.clone(),
+                    scale: 0.4,
+                    offset: 0.2,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn pooled_model_predicts_each_app() {
+        let space = space();
+        let evaluators = apps(&space);
+        let model = CrossAppModel::fit(&space, &evaluators, 40, &TrainConfig::scaled_to(80), 7);
+        assert_eq!(model.apps(), &[Benchmark::Gzip, Benchmark::Mcf]);
+        let held_out: Vec<usize> = (0..space.size()).step_by(7).collect();
+        for (benchmark, evaluator) in &evaluators {
+            let (mean, _) = model.true_error(&space, *benchmark, evaluator, &held_out);
+            assert!(mean < 5.0, "{benchmark}: pooled error {mean:.2}%");
+        }
+    }
+
+    #[test]
+    fn apps_get_distinct_predictions() {
+        let space = space();
+        let evaluators = apps(&space);
+        let model = CrossAppModel::fit(&space, &evaluators, 40, &TrainConfig::scaled_to(80), 8);
+        let gzip = model.predict(&space, 50, Benchmark::Gzip);
+        let mcf = model.predict(&space, 50, Benchmark::Mcf);
+        assert!(
+            (gzip - mcf).abs() > 0.1,
+            "one-hot app id must separate the surfaces: {gzip} vs {mcf}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "was not in the training set")]
+    fn unknown_app_panics() {
+        let space = space();
+        let evaluators = apps(&space);
+        let model = CrossAppModel::fit(
+            &space,
+            &evaluators,
+            20,
+            &TrainConfig {
+                max_epochs: 30,
+                ..TrainConfig::default()
+            },
+            9,
+        );
+        model.predict(&space, 0, Benchmark::Twolf);
+    }
+
+    #[test]
+    fn encode_appends_one_hot() {
+        let space = space();
+        let base = space.encode(&space.point(3));
+        let with = encode_with_app(&space, 3, 1, 3);
+        assert_eq!(with.len(), base.len() + 3);
+        assert_eq!(&with[base.len()..], &[0.0, 1.0, 0.0]);
+    }
+}

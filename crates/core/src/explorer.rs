@@ -1,0 +1,399 @@
+//! The incremental design-space exploration loop (§3.3's procedure).
+//!
+//! An [`Explorer`] owns a design space, an evaluator (the simulator), and a
+//! growing training set. Each [`Explorer::step`]:
+//!
+//! 1. draws a fresh batch of random, never-before-simulated design points;
+//! 2. simulates them and appends the results to the training set;
+//! 3. trains a k-fold cross-validation ensemble;
+//! 4. records the cross-validation **estimate** of mean and standard
+//!    deviation of percentage error over the full space.
+//!
+//! [`Explorer::run`] repeats until the estimated error reaches the target
+//! or the sample budget is exhausted — the paper's "collect simulation
+//! results until the error estimate is sufficiently low".
+
+use crate::sampling::Strategy;
+use crate::simulate::{evaluate_batch, Evaluator};
+use crate::space::DesignSpace;
+use archpredict_ann::cross_validation::{fit_ensemble, ErrorEstimate};
+use archpredict_ann::{Dataset, Ensemble, Sample, TrainConfig};
+use archpredict_stats::describe::Accumulator;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::IncrementalSampler;
+use serde::{Deserialize, Serialize};
+
+/// Exploration policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplorerConfig {
+    /// Simulations added per refinement round (the paper uses 50).
+    pub batch: usize,
+    /// Cross-validation folds (the paper uses 10).
+    pub folds: usize,
+    /// Stop once the estimated mean percentage error falls below this.
+    pub target_error: f64,
+    /// Hard cap on total simulations.
+    pub max_samples: usize,
+    /// Network training hyperparameters.
+    pub train: TrainConfig,
+    /// How new design points are chosen each round.
+    pub strategy: Strategy,
+    /// Master seed for sampling and training.
+    pub seed: u64,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        Self {
+            batch: 50,
+            folds: 10,
+            target_error: 1.0,
+            max_samples: 2_000,
+            train: TrainConfig::default(),
+            strategy: Strategy::Random,
+            seed: 0x00A5_CEED,
+        }
+    }
+}
+
+/// One refinement round's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Round {
+    /// Training-set size after this round.
+    pub samples: usize,
+    /// Fraction of the full space simulated so far.
+    pub fraction_sampled: f64,
+    /// Cross-validation error estimate.
+    pub estimate: ErrorEstimate,
+    /// Wall-clock seconds spent training this round's ensemble.
+    pub training_seconds: f64,
+}
+
+/// True (measured) model error on held-out points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrueError {
+    /// Mean absolute percentage error.
+    pub mean: f64,
+    /// Standard deviation of the percentage error.
+    pub std_dev: f64,
+    /// Held-out points measured.
+    pub points: u64,
+}
+
+/// The incremental explorer.
+pub struct Explorer<'a, E: Evaluator> {
+    space: &'a DesignSpace,
+    evaluator: &'a E,
+    config: ExplorerConfig,
+    sampler: IncrementalSampler,
+    rng: Xoshiro256,
+    dataset: Dataset,
+    sampled_indices: Vec<usize>,
+    ensemble: Option<Ensemble>,
+    history: Vec<Round>,
+}
+
+impl<'a, E: Evaluator> Explorer<'a, E> {
+    /// Creates an explorer over `space` backed by `evaluator`.
+    pub fn new(space: &'a DesignSpace, evaluator: &'a E, config: ExplorerConfig) -> Self {
+        let rng = Xoshiro256::seed_from(config.seed);
+        Self {
+            sampler: IncrementalSampler::new(space.size(), rng.derive(1)),
+            rng: rng.derive(2),
+            space,
+            evaluator,
+            config,
+            dataset: Dataset::new(),
+            sampled_indices: Vec::new(),
+            ensemble: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// The exploration history so far (one [`Round`] per step).
+    pub fn history(&self) -> &[Round] {
+        &self.history
+    }
+
+    /// Indices of all design points simulated so far.
+    pub fn sampled_indices(&self) -> &[usize] {
+        &self.sampled_indices
+    }
+
+    /// The current ensemble, once at least one round has run.
+    pub fn ensemble(&self) -> Option<&Ensemble> {
+        self.ensemble.as_ref()
+    }
+
+    /// Training-set size so far.
+    pub fn samples(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// Replaces the network-training hyperparameters used by subsequent
+    /// rounds (e.g. to scale epoch budgets to the growing training set).
+    pub fn set_train_config(&mut self, train: TrainConfig) {
+        self.config.train = train;
+    }
+
+    /// Predicts the metric at an arbitrary design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round has run yet.
+    pub fn predict(&self, index: usize) -> f64 {
+        let ensemble = self.ensemble.as_ref().expect("no ensemble trained yet");
+        ensemble.predict(&self.space.encode(&self.space.point(index)))
+    }
+
+    /// Runs one refinement round; returns the new round's record.
+    pub fn step(&mut self) -> &Round {
+        // 1. Choose fresh points.
+        let batch = match self.config.strategy {
+            Strategy::Random => self.sampler.next_batch(self.config.batch),
+            Strategy::Active { pool_factor } => crate::sampling::active_batch(
+                &mut self.sampler,
+                self.ensemble.as_ref(),
+                self.space,
+                self.config.batch,
+                pool_factor,
+                &mut self.rng,
+            ),
+        };
+        // 2. Simulate them.
+        let results = evaluate_batch(self.evaluator, self.space, &batch);
+        for (&index, &ipc) in batch.iter().zip(&results) {
+            self.dataset.push(Sample::new(
+                self.space.encode(&self.space.point(index)),
+                ipc,
+            ));
+            self.sampled_indices.push(index);
+        }
+        // 3. Train the cross-validation ensemble.
+        let started = std::time::Instant::now();
+        let fit = fit_ensemble(
+            &self.dataset,
+            self.config.folds.min(self.dataset.len()),
+            &self.config.train,
+            self.rng.next_u64(),
+        );
+        let training_seconds = started.elapsed().as_secs_f64();
+        self.ensemble = Some(fit.ensemble);
+        // 4. Record the estimate.
+        self.history.push(Round {
+            samples: self.dataset.len(),
+            fraction_sampled: self.dataset.len() as f64 / self.space.size() as f64,
+            estimate: fit.estimate,
+            training_seconds,
+        });
+        self.history.last().expect("just pushed")
+    }
+
+    /// Steps until the estimated mean error reaches the configured target,
+    /// the sample cap is hit, or the space is exhausted. Returns the final
+    /// round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the explorer cannot draw any samples at all (empty space).
+    pub fn run(&mut self) -> &Round {
+        loop {
+            self.step();
+            let round = self.history.last().expect("stepped");
+            let done = round.estimate.mean <= self.config.target_error
+                || self.dataset.len() >= self.config.max_samples
+                || self.sampler.remaining() == 0;
+            if done {
+                break;
+            }
+        }
+        self.history.last().expect("at least one round ran")
+    }
+
+    /// Measures the model's *true* error on `held_out` point indices
+    /// (simulating any that were never simulated — callers typically pass a
+    /// fixed random evaluation set disjoint from the training set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round has run yet or `held_out` is empty.
+    pub fn true_error(&self, held_out: &[usize]) -> TrueError {
+        assert!(!held_out.is_empty(), "need held-out points");
+        let ensemble = self.ensemble.as_ref().expect("no ensemble trained yet");
+        let actuals = evaluate_batch(self.evaluator, self.space, held_out);
+        let mut acc = Accumulator::new();
+        for (&index, &actual) in held_out.iter().zip(&actuals) {
+            let predicted = ensemble.predict(&self.space.encode(&self.space.point(index)));
+            acc.add(100.0 * (predicted - actual).abs() / actual.abs().max(1e-12));
+        }
+        TrueError {
+            mean: acc.mean(),
+            std_dev: acc.population_std_dev(),
+            points: acc.count(),
+        }
+    }
+
+    /// Draws `count` indices that have *not* been simulated, for true-error
+    /// evaluation. Deterministic given the explorer's seed.
+    pub fn held_out_set(&self, count: usize) -> Vec<usize> {
+        let sampled: std::collections::HashSet<usize> =
+            self.sampled_indices.iter().copied().collect();
+        let mut rng = Xoshiro256::seed_from(self.config.seed ^ 0xE7A1);
+        let mut out = Vec::with_capacity(count);
+        let mut seen = std::collections::HashSet::new();
+        while out.len() < count && seen.len() < self.space.size() {
+            let i = rng.index(self.space.size());
+            if seen.insert(i) && !sampled.contains(&i) {
+                out.push(i);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use crate::space::DesignPoint;
+
+    /// A cheap synthetic "simulator" over a 3-parameter space.
+    struct Synthetic {
+        space: DesignSpace,
+    }
+
+    fn space() -> DesignSpace {
+        DesignSpace::new(vec![
+            Param::cardinal("a", (0..12).map(|i| i as f64).collect::<Vec<_>>()),
+            Param::cardinal("b", (0..12).map(|i| i as f64).collect::<Vec<_>>()),
+            Param::nominal("mode", ["x", "y", "z"]),
+        ])
+        .unwrap()
+    }
+
+    impl Evaluator for Synthetic {
+        fn evaluate(&self, point: &DesignPoint) -> f64 {
+            let a = self.space.number(point, "a") / 11.0;
+            let b = self.space.number(point, "b") / 11.0;
+            let mode = point.level(2) as f64;
+            0.3 + 0.5 * (a * 2.0).sin().abs() + 0.3 * a * b + 0.1 * mode
+        }
+        fn instructions_per_evaluation(&self) -> u64 {
+            1
+        }
+    }
+
+    fn explorer_config() -> ExplorerConfig {
+        ExplorerConfig {
+            batch: 40,
+            folds: 10,
+            target_error: 1.0,
+            max_samples: 240,
+            ..ExplorerConfig::default()
+        }
+    }
+
+    #[test]
+    fn error_estimate_decreases_with_more_data() {
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        let mut explorer = Explorer::new(&space, &synthetic, explorer_config());
+        let first = explorer.step().estimate.mean;
+        for _ in 0..4 {
+            explorer.step();
+        }
+        let last = explorer.history().last().unwrap().estimate.mean;
+        assert!(
+            last < first,
+            "estimate should fall: first {first:.2}%, last {last:.2}%"
+        );
+    }
+
+    #[test]
+    fn run_stops_at_target_or_cap() {
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        let mut explorer = Explorer::new(&space, &synthetic, explorer_config());
+        let final_round = explorer.run().clone();
+        assert!(
+            final_round.estimate.mean <= 1.0 || final_round.samples >= 240,
+            "{final_round:?}"
+        );
+        assert_eq!(explorer.samples(), final_round.samples);
+    }
+
+    #[test]
+    fn estimate_tracks_true_error() {
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        let mut explorer = Explorer::new(&space, &synthetic, explorer_config());
+        for _ in 0..4 {
+            explorer.step();
+        }
+        let held_out = explorer.held_out_set(120);
+        let true_error = explorer.true_error(&held_out);
+        let estimate = explorer.history().last().unwrap().estimate;
+        assert!(
+            (true_error.mean - estimate.mean).abs() < estimate.mean.max(1.5),
+            "true {:.2}% vs estimated {:.2}%",
+            true_error.mean,
+            estimate.mean
+        );
+    }
+
+    #[test]
+    fn held_out_set_is_disjoint_from_training() {
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        let mut explorer = Explorer::new(&space, &synthetic, explorer_config());
+        explorer.step();
+        let held_out = explorer.held_out_set(100);
+        let trained: std::collections::HashSet<_> =
+            explorer.sampled_indices().iter().copied().collect();
+        assert!(held_out.iter().all(|i| !trained.contains(i)));
+        assert_eq!(held_out.len(), 100);
+    }
+
+    #[test]
+    fn batches_never_repeat_points() {
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        let mut explorer = Explorer::new(&space, &synthetic, explorer_config());
+        for _ in 0..5 {
+            explorer.step();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &i in explorer.sampled_indices() {
+            assert!(seen.insert(i), "index {i} simulated twice");
+        }
+    }
+
+    #[test]
+    fn prediction_is_close_after_training() {
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        let mut explorer = Explorer::new(&space, &synthetic, explorer_config());
+        for _ in 0..5 {
+            explorer.step();
+        }
+        let idx = explorer.held_out_set(1)[0];
+        let predicted = explorer.predict(idx);
+        let actual = synthetic.evaluate(&space.point(idx));
+        assert!(
+            (predicted - actual).abs() / actual < 0.10,
+            "{predicted} vs {actual}"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! # archpredict
+//!
+//! Predictive modeling of architectural design spaces via neural-network
+//! ensembles — a from-scratch reproduction of Ïpek et al., *Efficiently
+//! Exploring Architectural Design Spaces via Predictive Modeling*
+//! (ASPLOS 2006).
+//!
+//! Detailed cycle-level simulation of a single design point is expensive,
+//! and design spaces are exponential in the number of parameters. This
+//! crate trains **ensembles of artificial neural networks** on a sparse
+//! random sample of the space (typically 1–4 %), predicts the metric (IPC)
+//! everywhere else, and — crucially — uses cross-validation to *estimate
+//! its own error* so simulation can stop as soon as the model is accurate
+//! enough.
+//!
+//! The moving parts:
+//!
+//! * [`param`] / [`space`] — design-space algebra: cardinal, nominal,
+//!   boolean and linked parameters; point indexing; the §3.3 encoding.
+//! * [`studies`] — the paper's two concrete spaces (Tables 4.1/4.2) and
+//!   their mapping onto the cycle-level simulator.
+//! * [`simulate`] — evaluators: full simulation, SimPoint-accelerated
+//!   (noisy) simulation, caching, and parallel batch evaluation.
+//! * [`explorer`] — the incremental sample → train → estimate → refine
+//!   loop (§3.3's procedure, steps 1–8).
+//! * [`sampling`] — random (paper) and active-learning (§7) strategies.
+//! * [`multitask`] — the §7 multi-task extension (IPC + auxiliary
+//!   metrics through a shared hidden layer).
+//! * [`crossapp`] — the §7 cross-application extension (one pooled model
+//!   over several benchmarks, with a one-hot application input).
+//! * [`smarts`] — a SMARTS-style systematic-sampling estimator (§2 names
+//!   the combination as future work), another noisy evaluator the
+//!   ensembles can train on.
+//! * [`report`] — learning curves, CSV/tables for regenerating the
+//!   paper's figures.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use archpredict::explorer::{Explorer, ExplorerConfig};
+//! use archpredict::simulate::{SimBudget, StudyEvaluator};
+//! use archpredict::studies::Study;
+//! use archpredict_workloads::Benchmark;
+//!
+//! // Predict gzip's IPC across the 23,040-point memory-system space.
+//! let evaluator = StudyEvaluator::new(Study::MemorySystem, Benchmark::Gzip);
+//! let space = Study::MemorySystem.space();
+//! let config = ExplorerConfig { target_error: 2.0, ..ExplorerConfig::default() };
+//! let mut explorer = Explorer::new(&space, &evaluator, config);
+//! let round = explorer.run();
+//! println!(
+//!     "{} simulations ({:.2}% of space): estimated error {:.2}%",
+//!     round.samples,
+//!     100.0 * round.fraction_sampled,
+//!     round.estimate.mean
+//! );
+//! let best = (0..space.size()).max_by(|&a, &b| {
+//!     explorer.predict(a).total_cmp(&explorer.predict(b))
+//! });
+//! ```
+
+pub mod crossapp;
+pub mod explorer;
+pub mod multitask;
+pub mod param;
+pub mod report;
+pub mod sampling;
+pub mod simulate;
+pub mod smarts;
+pub mod space;
+pub mod studies;
+
+pub use explorer::{Explorer, ExplorerConfig, Round, TrueError};
+pub use param::{Param, ParamKind, ParamValue};
+pub use simulate::{CachedEvaluator, Evaluator, SimBudget, SimPointEvaluator, StudyEvaluator};
+pub use space::{DesignPoint, DesignSpace, SpaceError};
+pub use studies::Study;

@@ -1,0 +1,287 @@
+//! Multi-task learning extension (paper §7, future work).
+//!
+//! Simulators report many statistics besides IPC (miss rates, misprediction
+//! rates, bus occupancies). Those cannot be model *inputs* — they are
+//! unknown until a point is simulated — but a network with one output per
+//! metric can exploit their correlation with IPC through the shared hidden
+//! layer. This module trains such a network: the **primary** head (IPC) is
+//! what early stopping and prediction use; the auxiliary heads act as an
+//! inductive bias.
+
+use crate::simulate::SimBudget;
+use crate::space::{DesignPoint, DesignSpace};
+use crate::studies::Study;
+use archpredict_ann::network::Network;
+use archpredict_ann::scaling::{MinMaxScaler, TargetScaler};
+use archpredict_ann::TrainConfig;
+use archpredict_sim::simulate_with_warmup;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_workloads::{Benchmark, TraceGenerator};
+use serde::{Deserialize, Serialize};
+
+/// The metric vector a detailed simulation yields for multi-task training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Instructions per cycle (the primary target).
+    pub ipc: f64,
+    /// L2 misses per kilo-instruction.
+    pub l2_mpki: f64,
+    /// Branch misprediction rate.
+    pub mispredict_rate: f64,
+    /// L1D misses per kilo-instruction.
+    pub l1d_mpki: f64,
+}
+
+impl Metrics {
+    /// Metric count.
+    pub const COUNT: usize = 4;
+
+    /// As an ordered vector (IPC first — the primary task).
+    pub fn to_vec(self) -> Vec<f64> {
+        vec![self.ipc, self.l2_mpki, self.mispredict_rate, self.l1d_mpki]
+    }
+}
+
+/// Evaluates the full metric vector for multi-task training.
+#[derive(Debug)]
+pub struct MetricsEvaluator {
+    study: Study,
+    space: DesignSpace,
+    generator: TraceGenerator,
+    budget: SimBudget,
+}
+
+impl MetricsEvaluator {
+    /// Creates a metrics evaluator with an explicit budget.
+    pub fn new(study: Study, benchmark: Benchmark, budget: SimBudget) -> Self {
+        Self {
+            study,
+            space: study.space(),
+            generator: TraceGenerator::new(benchmark),
+            budget,
+        }
+    }
+
+    /// The study's design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// Simulates `point` and returns all metrics.
+    pub fn evaluate(&self, point: &DesignPoint) -> Metrics {
+        let config = self.study.config_at(&self.space, point);
+        let mut ipc = 0.0;
+        let mut l2 = 0.0;
+        let mut mispredict = 0.0;
+        let mut l1d = 0.0;
+        for &i in &self.budget.intervals {
+            let r = simulate_with_warmup(
+                &config,
+                self.generator.interval(i),
+                self.budget.warmup,
+                self.budget.measured,
+            );
+            ipc += r.ipc();
+            l2 += 1000.0 * r.l2_misses as f64 / r.instructions.max(1) as f64;
+            mispredict += r.mispredict_rate();
+            l1d += 1000.0 * r.l1d_misses as f64 / r.instructions.max(1) as f64;
+        }
+        let n = self.budget.intervals.len() as f64;
+        Metrics {
+            ipc: ipc / n,
+            l2_mpki: l2 / n,
+            mispredict_rate: mispredict / n,
+            l1d_mpki: l1d / n,
+        }
+    }
+}
+
+/// A trained multi-output network with its scalers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTaskModel {
+    network: Network,
+    input_scaler: MinMaxScaler,
+    target_scalers: Vec<TargetScaler>,
+    /// Index of the primary task among the outputs.
+    pub primary: usize,
+    /// Epochs actually run.
+    pub epochs: usize,
+}
+
+impl MultiTaskModel {
+    /// Predicts the primary metric (raw scale) for raw features.
+    pub fn predict_primary(&self, features: &[f64]) -> f64 {
+        let x = self.input_scaler.transform(features);
+        let y = self.network.predict(&x);
+        self.target_scalers[self.primary].unscale(y[self.primary])
+    }
+
+    /// Predicts all metrics (raw scale).
+    pub fn predict_all(&self, features: &[f64]) -> Vec<f64> {
+        let x = self.input_scaler.transform(features);
+        self.network
+            .predict(&x)
+            .into_iter()
+            .zip(&self.target_scalers)
+            .map(|(y, s)| s.unscale(y))
+            .collect()
+    }
+}
+
+/// Trains a multi-task network on raw feature rows and metric-vector
+/// targets. The final 20 % of the (shuffled) data is the early-stopping
+/// set; stopping tracks percentage error on the `primary` head only.
+///
+/// # Panics
+///
+/// Panics if inputs are empty/ragged, targets are ragged, or `primary` is
+/// out of range.
+pub fn fit_multitask(
+    features: &[Vec<f64>],
+    targets: &[Vec<f64>],
+    primary: usize,
+    config: &TrainConfig,
+    seed: u64,
+) -> MultiTaskModel {
+    assert!(!features.is_empty(), "no training data");
+    assert_eq!(features.len(), targets.len(), "feature/target mismatch");
+    let tasks = targets[0].len();
+    assert!(primary < tasks, "primary task out of range");
+    assert!(
+        targets.iter().all(|t| t.len() == tasks),
+        "ragged target rows"
+    );
+
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut order: Vec<usize> = (0..features.len()).collect();
+    archpredict_stats::sampling::shuffle(&mut order, &mut rng);
+    let es_len = (features.len() / 5).max(1);
+    let (train_ids, es_ids) = order.split_at(features.len() - es_len);
+
+    let input_scaler = MinMaxScaler::fit(features.iter().map(|f| f.as_slice()));
+    let target_scalers: Vec<TargetScaler> = (0..tasks)
+        .map(|t| TargetScaler::fit(&targets.iter().map(|row| row[t]).collect::<Vec<_>>()))
+        .collect();
+
+    let scale_row = |row: &[f64]| -> Vec<f64> {
+        row.iter()
+            .zip(&target_scalers)
+            .map(|(&v, s)| s.scale(v))
+            .collect()
+    };
+    let train_x: Vec<Vec<f64>> = train_ids
+        .iter()
+        .map(|&i| input_scaler.transform(&features[i]))
+        .collect();
+    let train_y: Vec<Vec<f64>> = train_ids.iter().map(|&i| scale_row(&targets[i])).collect();
+
+    let mut network = Network::new(&[features[0].len(), config.hidden_units, tasks], &mut rng);
+    let mut best = network.clone();
+    let mut best_error = f64::INFINITY;
+    let mut best_epoch = 0;
+    let mut epochs = 0;
+
+    let es_error = |network: &Network| -> f64 {
+        let mut total = 0.0;
+        for &i in es_ids {
+            let x = input_scaler.transform(&features[i]);
+            let y = target_scalers[primary].unscale(network.predict(&x)[primary]);
+            let t = targets[i][primary];
+            total += 100.0 * (y - t).abs() / t.abs().max(1e-12);
+        }
+        total / es_ids.len() as f64
+    };
+
+    for epoch in 0..config.max_epochs {
+        epochs = epoch + 1;
+        for _ in 0..train_x.len() {
+            let i = rng.index(train_x.len());
+            network.train_example(
+                &train_x[i],
+                &train_y[i],
+                config.learning_rate,
+                config.momentum,
+            );
+        }
+        let err = es_error(&network);
+        if err < best_error {
+            best_error = err;
+            best = network.clone();
+            best_epoch = epoch;
+        } else if epoch - best_epoch >= config.patience {
+            break;
+        }
+    }
+
+    MultiTaskModel {
+        network: best,
+        input_scaler,
+        target_scalers,
+        primary,
+        epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Correlated synthetic tasks: aux = smooth transforms of the primary.
+    fn make_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a = rng.next_f64();
+            let b = rng.next_f64();
+            let primary = 0.3 + 0.5 * (a * 2.2).sin().abs() + 0.2 * a * b;
+            let aux1 = 2.0 - primary; // perfectly anti-correlated
+            let aux2 = primary * primary;
+            xs.push(vec![a, b]);
+            ys.push(vec![primary, aux1, aux2]);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_primary_task() {
+        let (xs, ys) = make_data(300, 1);
+        let model = fit_multitask(&xs, &ys, 0, &TrainConfig::default(), 2);
+        let (test_x, test_y) = make_data(150, 3);
+        let mut total = 0.0;
+        for (x, y) in test_x.iter().zip(&test_y) {
+            total += 100.0 * (model.predict_primary(x) - y[0]).abs() / y[0];
+        }
+        let mape = total / test_x.len() as f64;
+        assert!(mape < 6.0, "primary MAPE {mape:.2}%");
+    }
+
+    #[test]
+    fn predicts_all_heads() {
+        let (xs, ys) = make_data(300, 4);
+        let model = fit_multitask(&xs, &ys, 0, &TrainConfig::default(), 5);
+        let all = model.predict_all(&[0.5, 0.5]);
+        assert_eq!(all.len(), 3);
+        // Anti-correlated head should roughly mirror the primary.
+        assert!((all[0] + all[1] - 2.0).abs() < 0.25, "{all:?}");
+    }
+
+    #[test]
+    fn metrics_vector_layout() {
+        let m = Metrics {
+            ipc: 1.0,
+            l2_mpki: 2.0,
+            mispredict_rate: 0.05,
+            l1d_mpki: 10.0,
+        };
+        assert_eq!(m.to_vec(), vec![1.0, 2.0, 0.05, 10.0]);
+        assert_eq!(Metrics::COUNT, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "primary task out of range")]
+    fn bad_primary_panics() {
+        let (xs, ys) = make_data(20, 6);
+        fit_multitask(&xs, &ys, 9, &TrainConfig::default(), 7);
+    }
+}

@@ -1,0 +1,230 @@
+//! Design-space parameters and their neural-network encodings (§3.3).
+//!
+//! The paper distinguishes **cardinal** parameters (quantitative levels:
+//! cache sizes, ROB entries), **nominal** parameters (unordered choices:
+//! write policy, fetch policy), **boolean** parameters, and **continuous**
+//! ones (frequency). Cardinal/continuous parameters are encoded as one
+//! minimax-scaled input; nominal parameters are one-hot encoded; booleans
+//! are a single 0/1 input. [`LinkedCardinal`](ParamKind::LinkedCardinal)
+//! captures Table 4.2's register-file rule, where the two allowed sizes
+//! depend on the chosen ROB size.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind (and levels) of one design parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Quantitative discrete levels (e.g. L1 size ∈ {8, 16, 32, 64} KB).
+    /// Encoded as a single input scaled by the level range.
+    Cardinal(Vec<f64>),
+    /// Unordered categorical settings (e.g. {WT, WB}). One-hot encoded.
+    Nominal(Vec<String>),
+    /// On/off. Encoded as a single 0/1 input.
+    Boolean,
+    /// Quantitative levels that depend on an earlier cardinal parameter's
+    /// setting: `choices[parent_level]` lists this parameter's levels when
+    /// the parent is at `parent_level`. All rows must have equal length.
+    /// (Table 4.2: "Register File … 2 choices per ROB Size".)
+    LinkedCardinal {
+        /// Index of the parent parameter within the space.
+        parent: usize,
+        /// Per-parent-level value lists, all the same length.
+        choices: Vec<Vec<f64>>,
+    },
+}
+
+impl ParamKind {
+    /// Number of selectable settings (independent of any parent's setting).
+    pub fn levels(&self) -> usize {
+        match self {
+            ParamKind::Cardinal(v) => v.len(),
+            ParamKind::Nominal(v) => v.len(),
+            ParamKind::Boolean => 2,
+            ParamKind::LinkedCardinal { choices, .. } => choices.first().map_or(0, |c| c.len()),
+        }
+    }
+
+    /// Number of network inputs this parameter occupies.
+    pub fn encoded_width(&self) -> usize {
+        match self {
+            ParamKind::Nominal(v) => v.len(),
+            _ => 1,
+        }
+    }
+}
+
+/// A named design parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    name: String,
+    kind: ParamKind,
+}
+
+impl Param {
+    /// Creates a cardinal parameter from its levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or contains non-finite values.
+    pub fn cardinal(name: impl Into<String>, levels: impl Into<Vec<f64>>) -> Self {
+        let levels = levels.into();
+        assert!(!levels.is_empty(), "cardinal parameter needs levels");
+        assert!(
+            levels.iter().all(|v| v.is_finite()),
+            "cardinal levels must be finite"
+        );
+        Self {
+            name: name.into(),
+            kind: ParamKind::Cardinal(levels),
+        }
+    }
+
+    /// Creates a nominal parameter from its settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `settings` is empty.
+    pub fn nominal<S: Into<String>>(
+        name: impl Into<String>,
+        settings: impl IntoIterator<Item = S>,
+    ) -> Self {
+        let settings: Vec<String> = settings.into_iter().map(Into::into).collect();
+        assert!(!settings.is_empty(), "nominal parameter needs settings");
+        Self {
+            name: name.into(),
+            kind: ParamKind::Nominal(settings),
+        }
+    }
+
+    /// Creates a boolean parameter.
+    pub fn boolean(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kind: ParamKind::Boolean,
+        }
+    }
+
+    /// Creates a linked cardinal parameter (see
+    /// [`ParamKind::LinkedCardinal`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty, ragged, or contains non-finite values.
+    pub fn linked_cardinal(name: impl Into<String>, parent: usize, choices: Vec<Vec<f64>>) -> Self {
+        assert!(!choices.is_empty(), "linked parameter needs choice rows");
+        let width = choices[0].len();
+        assert!(width > 0, "linked parameter needs at least one level");
+        assert!(
+            choices.iter().all(|c| c.len() == width),
+            "linked choice rows must have equal length"
+        );
+        assert!(
+            choices.iter().flatten().all(|v| v.is_finite()),
+            "linked levels must be finite"
+        );
+        Self {
+            name: name.into(),
+            kind: ParamKind::LinkedCardinal { parent, choices },
+        }
+    }
+
+    /// Parameter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parameter kind.
+    pub fn kind(&self) -> &ParamKind {
+        &self.kind
+    }
+
+    /// Number of selectable settings.
+    pub fn levels(&self) -> usize {
+        self.kind.levels()
+    }
+}
+
+/// The concrete value a parameter takes at a design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// A quantitative value (cardinal, linked, or continuous).
+    Number(f64),
+    /// A categorical setting.
+    Choice(String),
+    /// A boolean flag.
+    Flag(bool),
+}
+
+impl ParamValue {
+    /// The numeric value, if quantitative.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            ParamValue::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The categorical setting, if nominal.
+    pub fn as_choice(&self) -> Option<&str> {
+        match self {
+            ParamValue::Choice(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The flag, if boolean.
+    pub fn as_flag(&self) -> Option<bool> {
+        match self {
+            ParamValue::Flag(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamValue::Number(v) => write!(f, "{v}"),
+            ParamValue::Choice(s) => f.write_str(s),
+            ParamValue::Flag(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_counts() {
+        assert_eq!(Param::cardinal("x", [1.0, 2.0, 4.0]).levels(), 3);
+        assert_eq!(Param::nominal("p", ["WT", "WB"]).levels(), 2);
+        assert_eq!(Param::boolean("b").levels(), 2);
+        let linked = Param::linked_cardinal("regs", 0, vec![vec![64.0, 80.0], vec![80.0, 96.0]]);
+        assert_eq!(linked.levels(), 2);
+    }
+
+    #[test]
+    fn encoded_widths() {
+        assert_eq!(Param::cardinal("x", [1.0]).kind().encoded_width(), 1);
+        assert_eq!(
+            Param::nominal("p", ["a", "b", "c"]).kind().encoded_width(),
+            3
+        );
+        assert_eq!(Param::boolean("b").kind().encoded_width(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_linked_choices_panic() {
+        Param::linked_cardinal("r", 0, vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(ParamValue::Number(3.0).as_number(), Some(3.0));
+        assert_eq!(ParamValue::Choice("WB".into()).as_choice(), Some("WB"));
+        assert_eq!(ParamValue::Flag(true).as_flag(), Some(true));
+        assert_eq!(ParamValue::Flag(true).as_number(), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! Experiment reporting: learning curves and CSV emission.
+//!
+//! Every figure in the paper's evaluation is a series of
+//! (fraction-of-space-sampled → error) points. [`LearningCurve`] collects
+//! those rows — estimated and, when measured, true error — and renders
+//! them as CSV (for plotting) or an aligned text table (for logs).
+
+use crate::explorer::{Round, TrueError};
+use serde::{Deserialize, Serialize};
+
+/// One row of a learning curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Training-set size in simulations.
+    pub samples: usize,
+    /// Percentage of the full space sampled.
+    pub percent_sampled: f64,
+    /// Cross-validation estimated mean percentage error.
+    pub estimated_mean: f64,
+    /// Cross-validation estimated standard deviation of percentage error.
+    pub estimated_std_dev: f64,
+    /// Measured mean percentage error on held-out points, when available.
+    pub true_mean: Option<f64>,
+    /// Measured standard deviation, when available.
+    pub true_std_dev: Option<f64>,
+    /// Seconds spent training this row's ensemble.
+    pub training_seconds: f64,
+}
+
+/// A labelled learning curve (one application × one study).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LearningCurve {
+    /// Label, e.g. `"mesa (memory)"`.
+    pub label: String,
+    /// Rows in sampling order.
+    pub points: Vec<CurvePoint>,
+}
+
+impl LearningCurve {
+    /// Creates an empty curve with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a row from an explorer round and optional true error.
+    pub fn push(&mut self, round: &Round, true_error: Option<TrueError>) {
+        self.points.push(CurvePoint {
+            samples: round.samples,
+            percent_sampled: 100.0 * round.fraction_sampled,
+            estimated_mean: round.estimate.mean,
+            estimated_std_dev: round.estimate.std_dev,
+            true_mean: true_error.map(|t| t.mean),
+            true_std_dev: true_error.map(|t| t.std_dev),
+            training_seconds: round.training_seconds,
+        });
+    }
+
+    /// CSV rendering with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "label,samples,percent_sampled,estimated_mean,estimated_std_dev,true_mean,true_std_dev,training_seconds\n",
+        );
+        for p in &self.points {
+            let fmt_opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.4}"));
+            out.push_str(&format!(
+                "{},{},{:.4},{:.4},{:.4},{},{},{:.4}\n",
+                self.label,
+                p.samples,
+                p.percent_sampled,
+                p.estimated_mean,
+                p.estimated_std_dev,
+                fmt_opt(p.true_mean),
+                fmt_opt(p.true_std_dev),
+                p.training_seconds,
+            ));
+        }
+        out
+    }
+
+    /// Aligned, human-readable table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "{}\n{:>8} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            self.label, "samples", "%space", "est.mean", "est.sd", "true.mean", "true.sd"
+        );
+        for p in &self.points {
+            let fmt_opt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.2}"));
+            out.push_str(&format!(
+                "{:>8} {:>8.2} {:>10.2} {:>10.2} {:>10} {:>10}\n",
+                p.samples,
+                p.percent_sampled,
+                p.estimated_mean,
+                p.estimated_std_dev,
+                fmt_opt(p.true_mean),
+                fmt_opt(p.true_std_dev),
+            ));
+        }
+        out
+    }
+
+    /// First row whose estimated mean error is at or below `target`,
+    /// if the curve ever gets there.
+    pub fn first_reaching(&self, target: f64) -> Option<&CurvePoint> {
+        self.points.iter().find(|p| p.estimated_mean <= target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archpredict_ann::cross_validation::ErrorEstimate;
+
+    fn round(samples: usize, mean: f64) -> Round {
+        Round {
+            samples,
+            fraction_sampled: samples as f64 / 1000.0,
+            estimate: ErrorEstimate {
+                mean,
+                std_dev: mean / 2.0,
+                points: samples as u64,
+            },
+            training_seconds: 0.5,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut curve = LearningCurve::new("mesa (memory)");
+        curve.push(&round(50, 8.0), None);
+        curve.push(
+            &round(100, 4.0),
+            Some(TrueError {
+                mean: 4.2,
+                std_dev: 2.0,
+                points: 100,
+            }),
+        );
+        let csv = curve.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("label,samples"));
+        assert!(lines[1].contains("mesa (memory),50,5.0000,8.0000"));
+        assert!(lines[2].contains("4.2000"));
+    }
+
+    #[test]
+    fn missing_true_error_renders_empty_fields() {
+        let mut curve = LearningCurve::new("x");
+        curve.push(&round(50, 8.0), None);
+        let row = curve.to_csv().lines().nth(1).unwrap().to_string();
+        assert!(row.contains(",,"), "row was {row}");
+    }
+
+    #[test]
+    fn first_reaching_finds_threshold() {
+        let mut curve = LearningCurve::new("x");
+        curve.push(&round(50, 8.0), None);
+        curve.push(&round(100, 3.0), None);
+        curve.push(&round(150, 1.5), None);
+        assert_eq!(curve.first_reaching(2.0).unwrap().samples, 150);
+        assert_eq!(curve.first_reaching(5.0).unwrap().samples, 100);
+        assert!(curve.first_reaching(0.5).is_none());
+    }
+
+    #[test]
+    fn table_is_readable() {
+        let mut curve = LearningCurve::new("gzip (processor)");
+        curve.push(&round(50, 8.0), None);
+        let table = curve.to_table();
+        assert!(table.contains("gzip (processor)"));
+        assert!(table.contains("est.mean"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Point-selection strategies for the refinement loop.
+//!
+//! The paper samples the space uniformly at random ([`Strategy::Random`]).
+//! Its future-work section (§7) proposes **active learning**: let the
+//! model pick the points it would learn most from.
+//! [`Strategy::Active`] implements query-by-committee — candidate points
+//! are scored by the disagreement (standard deviation) among the
+//! cross-validation ensemble's member networks, and the most contentious
+//! candidates are simulated first.
+
+use crate::space::DesignSpace;
+use archpredict_ann::Ensemble;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::IncrementalSampler;
+use serde::{Deserialize, Serialize};
+
+/// How each refinement round chooses its new design points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Uniform random sampling without replacement (the paper's method).
+    Random,
+    /// Query-by-committee active learning (§7 future work): draw
+    /// `pool_factor × batch` random candidates and keep the `batch` with
+    /// the highest ensemble disagreement.
+    Active {
+        /// Candidate pool multiplier (e.g. 4 ⇒ score 4× the batch size).
+        pool_factor: usize,
+    },
+}
+
+/// Draws the next batch under the active-learning strategy.
+///
+/// Falls back to plain random sampling for the first round (no ensemble
+/// exists to disagree yet). A pool of `batch * pool_factor` fresh
+/// candidates is drawn from the sampler and scored by committee
+/// disagreement; the top `batch` are simulated. Rejected candidates are
+/// permanently skipped (never simulated), trading a little coverage for
+/// informativeness — acceptable because the pool is a vanishing fraction
+/// of the space.
+pub(crate) fn active_batch(
+    sampler: &mut IncrementalSampler,
+    ensemble: Option<&Ensemble>,
+    space: &DesignSpace,
+    batch: usize,
+    pool_factor: usize,
+    rng: &mut Xoshiro256,
+) -> Vec<usize> {
+    let Some(ensemble) = ensemble else {
+        return sampler.next_batch(batch);
+    };
+    let pool = sampler.next_batch(batch * pool_factor.max(1));
+    if pool.len() <= batch {
+        return pool;
+    }
+    let mut scored: Vec<(f64, usize)> = pool
+        .into_iter()
+        .map(|i| {
+            let features = space.encode(&space.point(i));
+            (ensemble.disagreement(&features), i)
+        })
+        .collect();
+    // Highest disagreement first; ties broken by shuffling beforehand is
+    // unnecessary since the pool arrives in random order.
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite disagreement"));
+    let _ = rng; // reserved for stochastic tie-breaking variants
+    scored.into_iter().take(batch).map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+
+    fn space() -> DesignSpace {
+        DesignSpace::new(vec![
+            Param::cardinal("a", (0..10).map(f64::from).collect::<Vec<_>>()),
+            Param::cardinal("b", (0..10).map(f64::from).collect::<Vec<_>>()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn first_round_falls_back_to_random() {
+        let space = space();
+        let mut sampler = IncrementalSampler::new(space.size(), Xoshiro256::seed_from(1));
+        let mut rng = Xoshiro256::seed_from(2);
+        let batch = active_batch(&mut sampler, None, &space, 10, 4, &mut rng);
+        assert_eq!(batch.len(), 10);
+    }
+
+    #[test]
+    fn active_batch_returns_requested_size_and_fresh_points() {
+        use archpredict_ann::{fit_ensemble, Dataset, Sample, TrainConfig};
+        let space = space();
+        // Train a tiny ensemble so disagreement is defined.
+        let data: Dataset = (0..40)
+            .map(|i| {
+                let p = space.point(i);
+                Sample::new(space.encode(&p), 0.5 + 0.1 * (i % 7) as f64)
+            })
+            .collect();
+        let config = TrainConfig {
+            max_epochs: 30,
+            ..TrainConfig::default()
+        };
+        let fit = fit_ensemble(&data, 5, &config, 3);
+        let mut sampler = IncrementalSampler::new(space.size(), Xoshiro256::seed_from(4));
+        let mut rng = Xoshiro256::seed_from(5);
+        let batch = active_batch(&mut sampler, Some(&fit.ensemble), &space, 8, 3, &mut rng);
+        assert_eq!(batch.len(), 8);
+        let unique: std::collections::HashSet<_> = batch.iter().collect();
+        assert_eq!(unique.len(), 8);
+    }
+}

@@ -1,0 +1,398 @@
+//! Evaluators: the bridge between design points and the simulator.
+//!
+//! The paper views the simulator as a function `SIM(p0..pM, A)` (§2). An
+//! [`Evaluator`] is exactly that function for a fixed application `A`:
+//! hand it a design point, get the target metric back. Three evaluators are
+//! provided: the full [`StudyEvaluator`], the noisy-but-cheap
+//! [`SimPointEvaluator`] (§5.3), and a memoizing [`CachedEvaluator`]
+//! wrapper so repeated experiments never re-simulate a configuration.
+//! [`evaluate_batch`] fans a batch out across CPU cores.
+
+use crate::space::{DesignPoint, DesignSpace};
+use crate::studies::Study;
+use archpredict_sim::simulate_with_warmup;
+use archpredict_simpoint::SimPointPlan;
+use archpredict_workloads::{Benchmark, TraceGenerator};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The simulator-as-a-function abstraction of §2.
+pub trait Evaluator: Sync {
+    /// The target metric (IPC in the paper) at `point`.
+    fn evaluate(&self, point: &DesignPoint) -> f64;
+
+    /// Instructions one evaluation simulates (for the reduction-factor
+    /// accounting of Figs. 5.6/5.7).
+    fn instructions_per_evaluation(&self) -> u64;
+}
+
+/// How much simulation one full evaluation performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimBudget {
+    /// Warmup instructions per interval (caches/predictors, unmeasured).
+    pub warmup: u64,
+    /// Measured instructions per interval.
+    pub measured: u64,
+    /// Which trace intervals to simulate (IPC is their mean).
+    pub intervals: Vec<usize>,
+}
+
+impl SimBudget {
+    /// Standard budget: four intervals spread across the program's phase
+    /// schedule, 8K warmup + 16K measured each.
+    pub fn standard(generator: &TraceGenerator) -> Self {
+        Self::spread(generator, 4, 8_000, 16_000)
+    }
+
+    /// Quick budget for tests and examples: two intervals, 6K + 10K.
+    pub fn quick(generator: &TraceGenerator) -> Self {
+        Self::spread(generator, 2, 6_000, 10_000)
+    }
+
+    /// `count` intervals spread evenly across the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn spread(generator: &TraceGenerator, count: usize, warmup: u64, measured: u64) -> Self {
+        assert!(count > 0, "need at least one interval");
+        let n = generator.num_intervals();
+        let count = count.min(n);
+        let intervals = (0..count).map(|i| i * n / count).collect();
+        Self {
+            warmup,
+            measured,
+            intervals,
+        }
+    }
+
+    /// Instructions simulated per evaluation under this budget.
+    pub fn instructions(&self) -> u64 {
+        (self.warmup + self.measured) * self.intervals.len() as u64
+    }
+}
+
+/// Full detailed simulation of a study's design points for one benchmark.
+#[derive(Debug)]
+pub struct StudyEvaluator {
+    study: Study,
+    space: DesignSpace,
+    generator: TraceGenerator,
+    budget: SimBudget,
+}
+
+impl StudyEvaluator {
+    /// Creates an evaluator with the standard budget.
+    pub fn new(study: Study, benchmark: Benchmark) -> Self {
+        let generator = TraceGenerator::new(benchmark);
+        let budget = SimBudget::standard(&generator);
+        Self::with_budget(study, benchmark, budget)
+    }
+
+    /// Creates an evaluator with an explicit budget.
+    pub fn with_budget(study: Study, benchmark: Benchmark, budget: SimBudget) -> Self {
+        Self {
+            study,
+            space: study.space(),
+            generator: TraceGenerator::new(benchmark),
+            budget,
+        }
+    }
+
+    /// The study's design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The simulation budget in use.
+    pub fn budget(&self) -> &SimBudget {
+        &self.budget
+    }
+}
+
+impl Evaluator for StudyEvaluator {
+    fn evaluate(&self, point: &DesignPoint) -> f64 {
+        let config = self.study.config_at(&self.space, point);
+        let sum: f64 = self
+            .budget
+            .intervals
+            .iter()
+            .map(|&i| {
+                simulate_with_warmup(
+                    &config,
+                    self.generator.interval(i),
+                    self.budget.warmup,
+                    self.budget.measured,
+                )
+                .ipc()
+            })
+            .sum();
+        sum / self.budget.intervals.len() as f64
+    }
+
+    fn instructions_per_evaluation(&self) -> u64 {
+        self.budget.instructions()
+    }
+}
+
+/// SimPoint-accelerated evaluation (§5.3): simulates only the plan's
+/// representative intervals and returns the weighted IPC estimate — faster
+/// per evaluation, but *noisy* relative to full simulation.
+#[derive(Debug)]
+pub struct SimPointEvaluator {
+    study: Study,
+    space: DesignSpace,
+    generator: TraceGenerator,
+    plan: SimPointPlan,
+}
+
+impl SimPointEvaluator {
+    /// Builds the SimPoint plan for `benchmark` (out-of-the-box settings,
+    /// as the paper runs SimPoint) and wraps it as an evaluator.
+    pub fn new(study: Study, benchmark: Benchmark, interval_len: usize, max_k: usize) -> Self {
+        let generator = TraceGenerator::new(benchmark);
+        let plan = SimPointPlan::build(&generator, interval_len, max_k);
+        Self {
+            study,
+            space: study.space(),
+            generator,
+            plan,
+        }
+    }
+
+    /// The underlying SimPoint plan.
+    pub fn plan(&self) -> &SimPointPlan {
+        &self.plan
+    }
+}
+
+impl Evaluator for SimPointEvaluator {
+    fn evaluate(&self, point: &DesignPoint) -> f64 {
+        let config = self.study.config_at(&self.space, point);
+        self.plan.estimate_ipc(&config, &self.generator)
+    }
+
+    fn instructions_per_evaluation(&self) -> u64 {
+        self.plan.simulated_instructions()
+    }
+}
+
+/// Memoizing wrapper: each design point is simulated at most once.
+///
+/// Experiments repeatedly touch the same points (learning curves reuse the
+/// growing training set; evaluation sets are fixed); caching makes those
+/// reuses free and keeps the simulation count honest.
+#[derive(Debug)]
+pub struct CachedEvaluator<E> {
+    inner: E,
+    space: DesignSpace,
+    cache: Mutex<HashMap<usize, f64>>,
+}
+
+impl<E: Evaluator> CachedEvaluator<E> {
+    /// Wraps `inner`, memoizing by point index within `space`.
+    pub fn new(inner: E, space: DesignSpace) -> Self {
+        Self {
+            inner,
+            space,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of distinct points simulated so far.
+    pub fn unique_evaluations(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Seeds the cache with previously computed results (e.g. loaded from
+    /// disk by an experiment harness).
+    pub fn preload(&self, entries: impl IntoIterator<Item = (usize, f64)>) {
+        self.cache.lock().expect("cache lock").extend(entries);
+    }
+
+    /// Snapshot of all cached results, keyed by point index.
+    pub fn snapshot(&self) -> HashMap<usize, f64> {
+        self.cache.lock().expect("cache lock").clone()
+    }
+
+    /// The wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: Evaluator> Evaluator for CachedEvaluator<E> {
+    fn evaluate(&self, point: &DesignPoint) -> f64 {
+        let index = self.space.index(point);
+        if let Some(&v) = self.cache.lock().expect("cache lock").get(&index) {
+            return v;
+        }
+        let v = self.inner.evaluate(point);
+        self.cache.lock().expect("cache lock").insert(index, v);
+        v
+    }
+
+    fn instructions_per_evaluation(&self) -> u64 {
+        self.inner.instructions_per_evaluation()
+    }
+}
+
+/// Evaluates many points, fanning out across available CPU cores with
+/// scoped threads. Results are returned in input order.
+pub fn evaluate_batch<E: Evaluator>(
+    evaluator: &E,
+    space: &DesignSpace,
+    indices: &[usize],
+) -> Vec<f64> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(indices.len().max(1));
+    if threads <= 1 || indices.len() < 4 {
+        return indices
+            .iter()
+            .map(|&i| evaluator.evaluate(&space.point(i)))
+            .collect();
+    }
+    let mut results = vec![0.0; indices.len()];
+    let chunk = indices.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (slot, work) in results.chunks_mut(chunk).zip(indices.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (out, &i) in slot.iter_mut().zip(work) {
+                    *out = evaluator.evaluate(&space.point(i));
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountingEvaluator {
+        calls: AtomicUsize,
+    }
+
+    impl Evaluator for CountingEvaluator {
+        fn evaluate(&self, point: &DesignPoint) -> f64 {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            point.0.iter().sum::<usize>() as f64 + 1.0
+        }
+        fn instructions_per_evaluation(&self) -> u64 {
+            100
+        }
+    }
+
+    #[test]
+    fn cached_evaluator_simulates_each_point_once() {
+        let space = Study::MemorySystem.space();
+        let cached = CachedEvaluator::new(
+            CountingEvaluator {
+                calls: AtomicUsize::new(0),
+            },
+            space.clone(),
+        );
+        let p = space.point(17);
+        let a = cached.evaluate(&p);
+        let b = cached.evaluate(&p);
+        assert_eq!(a, b);
+        assert_eq!(cached.inner().calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cached.unique_evaluations(), 1);
+        cached.evaluate(&space.point(18));
+        assert_eq!(cached.unique_evaluations(), 2);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let space = Study::MemorySystem.space();
+        let evaluator = CountingEvaluator {
+            calls: AtomicUsize::new(0),
+        };
+        let indices: Vec<usize> = (0..40).map(|i| i * 13).collect();
+        let batch = evaluate_batch(&evaluator, &space, &indices);
+        let sequential: Vec<f64> = indices
+            .iter()
+            .map(|&i| evaluator.evaluate(&space.point(i)))
+            .collect();
+        assert_eq!(batch, sequential);
+    }
+
+    #[test]
+    fn study_evaluator_is_deterministic_and_positive() {
+        let generator = TraceGenerator::new(Benchmark::Gzip);
+        let evaluator = StudyEvaluator::with_budget(
+            Study::MemorySystem,
+            Benchmark::Gzip,
+            SimBudget::quick(&generator),
+        );
+        let p = evaluator.space().point(100);
+        let a = evaluator.evaluate(&p);
+        let b = evaluator.evaluate(&p);
+        assert_eq!(a, b);
+        assert!(a > 0.0 && a < 4.0, "ipc {a}");
+    }
+
+    #[test]
+    fn study_evaluator_distinguishes_configurations() {
+        let generator = TraceGenerator::new(Benchmark::Twolf);
+        let evaluator = StudyEvaluator::with_budget(
+            Study::MemorySystem,
+            Benchmark::Twolf,
+            SimBudget::quick(&generator),
+        );
+        let space = evaluator.space();
+        // Extremes of the space should differ measurably.
+        let low = evaluator.evaluate(&space.point(0));
+        let high = evaluator.evaluate(&space.point(space.size() - 1));
+        assert!(
+            (low - high).abs() / high > 0.02,
+            "extremes too similar: {low} vs {high}"
+        );
+    }
+
+    #[test]
+    fn simpoint_evaluator_tracks_full_evaluator() {
+        let benchmark = Benchmark::Mgrid;
+        let generator = TraceGenerator::new(benchmark);
+        let n = generator.num_intervals();
+        let interval_len = 4000;
+        // Full reference: every interval.
+        let full = StudyEvaluator::with_budget(
+            Study::Processor,
+            benchmark,
+            SimBudget {
+                warmup: (interval_len / 3) as u64,
+                measured: interval_len as u64 - (interval_len / 3) as u64,
+                intervals: (0..n).collect(),
+            },
+        );
+        let sp = SimPointEvaluator::new(Study::Processor, benchmark, interval_len, 10);
+        let space = full.space();
+        let p = space.point(4321);
+        let f = full.evaluate(&p);
+        let e = sp.evaluate(&p);
+        let err = (f - e).abs() / f;
+        assert!(
+            err < 0.15,
+            "simpoint {e:.4} vs full {f:.4} ({:.1}%)",
+            err * 100.0
+        );
+        assert!(sp.instructions_per_evaluation() < full.instructions_per_evaluation());
+    }
+
+    #[test]
+    fn budget_spread_covers_schedule() {
+        let generator = TraceGenerator::new(Benchmark::Mesa);
+        let budget = SimBudget::spread(&generator, 4, 1000, 2000);
+        assert_eq!(budget.intervals.len(), 4);
+        assert_eq!(budget.instructions(), 12_000);
+        let n = generator.num_intervals();
+        assert!(budget.intervals.iter().all(|&i| i < n));
+        assert!(budget.intervals.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,352 @@
+//! Design spaces: ordered parameter sets, point indexing, and encoding.
+//!
+//! A [`DesignSpace`] spans the cross product of its parameters' levels.
+//! Every point has a stable index in `0..size()` (mixed-radix order), which
+//! is what the samplers draw from; [`DesignSpace::encode`] turns a point
+//! into the normalized feature vector the networks consume (§3.3).
+
+use crate::param::{Param, ParamKind, ParamValue};
+use serde::{Deserialize, Serialize};
+
+/// One configuration: a level index per parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DesignPoint(pub Vec<usize>);
+
+impl DesignPoint {
+    /// Level index chosen for parameter `p`.
+    pub fn level(&self, p: usize) -> usize {
+        self.0[p]
+    }
+}
+
+/// Errors constructing a design space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpaceError {
+    /// A space needs at least one parameter.
+    Empty,
+    /// A linked parameter referenced itself or a later parameter.
+    BadParent {
+        /// Offending parameter index.
+        param: usize,
+    },
+    /// A linked parameter's choice rows don't match its parent's levels.
+    ChoiceRowMismatch {
+        /// Offending parameter index.
+        param: usize,
+        /// Rows provided.
+        rows: usize,
+        /// Parent's level count.
+        parent_levels: usize,
+    },
+}
+
+impl std::fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpaceError::Empty => write!(f, "design space has no parameters"),
+            SpaceError::BadParent { param } => {
+                write!(f, "parameter {param} links to itself or a later parameter")
+            }
+            SpaceError::ChoiceRowMismatch {
+                param,
+                rows,
+                parent_levels,
+            } => write!(
+                f,
+                "parameter {param} has {rows} choice rows but its parent has {parent_levels} levels"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// An architectural design space (e.g. Table 4.1 or 4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    params: Vec<Param>,
+}
+
+impl DesignSpace {
+    /// Builds and validates a space from its parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpaceError`] if the space is empty or a linked
+    /// parameter's structure is inconsistent.
+    pub fn new(params: Vec<Param>) -> Result<Self, SpaceError> {
+        if params.is_empty() {
+            return Err(SpaceError::Empty);
+        }
+        for (i, p) in params.iter().enumerate() {
+            if let ParamKind::LinkedCardinal { parent, choices } = p.kind() {
+                if *parent >= i {
+                    return Err(SpaceError::BadParent { param: i });
+                }
+                let parent_levels = params[*parent].levels();
+                if choices.len() != parent_levels {
+                    return Err(SpaceError::ChoiceRowMismatch {
+                        param: i,
+                        rows: choices.len(),
+                        parent_levels,
+                    });
+                }
+            }
+        }
+        Ok(Self { params })
+    }
+
+    /// The parameters, in declaration order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Total number of design points (the cross product of level counts).
+    pub fn size(&self) -> usize {
+        self.params.iter().map(Param::levels).product()
+    }
+
+    /// Decodes a point from its index in `0..size()` (mixed-radix,
+    /// first parameter fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= size()`.
+    pub fn point(&self, index: usize) -> DesignPoint {
+        assert!(index < self.size(), "index {index} out of space");
+        let mut rest = index;
+        let levels = self
+            .params
+            .iter()
+            .map(|p| {
+                let l = p.levels();
+                let choice = rest % l;
+                rest /= l;
+                choice
+            })
+            .collect();
+        DesignPoint(levels)
+    }
+
+    /// Encodes a point back to its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's shape or any level is out of range.
+    pub fn index(&self, point: &DesignPoint) -> usize {
+        assert_eq!(point.0.len(), self.params.len(), "point arity");
+        let mut index = 0;
+        let mut stride = 1;
+        for (p, &level) in self.params.iter().zip(&point.0) {
+            assert!(level < p.levels(), "level out of range for {}", p.name());
+            index += level * stride;
+            stride *= p.levels();
+        }
+        index
+    }
+
+    /// The concrete value parameter `p` takes at `point`.
+    pub fn value(&self, point: &DesignPoint, p: usize) -> ParamValue {
+        let level = point.level(p);
+        match self.params[p].kind() {
+            ParamKind::Cardinal(v) => ParamValue::Number(v[level]),
+            ParamKind::Nominal(v) => ParamValue::Choice(v[level].clone()),
+            ParamKind::Boolean => ParamValue::Flag(level == 1),
+            ParamKind::LinkedCardinal { parent, choices } => {
+                ParamValue::Number(choices[point.level(*parent)][level])
+            }
+        }
+    }
+
+    /// Looks up a parameter's index by name.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name() == name)
+    }
+
+    /// The numeric value of the named parameter at `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no parameter has that name or it is not quantitative.
+    pub fn number(&self, point: &DesignPoint, name: &str) -> f64 {
+        let p = self
+            .param_index(name)
+            .unwrap_or_else(|| panic!("no parameter named {name}"));
+        self.value(point, p)
+            .as_number()
+            .unwrap_or_else(|| panic!("parameter {name} is not quantitative"))
+    }
+
+    /// The categorical value of the named parameter at `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no parameter has that name or it is not nominal.
+    pub fn choice(&self, point: &DesignPoint, name: &str) -> String {
+        let p = self
+            .param_index(name)
+            .unwrap_or_else(|| panic!("no parameter named {name}"));
+        self.value(point, p)
+            .as_choice()
+            .unwrap_or_else(|| panic!("parameter {name} is not nominal"))
+            .to_owned()
+    }
+
+    /// Width of the encoded feature vector.
+    pub fn encoded_width(&self) -> usize {
+        self.params.iter().map(|p| p.kind().encoded_width()).sum()
+    }
+
+    /// Iterates over every point of the space in index order.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use archpredict::{DesignSpace, Param};
+    /// let space = DesignSpace::new(vec![Param::boolean("x"), Param::boolean("y")])?;
+    /// assert_eq!(space.iter().count(), 4);
+    /// # Ok::<(), archpredict::SpaceError>(())
+    /// ```
+    pub fn iter(&self) -> impl Iterator<Item = DesignPoint> + '_ {
+        (0..self.size()).map(|i| self.point(i))
+    }
+
+    /// Encodes `point` per §3.3: cardinal/linked values minimax-scaled to
+    /// `[0, 1]` using the parameter's full range over the space, nominals
+    /// one-hot, booleans 0/1.
+    pub fn encode(&self, point: &DesignPoint) -> Vec<f64> {
+        let mut features = Vec::with_capacity(self.encoded_width());
+        for (p, param) in self.params.iter().enumerate() {
+            match param.kind() {
+                ParamKind::Cardinal(v) => {
+                    features.push(minimax(v[point.level(p)], v));
+                }
+                ParamKind::Nominal(v) => {
+                    for s in 0..v.len() {
+                        features.push(if s == point.level(p) { 1.0 } else { 0.0 });
+                    }
+                }
+                ParamKind::Boolean => features.push(point.level(p) as f64),
+                ParamKind::LinkedCardinal { parent, choices } => {
+                    let value = choices[point.level(*parent)][point.level(p)];
+                    let all: Vec<f64> = choices.iter().flatten().copied().collect();
+                    features.push(minimax(value, &all));
+                }
+            }
+        }
+        features
+    }
+}
+
+fn minimax(value: f64, levels: &[f64]) -> f64 {
+    let min = levels.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = levels.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max > min {
+        (value - min) / (max - min)
+    } else {
+        0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_space() -> DesignSpace {
+        DesignSpace::new(vec![
+            Param::cardinal("rob", [96.0, 128.0, 160.0]),
+            Param::nominal("policy", ["WT", "WB"]),
+            Param::boolean("prefetch"),
+            Param::linked_cardinal(
+                "regs",
+                0,
+                vec![vec![64.0, 80.0], vec![80.0, 96.0], vec![96.0, 112.0]],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn size_is_cross_product() {
+        assert_eq!(toy_space().size(), 3 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn index_point_round_trip() {
+        let space = toy_space();
+        for i in 0..space.size() {
+            let p = space.point(i);
+            assert_eq!(space.index(&p), i);
+        }
+    }
+
+    #[test]
+    fn values_resolve_linked_parameters() {
+        let space = toy_space();
+        // rob level 2 (160), regs level 1 -> 112.
+        let point = DesignPoint(vec![2, 0, 0, 1]);
+        assert_eq!(space.number(&point, "rob"), 160.0);
+        assert_eq!(space.number(&point, "regs"), 112.0);
+        assert_eq!(space.choice(&point, "policy"), "WT");
+        // rob level 0 (96), regs level 1 -> 80.
+        let point = DesignPoint(vec![0, 1, 1, 1]);
+        assert_eq!(space.number(&point, "regs"), 80.0);
+        assert_eq!(space.choice(&point, "policy"), "WB");
+    }
+
+    #[test]
+    fn encoding_layout_matches_figure_3_4() {
+        let space = toy_space();
+        assert_eq!(space.encoded_width(), 1 + 2 + 1 + 1);
+        let point = DesignPoint(vec![1, 1, 0, 0]);
+        let f = space.encode(&point);
+        assert_eq!(f.len(), 5);
+        assert_eq!(f[0], 0.5); // 128 in [96, 160]
+        assert_eq!(&f[1..3], &[0.0, 1.0]); // one-hot WB
+        assert_eq!(f[3], 0.0); // prefetch off
+                               // regs=80 within global range [64, 112].
+        assert!((f[4] - (80.0 - 64.0) / (112.0 - 64.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_visits_every_point_in_order() {
+        let space = toy_space();
+        let points: Vec<DesignPoint> = space.iter().collect();
+        assert_eq!(points.len(), space.size());
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(space.index(p), i);
+        }
+    }
+
+    #[test]
+    fn encoding_is_injective_over_space() {
+        let space = toy_space();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..space.size() {
+            let f = space.encode(&space.point(i));
+            let key: Vec<u64> = f.iter().map(|x| x.to_bits()).collect();
+            assert!(seen.insert(key), "duplicate encoding at index {i}");
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(DesignSpace::new(vec![]).unwrap_err(), SpaceError::Empty);
+        let err =
+            DesignSpace::new(vec![Param::linked_cardinal("r", 0, vec![vec![1.0]])]).unwrap_err();
+        assert_eq!(err, SpaceError::BadParent { param: 0 });
+        let err = DesignSpace::new(vec![
+            Param::cardinal("a", [1.0, 2.0]),
+            Param::linked_cardinal("r", 0, vec![vec![1.0]]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, SpaceError::ChoiceRowMismatch { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of space")]
+    fn out_of_range_index_panics() {
+        let space = toy_space();
+        space.point(space.size());
+    }
+}

@@ -1,0 +1,160 @@
+//! SDRAM timing: the paper's flat 100 ns device, plus an optional
+//! open-row, bank-aware model.
+//!
+//! Both studies fix "SDRAM 100 ns" (Tables 4.1/4.2), which the flat model
+//! reproduces exactly. The banked model is an extension in the spirit of
+//! the paper's motivation (Jacob's "DRAM issues at the system level" is
+//! its example of an intractable study): each bank tracks its open row, so
+//! row-buffer hits are fast, row conflicts pay precharge + activate, and
+//! concurrent misses to different banks overlap while same-bank misses
+//! serialize.
+
+use serde::{Deserialize, Serialize};
+
+/// Row-buffer size assumed by the banked model.
+const ROW_BYTES_LOG2: u32 = 12; // 4 KB rows
+
+/// SDRAM device timing model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sdram {
+    /// Per-bank (open row, busy-until cycle); empty = flat model.
+    banks: Vec<(u64, u64)>,
+    bank_mask: u64,
+    /// Flat access latency in core cycles (also the row-miss baseline).
+    flat_cycles: u64,
+    /// Row-buffer hit latency (CAS only).
+    hit_cycles: u64,
+    /// Row conflict latency (precharge + activate + CAS).
+    conflict_cycles: u64,
+    row_hits: u64,
+    row_conflicts: u64,
+}
+
+impl Sdram {
+    /// Flat fixed-latency device (the paper's model).
+    pub fn flat(latency_cycles: u64) -> Self {
+        Self {
+            banks: Vec::new(),
+            bank_mask: 0,
+            flat_cycles: latency_cycles,
+            hit_cycles: latency_cycles,
+            conflict_cycles: latency_cycles,
+            row_hits: 0,
+            row_conflicts: 0,
+        }
+    }
+
+    /// Bank-aware device: row hits cost ~40 % of the flat latency, row
+    /// conflicts ~130 % (precharge + activate), distinct banks overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is not a nonzero power of two.
+    pub fn banked(latency_cycles: u64, banks: u32) -> Self {
+        assert!(
+            banks > 0 && banks.is_power_of_two(),
+            "banks must be a nonzero power of two"
+        );
+        Self {
+            banks: vec![(u64::MAX, 0); banks as usize],
+            bank_mask: (banks - 1) as u64,
+            flat_cycles: latency_cycles,
+            hit_cycles: (latency_cycles * 2 / 5).max(1),
+            conflict_cycles: latency_cycles * 13 / 10,
+            row_hits: 0,
+            row_conflicts: 0,
+        }
+    }
+
+    /// Whether the bank-aware model is active.
+    pub fn is_banked(&self) -> bool {
+        !self.banks.is_empty()
+    }
+
+    /// Row-buffer hits observed (banked model only).
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Row conflicts observed (banked model only).
+    pub fn row_conflicts(&self) -> u64 {
+        self.row_conflicts
+    }
+
+    /// Services a block read for `addr` arriving at `at`; returns the cycle
+    /// the data leaves the device.
+    pub fn access(&mut self, addr: u64, at: u64) -> u64 {
+        if self.banks.is_empty() {
+            return at + self.flat_cycles;
+        }
+        let bank = ((addr >> ROW_BYTES_LOG2) & self.bank_mask) as usize;
+        let row = addr >> (ROW_BYTES_LOG2 + self.bank_mask.count_ones());
+        let (open_row, busy_until) = self.banks[bank];
+        let start = at.max(busy_until);
+        let latency = if open_row == row {
+            self.row_hits += 1;
+            self.hit_cycles
+        } else {
+            self.row_conflicts += 1;
+            self.conflict_cycles
+        };
+        let done = start + latency;
+        self.banks[bank] = (row, done);
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_model_is_constant_latency() {
+        let mut d = Sdram::flat(400);
+        assert_eq!(d.access(0x0, 100), 500);
+        assert_eq!(d.access(0xFFFF_FFFF, 100), 500);
+        assert!(!d.is_banked());
+    }
+
+    #[test]
+    fn row_hits_are_fast() {
+        let mut d = Sdram::banked(400, 8);
+        let first = d.access(0x1000_0000, 0); // conflict (cold)
+        let second = d.access(0x1000_0040, first); // same 4KB row
+        assert!(second - first < first, "row hit must be cheaper than open");
+        assert_eq!(d.row_hits(), 1);
+        assert_eq!(d.row_conflicts(), 1);
+    }
+
+    #[test]
+    fn different_banks_overlap_same_bank_serializes() {
+        let mut d = Sdram::banked(400, 8);
+        // Two cold accesses to different banks at the same instant overlap.
+        let a = d.access(0x0000_0000, 0);
+        let b = d.access(0x0000_1000, 0); // next bank (4KB row stride)
+        assert_eq!(a, b, "independent banks service in parallel");
+        // Two different rows of one bank serialize.
+        let mut d = Sdram::banked(400, 8);
+        let a = d.access(0x0000_0000, 0);
+        let c = d.access(0x0010_0000, 0); // same bank, different row
+        assert!(c > a, "same-bank conflict must queue: {c} vs {a}");
+    }
+
+    #[test]
+    fn streaming_mostly_row_hits() {
+        let mut d = Sdram::banked(400, 8);
+        let mut at = 0;
+        for i in 0..64u64 {
+            at = d.access(0x2000_0000 + i * 64, at);
+        }
+        // 4KB row / 64B blocks = 64 accesses per row: one conflict, 63 hits.
+        assert_eq!(d.row_conflicts(), 1);
+        assert_eq!(d.row_hits(), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_bank_count_panics() {
+        Sdram::banked(400, 3);
+    }
+}

@@ -1,0 +1,107 @@
+//! Simulation results and statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Instructions committed.
+    pub instructions: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// L1I misses.
+    pub l1i_misses: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Branch direction mispredictions.
+    pub mispredicts: u64,
+    /// BTB misses on predicted-taken branches.
+    pub btb_misses: u64,
+    /// Core cycles the L2 bus was busy.
+    pub l2_bus_busy: u64,
+    /// Core cycles the front-side bus was busy.
+    pub fsb_busy: u64,
+    /// Cycles the front end was stalled (I-cache misses, mispredictions,
+    /// BTB bubbles).
+    pub fetch_stall_cycles: u64,
+    /// Front-end stall cycles attributed to instruction-cache misses.
+    pub icache_stall_cycles: u64,
+    /// Front-end stall cycles attributed to branch mispredictions
+    /// (resolution wait plus pipeline refill).
+    pub branch_stall_cycles: u64,
+    /// Front-end stall cycles attributed to BTB-miss bubbles.
+    pub btb_stall_cycles: u64,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate (0 when no branches ran).
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_rates() {
+        let r = SimResult {
+            instructions: 1000,
+            cycles: 500,
+            l1i_misses: 0,
+            l1d_misses: 0,
+            l2_misses: 0,
+            branches: 100,
+            mispredicts: 5,
+            btb_misses: 0,
+            l2_bus_busy: 0,
+            fsb_busy: 0,
+            fetch_stall_cycles: 0,
+            icache_stall_cycles: 0,
+            branch_stall_cycles: 0,
+            btb_stall_cycles: 0,
+        };
+        assert_eq!(r.ipc(), 2.0);
+        assert_eq!(r.mispredict_rate(), 0.05);
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let r = SimResult {
+            instructions: 0,
+            cycles: 0,
+            l1i_misses: 0,
+            l1d_misses: 0,
+            l2_misses: 0,
+            branches: 0,
+            mispredicts: 0,
+            btb_misses: 0,
+            l2_bus_busy: 0,
+            fsb_busy: 0,
+            fetch_stall_cycles: 0,
+            icache_stall_cycles: 0,
+            branch_stall_cycles: 0,
+            btb_stall_cycles: 0,
+        };
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.mispredict_rate(), 0.0);
+    }
+}

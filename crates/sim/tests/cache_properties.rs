@@ -1,0 +1,101 @@
+//! Property tests for cache-state invariants.
+
+use archpredict_sim::cache::Cache;
+use archpredict_sim::config::{CacheParams, WritePolicy};
+use proptest::prelude::*;
+
+fn cache_params(sets_log2: u32, ways_log2: u32, block_log2: u32) -> CacheParams {
+    let block = 1u32 << block_log2;
+    let ways = 1u32 << ways_log2;
+    let capacity = (1u64 << sets_log2) * ways as u64 * block as u64;
+    CacheParams {
+        capacity_bytes: capacity,
+        associativity: ways,
+        block_bytes: block,
+        write_policy: WritePolicy::WriteBack,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After an allocating access, the block is present.
+    #[test]
+    fn access_then_probe(
+        sets in 0u32..6, ways in 0u32..3, block in 5u32..8,
+        addrs in prop::collection::vec(0u64..1_000_000, 1..60),
+    ) {
+        let mut cache = Cache::new(cache_params(sets, ways, block));
+        for &a in &addrs {
+            cache.access(a, false, true);
+            prop_assert!(cache.probe(a), "just-filled block must be present");
+        }
+    }
+
+    /// Hits + misses equals the number of accesses.
+    #[test]
+    fn counters_are_conserved(
+        addrs in prop::collection::vec(0u64..100_000, 1..100),
+    ) {
+        let mut cache = Cache::new(cache_params(3, 1, 5));
+        for &a in &addrs {
+            cache.access(a, a % 3 == 0, true);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+    }
+
+    /// A working set no larger than one set's ways never conflicts: after
+    /// the first pass, every re-access hits.
+    #[test]
+    fn small_working_set_never_misses_after_warmup(
+        rounds in 2usize..6,
+    ) {
+        let params = cache_params(2, 2, 5); // 4 sets x 4 ways x 32B
+        let mut cache = Cache::new(params);
+        // 4 blocks mapping to the same set (stride = sets * block = 128).
+        let addrs: Vec<u64> = (0..4).map(|i| i * 128).collect();
+        for &a in &addrs {
+            cache.access(a, false, true);
+        }
+        let misses_after_warmup = cache.misses();
+        for _ in 0..rounds {
+            for &a in &addrs {
+                cache.access(a, false, true);
+            }
+        }
+        prop_assert_eq!(cache.misses(), misses_after_warmup);
+    }
+
+    /// Write-backs only ever report blocks that were written.
+    #[test]
+    fn writebacks_require_writes(
+        addrs in prop::collection::vec(0u64..10_000, 1..80),
+    ) {
+        let mut cache = Cache::new(cache_params(1, 0, 5)); // tiny: 2 sets x 1 way
+        let mut written = std::collections::HashSet::new();
+        for &a in &addrs {
+            let write = a % 2 == 0;
+            let block = cache.block_of(a);
+            let outcome = cache.access(a, write, true);
+            if write {
+                written.insert(block);
+            }
+            if let Some(victim) = outcome.writeback {
+                prop_assert!(written.contains(&victim), "clean victim {victim:#x} written back");
+            }
+        }
+    }
+
+    /// fill() never changes hit/miss counters.
+    #[test]
+    fn fill_is_stats_neutral(addrs in prop::collection::vec(0u64..10_000, 1..50)) {
+        let mut cache = Cache::new(cache_params(2, 1, 5));
+        cache.access(12345, false, true);
+        let (h, m) = (cache.hits(), cache.misses());
+        for &a in &addrs {
+            cache.fill(a);
+            prop_assert!(cache.probe(a));
+        }
+        prop_assert_eq!((cache.hits(), cache.misses()), (h, m));
+    }
+}

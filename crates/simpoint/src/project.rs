@@ -1,0 +1,99 @@
+//! Random projection for dimensionality reduction.
+//!
+//! SimPoint projects ~100K-dimensional basic-block vectors down to 15
+//! dimensions before clustering; the Johnson–Lindenstrauss lemma guarantees
+//! pairwise distances are approximately preserved. We use a dense Gaussian
+//! projection matrix generated deterministically from a seed.
+
+use archpredict_stats::rng::Xoshiro256;
+
+/// Projects each row of `vectors` to `dims` dimensions using a seeded
+/// Gaussian random matrix (scaled by `1/sqrt(dims)`).
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty, rows have inconsistent lengths, or `dims`
+/// is zero.
+pub fn random_projection(vectors: &[Vec<f64>], dims: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(!vectors.is_empty(), "no vectors to project");
+    assert!(dims > 0, "projection dimensionality must be positive");
+    let input_dim = vectors[0].len();
+    assert!(
+        vectors.iter().all(|v| v.len() == input_dim),
+        "inconsistent vector dimensionality"
+    );
+    // Projection matrix: dims x input_dim, generated column-major per
+    // output dimension so each output dim has an independent stream.
+    let scale = 1.0 / (dims as f64).sqrt();
+    let matrix: Vec<Vec<f64>> = (0..dims)
+        .map(|d| {
+            let mut rng = Xoshiro256::seed_from(seed).derive(d as u64 + 1);
+            (0..input_dim)
+                .map(|_| rng.next_gaussian() * scale)
+                .collect()
+        })
+        .collect();
+    vectors
+        .iter()
+        .map(|v| {
+            matrix
+                .iter()
+                .map(|row| row.iter().zip(v).map(|(r, x)| r * x).sum())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn output_has_requested_shape() {
+        let vs = vec![vec![1.0; 500], vec![0.0; 500]];
+        let p = random_projection(&vs, 15, 7);
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|v| v.len() == 15));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let vs = vec![vec![0.5; 100], vec![0.25; 100]];
+        assert_eq!(random_projection(&vs, 8, 42), random_projection(&vs, 8, 42));
+        assert_ne!(random_projection(&vs, 8, 42), random_projection(&vs, 8, 43));
+    }
+
+    #[test]
+    fn preserves_relative_distances() {
+        // Three points: a and b close, c far. After projection the ordering
+        // of distances must be preserved (JL property, statistically).
+        let mut rng = Xoshiro256::seed_from(9);
+        let a: Vec<f64> = (0..1000).map(|_| rng.next_f64()).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 0.01 * rng.next_gaussian()).collect();
+        let c: Vec<f64> = (0..1000).map(|_| rng.next_f64() * 3.0).collect();
+        let p = random_projection(&[a, b, c], 20, 11);
+        assert!(dist(&p[0], &p[1]) < dist(&p[0], &p[2]));
+        assert!(dist(&p[0], &p[1]) < dist(&p[1], &p[2]));
+    }
+
+    #[test]
+    fn zero_vector_projects_to_zero() {
+        let vs = vec![vec![0.0; 64]];
+        let p = random_projection(&vs, 10, 3);
+        assert!(p[0].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no vectors")]
+    fn empty_input_panics() {
+        random_projection(&[], 4, 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Ordinary least-squares linear regression.
+//!
+//! The paper argues (§3) that ANNs beat simpler regressors on architectural
+//! design spaces because the response surface is highly non-linear. This
+//! module provides that simpler regressor so the claim can be tested: the
+//! `ablation_linear` benchmark fits both models on identical samples and
+//! compares their percentage error.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted linear model `y = intercept + coefficients . x`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    intercept: f64,
+    coefficients: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Fits ordinary least squares with an intercept term via the normal
+    /// equations, solved by Gaussian elimination with partial pivoting and
+    /// a small ridge term for numerical robustness on collinear inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitError`] when inputs are empty, ragged, or fewer rows than
+    /// unknowns make the system unsolvable.
+    pub fn fit(inputs: &[Vec<f64>], targets: &[f64]) -> Result<Self, FitError> {
+        if inputs.is_empty() || targets.is_empty() {
+            return Err(FitError::Empty);
+        }
+        if inputs.len() != targets.len() {
+            return Err(FitError::LengthMismatch {
+                inputs: inputs.len(),
+                targets: targets.len(),
+            });
+        }
+        let dim = inputs[0].len();
+        if inputs.iter().any(|r| r.len() != dim) {
+            return Err(FitError::Ragged);
+        }
+        let unknowns = dim + 1; // + intercept
+
+        // Normal equations: (X^T X) beta = X^T y, with X's first column = 1.
+        let mut xtx = vec![vec![0.0; unknowns]; unknowns];
+        let mut xty = vec![0.0; unknowns];
+        for (row, &y) in inputs.iter().zip(targets) {
+            let mut aug = Vec::with_capacity(unknowns);
+            aug.push(1.0);
+            aug.extend_from_slice(row);
+            for i in 0..unknowns {
+                xty[i] += aug[i] * y;
+                for j in 0..unknowns {
+                    xtx[i][j] += aug[i] * aug[j];
+                }
+            }
+        }
+        // Tiny ridge keeps the system solvable under perfect collinearity.
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += 1e-9;
+        }
+
+        let beta = solve(xtx, xty).ok_or(FitError::Singular)?;
+        Ok(Self {
+            intercept: beta[0],
+            coefficients: beta[1..].to_vec(),
+        })
+    }
+
+    /// Predicts the target for one input row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` has a different dimensionality than the training data.
+    pub fn predict(&self, input: &[f64]) -> f64 {
+        assert_eq!(
+            input.len(),
+            self.coefficients.len(),
+            "input dimensionality mismatch"
+        );
+        self.intercept
+            + self
+                .coefficients
+                .iter()
+                .zip(input)
+                .map(|(c, x)| c * x)
+                .sum::<f64>()
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// The fitted coefficients (one per input feature).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+}
+
+/// Gaussian elimination with partial pivoting; `None` if singular.
+#[allow(clippy::needless_range_loop)]
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite matrix")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in row + 1..n {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+/// Errors from [`LinearModel::fit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// No training rows were supplied.
+    Empty,
+    /// Inputs and targets have different lengths.
+    LengthMismatch {
+        /// Number of input rows.
+        inputs: usize,
+        /// Number of target values.
+        targets: usize,
+    },
+    /// Input rows have inconsistent dimensionality.
+    Ragged,
+    /// The normal equations were singular.
+    Singular,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::Empty => write!(f, "no training data"),
+            FitError::LengthMismatch { inputs, targets } => {
+                write!(f, "{inputs} input rows but {targets} targets")
+            }
+            FitError::Ragged => write!(f, "input rows have inconsistent dimensionality"),
+            FitError::Singular => write!(f, "normal equations are singular"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        let mut rng = Xoshiro256::seed_from(20);
+        let inputs: Vec<Vec<f64>> = (0..50)
+            .map(|_| vec![rng.next_f64(), rng.next_f64(), rng.next_f64()])
+            .collect();
+        let targets: Vec<f64> = inputs
+            .iter()
+            .map(|x| 2.0 + 3.0 * x[0] - 1.5 * x[1] + 0.25 * x[2])
+            .collect();
+        let m = LinearModel::fit(&inputs, &targets).unwrap();
+        assert!((m.intercept() - 2.0).abs() < 1e-6);
+        assert!((m.coefficients()[0] - 3.0).abs() < 1e-6);
+        assert!((m.coefficients()[1] + 1.5).abs() < 1e-6);
+        assert!((m.coefficients()[2] - 0.25).abs() < 1e-6);
+        for (x, &y) in inputs.iter().zip(&targets) {
+            assert!((m.predict(x) - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn averages_noise() {
+        let mut rng = Xoshiro256::seed_from(21);
+        let inputs: Vec<Vec<f64>> = (0..2000).map(|_| vec![rng.next_f64()]).collect();
+        let targets: Vec<f64> = inputs
+            .iter()
+            .map(|x| 1.0 + 4.0 * x[0] + 0.1 * rng.next_gaussian())
+            .collect();
+        let m = LinearModel::fit(&inputs, &targets).unwrap();
+        assert!((m.coefficients()[0] - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(LinearModel::fit(&[], &[]).unwrap_err(), FitError::Empty);
+        assert_eq!(
+            LinearModel::fit(&[vec![1.0]], &[1.0, 2.0]).unwrap_err(),
+            FitError::LengthMismatch {
+                inputs: 1,
+                targets: 2
+            }
+        );
+        assert_eq!(
+            LinearModel::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).unwrap_err(),
+            FitError::Ragged
+        );
+    }
+
+    #[test]
+    fn collinear_inputs_survive_via_ridge() {
+        // x1 == x0 exactly: ridge keeps the system solvable.
+        let inputs: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let v = i as f64 / 20.0;
+                vec![v, v]
+            })
+            .collect();
+        let targets: Vec<f64> = inputs.iter().map(|x| 5.0 * x[0]).collect();
+        let m = LinearModel::fit(&inputs, &targets).unwrap();
+        // Predictions stay correct even though individual coefficients are not unique.
+        for (x, &y) in inputs.iter().zip(&targets) {
+            assert!((m.predict(x) - y).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Plackett–Burman fractional-factorial designs with foldover.
+//!
+//! Yi, Lilja & Hawkins (HPCA 2003) use Plackett–Burman designs to rank the
+//! significance of architectural parameters before committing simulation
+//! budget to a sensitivity study; the paper (§4) validates its choice of
+//! varied parameters the same way. A PB design with `n` runs estimates the
+//! main effect of up to `n - 1` two-level parameters; *foldover* (appending
+//! the sign-flipped matrix) removes confounding of main effects with
+//! two-factor interactions.
+
+use serde::{Deserialize, Serialize};
+
+/// Generator first-rows for standard Plackett–Burman designs
+/// (Plackett & Burman, 1946). `+` is `+1`, `-` is `-1`.
+const GENERATORS: &[(usize, &str)] = &[
+    (8, "+++-+--"),
+    (12, "++-+++---+-"),
+    (16, "++++-+-++--+---"),
+    (20, "++--++++-+-+----++-"),
+    (24, "+++++-+-++--++--+-+----"),
+];
+
+/// A two-level screening design: rows are runs, columns are parameters,
+/// entries are `+1` (high level) or `-1` (low level).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Design {
+    rows: Vec<Vec<i8>>,
+    columns: usize,
+}
+
+impl Design {
+    /// Builds a Plackett–Burman design with at least `parameters` columns,
+    /// using the smallest standard generator that fits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DesignError::TooManyParameters`] when no built-in generator
+    /// supports that many parameters (the largest supports 23).
+    pub fn plackett_burman(parameters: usize) -> Result<Self, DesignError> {
+        if parameters == 0 {
+            return Err(DesignError::NoParameters);
+        }
+        let (n, gen) = GENERATORS
+            .iter()
+            .find(|(n, _)| *n > parameters)
+            .ok_or(DesignError::TooManyParameters(parameters))?;
+        let first: Vec<i8> = gen
+            .bytes()
+            .map(|b| if b == b'+' { 1 } else { -1 })
+            .collect();
+        debug_assert_eq!(first.len(), n - 1);
+        let mut rows = Vec::with_capacity(*n);
+        // Cyclic construction: each subsequent row is the previous row
+        // rotated right by one; the final row is all -1.
+        let mut row = first;
+        for _ in 0..n - 1 {
+            rows.push(row[..parameters].to_vec());
+            row.rotate_right(1);
+        }
+        rows.push(vec![-1; parameters]);
+        Ok(Self {
+            rows,
+            columns: parameters,
+        })
+    }
+
+    /// Builds a Plackett–Burman design *with foldover*: the base design
+    /// followed by its sign-flipped mirror, doubling the run count and
+    /// de-confounding main effects from two-factor interactions (as used by
+    /// Yi et al. and in the paper's §4).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Design::plackett_burman`].
+    pub fn plackett_burman_foldover(parameters: usize) -> Result<Self, DesignError> {
+        let base = Self::plackett_burman(parameters)?;
+        let mut rows = base.rows.clone();
+        rows.extend(
+            base.rows
+                .iter()
+                .map(|r| r.iter().map(|&x| -x).collect::<Vec<i8>>()),
+        );
+        Ok(Self {
+            rows,
+            columns: parameters,
+        })
+    }
+
+    /// Number of runs (rows).
+    pub fn runs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of parameters (columns).
+    pub fn parameters(&self) -> usize {
+        self.columns
+    }
+
+    /// The level (`+1`/`-1`) of `parameter` in `run`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn level(&self, run: usize, parameter: usize) -> i8 {
+        self.rows[run][parameter]
+    }
+
+    /// Iterates over runs as `&[i8]` level rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[i8]> {
+        self.rows.iter().map(|r| r.as_slice())
+    }
+
+    /// Computes the main effect of each parameter from per-run responses:
+    /// `effect_j = mean(response | level +1) - mean(response | level -1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `responses.len() != self.runs()`.
+    pub fn effects(&self, responses: &[f64]) -> Vec<f64> {
+        assert_eq!(responses.len(), self.runs(), "one response per run");
+        let half = self.runs() as f64 / 2.0;
+        (0..self.columns)
+            .map(|j| {
+                let mut hi = 0.0;
+                let mut lo = 0.0;
+                for (row, &y) in self.rows.iter().zip(responses) {
+                    if row[j] > 0 {
+                        hi += y;
+                    } else {
+                        lo += y;
+                    }
+                }
+                (hi - lo) / half
+            })
+            .collect()
+    }
+
+    /// Ranks parameters by decreasing absolute main effect.
+    ///
+    /// Returns `(parameter_index, |effect|)` pairs, most significant first —
+    /// the ranking Yi et al. use to decide which parameters deserve a full
+    /// sensitivity study.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `responses.len() != self.runs()`.
+    pub fn rank(&self, responses: &[f64]) -> Vec<(usize, f64)> {
+        let mut ranked: Vec<(usize, f64)> = self
+            .effects(responses)
+            .into_iter()
+            .map(f64::abs)
+            .enumerate()
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite effects"));
+        ranked
+    }
+}
+
+/// Errors from design construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignError {
+    /// A design needs at least one parameter.
+    NoParameters,
+    /// No built-in generator supports this many parameters.
+    TooManyParameters(usize),
+}
+
+impl std::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesignError::NoParameters => write!(f, "design requires at least one parameter"),
+            DesignError::TooManyParameters(n) => {
+                write!(
+                    f,
+                    "no Plackett-Burman generator supports {n} parameters (max 23)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_orthogonal_and_balanced() {
+        for params in [3, 7, 11, 15, 19, 23] {
+            let d = Design::plackett_burman(params).unwrap();
+            let n = d.runs() as i32;
+            for j in 0..params {
+                // Balance: each column has equally many high and low levels.
+                let sum: i32 = d.iter().map(|r| r[j] as i32).sum();
+                assert_eq!(sum, 0, "column {j} of {params}-param design");
+                // Orthogonality: distinct columns of a PB (Hadamard-derived)
+                // design have zero dot product.
+                for k in 0..j {
+                    let dot: i32 = d.iter().map(|r| (r[j] * r[k]) as i32).sum();
+                    assert_eq!(dot, 0, "columns {j},{k}, n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn foldover_doubles_runs_and_balances_columns() {
+        let d = Design::plackett_burman_foldover(9).unwrap();
+        assert_eq!(d.runs(), 24); // 12-run base, folded
+        for j in 0..9 {
+            let sum: i32 = d.iter().map(|r| r[j] as i32).sum();
+            assert_eq!(sum, 0, "folded column {j} must be perfectly balanced");
+        }
+    }
+
+    #[test]
+    fn effects_recover_linear_model() {
+        // response = 3*x0 - 2*x2 + noiseless constant
+        let d = Design::plackett_burman_foldover(5).unwrap();
+        let responses: Vec<f64> = d
+            .iter()
+            .map(|r| 10.0 + 3.0 * r[0] as f64 - 2.0 * r[2] as f64)
+            .collect();
+        let effects = d.effects(&responses);
+        assert!((effects[0] - 6.0).abs() < 1e-9, "{:?}", effects);
+        assert!((effects[2] + 4.0).abs() < 1e-9);
+        for j in [1, 3, 4] {
+            assert!(effects[j].abs() < 1e-9, "parameter {j} should be null");
+        }
+        let rank = d.rank(&responses);
+        assert_eq!(rank[0].0, 0);
+        assert_eq!(rank[1].0, 2);
+    }
+
+    #[test]
+    fn foldover_cancels_even_interactions() {
+        // response depends only on x0*x1; folded design must show zero main effects.
+        let d = Design::plackett_burman_foldover(7).unwrap();
+        let responses: Vec<f64> = d.iter().map(|r| (r[0] * r[1]) as f64).collect();
+        for (j, e) in d.effects(&responses).into_iter().enumerate() {
+            assert!(e.abs() < 1e-9, "main effect {j} contaminated: {e}");
+        }
+    }
+
+    #[test]
+    fn smallest_sufficient_generator_is_chosen() {
+        assert_eq!(Design::plackett_burman(7).unwrap().runs(), 8);
+        assert_eq!(Design::plackett_burman(8).unwrap().runs(), 12);
+        assert_eq!(Design::plackett_burman(12).unwrap().runs(), 16);
+        assert_eq!(Design::plackett_burman(23).unwrap().runs(), 24);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert_eq!(
+            Design::plackett_burman(0).unwrap_err(),
+            DesignError::NoParameters
+        );
+        assert_eq!(
+            Design::plackett_burman(24).unwrap_err(),
+            DesignError::TooManyParameters(24)
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the statistics substrate.
+
+use archpredict_stats::describe::{quantile, Accumulator};
+use archpredict_stats::plackett_burman::Design;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::{sample_without_replacement, IncrementalSampler, WeightedAlias};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Welford merge equals sequential accumulation.
+    #[test]
+    fn welford_merge_is_associative(
+        a in prop::collection::vec(-1e3f64..1e3, 1..50),
+        b in prop::collection::vec(-1e3f64..1e3, 1..50),
+    ) {
+        let mut merged: Accumulator = a.iter().copied().collect();
+        let rhs: Accumulator = b.iter().copied().collect();
+        merged.merge(&rhs);
+        let sequential: Accumulator = a.iter().chain(&b).copied().collect();
+        prop_assert!((merged.mean() - sequential.mean()).abs() < 1e-9);
+        prop_assert!(
+            (merged.population_variance() - sequential.population_variance()).abs() < 1e-6
+        );
+    }
+
+    /// Quantiles are monotone in the fraction.
+    #[test]
+    fn quantiles_are_monotone(
+        data in prop::collection::vec(-1e3f64..1e3, 2..60),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&data, lo) <= quantile(&data, hi) + 1e-12);
+    }
+
+    /// Sampling without replacement returns distinct in-range indices.
+    #[test]
+    fn swr_is_distinct(population in 1usize..2000, seed in 0u64..1000) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let k = (population / 2).max(1);
+        let sample = sample_without_replacement(population, k, &mut rng);
+        let unique: std::collections::HashSet<_> = sample.iter().collect();
+        prop_assert_eq!(unique.len(), k);
+        prop_assert!(sample.iter().all(|&i| i < population));
+    }
+
+    /// Incremental batches are mutually disjoint.
+    #[test]
+    fn incremental_batches_disjoint(
+        population in 10usize..500,
+        batches in prop::collection::vec(1usize..40, 1..6),
+        seed in 0u64..1000,
+    ) {
+        let mut sampler = IncrementalSampler::new(population, Xoshiro256::seed_from(seed));
+        let mut seen = std::collections::HashSet::new();
+        for b in batches {
+            for i in sampler.next_batch(b) {
+                prop_assert!(seen.insert(i), "index {i} repeated");
+            }
+        }
+    }
+
+    /// Alias sampling never returns a zero-weight outcome.
+    #[test]
+    fn alias_respects_zero_weights(
+        weights in prop::collection::vec(0.0f64..10.0, 1..30),
+        seed in 0u64..500,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = WeightedAlias::new(&weights);
+        let mut rng = Xoshiro256::seed_from(seed);
+        for _ in 0..200 {
+            let i = table.sample(&mut rng);
+            prop_assert!(weights[i] > 0.0, "drew zero-weight index {i}");
+        }
+    }
+
+    /// Folded PB designs are balanced in every column.
+    #[test]
+    fn folded_pb_columns_balance(params in 1usize..24) {
+        let d = Design::plackett_burman_foldover(params).unwrap();
+        for j in 0..params {
+            let sum: i32 = d.iter().map(|r| r[j] as i32).sum();
+            prop_assert_eq!(sum, 0);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Dynamic instruction records produced by the trace generators and consumed
+//! by the cycle-level simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Functional class of a dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer ALU operation (add, logic, shift, compare).
+    IntAlu,
+    /// Integer multiply / divide (long latency).
+    IntMul,
+    /// Floating-point add / compare / convert.
+    FpAlu,
+    /// Floating-point multiply / divide / sqrt (long latency).
+    FpMul,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+}
+
+impl OpClass {
+    /// All classes, in a stable order (useful for mix tables and counters).
+    pub const ALL: [OpClass; 7] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::FpAlu,
+        OpClass::FpMul,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+    ];
+
+    /// Stable small index of the class (matches position in [`OpClass::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::IntAlu => 0,
+            OpClass::IntMul => 1,
+            OpClass::FpAlu => 2,
+            OpClass::FpMul => 3,
+            OpClass::Load => 4,
+            OpClass::Store => 5,
+            OpClass::Branch => 6,
+        }
+    }
+
+    /// Whether the instruction reads or writes memory.
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether the instruction produces a floating-point result (and hence
+    /// consumes a floating-point physical register).
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAlu | OpClass::FpMul)
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int_alu",
+            OpClass::IntMul => "int_mul",
+            OpClass::FpAlu => "fp_alu",
+            OpClass::FpMul => "fp_mul",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dynamic instruction.
+///
+/// Dependency information is encoded as *distances*: `dep1`/`dep2` give the
+/// number of dynamic instructions back to each producer (`0` means no
+/// dependency through that operand). This is the standard representation for
+/// statistically generated traces (cf. HLS, Oskin et al., ISCA 2000) and is
+/// all an out-of-order timing model needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Functional class.
+    pub op: OpClass,
+    /// Program counter of this instruction.
+    pub pc: u64,
+    /// Effective address (loads/stores only; `0` otherwise).
+    pub addr: u64,
+    /// Branch outcome (branches only; `false` otherwise).
+    pub taken: bool,
+    /// Branch target PC (branches only; `0` otherwise).
+    pub target: u64,
+    /// Distance (in dynamic instructions) to first producer; `0` = none.
+    pub dep1: u32,
+    /// Distance to second producer; `0` = none.
+    pub dep2: u32,
+    /// Basic-block identifier (for SimPoint basic-block vectors).
+    pub bb: u32,
+}
+
+impl Instruction {
+    /// A register-only instruction with no memory or control behavior.
+    pub fn compute(op: OpClass, pc: u64, dep1: u32, dep2: u32, bb: u32) -> Self {
+        Self {
+            op,
+            pc,
+            addr: 0,
+            taken: false,
+            target: 0,
+            dep1,
+            dep2,
+            bb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_index_is_stable_and_total() {
+        for (i, c) in OpClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn memory_and_fp_classification() {
+        assert!(OpClass::Load.is_memory());
+        assert!(OpClass::Store.is_memory());
+        assert!(!OpClass::Branch.is_memory());
+        assert!(OpClass::FpMul.is_fp());
+        assert!(!OpClass::IntMul.is_fp());
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(OpClass::FpAlu.to_string(), "fp_alu");
+    }
+}

@@ -1,0 +1,375 @@
+//! Statistical workload profiles.
+//!
+//! A [`WorkloadProfile`] captures everything the trace generator needs to
+//! mimic one benchmark: instruction mix, dependency structure, branch
+//! behavior, the working-set hierarchy, code footprint, and a set of
+//! [`Phase`]s the program moves through over time.
+
+use serde::{Deserialize, Serialize};
+
+/// Relative frequencies of instruction classes.
+///
+/// Weights need not sum to one; they are normalized at trace-generation
+/// time. Branch weight is specified separately via basic-block length (every
+/// basic block ends in exactly one branch), so this mix covers the
+/// *non-branch* body of each block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Integer ALU weight.
+    pub int_alu: f64,
+    /// Integer multiply/divide weight.
+    pub int_mul: f64,
+    /// FP add/compare weight.
+    pub fp_alu: f64,
+    /// FP multiply/divide weight.
+    pub fp_mul: f64,
+    /// Load weight.
+    pub load: f64,
+    /// Store weight.
+    pub store: f64,
+}
+
+impl OpMix {
+    /// Validates that all weights are non-negative and at least one positive.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        let w = [
+            self.int_alu,
+            self.int_mul,
+            self.fp_alu,
+            self.fp_mul,
+            self.load,
+            self.store,
+        ];
+        if w.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+            return Err(ProfileError::NegativeWeight);
+        }
+        if w.iter().sum::<f64>() <= 0.0 {
+            return Err(ProfileError::EmptyMix);
+        }
+        Ok(())
+    }
+}
+
+/// Branch behavior model.
+///
+/// Each *static* branch is deterministically assigned (by hashing its PC) to
+/// one of three populations, and its dynamic outcomes follow that
+/// population's law. Real predictors then achieve workload-specific accuracy
+/// as an emergent property — exactly what the processor study needs when it
+/// varies predictor and BTB capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchMix {
+    /// Fraction of static branches that are heavily biased (taken or
+    /// not-taken with probability `bias`).
+    pub biased_fraction: f64,
+    /// Probability of the dominant direction for biased branches.
+    pub bias: f64,
+    /// Fraction of static branches that are loop back-edges with a periodic
+    /// taken^(n-1) not-taken pattern.
+    pub loop_fraction: f64,
+    /// Mean loop trip count for periodic branches.
+    pub mean_trip_count: f64,
+    /// Remaining branches are data-dependent coin flips with this
+    /// probability of being taken.
+    pub random_taken: f64,
+}
+
+impl BranchMix {
+    /// Validates fractions and probabilities.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        let probs = [
+            self.biased_fraction,
+            self.bias,
+            self.loop_fraction,
+            self.random_taken,
+        ];
+        if probs.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+            return Err(ProfileError::BadProbability);
+        }
+        if self.biased_fraction + self.loop_fraction > 1.0 {
+            return Err(ProfileError::BranchFractionsExceedOne);
+        }
+        if self.mean_trip_count < 1.0 {
+            return Err(ProfileError::BadTripCount);
+        }
+        Ok(())
+    }
+}
+
+/// One component of the data working-set hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Size of the region in bytes.
+    pub bytes: u64,
+    /// Relative probability that an access falls in this region.
+    pub weight: f64,
+    /// Access pattern within the region.
+    pub pattern: AccessPattern,
+}
+
+/// Spatial pattern of accesses within a [`Region`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Unit-stride streaming (with occasional restarts).
+    Sequential,
+    /// Fixed-stride streaming, e.g. column-major sweeps.
+    Strided {
+        /// Stride in bytes.
+        stride: u64,
+    },
+    /// Uniformly random within the region (pointer chasing).
+    Random,
+}
+
+/// Data-side memory behavior: a mixture of regions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryMix {
+    /// Working-set components, innermost (hottest) first by convention.
+    pub regions: Vec<Region>,
+}
+
+impl MemoryMix {
+    /// Validates that the mixture is non-empty with positive weights/sizes.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if self.regions.is_empty() {
+            return Err(ProfileError::NoRegions);
+        }
+        for r in &self.regions {
+            if r.bytes == 0 {
+                return Err(ProfileError::EmptyRegion);
+            }
+            if r.weight < 0.0 || !r.weight.is_finite() {
+                return Err(ProfileError::NegativeWeight);
+            }
+            if let AccessPattern::Strided { stride } = r.pattern {
+                if stride == 0 {
+                    return Err(ProfileError::ZeroStride);
+                }
+            }
+        }
+        if self.regions.iter().map(|r| r.weight).sum::<f64>() <= 0.0 {
+            return Err(ProfileError::EmptyMix);
+        }
+        Ok(())
+    }
+}
+
+/// A program phase: a self-similar stretch of execution.
+///
+/// Phases differ in instruction mix, memory behavior and code region, which
+/// is what basic-block-vector clustering (SimPoint) keys on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Human-readable label (e.g. `"init"`, `"solve"`).
+    pub name: String,
+    /// Instruction mix during this phase.
+    pub mix: OpMix,
+    /// Memory mixture during this phase.
+    pub memory: MemoryMix,
+    /// Number of static basic blocks executed by this phase (its code
+    /// footprint is roughly `static_blocks * mean_block_len * 4` bytes).
+    pub static_blocks: u32,
+    /// Mean basic-block length in instructions (including the terminating
+    /// branch).
+    pub mean_block_len: f64,
+}
+
+/// Complete statistical description of one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Benchmark name (e.g. `"mcf"`).
+    pub name: String,
+    /// Master seed; every stream the generator uses derives from this.
+    pub seed: u64,
+    /// Branch population model (shared across phases).
+    pub branches: BranchMix,
+    /// Mean producer–consumer dependency distance in dynamic instructions.
+    /// Small values (≈2) serialize execution; large values (≳10) expose ILP.
+    pub mean_dep_distance: f64,
+    /// Probability that an instruction has a second register source.
+    pub second_source_prob: f64,
+    /// The phases this program cycles through.
+    pub phases: Vec<Phase>,
+    /// Pattern of phase indices the program follows, repeated cyclically,
+    /// one entry per trace interval.
+    pub phase_schedule: Vec<u8>,
+}
+
+impl WorkloadProfile {
+    /// Validates the whole profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProfileError`] found in any component.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if self.phases.is_empty() {
+            return Err(ProfileError::NoPhases);
+        }
+        self.branches.validate()?;
+        if self.mean_dep_distance < 1.0 {
+            return Err(ProfileError::BadDepDistance);
+        }
+        if !(0.0..=1.0).contains(&self.second_source_prob) {
+            return Err(ProfileError::BadProbability);
+        }
+        for p in &self.phases {
+            p.mix.validate()?;
+            p.memory.validate()?;
+            if p.static_blocks == 0 {
+                return Err(ProfileError::NoBlocks);
+            }
+            if p.mean_block_len < 2.0 {
+                return Err(ProfileError::BadBlockLen);
+            }
+        }
+        if self.phase_schedule.is_empty() {
+            return Err(ProfileError::EmptySchedule);
+        }
+        if self
+            .phase_schedule
+            .iter()
+            .any(|&p| p as usize >= self.phases.len())
+        {
+            return Err(ProfileError::ScheduleOutOfRange);
+        }
+        Ok(())
+    }
+}
+
+/// Validation errors for workload profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileError {
+    /// A mixture weight was negative or non-finite.
+    NegativeWeight,
+    /// A mixture had no positive weight.
+    EmptyMix,
+    /// A probability was outside `[0, 1]`.
+    BadProbability,
+    /// Biased + loop branch fractions exceed one.
+    BranchFractionsExceedOne,
+    /// Mean loop trip count below one.
+    BadTripCount,
+    /// Memory mixture has no regions.
+    NoRegions,
+    /// A region had zero size.
+    EmptyRegion,
+    /// A strided region had zero stride.
+    ZeroStride,
+    /// Profile has no phases.
+    NoPhases,
+    /// Phase has zero static basic blocks.
+    NoBlocks,
+    /// Mean basic-block length below two.
+    BadBlockLen,
+    /// Mean dependency distance below one.
+    BadDepDistance,
+    /// Phase schedule is empty.
+    EmptySchedule,
+    /// Phase schedule references a nonexistent phase.
+    ScheduleOutOfRange,
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ProfileError::NegativeWeight => "mixture weight is negative or non-finite",
+            ProfileError::EmptyMix => "mixture has no positive weight",
+            ProfileError::BadProbability => "probability outside [0, 1]",
+            ProfileError::BranchFractionsExceedOne => "branch fractions exceed one",
+            ProfileError::BadTripCount => "mean loop trip count below one",
+            ProfileError::NoRegions => "memory mixture has no regions",
+            ProfileError::EmptyRegion => "memory region has zero size",
+            ProfileError::ZeroStride => "strided region has zero stride",
+            ProfileError::NoPhases => "profile has no phases",
+            ProfileError::NoBlocks => "phase has zero static basic blocks",
+            ProfileError::BadBlockLen => "mean basic-block length below two",
+            ProfileError::BadDepDistance => "mean dependency distance below one",
+            ProfileError::EmptySchedule => "phase schedule is empty",
+            ProfileError::ScheduleOutOfRange => "phase schedule references nonexistent phase",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_profile() -> WorkloadProfile {
+        WorkloadProfile {
+            name: "toy".into(),
+            seed: 1,
+            branches: BranchMix {
+                biased_fraction: 0.5,
+                bias: 0.95,
+                loop_fraction: 0.3,
+                mean_trip_count: 20.0,
+                random_taken: 0.5,
+            },
+            mean_dep_distance: 4.0,
+            second_source_prob: 0.5,
+            phases: vec![Phase {
+                name: "main".into(),
+                mix: OpMix {
+                    int_alu: 4.0,
+                    int_mul: 0.2,
+                    fp_alu: 0.0,
+                    fp_mul: 0.0,
+                    load: 2.0,
+                    store: 1.0,
+                },
+                memory: MemoryMix {
+                    regions: vec![Region {
+                        bytes: 1 << 16,
+                        weight: 1.0,
+                        pattern: AccessPattern::Sequential,
+                    }],
+                },
+                static_blocks: 100,
+                mean_block_len: 6.0,
+            }],
+            phase_schedule: vec![0],
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        valid_profile().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_components() {
+        let mut p = valid_profile();
+        p.phases[0].mix.load = -1.0;
+        assert_eq!(p.validate().unwrap_err(), ProfileError::NegativeWeight);
+
+        let mut p = valid_profile();
+        p.branches.biased_fraction = 0.8;
+        p.branches.loop_fraction = 0.5;
+        assert_eq!(
+            p.validate().unwrap_err(),
+            ProfileError::BranchFractionsExceedOne
+        );
+
+        let mut p = valid_profile();
+        p.phases[0].memory.regions.clear();
+        assert_eq!(p.validate().unwrap_err(), ProfileError::NoRegions);
+
+        let mut p = valid_profile();
+        p.phase_schedule = vec![3];
+        assert_eq!(p.validate().unwrap_err(), ProfileError::ScheduleOutOfRange);
+
+        let mut p = valid_profile();
+        p.mean_dep_distance = 0.5;
+        assert_eq!(p.validate().unwrap_err(), ProfileError::BadDepDistance);
+    }
+
+    #[test]
+    fn rejects_zero_stride() {
+        let mut p = valid_profile();
+        p.phases[0].memory.regions[0].pattern = AccessPattern::Strided { stride: 0 };
+        assert_eq!(p.validate().unwrap_err(), ProfileError::ZeroStride);
+    }
+}

@@ -1,0 +1,660 @@
+//! Built-in benchmark personalities.
+//!
+//! One [`WorkloadProfile`] per benchmark the paper evaluates: four SPEC
+//! CINT2000 (gzip, mcf, crafty, twolf) and four SPEC CFP2000 (mgrid, applu,
+//! mesa, equake). The numbers below are not fit to any proprietary data;
+//! they encode the *published qualitative character* of each code
+//! (instruction mixes, working-set scale, branch behavior, phase structure)
+//! at a scale matched to the design spaces of Tables 4.1/4.2 — working sets
+//! straddle the studied L1 (8–64 KB) and L2 (256 KB–2 MB) capacities, and
+//! code footprints straddle the studied L1I capacities (8/32 KB).
+
+use crate::profile::{AccessPattern, BranchMix, MemoryMix, OpMix, Phase, Region, WorkloadProfile};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// The eight benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// SPEC CINT2000 164.gzip — compression; integer, cache-friendly.
+    Gzip,
+    /// SPEC CINT2000 181.mcf — network simplex; pointer chasing, giant
+    /// working set, memory-bound, low ILP.
+    Mcf,
+    /// SPEC CINT2000 186.crafty — chess; branchy integer code with a large
+    /// instruction footprint.
+    Crafty,
+    /// SPEC CINT2000 300.twolf — place & route; irregular accesses and
+    /// data-dependent branches (the hardest application to model in the
+    /// paper).
+    Twolf,
+    /// SPEC CFP2000 172.mgrid — multigrid solver; regular strided FP loops,
+    /// high ILP.
+    Mgrid,
+    /// SPEC CFP2000 173.applu — SSOR solver; strided FP with larger arrays.
+    Applu,
+    /// SPEC CFP2000 177.mesa — software rendering; mixed INT/FP with
+    /// moderate locality and a large code footprint.
+    Mesa,
+    /// SPEC CFP2000 183.equake — FEM earthquake simulation; sparse-matrix
+    /// FP with irregular accesses.
+    Equake,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the paper's grouping order (CINT then CFP).
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::Gzip,
+        Benchmark::Mcf,
+        Benchmark::Crafty,
+        Benchmark::Twolf,
+        Benchmark::Mgrid,
+        Benchmark::Applu,
+        Benchmark::Mesa,
+        Benchmark::Equake,
+    ];
+
+    /// The four applications featured in the paper's main-body figures.
+    pub const FEATURED: [Benchmark; 4] = [
+        Benchmark::Mesa,
+        Benchmark::Equake,
+        Benchmark::Mcf,
+        Benchmark::Crafty,
+    ];
+
+    /// Lower-case benchmark name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Gzip => "gzip",
+            Benchmark::Mcf => "mcf",
+            Benchmark::Crafty => "crafty",
+            Benchmark::Twolf => "twolf",
+            Benchmark::Mgrid => "mgrid",
+            Benchmark::Applu => "applu",
+            Benchmark::Mesa => "mesa",
+            Benchmark::Equake => "equake",
+        }
+    }
+
+    /// Parses a benchmark from its lower-case name.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// The statistical profile of this benchmark.
+    pub fn profile(self) -> WorkloadProfile {
+        match self {
+            Benchmark::Gzip => gzip(),
+            Benchmark::Mcf => mcf(),
+            Benchmark::Crafty => crafty(),
+            Benchmark::Twolf => twolf(),
+            Benchmark::Mgrid => mgrid(),
+            Benchmark::Applu => applu(),
+            Benchmark::Mesa => mesa(),
+            Benchmark::Equake => equake(),
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Benchmark {
+    type Err = UnknownBenchmark;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Benchmark::from_name(s).ok_or_else(|| UnknownBenchmark(s.to_owned()))
+    }
+}
+
+/// Error parsing a benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBenchmark(String);
+
+impl std::fmt::Display for UnknownBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown benchmark {:?} (expected one of ", self.0)?;
+        for (i, b) in Benchmark::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(b.name())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for UnknownBenchmark {}
+
+fn int_mix(load: f64, store: f64, mul: f64) -> OpMix {
+    OpMix {
+        int_alu: 1.0 - load - store - mul,
+        int_mul: mul,
+        fp_alu: 0.0,
+        fp_mul: 0.0,
+        load,
+        store,
+    }
+}
+
+fn fp_mix(load: f64, store: f64, fp_alu: f64, fp_mul: f64) -> OpMix {
+    OpMix {
+        int_alu: (1.0 - load - store - fp_alu - fp_mul).max(0.02),
+        int_mul: 0.01,
+        fp_alu,
+        fp_mul,
+        load,
+        store,
+    }
+}
+
+fn seq(bytes: u64, weight: f64) -> Region {
+    Region {
+        bytes,
+        weight,
+        pattern: AccessPattern::Sequential,
+    }
+}
+
+fn strided(bytes: u64, stride: u64, weight: f64) -> Region {
+    Region {
+        bytes,
+        weight,
+        pattern: AccessPattern::Strided { stride },
+    }
+}
+
+fn random(bytes: u64, weight: f64) -> Region {
+    Region {
+        bytes,
+        weight,
+        pattern: AccessPattern::Random,
+    }
+}
+
+fn gzip() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "gzip".into(),
+        seed: 0x675A_4950,
+        branches: BranchMix {
+            biased_fraction: 0.62,
+            bias: 0.96,
+            loop_fraction: 0.30,
+            mean_trip_count: 24.0,
+            random_taken: 0.65,
+        },
+        mean_dep_distance: 4.5,
+        second_source_prob: 0.45,
+        phases: vec![
+            Phase {
+                name: "deflate".into(),
+                mix: int_mix(0.24, 0.12, 0.02),
+                memory: MemoryMix {
+                    regions: vec![
+                        seq(6 * KB, 12.0),
+                        random(32 * KB, 1.2),
+                        strided(320 * KB, 256, 1.2),
+                    ],
+                },
+                static_blocks: 420,
+                mean_block_len: 6.0,
+            },
+            Phase {
+                name: "huffman".into(),
+                mix: int_mix(0.28, 0.08, 0.01),
+                memory: MemoryMix {
+                    regions: vec![seq(4 * KB, 8.0), random(24 * KB, 1.5)],
+                },
+                static_blocks: 260,
+                mean_block_len: 5.0,
+            },
+        ],
+        phase_schedule: pattern(&[0, 0, 0, 1, 0, 0, 1, 1], 6),
+    }
+}
+
+fn mcf() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "mcf".into(),
+        seed: 0x6D63_6600,
+        branches: BranchMix {
+            biased_fraction: 0.40,
+            bias: 0.92,
+            loop_fraction: 0.22,
+            mean_trip_count: 14.0,
+            random_taken: 0.48,
+        },
+        mean_dep_distance: 2.8, // pointer chasing serializes
+        second_source_prob: 0.35,
+        phases: vec![
+            Phase {
+                name: "simplex".into(),
+                mix: int_mix(0.36, 0.07, 0.01),
+                memory: MemoryMix {
+                    // The famous mcf working set: far larger than any L2 studied.
+                    regions: vec![
+                        random(2 * KB, 3.0),
+                        random(160 * KB, 1.8),
+                        random(7 * MB, 0.55),
+                    ],
+                },
+                static_blocks: 230,
+                mean_block_len: 6.5,
+            },
+            Phase {
+                name: "refresh".into(),
+                mix: int_mix(0.30, 0.12, 0.01),
+                memory: MemoryMix {
+                    regions: vec![strided(1536 * KB, 512, 1.4), random(96 * KB, 3.0)],
+                },
+                static_blocks: 140,
+                mean_block_len: 7.0,
+            },
+        ],
+        phase_schedule: pattern(&[0, 0, 0, 0, 0, 1], 8),
+    }
+}
+
+fn crafty() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "crafty".into(),
+        seed: 0x6372_6166,
+        branches: BranchMix {
+            biased_fraction: 0.64,
+            bias: 0.93,
+            loop_fraction: 0.16,
+            mean_trip_count: 8.0,
+            random_taken: 0.46,
+        },
+        mean_dep_distance: 5.0,
+        second_source_prob: 0.55,
+        phases: vec![
+            Phase {
+                name: "search".into(),
+                mix: int_mix(0.25, 0.08, 0.03),
+                memory: MemoryMix {
+                    regions: vec![
+                        random(14 * KB, 9.0),
+                        strided(320 * KB, 128, 1.4),
+                        random(MB, 0.15),
+                    ],
+                },
+                // Large instruction footprint: stresses the studied L1I sizes.
+                static_blocks: 620,
+                mean_block_len: 4.5,
+            },
+            Phase {
+                name: "evaluate".into(),
+                mix: int_mix(0.22, 0.06, 0.05),
+                memory: MemoryMix {
+                    regions: vec![random(10 * KB, 8.0), random(128 * KB, 0.9)],
+                },
+                static_blocks: 480,
+                mean_block_len: 5.0,
+            },
+            Phase {
+                name: "hash_probe".into(),
+                mix: int_mix(0.34, 0.05, 0.01),
+                memory: MemoryMix {
+                    regions: vec![random(1024 * KB, 0.7), random(16 * KB, 4.0)],
+                },
+                static_blocks: 300,
+                mean_block_len: 6.0,
+            },
+        ],
+        phase_schedule: pattern(&[0, 1, 0, 1, 2, 0, 1, 0], 6),
+    }
+}
+
+fn twolf() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "twolf".into(),
+        seed: 0x7477_6F6C,
+        branches: BranchMix {
+            biased_fraction: 0.56,
+            bias: 0.90,
+            loop_fraction: 0.18,
+            mean_trip_count: 9.0,
+            random_taken: 0.50, // data-dependent: near-max entropy
+        },
+        mean_dep_distance: 3.2,
+        second_source_prob: 0.50,
+        phases: vec![
+            Phase {
+                name: "new_position".into(),
+                mix: int_mix(0.27, 0.11, 0.04),
+                memory: MemoryMix {
+                    regions: vec![
+                        random(12 * KB, 6.5),
+                        random(100 * KB, 1.6),
+                        strided(448 * KB, 256, 1.4),
+                    ],
+                },
+                static_blocks: 520,
+                mean_block_len: 4.8,
+            },
+            Phase {
+                name: "cost_eval".into(),
+                mix: int_mix(0.31, 0.07, 0.06),
+                memory: MemoryMix {
+                    regions: vec![random(40 * KB, 5.0), random(288 * KB, 0.9)],
+                },
+                static_blocks: 420,
+                mean_block_len: 4.2,
+            },
+            Phase {
+                name: "accept_reject".into(),
+                mix: int_mix(0.20, 0.14, 0.02),
+                memory: MemoryMix {
+                    regions: vec![random(8 * KB, 5.0), strided(640 * KB, 256, 1.2)],
+                },
+                static_blocks: 380,
+                mean_block_len: 5.5,
+            },
+            Phase {
+                name: "reconfigure".into(),
+                mix: int_mix(0.29, 0.13, 0.03),
+                memory: MemoryMix {
+                    regions: vec![seq(200 * KB, 1.2), random(24 * KB, 4.5)],
+                },
+                static_blocks: 450,
+                mean_block_len: 4.6,
+            },
+        ],
+        // Irregular schedule: annealing temperature changes phase balance.
+        phase_schedule: vec![
+            0, 1, 2, 0, 1, 1, 3, 0, 2, 1, 0, 3, 1, 2, 0, 1, 0, 2, 3, 1, 0, 1, 2, 0, 1, 3, 0, 1, 2,
+            1, 0, 2, 1, 0, 3, 1, 0, 2, 1, 0, 1, 2, 3, 0, 1, 0, 2, 1,
+        ],
+    }
+}
+
+fn mgrid() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "mgrid".into(),
+        seed: 0x6D67_7269,
+        branches: BranchMix {
+            biased_fraction: 0.22,
+            bias: 0.97,
+            loop_fraction: 0.68,
+            mean_trip_count: 48.0,
+            random_taken: 0.60,
+        },
+        mean_dep_distance: 10.0, // vectorizable inner loops: high ILP
+        second_source_prob: 0.60,
+        phases: vec![
+            Phase {
+                name: "relax_fine".into(),
+                mix: fp_mix(0.34, 0.11, 0.28, 0.14),
+                memory: MemoryMix {
+                    regions: vec![
+                        seq(24 * KB, 7.0),
+                        strided(768 * KB, 512, 1.6),
+                        strided(1024 * KB, 8, 0.5),
+                    ],
+                },
+                static_blocks: 120,
+                mean_block_len: 9.0,
+            },
+            Phase {
+                name: "relax_mid".into(),
+                mix: fp_mix(0.33, 0.12, 0.27, 0.13),
+                memory: MemoryMix {
+                    regions: vec![
+                        seq(20 * KB, 7.0),
+                        strided(384 * KB, 256, 1.6),
+                        strided(384 * KB, 8, 0.5),
+                    ],
+                },
+                static_blocks: 110,
+                mean_block_len: 9.0,
+            },
+            Phase {
+                name: "relax_coarse".into(),
+                mix: fp_mix(0.31, 0.13, 0.26, 0.12),
+                memory: MemoryMix {
+                    regions: vec![strided(40 * KB, 8, 6.0), seq(6 * KB, 3.0)],
+                },
+                static_blocks: 100,
+                mean_block_len: 8.0,
+            },
+        ],
+        // V-cycles: fine -> mid -> coarse -> mid -> fine ...
+        phase_schedule: pattern(&[0, 1, 2, 2, 1, 0], 8),
+    }
+}
+
+fn applu() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "applu".into(),
+        seed: 0x6170_706C,
+        branches: BranchMix {
+            biased_fraction: 0.28,
+            bias: 0.96,
+            loop_fraction: 0.60,
+            mean_trip_count: 36.0,
+            random_taken: 0.55,
+        },
+        mean_dep_distance: 7.0,
+        second_source_prob: 0.62,
+        phases: vec![
+            Phase {
+                name: "jacobian".into(),
+                mix: fp_mix(0.30, 0.14, 0.26, 0.16),
+                memory: MemoryMix {
+                    regions: vec![
+                        seq(12 * KB, 6.0),
+                        strided(44 * KB, 16, 2.2),
+                        strided(1024 * KB, 512, 1.2),
+                    ],
+                },
+                static_blocks: 170,
+                mean_block_len: 10.0,
+            },
+            Phase {
+                name: "lower_sweep".into(),
+                mix: fp_mix(0.33, 0.12, 0.25, 0.14),
+                memory: MemoryMix {
+                    regions: vec![
+                        seq(16 * KB, 6.0),
+                        strided(1280 * KB, 512, 1.2),
+                        seq(96 * KB, 1.4),
+                    ],
+                },
+                static_blocks: 150,
+                mean_block_len: 11.0,
+            },
+            Phase {
+                name: "upper_sweep".into(),
+                mix: fp_mix(0.33, 0.12, 0.25, 0.14),
+                memory: MemoryMix {
+                    regions: vec![
+                        seq(16 * KB, 6.0),
+                        strided(1280 * KB, 512, 1.2),
+                        random(64 * KB, 1.0),
+                    ],
+                },
+                static_blocks: 150,
+                mean_block_len: 11.0,
+            },
+        ],
+        phase_schedule: pattern(&[0, 1, 2, 1, 2], 10),
+    }
+}
+
+fn mesa() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "mesa".into(),
+        seed: 0x6D65_7361,
+        branches: BranchMix {
+            biased_fraction: 0.66,
+            bias: 0.94,
+            loop_fraction: 0.22,
+            mean_trip_count: 16.0,
+            random_taken: 0.58,
+        },
+        mean_dep_distance: 6.0,
+        second_source_prob: 0.52,
+        phases: vec![
+            Phase {
+                name: "transform".into(),
+                mix: fp_mix(0.26, 0.13, 0.24, 0.12),
+                memory: MemoryMix {
+                    regions: vec![seq(10 * KB, 8.0), seq(768 * KB, 0.5)],
+                },
+                static_blocks: 560,
+                mean_block_len: 7.0,
+            },
+            Phase {
+                name: "rasterize".into(),
+                mix: fp_mix(0.28, 0.18, 0.16, 0.07),
+                memory: MemoryMix {
+                    regions: vec![strided(224 * KB, 128, 1.2), random(20 * KB, 7.0)],
+                },
+                static_blocks: 520,
+                mean_block_len: 5.5,
+            },
+            Phase {
+                name: "texture".into(),
+                mix: fp_mix(0.32, 0.10, 0.18, 0.10),
+                memory: MemoryMix {
+                    regions: vec![strided(512 * KB, 256, 1.3), seq(12 * KB, 6.0)],
+                },
+                static_blocks: 500,
+                mean_block_len: 6.0,
+            },
+        ],
+        phase_schedule: pattern(&[0, 1, 1, 2, 1, 0, 1, 2], 6),
+    }
+}
+
+fn equake() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "equake".into(),
+        seed: 0x6571_6B65,
+        branches: BranchMix {
+            biased_fraction: 0.34,
+            bias: 0.94,
+            loop_fraction: 0.50,
+            mean_trip_count: 26.0,
+            random_taken: 0.52,
+        },
+        mean_dep_distance: 4.2,
+        second_source_prob: 0.58,
+        phases: vec![
+            Phase {
+                name: "smvp".into(),
+                mix: fp_mix(0.38, 0.09, 0.24, 0.12),
+                memory: MemoryMix {
+                    // Sparse matrix-vector product: indexed gathers.
+                    regions: vec![
+                        random(700 * KB, 0.8),
+                        strided(1024 * KB, 512, 1.4),
+                        seq(14 * KB, 6.0),
+                    ],
+                },
+                static_blocks: 260,
+                mean_block_len: 8.0,
+            },
+            Phase {
+                name: "time_integration".into(),
+                mix: fp_mix(0.30, 0.15, 0.26, 0.13),
+                memory: MemoryMix {
+                    regions: vec![strided(768 * KB, 512, 1.3), seq(36 * KB, 5.0)],
+                },
+                static_blocks: 200,
+                mean_block_len: 9.0,
+            },
+        ],
+        phase_schedule: pattern(&[0, 0, 1, 0, 0, 1], 8),
+    }
+}
+
+/// Repeats `base` `times` times into one schedule vector.
+fn pattern(base: &[u8], times: usize) -> Vec<u8> {
+    base.iter()
+        .copied()
+        .cycle()
+        .take(base.len() * times)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for b in Benchmark::ALL {
+            b.profile()
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+            assert_eq!(b.name().parse::<Benchmark>(), Ok(b));
+        }
+        assert_eq!(Benchmark::from_name("nope"), None);
+        let err = "nope".parse::<Benchmark>().unwrap_err();
+        assert!(err.to_string().contains("gzip"));
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let mut seeds: Vec<u64> = Benchmark::ALL.iter().map(|b| b.profile().seed).collect();
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8);
+    }
+
+    #[test]
+    fn featured_set_matches_paper() {
+        let names: Vec<&str> = Benchmark::FEATURED.iter().map(|b| b.name()).collect();
+        assert_eq!(names, ["mesa", "equake", "mcf", "crafty"]);
+    }
+
+    #[test]
+    fn working_sets_straddle_studied_cache_sizes() {
+        // At least one benchmark must exceed the largest studied L2 (2 MB)
+        // and at least one must fit in the smallest studied L1 (8 KB).
+        let mut exceeds_l2 = false;
+        let mut fits_l1 = false;
+        for b in Benchmark::ALL {
+            for phase in &b.profile().phases {
+                for r in &phase.memory.regions {
+                    exceeds_l2 |= r.bytes > 2 * MB;
+                    fits_l1 |= r.bytes <= 8 * KB;
+                }
+            }
+        }
+        assert!(exceeds_l2 && fits_l1);
+    }
+
+    #[test]
+    fn schedules_are_nontrivial() {
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            assert!(
+                p.phase_schedule.len() >= 24,
+                "{}: schedule too short for SimPoint",
+                b.name()
+            );
+            if p.phases.len() > 1 {
+                let first = p.phase_schedule[0];
+                assert!(
+                    p.phase_schedule.iter().any(|&x| x != first),
+                    "{}: schedule never changes phase",
+                    b.name()
+                );
+            }
+        }
+    }
+}

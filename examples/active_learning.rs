@@ -1,0 +1,44 @@
+//! The §7 active-learning extension: query-by-committee sampling vs the
+//! paper's uniform random sampling, on identical budgets.
+//!
+//! Run with: `cargo run --release --example active_learning`
+
+use archpredict::explorer::{Explorer, ExplorerConfig};
+use archpredict::sampling::Strategy;
+use archpredict::simulate::{CachedEvaluator, SimBudget, StudyEvaluator};
+use archpredict::studies::Study;
+use archpredict_workloads::{Benchmark, TraceGenerator};
+
+fn main() {
+    let app = Benchmark::Gzip;
+    let study = Study::MemorySystem;
+    let space = study.space();
+    let generator = TraceGenerator::new(app);
+    let evaluator = CachedEvaluator::new(
+        StudyEvaluator::with_budget(study, app, SimBudget::spread(&generator, 2, 6_000, 12_000)),
+        space.clone(),
+    );
+
+    let budget = 300;
+    for (label, strategy) in [
+        ("random (paper)", Strategy::Random),
+        ("active (QBC)", Strategy::Active { pool_factor: 4 }),
+    ] {
+        let config = ExplorerConfig {
+            batch: 50,
+            target_error: 0.0,
+            max_samples: budget,
+            strategy,
+            ..ExplorerConfig::default()
+        };
+        let mut explorer = Explorer::new(&space, &evaluator, config);
+        explorer.run();
+        let held_out = explorer.held_out_set(250);
+        let true_error = explorer.true_error(&held_out);
+        let estimate = explorer.history().last().expect("ran").estimate;
+        println!(
+            "{label:16} {budget} sims: true error {:.2}% ± {:.2} (estimated {:.2}%)",
+            true_error.mean, true_error.std_dev, estimate.mean
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! The §7 cross-application extension: one pooled model with a one-hot
+//! application input, compared against independent per-application models
+//! at the same total simulation budget.
+//!
+//! Run with: `cargo run --release --example cross_application`
+
+use archpredict::crossapp::CrossAppModel;
+use archpredict::explorer::{Explorer, ExplorerConfig};
+use archpredict::simulate::{CachedEvaluator, SimBudget, StudyEvaluator};
+use archpredict::studies::Study;
+use archpredict_ann::TrainConfig;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::sample_without_replacement;
+use archpredict_workloads::{Benchmark, TraceGenerator};
+
+fn main() {
+    let study = Study::MemorySystem;
+    let space = study.space();
+    // Two FP codes with related memory behavior: sharing should help.
+    let apps = [Benchmark::Mgrid, Benchmark::Applu];
+    let per_app = 150; // small budget: the regime where pooling pays
+
+    let evaluators: Vec<(Benchmark, CachedEvaluator<StudyEvaluator>)> = apps
+        .iter()
+        .map(|&b| {
+            let generator = TraceGenerator::new(b);
+            (
+                b,
+                CachedEvaluator::new(
+                    StudyEvaluator::with_budget(
+                        study,
+                        b,
+                        SimBudget::spread(&generator, 2, 6_000, 12_000),
+                    ),
+                    space.clone(),
+                ),
+            )
+        })
+        .collect();
+
+    eprintln!("fitting pooled model ({per_app} sims per app)...");
+    let pooled = CrossAppModel::fit(
+        &space,
+        &evaluators,
+        per_app,
+        &TrainConfig::scaled_to(per_app * apps.len()),
+        21,
+    );
+    println!(
+        "pooled model over {:?}: estimated error {:.2}%",
+        apps.map(|b| b.name()),
+        pooled.estimate.mean
+    );
+
+    let mut rng = Xoshiro256::seed_from(77);
+    let held_out = sample_without_replacement(space.size(), 150, &mut rng);
+    for (benchmark, evaluator) in &evaluators {
+        // Per-app baseline on the identical budget.
+        let config = ExplorerConfig {
+            batch: 50,
+            target_error: 0.0,
+            max_samples: per_app,
+            train: TrainConfig::scaled_to(per_app),
+            ..ExplorerConfig::default()
+        };
+        let mut solo = Explorer::new(&space, evaluator, config);
+        solo.run();
+        let solo_error = solo.true_error(&held_out);
+        let (pooled_mean, pooled_sd) = pooled.true_error(&space, *benchmark, evaluator, &held_out);
+        println!(
+            "{:6}: per-app model {:.2}% ± {:.2} | pooled model {pooled_mean:.2}% ± {pooled_sd:.2}",
+            benchmark.name(),
+            solo_error.mean,
+            solo_error.std_dev,
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! The paper's memory-system study (Table 4.1) on one benchmark: explore
+//! the 23,040-point space with a few hundred cycle-level simulations, then
+//! use the model to find the best and worst memory hierarchies.
+//!
+//! Run with: `cargo run --release --example memory_system_study [app]`
+
+use archpredict::explorer::{Explorer, ExplorerConfig};
+use archpredict::simulate::{CachedEvaluator, SimBudget, StudyEvaluator};
+use archpredict::studies::Study;
+use archpredict_workloads::{Benchmark, TraceGenerator};
+
+fn main() {
+    let app = std::env::args()
+        .nth(1)
+        .and_then(|s| Benchmark::from_name(&s))
+        .unwrap_or(Benchmark::Twolf);
+    let study = Study::MemorySystem;
+    let space = study.space();
+    println!(
+        "{} on the memory-system space ({} points)",
+        app,
+        space.size()
+    );
+
+    let generator = TraceGenerator::new(app);
+    let evaluator = CachedEvaluator::new(
+        StudyEvaluator::with_budget(study, app, SimBudget::spread(&generator, 2, 6_000, 12_000)),
+        space.clone(),
+    );
+    let config = ExplorerConfig {
+        batch: 50,
+        target_error: 3.0,
+        max_samples: 500,
+        ..ExplorerConfig::default()
+    };
+    let mut explorer = Explorer::new(&space, &evaluator, config);
+    let round = explorer.run().clone();
+    println!(
+        "{} simulations ({:.2}% of space): estimated error {:.2}%",
+        round.samples,
+        100.0 * round.fraction_sampled,
+        round.estimate.mean
+    );
+
+    // Rank the whole space by predicted IPC — something detailed
+    // simulation could never afford.
+    let mut ranked: Vec<(usize, f64)> = (0..space.size())
+        .map(|i| (i, explorer.predict(i)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    println!("\npredicted best memory hierarchies:");
+    for &(index, predicted) in ranked.iter().take(3) {
+        let p = space.point(index);
+        println!(
+            "  IPC~{predicted:.3}: L1D {}KB/{}-way/{}B {}, L2 {}KB/{}-way/{}B, bus {}B, FSB {:.3}GHz",
+            space.number(&p, "l1d_size") / 1024.0,
+            space.number(&p, "l1d_assoc"),
+            space.number(&p, "l1d_block"),
+            space.choice(&p, "l1_write_policy"),
+            space.number(&p, "l2_size") / 1024.0,
+            space.number(&p, "l2_assoc"),
+            space.number(&p, "l2_block"),
+            space.number(&p, "l2_bus_bytes"),
+            space.number(&p, "fsb_ghz"),
+        );
+    }
+    let &(worst_index, worst_pred) = ranked.last().expect("nonempty");
+    println!("\npredicted worst: IPC~{worst_pred:.3} (point {worst_index})");
+
+    // Validate the headline prediction with one real simulation.
+    use archpredict::simulate::Evaluator as _;
+    let best_actual = evaluator.evaluate(&space.point(ranked[0].0));
+    println!(
+        "\nsimulating the predicted-best point: actual IPC {best_actual:.3} (predicted {:.3})",
+        ranked[0].1
+    );
+}

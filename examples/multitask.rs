@@ -1,0 +1,91 @@
+//! The §7 multi-task extension: one network predicting IPC together with
+//! correlated auxiliary metrics (L2 MPKI, misprediction rate, L1D MPKI)
+//! through a shared hidden layer, compared against a single-task model on
+//! an identical simulation budget.
+//!
+//! Run with: `cargo run --release --example multitask`
+
+use archpredict::multitask::{fit_multitask, MetricsEvaluator};
+use archpredict::simulate::SimBudget;
+use archpredict::studies::Study;
+use archpredict_ann::{train::train_network, Sample, TrainConfig};
+use archpredict_stats::describe::Accumulator;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::sample_without_replacement;
+use archpredict_workloads::{Benchmark, TraceGenerator};
+
+fn main() {
+    let app = Benchmark::Twolf;
+    let study = Study::Processor;
+    let space = study.space();
+    let generator = TraceGenerator::new(app);
+    let evaluator =
+        MetricsEvaluator::new(study, app, SimBudget::spread(&generator, 2, 6_000, 12_000));
+
+    let mut rng = Xoshiro256::seed_from(11);
+    let train_idx = sample_without_replacement(space.size(), 200, &mut rng);
+    let test_idx = sample_without_replacement(space.size(), 150, &mut rng);
+
+    eprintln!(
+        "simulating {} training + {} test points...",
+        train_idx.len(),
+        test_idx.len()
+    );
+    let features: Vec<Vec<f64>> = train_idx
+        .iter()
+        .map(|&i| space.encode(&space.point(i)))
+        .collect();
+    let metrics: Vec<Vec<f64>> = train_idx
+        .iter()
+        .map(|&i| evaluator.evaluate(&space.point(i)).to_vec())
+        .collect();
+    let test: Vec<(Vec<f64>, f64)> = test_idx
+        .iter()
+        .map(|&i| {
+            (
+                space.encode(&space.point(i)),
+                evaluator.evaluate(&space.point(i)).ipc,
+            )
+        })
+        .collect();
+
+    // Multi-task: all four heads, early-stopped on IPC.
+    let config = TrainConfig::scaled_to(features.len());
+    let multi = fit_multitask(&features, &metrics, 0, &config, 13);
+    let mut multi_err = Accumulator::new();
+    for (x, ipc) in &test {
+        multi_err.add(100.0 * (multi.predict_primary(x) - ipc).abs() / ipc);
+    }
+
+    // Single-task baseline on the identical data.
+    let samples: Vec<Sample> = features
+        .iter()
+        .zip(&metrics)
+        .map(|(f, m)| Sample::new(f.clone(), m[0]))
+        .collect();
+    let split = samples.len() * 4 / 5;
+    let train_refs: Vec<&Sample> = samples[..split].iter().collect();
+    let es_refs: Vec<&Sample> = samples[split..].iter().collect();
+    let single = train_network(&train_refs, &es_refs, &config, &mut rng);
+    let mut single_err = Accumulator::new();
+    for (x, ipc) in &test {
+        single_err.add(100.0 * (single.predict(x) - ipc).abs() / ipc);
+    }
+
+    println!(
+        "multi-task  IPC error: {:.2}% ± {:.2}",
+        multi_err.mean(),
+        multi_err.population_std_dev()
+    );
+    println!(
+        "single-task IPC error: {:.2}% ± {:.2}",
+        single_err.mean(),
+        single_err.population_std_dev()
+    );
+    println!("\nauxiliary heads at one test point:");
+    let preds = multi.predict_all(&test[0].0);
+    println!(
+        "  ipc={:.3} l2_mpki={:.1} mispredict={:.3} l1d_mpki={:.1}",
+        preds[0], preds[1], preds[2], preds[3]
+    );
+}

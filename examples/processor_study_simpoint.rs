@@ -1,0 +1,69 @@
+//! The §5.3 combination: explore the processor space (Table 4.2) training
+//! the ANN ensemble on *SimPoint-accelerated* simulations, then check a
+//! few predictions against full simulation.
+//!
+//! Run with: `cargo run --release --example processor_study_simpoint [app]`
+
+use archpredict::explorer::{Explorer, ExplorerConfig};
+use archpredict::simulate::{Evaluator, SimBudget, SimPointEvaluator, StudyEvaluator};
+use archpredict::studies::Study;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::sample_without_replacement;
+use archpredict_workloads::{Benchmark, TraceGenerator};
+
+fn main() {
+    let app = std::env::args()
+        .nth(1)
+        .and_then(|s| Benchmark::from_name(&s))
+        .unwrap_or(Benchmark::Equake);
+    let study = Study::Processor;
+    let space = study.space();
+    let interval_len = 4_000;
+
+    let simpoint = SimPointEvaluator::new(study, app, interval_len, 10);
+    let plan = simpoint.plan();
+    println!(
+        "{app}: SimPoint chose {} of {} intervals ({:.1}x fewer instructions per simulation)",
+        plan.points().len(),
+        plan.total_intervals(),
+        plan.reduction_factor()
+    );
+
+    let config = ExplorerConfig {
+        batch: 50,
+        target_error: 2.0,
+        max_samples: 400,
+        ..ExplorerConfig::default()
+    };
+    let mut explorer = Explorer::new(&space, &simpoint, config);
+    let round = explorer.run().clone();
+    println!(
+        "{} SimPoint-accelerated simulations ({:.2}% of space): estimated error {:.2}%",
+        round.samples,
+        100.0 * round.fraction_sampled,
+        round.estimate.mean
+    );
+
+    // Spot-check against *full* simulation (which the model never saw).
+    let generator = TraceGenerator::new(app);
+    let warmup = (interval_len / 3) as u64;
+    let full = StudyEvaluator::with_budget(
+        study,
+        app,
+        SimBudget {
+            warmup,
+            measured: interval_len as u64 - warmup,
+            intervals: (0..generator.num_intervals()).collect(),
+        },
+    );
+    let mut rng = Xoshiro256::seed_from(7);
+    println!("\nspot checks vs full simulation:");
+    for i in sample_without_replacement(space.size(), 5, &mut rng) {
+        let actual = full.evaluate(&space.point(i));
+        let predicted = explorer.predict(i);
+        println!(
+            "  point {i:>6}: predicted {predicted:.4}, full-sim {actual:.4} ({:+.2}%)",
+            100.0 * (predicted - actual) / actual
+        );
+    }
+}

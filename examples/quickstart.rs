@@ -1,0 +1,90 @@
+//! Quickstart: model a custom design space with a custom evaluator.
+//!
+//! Shows the core loop on a toy "simulator" so it runs in seconds:
+//! define a space, plug in anything implementing `Evaluator`, explore
+//! until the error estimate is low, then query the model anywhere.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use archpredict::explorer::{Explorer, ExplorerConfig};
+use archpredict::simulate::Evaluator;
+use archpredict::{DesignPoint, DesignSpace, Param};
+
+/// A stand-in for a cycle-level simulator: some smooth nonlinear response.
+struct ToySimulator {
+    space: DesignSpace,
+}
+
+impl Evaluator for ToySimulator {
+    fn evaluate(&self, point: &DesignPoint) -> f64 {
+        let cache_kb = self.space.number(point, "cache_kb");
+        let width = self.space.number(point, "width");
+        let policy_bonus = if self.space.choice(point, "policy") == "WB" {
+            0.08
+        } else {
+            0.0
+        };
+        let prefetch = self.space.value(point, 3).as_flag().unwrap_or(false);
+        // Diminishing returns in cache, mild width interaction, and
+        // prefetching that only pays off with small caches.
+        0.4 + 0.25 * (cache_kb / 64.0).ln_1p() * (1.0 + 0.1 * width)
+            + policy_bonus
+            + if prefetch {
+                0.05 * (64.0 / cache_kb).min(1.0)
+            } else {
+                0.0
+            }
+    }
+
+    fn instructions_per_evaluation(&self) -> u64 {
+        1 // a real simulator would report its instruction budget here
+    }
+}
+
+fn main() {
+    let space = DesignSpace::new(vec![
+        Param::cardinal(
+            "cache_kb",
+            [4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0],
+        ),
+        Param::cardinal("width", [1.0, 2.0, 3.0, 4.0, 6.0, 8.0]),
+        Param::nominal("policy", ["WT", "WB"]),
+        Param::boolean("prefetch"),
+    ])
+    .expect("valid space");
+    println!("design space: {} points", space.size());
+
+    let simulator = ToySimulator {
+        space: space.clone(),
+    };
+    let config = ExplorerConfig {
+        batch: 15,
+        target_error: 1.0, // stop at 1% estimated error
+        max_samples: 90,
+        train: archpredict_ann::TrainConfig::scaled_to(60),
+        ..ExplorerConfig::default()
+    };
+    let mut explorer = Explorer::new(&space, &simulator, config);
+    let round = explorer.run().clone();
+    println!(
+        "stopped after {} simulations ({:.1}% of the space): estimated error {:.2}% ± {:.2}",
+        round.samples,
+        100.0 * round.fraction_sampled,
+        round.estimate.mean,
+        round.estimate.std_dev
+    );
+
+    // Query the model across the whole space without simulating it.
+    let best = (0..space.size())
+        .max_by(|&a, &b| explorer.predict(a).total_cmp(&explorer.predict(b)))
+        .expect("nonempty space");
+    let point = space.point(best);
+    println!(
+        "predicted best config: cache={}KB width={} policy={} -> predicted {:.3}, actual {:.3}",
+        space.number(&point, "cache_kb"),
+        space.number(&point, "width"),
+        space.choice(&point, "policy"),
+        explorer.predict(best),
+        simulator.evaluate(&point),
+    );
+}

@@ -1,0 +1,68 @@
+//! SMARTS-style systematic sampling as the fast estimator (§2 names the
+//! SMARTS combination as future work): explore the processor space with
+//! tiny systematic measurement units, then validate against reference
+//! simulation — the companion to `processor_study_simpoint.rs`.
+//!
+//! Run with: `cargo run --release --example smarts_study [app]`
+
+use archpredict::explorer::{Explorer, ExplorerConfig};
+use archpredict::simulate::{Evaluator, SimBudget, StudyEvaluator};
+use archpredict::smarts::{SmartsConfig, SmartsEvaluator};
+use archpredict::studies::Study;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::sample_without_replacement;
+use archpredict_workloads::{Benchmark, TraceGenerator};
+
+fn main() {
+    let app = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<Benchmark>().ok())
+        .unwrap_or(Benchmark::Crafty);
+    let study = Study::Processor;
+    let space = study.space();
+
+    let smarts = SmartsEvaluator::new(study, app, SmartsConfig::default());
+    let point = space.point(4321);
+    let estimate = smarts.estimate(&point);
+    println!(
+        "{app}: SMARTS estimate at one point: IPC {:.4} ± {:.4} (95% CI, {} units)",
+        estimate.ipc, estimate.confidence, estimate.units
+    );
+
+    let config = ExplorerConfig {
+        batch: 50,
+        target_error: 2.0,
+        max_samples: 400,
+        ..ExplorerConfig::default()
+    };
+    let mut explorer = Explorer::new(&space, &smarts, config);
+    let round = explorer.run().clone();
+    println!(
+        "{} SMARTS-sampled simulations ({:.2}% of space): estimated error {:.2}%",
+        round.samples,
+        100.0 * round.fraction_sampled,
+        round.estimate.mean
+    );
+
+    // Spot-check predictions against reference (denser-window) simulation.
+    let generator = TraceGenerator::new(app);
+    let reference = StudyEvaluator::with_budget(
+        study,
+        app,
+        SimBudget {
+            warmup: 3_000,
+            measured: 1_000,
+            intervals: (0..generator.num_intervals()).collect(),
+        },
+    );
+    let mut rng = Xoshiro256::seed_from(17);
+    println!("\nspot checks vs reference simulation:");
+    for i in sample_without_replacement(space.size(), 5, &mut rng) {
+        let actual = reference.evaluate(&space.point(i));
+        let predicted = explorer.predict(i);
+        println!(
+            "  point {i:>6}: predicted {predicted:.4}, reference {actual:.4} ({:+.2}%)",
+            100.0 * (predicted - actual) / actual
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Cross-crate property tests: invariants that must hold over the whole
+//! design spaces and the simulator, checked with proptest.
+
+use archpredict::studies::Study;
+use archpredict_sim::simulate_with_warmup;
+use archpredict_workloads::{Benchmark, TraceGenerator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn memory_space_index_round_trips(index in 0usize..23_040) {
+        let space = Study::MemorySystem.space();
+        let point = space.point(index);
+        prop_assert_eq!(space.index(&point), index);
+    }
+
+    #[test]
+    fn processor_space_index_round_trips(index in 0usize..20_736) {
+        let space = Study::Processor.space();
+        let point = space.point(index);
+        prop_assert_eq!(space.index(&point), index);
+    }
+
+    #[test]
+    fn encodings_stay_in_unit_interval(index in 0usize..23_040) {
+        let space = Study::MemorySystem.space();
+        let features = space.encode(&space.point(index));
+        prop_assert_eq!(features.len(), space.encoded_width());
+        prop_assert!(features.iter().all(|&f| (0.0..=1.0).contains(&f)));
+    }
+
+    #[test]
+    fn every_processor_config_is_valid(index in 0usize..20_736) {
+        let space = Study::Processor.space();
+        let config = Study::Processor.config_at(&space, &space.point(index));
+        prop_assert!(config.derive().is_ok());
+    }
+}
+
+proptest! {
+    // Simulation is comparatively slow; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn simulator_is_deterministic_across_space(
+        index in 0usize..23_040,
+        bench_idx in 0usize..8,
+    ) {
+        let space = Study::MemorySystem.space();
+        let config = Study::MemorySystem.config_at(&space, &space.point(index));
+        let benchmark = Benchmark::ALL[bench_idx];
+        let generator = TraceGenerator::new(benchmark);
+        let a = simulate_with_warmup(&config, generator.interval(0), 2_000, 3_000);
+        let b = simulate_with_warmup(&config, generator.interval(0), 2_000, 3_000);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.ipc() > 0.0 && a.ipc() <= config.width as f64);
+    }
+
+    #[test]
+    fn bbvs_are_normalized(bench_idx in 0usize..8, interval in 0usize..24) {
+        let generator = TraceGenerator::new(Benchmark::ALL[bench_idx]);
+        let bbv = generator.bbv(interval, 2_000);
+        let total: f64 = bbv.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(bbv.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+}
