@@ -5,10 +5,8 @@
 //! §3 — non-linear, monotonic, differentiable — are satisfied by both
 //! provided non-linearities.
 
-use serde::{Deserialize, Serialize};
-
 /// Supported activation functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
     /// Logistic sigmoid `1 / (1 + e^-x)` (the paper's hidden units).
     Sigmoid,
@@ -37,6 +35,25 @@ impl Activation {
             Activation::Sigmoid => y * (1.0 - y),
             Activation::Tanh => 1.0 - y * y,
             Activation::Linear => 1.0,
+        }
+    }
+
+    /// Stable name used by the JSON persistence format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Linear => "linear",
+        }
+    }
+
+    /// Inverse of [`Activation::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "sigmoid" => Some(Activation::Sigmoid),
+            "tanh" => Some(Activation::Tanh),
+            "linear" => Some(Activation::Linear),
+            _ => None,
         }
     }
 }

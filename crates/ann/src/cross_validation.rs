@@ -6,16 +6,21 @@
 //! [`Ensemble`]; the per-point percentage errors each model makes on its
 //! own held-out test fold are pooled into the **error estimate**, the
 //! quantity that lets the architect decide when to stop simulating.
+//!
+//! The `k` folds are independent — each trains from its own RNG stream
+//! derived from the fit seed — so [`fit_ensemble`] fans them out across
+//! worker threads (see [`crate::train::Parallelism`]). Fold results are
+//! joined in fold index order before the error estimate is pooled, making
+//! the parallel and sequential paths bit-for-bit identical.
 
 use crate::dataset::{fold_ranges, Dataset, Sample};
 use crate::ensemble::Ensemble;
 use crate::train::{train_network, TrainConfig};
 use archpredict_stats::describe::Accumulator;
 use archpredict_stats::rng::Xoshiro256;
-use serde::{Deserialize, Serialize};
 
 /// Cross-validation estimate of model error over the full design space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorEstimate {
     /// Estimated mean absolute percentage error.
     pub mean: f64,
@@ -25,20 +30,55 @@ pub struct ErrorEstimate {
     pub points: u64,
 }
 
+/// Training telemetry from one fold's model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldRecord {
+    /// Fold index (also the model's test-fold index).
+    pub fold: usize,
+    /// Samples the model trained on.
+    pub train_samples: usize,
+    /// Samples in the early-stopping fold.
+    pub es_samples: usize,
+    /// Samples in the test fold pooled into the error estimate.
+    pub test_samples: usize,
+    /// Epochs actually run before early stopping.
+    pub epochs: usize,
+    /// Best mean absolute percentage error on the early-stopping fold.
+    pub best_es_error: f64,
+    /// Wall-clock seconds spent training this fold (when folds train in
+    /// parallel these overlap, so they sum to more than elapsed time).
+    pub seconds: f64,
+}
+
 /// Result of fitting a cross-validation ensemble.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CvFit {
     /// The averaged ensemble of `k` networks.
     pub ensemble: Ensemble,
     /// Cross-validation error estimate.
     pub estimate: ErrorEstimate,
+    /// Per-fold training telemetry, in fold order.
+    pub folds: Vec<FoldRecord>,
+}
+
+/// Everything one fold produces, carried back to the join point.
+struct FoldOutput {
+    model: crate::train::TrainedModel,
+    /// Per-test-point percentage errors, in test-fold sample order.
+    errors: Vec<f64>,
+    record: FoldRecord,
 }
 
 /// Trains a `folds`-fold cross-validation ensemble on `dataset`.
 ///
 /// The sample order is randomized (seeded) before fold assignment, then
-/// each of the `folds` models trains per Fig. 3.3. Returns the ensemble and
-/// the pooled error estimate.
+/// each of the `folds` models trains per Fig. 3.3. Folds fan out across
+/// worker threads per `config.parallelism`; each fold seeds its network
+/// from its own derived RNG stream and results are joined in fold order,
+/// so the returned fit is **bit-for-bit identical** for any thread count.
+/// Returns the ensemble, the pooled error estimate, and per-fold telemetry
+/// (wall seconds in [`FoldRecord::seconds`] are the only fields that vary
+/// between runs).
 ///
 /// # Panics
 ///
@@ -54,28 +94,31 @@ pub fn fit_ensemble(dataset: &Dataset, folds: usize, config: &TrainConfig, seed:
     let mut rng = Xoshiro256::seed_from(seed);
     let mut order: Vec<usize> = (0..dataset.len()).collect();
     archpredict_stats::sampling::shuffle(&mut order, &mut rng);
+    let (rng, order) = (rng, order); // freeze: folds only derive() from here
+                                     // Position → fold lookup table: O(n) once, instead of a linear scan
+                                     // over the fold ranges for every (fold, position) pair.
     let ranges = fold_ranges(dataset.len(), folds);
-    let fold_of = |position: usize| {
-        ranges
-            .iter()
-            .position(|&(a, b)| position >= a && position < b)
-    };
+    let mut fold_of = vec![0usize; dataset.len()];
+    for (fold, &(start, end)) in ranges.iter().enumerate() {
+        for entry in &mut fold_of[start..end] {
+            *entry = fold;
+        }
+    }
 
     let samples = dataset.samples();
-    let mut models = Vec::with_capacity(folds);
-    let mut errors = Accumulator::new();
-
-    for m in 0..folds {
+    // `derive` is pure (it does not advance `rng`), so fold RNGs do not
+    // depend on the order folds are trained in.
+    let run_fold = |m: usize| -> FoldOutput {
+        let started = std::time::Instant::now();
         let es_fold = (m + 1) % folds;
         let mut train: Vec<&Sample> = Vec::new();
         let mut es: Vec<&Sample> = Vec::new();
         let mut test: Vec<&Sample> = Vec::new();
         for (position, &sample_idx) in order.iter().enumerate() {
-            let fold = fold_of(position).expect("position covered by ranges");
             let sample = &samples[sample_idx];
-            if fold == m {
+            if fold_of[position] == m {
                 test.push(sample);
-            } else if fold == es_fold {
+            } else if fold_of[position] == es_fold {
                 es.push(sample);
             } else {
                 train.push(sample);
@@ -83,11 +126,65 @@ pub fn fit_ensemble(dataset: &Dataset, folds: usize, config: &TrainConfig, seed:
         }
         let mut model_rng = rng.derive(m as u64 + 1);
         let model = train_network(&train, &es, config, &mut model_rng);
-        for s in &test {
-            let pred = model.predict(&s.features);
-            errors.add(100.0 * (pred - s.target).abs() / s.target.abs().max(1e-12));
+        let errors: Vec<f64> = test
+            .iter()
+            .map(|s| {
+                let pred = model.predict(&s.features);
+                100.0 * (pred - s.target).abs() / s.target.abs().max(1e-12)
+            })
+            .collect();
+        let record = FoldRecord {
+            fold: m,
+            train_samples: train.len(),
+            es_samples: es.len(),
+            test_samples: test.len(),
+            epochs: model.epochs,
+            best_es_error: model.best_es_error,
+            seconds: started.elapsed().as_secs_f64(),
+        };
+        FoldOutput {
+            model,
+            errors,
+            record,
         }
-        models.push(model);
+    };
+
+    let workers = config.parallelism.worker_count(folds);
+    let outputs: Vec<FoldOutput> = if workers <= 1 {
+        (0..folds).map(run_fold).collect()
+    } else {
+        // Fan folds out round-robin across workers (fold m goes to worker
+        // m % workers, keeping chunk sizes balanced), writing each result
+        // into its own slot so the join below reads them in fold order.
+        let mut slots: Vec<Option<FoldOutput>> = (0..folds).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (worker, slot_chunk) in slots.chunks_mut(folds.div_ceil(workers)).enumerate() {
+                let first = worker * folds.div_ceil(workers);
+                let run_fold = &run_fold;
+                scope.spawn(move || {
+                    for (offset, slot) in slot_chunk.iter_mut().enumerate() {
+                        *slot = Some(run_fold(first + offset));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every fold trains"))
+            .collect()
+    };
+
+    // Join in fold index order: the estimate pools per-point errors in
+    // exactly the order the sequential loop produced them.
+    let mut models = Vec::with_capacity(folds);
+    let mut records = Vec::with_capacity(folds);
+    let mut errors = Accumulator::new();
+    for output in outputs {
+        for &e in &output.errors {
+            errors.add(e);
+        }
+        models.push(output.model);
+        records.push(output.record);
     }
 
     CvFit {
@@ -97,6 +194,7 @@ pub fn fit_ensemble(dataset: &Dataset, folds: usize, config: &TrainConfig, seed:
             std_dev: errors.population_std_dev(),
             points: errors.count(),
         },
+        folds: records,
     }
 }
 
@@ -197,5 +295,62 @@ mod tests {
     #[should_panic(expected = "at least 3 folds")]
     fn too_few_folds_panics() {
         fit_ensemble(&dataset(30, 1), 2, &TrainConfig::default(), 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        use crate::train::Parallelism;
+        let train = dataset(120, 12);
+        let fit_with = |parallelism| {
+            let config = TrainConfig {
+                parallelism,
+                ..TrainConfig::default()
+            };
+            fit_ensemble(&train, 6, &config, 13)
+        };
+        let sequential = fit_with(Parallelism::Fixed(1));
+        for parallel in [fit_with(Parallelism::Fixed(3)), fit_with(Parallelism::Auto)] {
+            // The pooled estimate is identical to the last bit: same
+            // per-point errors accumulated in the same order.
+            assert_eq!(sequential.estimate, parallel.estimate);
+            // Every member model is identical, not just the average.
+            for x in [[0.1, 0.2, 0.3], [0.9, 0.5, 0.4], [0.5, 0.5, 0.5]] {
+                assert_eq!(
+                    sequential.ensemble.member_predictions(&x),
+                    parallel.ensemble.member_predictions(&x)
+                );
+            }
+            // Telemetry matches except wall-clock seconds.
+            for (s, p) in sequential.folds.iter().zip(&parallel.folds) {
+                assert_eq!((s.fold, s.epochs), (p.fold, p.epochs));
+                assert_eq!(s.best_es_error, p.best_es_error);
+                assert_eq!(
+                    (s.train_samples, s.es_samples, s.test_samples),
+                    (p.train_samples, p.es_samples, p.test_samples)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_records_cover_the_dataset() {
+        let n = 97;
+        let folds = 5;
+        let fit = fit_ensemble(&dataset(n, 14), folds, &TrainConfig::default(), 15);
+        assert_eq!(fit.folds.len(), folds);
+        for (m, record) in fit.folds.iter().enumerate() {
+            assert_eq!(record.fold, m);
+            assert_eq!(
+                record.train_samples + record.es_samples + record.test_samples,
+                n
+            );
+            assert!(record.epochs > 0);
+            assert!(record.best_es_error.is_finite() && record.best_es_error > 0.0);
+            assert!(record.seconds >= 0.0);
+        }
+        // Each sample appears in exactly one test fold.
+        let pooled: usize = fit.folds.iter().map(|r| r.test_samples).sum();
+        assert_eq!(pooled, n);
+        assert_eq!(fit.estimate.points, n as u64);
     }
 }

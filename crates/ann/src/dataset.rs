@@ -1,9 +1,7 @@
 //! Training datasets and cross-validation fold layout.
 
-use serde::{Deserialize, Serialize};
-
 /// One training example: raw (unnormalized) features and target.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// Encoded design-point features (one-hot nominals, raw cardinals…).
     pub features: Vec<f64>,
@@ -19,7 +17,7 @@ impl Sample {
 }
 
 /// A growable collection of samples.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Dataset {
     samples: Vec<Sample>,
 }

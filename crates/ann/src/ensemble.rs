@@ -5,10 +5,10 @@
 //! that usually beats a single network trained on all the data.
 
 use crate::train::TrainedModel;
-use serde::{Deserialize, Serialize};
+use archpredict_stats::json::{JsonError, Value};
 
 /// An averaging ensemble of trained models.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ensemble {
     models: Vec<TrainedModel>,
 }
@@ -57,6 +57,35 @@ impl Ensemble {
         let preds = self.member_predictions(features);
         let acc: archpredict_stats::Accumulator = preds.into_iter().collect();
         acc.sample_std_dev()
+    }
+
+    /// Serializes the ensemble to a JSON string.
+    pub fn to_json(&self) -> String {
+        Value::Object(vec![(
+            "models".into(),
+            Value::Array(
+                self.models
+                    .iter()
+                    .map(TrainedModel::to_json_value)
+                    .collect(),
+            ),
+        )])
+        .to_json()
+    }
+
+    /// Deserializes an ensemble written by [`Ensemble::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let value = Value::parse(text)?;
+        let models: Vec<TrainedModel> = value
+            .get("models")?
+            .as_array()?
+            .iter()
+            .map(TrainedModel::from_json_value)
+            .collect::<Result<_, _>>()?;
+        if models.is_empty() {
+            return Err(JsonError::custom("ensemble needs at least one model"));
+        }
+        Ok(Self { models })
     }
 }
 
@@ -116,13 +145,15 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_preserves_predictions() {
+    fn json_round_trip_preserves_predictions() {
         let ensemble = Ensemble::new(vec![trained(7), trained(8), trained(9)]);
-        let json = serde_json::to_string(&ensemble).unwrap();
-        let restored: Ensemble = serde_json::from_str(&json).unwrap();
+        let json = ensemble.to_json();
+        let restored = Ensemble::from_json(&json).unwrap();
         for x in [0.1, 0.5, 0.9] {
-            // JSON float formatting can perturb the last ulp.
-            assert!((ensemble.predict(&[x]) - restored.predict(&[x])).abs() < 1e-9);
+            // Shortest-round-trip float formatting makes this exact.
+            assert_eq!(ensemble.predict(&[x]), restored.predict(&[x]));
         }
+        assert_eq!(restored.len(), 3);
+        assert!(Ensemble::from_json("{\"models\":[]}").is_err());
     }
 }

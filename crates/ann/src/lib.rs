@@ -44,7 +44,7 @@ pub mod network;
 pub mod scaling;
 pub mod train;
 
-pub use cross_validation::{fit_ensemble, CvFit, ErrorEstimate};
+pub use cross_validation::{fit_ensemble, CvFit, ErrorEstimate, FoldRecord};
 pub use dataset::{Dataset, Sample};
 pub use ensemble::Ensemble;
-pub use train::{TrainConfig, TrainedModel};
+pub use train::{Parallelism, TrainConfig, TrainedModel};

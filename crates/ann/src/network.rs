@@ -7,16 +7,20 @@
 //! and grows non-linearity as weights grow).
 
 use crate::activation::Activation;
+use archpredict_stats::json::{JsonError, Value};
 use archpredict_stats::rng::Xoshiro256;
-use serde::{Deserialize, Serialize};
 
 /// Half-width of the uniform weight initialization interval (paper §3.1:
 /// weights start in `[-0.01, 0.01]`).
 pub const INIT_WEIGHT_RANGE: f64 = 0.01;
 
+fn json_err(message: &str) -> JsonError {
+    JsonError::custom(message)
+}
+
 /// One fully connected layer: `outputs x (inputs + 1)` weights, the final
 /// column being the bias.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Layer {
     inputs: usize,
     outputs: usize,
@@ -39,6 +43,38 @@ impl Layer {
                 .collect(),
             velocity: vec![0.0; n],
         }
+    }
+
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("inputs".into(), Value::num(self.inputs as f64)),
+            ("outputs".into(), Value::num(self.outputs as f64)),
+            (
+                "activation".into(),
+                Value::Str(self.activation.name().into()),
+            ),
+            ("weights".into(), Value::from_f64s(&self.weights)),
+            ("velocity".into(), Value::from_f64s(&self.velocity)),
+        ])
+    }
+
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let layer = Self {
+            inputs: value.get("inputs")?.as_usize()?,
+            outputs: value.get("outputs")?.as_usize()?,
+            activation: Activation::from_name(value.get("activation")?.as_str()?)
+                .ok_or_else(|| json_err("unknown activation"))?,
+            weights: value.get("weights")?.as_f64_vec()?,
+            velocity: value.get("velocity")?.as_f64_vec()?,
+        };
+        let n = layer.outputs * (layer.inputs + 1);
+        if layer.weights.len() != n || layer.velocity.len() != n {
+            return Err(json_err("layer weight count mismatch"));
+        }
+        if layer.inputs == 0 || layer.outputs == 0 {
+            return Err(json_err("layer sizes must be positive"));
+        }
+        Ok(layer)
     }
 
     fn forward(&self, input: &[f64], output: &mut Vec<f64>) {
@@ -67,15 +103,13 @@ impl Layer {
 /// let y = net.predict(&[0.1, 0.5, 0.9]);
 /// assert_eq!(y.len(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Network {
     layers: Vec<Layer>,
     /// Cached activations per layer (including the input), reused across
     /// training steps to avoid allocation.
-    #[serde(skip)]
     scratch: Vec<Vec<f64>>,
     /// Per-layer delta buffers.
-    #[serde(skip)]
     deltas: Vec<Vec<f64>>,
 }
 
@@ -129,6 +163,41 @@ impl Network {
             self.scratch = sizes.iter().map(|&s| vec![0.0; s]).collect();
             self.deltas = sizes[1..].iter().map(|&s| vec![0.0; s]).collect();
         }
+    }
+
+    /// Serializes the network (weights, velocities, topology) to a JSON
+    /// [`Value`]. Scratch buffers are rebuilt on load, not stored.
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![(
+            "layers".into(),
+            Value::Array(self.layers.iter().map(Layer::to_json_value).collect()),
+        )])
+    }
+
+    /// Deserializes a network written by [`Network::to_json_value`],
+    /// validating topology and rebuilding the scratch buffers.
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let layers: Vec<Layer> = value
+            .get("layers")?
+            .as_array()?
+            .iter()
+            .map(Layer::from_json_value)
+            .collect::<Result<_, _>>()?;
+        if layers.is_empty() {
+            return Err(json_err("network needs at least one layer"));
+        }
+        for pair in layers.windows(2) {
+            if pair[0].outputs != pair[1].inputs {
+                return Err(json_err("layer sizes do not chain"));
+            }
+        }
+        let mut sizes = vec![layers[0].inputs];
+        sizes.extend(layers.iter().map(|l| l.outputs));
+        Ok(Self {
+            layers,
+            scratch: sizes.iter().map(|&s| vec![0.0; s]).collect(),
+            deltas: sizes[1..].iter().map(|&s| vec![0.0; s]).collect(),
+        })
     }
 
     /// Runs the network forward.
@@ -358,16 +427,35 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_preserves_predictions() {
+    fn json_round_trip_preserves_predictions() {
         let mut rng = Xoshiro256::seed_from(10);
         let mut net = Network::new(&[2, 4, 1], &mut rng);
         for _ in 0..100 {
             net.train_example(&[0.2, 0.8], &[0.5], 0.1, 0.5);
         }
-        let json = serde_json::to_string(&net).unwrap();
-        let mut restored: Network = serde_json::from_str(&json).unwrap();
+        let json = net.to_json_value().to_json();
+        let parsed = Value::parse(&json).unwrap();
+        let mut restored = Network::from_json_value(&parsed).unwrap();
+        // Shortest-round-trip float formatting makes this exact.
         assert_eq!(net.predict(&[0.3, 0.4]), restored.predict(&[0.3, 0.4]));
-        // And training still works after the skipped buffers are rebuilt.
+        // And training still works on the rebuilt buffers.
         restored.train_example(&[0.3, 0.4], &[0.6], 0.1, 0.5);
+        // Weights and velocities survive bit-for-bit, so further training
+        // matches the original exactly.
+        let mut twin = net.clone();
+        twin.train_example(&[0.3, 0.4], &[0.6], 0.1, 0.5);
+        assert_eq!(twin.predict(&[0.7, 0.2]), restored.predict(&[0.7, 0.2]));
+    }
+
+    #[test]
+    fn json_rejects_corrupt_topology() {
+        let mut rng = Xoshiro256::seed_from(11);
+        let net = Network::new(&[2, 3, 1], &mut rng);
+        let json = net.to_json_value().to_json();
+        // Truncate a weight array.
+        let broken = json.replacen(",", "", 1);
+        let parsed = Value::parse(&broken);
+        assert!(parsed.is_err() || Network::from_json_value(&parsed.unwrap()).is_err());
+        assert!(Network::from_json_value(&Value::parse("{\"layers\":[]}").unwrap()).is_err());
     }
 }

@@ -6,10 +6,10 @@
 //! are scaled back to the original range before error is computed, because
 //! the paper reports *percentage* error in real units.
 
-use serde::{Deserialize, Serialize};
+use archpredict_stats::json::{JsonError, Value};
 
 /// Per-dimension minimax scaler for feature vectors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MinMaxScaler {
     mins: Vec<f64>,
     maxs: Vec<f64>,
@@ -59,6 +59,24 @@ impl MinMaxScaler {
         self.mins.len()
     }
 
+    /// Serializes the fitted bounds to a JSON [`Value`].
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("mins".into(), Value::from_f64s(&self.mins)),
+            ("maxs".into(), Value::from_f64s(&self.maxs)),
+        ])
+    }
+
+    /// Deserializes bounds written by [`MinMaxScaler::to_json_value`].
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let mins = value.get("mins")?.as_f64_vec()?;
+        let maxs = value.get("maxs")?.as_f64_vec()?;
+        if mins.len() != maxs.len() || mins.iter().zip(&maxs).any(|(a, b)| a > b) {
+            return Err(JsonError::custom("invalid scaler bounds"));
+        }
+        Ok(Self { mins, maxs })
+    }
+
     /// Scales a feature vector into `[0, 1]` per dimension. Constant
     /// dimensions map to `0.5`.
     ///
@@ -83,7 +101,7 @@ impl MinMaxScaler {
 }
 
 /// Minimax scaler for a scalar target.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TargetScaler {
     min: f64,
     max: f64,
@@ -101,6 +119,24 @@ impl TargetScaler {
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Self { min, max }
+    }
+
+    /// Serializes the fitted range to a JSON [`Value`].
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("min".into(), Value::num(self.min)),
+            ("max".into(), Value::num(self.max)),
+        ])
+    }
+
+    /// Deserializes a range written by [`TargetScaler::to_json_value`].
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let min = value.get("min")?.as_f64()?;
+        let max = value.get("max")?.as_f64()?;
+        if min > max {
+            return Err(JsonError::custom("invalid target range"));
+        }
+        Ok(Self { min, max })
     }
 
     /// Scales a raw target into `[0, 1]` (`0.5` for a constant target).
@@ -164,5 +200,27 @@ mod tests {
     #[should_panic(expected = "min exceeds max")]
     fn inverted_bounds_panic() {
         MinMaxScaler::from_bounds(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let rows = [vec![0.1, 10.0], vec![0.7, 30.0]];
+        let scaler = MinMaxScaler::fit(rows.iter().map(|r| r.as_slice()));
+        let back = MinMaxScaler::from_json_value(
+            &Value::parse(&scaler.to_json_value().to_json()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(scaler, back);
+
+        let target = TargetScaler::fit(&[0.2, 1.4]);
+        let back = TargetScaler::from_json_value(
+            &Value::parse(&target.to_json_value().to_json()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(target, back);
+        assert!(
+            TargetScaler::from_json_value(&Value::parse("{\"min\":2.0,\"max\":1.0}").unwrap())
+                .is_err()
+        );
     }
 }

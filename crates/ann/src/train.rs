@@ -10,9 +10,49 @@
 use crate::dataset::Sample;
 use crate::network::Network;
 use crate::scaling::{MinMaxScaler, TargetScaler};
+use archpredict_stats::json::{JsonError, Value};
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_stats::sampling::WeightedAlias;
-use serde::{Deserialize, Serialize};
+
+/// Worker-thread policy for per-fold ensemble training
+/// (see [`crate::cross_validation::fit_ensemble`]).
+///
+/// Fold results are joined in fold order and each fold trains from its own
+/// derived RNG stream, so the trained ensemble and error estimate are
+/// bit-for-bit identical for every setting of this knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One worker per available core (capped at the task count), unless
+    /// the `ARCHPREDICT_TRAIN_THREADS` environment variable overrides the
+    /// core count.
+    #[default]
+    Auto,
+    /// Exactly this many workers; `Fixed(1)` forces the sequential path.
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// Environment variable overriding the automatic thread count.
+    pub const ENV_THREADS: &'static str = "ARCHPREDICT_TRAIN_THREADS";
+
+    /// Resolves the policy to a concrete worker count for `tasks`
+    /// independent tasks (always at least 1, never more than `tasks`).
+    pub fn worker_count(self, tasks: usize) -> usize {
+        let workers = match self {
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => std::env::var(Self::ENV_THREADS)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                }),
+        };
+        workers.min(tasks.max(1))
+    }
+}
 
 /// Hyperparameters for network training.
 ///
@@ -21,7 +61,7 @@ use serde::{Deserialize, Serialize};
 /// default learning rate and momentum are higher than the paper's
 /// 0.001/0.5 because our (much smaller) training sets favor faster
 /// convergence; [`TrainConfig::paper`] restores the published values.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
     /// Hidden units in the first hidden layer.
     pub hidden_units: usize,
@@ -40,6 +80,9 @@ pub struct TrainConfig {
     /// Train for percentage error: inverse-target presentation frequency
     /// and percentage-error early stopping (§3.3).
     pub percentage_error: bool,
+    /// Worker threads for per-fold cross-validation training. Results are
+    /// identical for every setting; this only affects wall-clock time.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TrainConfig {
@@ -52,6 +95,7 @@ impl Default for TrainConfig {
             max_epochs: 800,
             patience: 60,
             percentage_error: true,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -95,13 +139,16 @@ pub(crate) fn layer_sizes(inputs: usize, config: &TrainConfig, outputs: usize) -
 
 /// A trained network together with the scalers needed to use it on raw
 /// feature vectors and to return raw-scale predictions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainedModel {
     network: Network,
     input_scaler: MinMaxScaler,
     target_scaler: TargetScaler,
     /// Epochs actually run before stopping.
     pub epochs: usize,
+    /// Best mean absolute percentage error seen on the early-stopping set
+    /// (the error of the restored weights).
+    pub best_es_error: f64,
 }
 
 impl TrainedModel {
@@ -109,6 +156,28 @@ impl TrainedModel {
     pub fn predict(&self, features: &[f64]) -> f64 {
         let x = self.input_scaler.transform(features);
         self.target_scaler.unscale(self.network.predict(&x)[0])
+    }
+
+    /// Serializes the model (network plus scalers) to a JSON [`Value`].
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("network".into(), self.network.to_json_value()),
+            ("input_scaler".into(), self.input_scaler.to_json_value()),
+            ("target_scaler".into(), self.target_scaler.to_json_value()),
+            ("epochs".into(), Value::num(self.epochs as f64)),
+            ("best_es_error".into(), Value::num(self.best_es_error)),
+        ])
+    }
+
+    /// Deserializes a model written by [`TrainedModel::to_json_value`].
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            network: Network::from_json_value(value.get("network")?)?,
+            input_scaler: MinMaxScaler::from_json_value(value.get("input_scaler")?)?,
+            target_scaler: TargetScaler::from_json_value(value.get("target_scaler")?)?,
+            epochs: value.get("epochs")?.as_usize()?,
+            best_es_error: value.get("best_es_error")?.as_f64_or(f64::INFINITY)?,
+        })
     }
 }
 
@@ -203,6 +272,7 @@ pub fn train_network(
         input_scaler,
         target_scaler,
         epochs,
+        best_es_error: best_error,
     }
 }
 
@@ -259,6 +329,11 @@ mod tests {
         let mut rng = Xoshiro256::seed_from(5);
         let model = train_network(&train_refs, &es_refs, &config, &mut rng);
         assert!(model.epochs < 4000, "ran {} epochs", model.epochs);
+        assert!(
+            model.best_es_error.is_finite() && model.best_es_error > 0.0,
+            "best ES error {}",
+            model.best_es_error
+        );
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! Ensemble training cost vs training-set size — the Criterion companion
 //! to Figure 5.8 (which uses real study data; this uses a synthetic
 //! response so the bench is self-contained and fast).
+//!
+//! The `fit_10fold_ensemble` group times the default (parallel) path; the
+//! `fit_parallelism` group pins the worker count to compare the sequential
+//! path against the fanned-out one on the same fit. On a machine with four
+//! or more cores the `threads/auto` rows should run at least 2× faster
+//! than `threads/1`; see also the `train_speedup` binary, which prints the
+//! speedup table directly.
 
-use archpredict_ann::{fit_ensemble, Dataset, Sample, TrainConfig};
+use archpredict_ann::{fit_ensemble, Dataset, Parallelism, Sample, TrainConfig};
 use archpredict_stats::rng::Xoshiro256;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -22,16 +29,20 @@ fn dataset(n: usize) -> Dataset {
         .collect()
 }
 
+fn bench_config() -> TrainConfig {
+    TrainConfig {
+        max_epochs: 200,
+        patience: 200,
+        ..TrainConfig::default()
+    }
+}
+
 fn bench_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("fit_10fold_ensemble");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(3));
-    let config = TrainConfig {
-        max_epochs: 200,
-        patience: 200,
-        ..TrainConfig::default()
-    };
+    let config = bench_config();
     for n in [100usize, 200, 400] {
         let data = dataset(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
@@ -41,5 +52,30 @@ fn bench_training(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training);
+fn bench_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit_parallelism");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let data = dataset(200);
+    let config_with = |parallelism| TrainConfig {
+        parallelism,
+        ..bench_config()
+    };
+    for (label, parallelism) in [
+        ("1", Parallelism::Fixed(1)),
+        ("2", Parallelism::Fixed(2)),
+        ("auto", Parallelism::Auto),
+    ] {
+        let config = config_with(parallelism);
+        group.bench_function(BenchmarkId::new("threads", label), |b| {
+            b.iter(|| fit_ensemble(&data, 10, &config, 7))
+        });
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("(auto resolves to {cores} worker(s) on this machine)");
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_parallelism);
 criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Parallel-training speedup table: wall-clock time of a 10-fold
+//! `fit_ensemble` at 1, 2, 4, … worker threads up to the machine's core
+//! count, with the bit-for-bit determinism of the result checked at every
+//! thread count.
+//!
+//! On a machine with ≥4 cores the table should show ≥2× speedup over the
+//! sequential row. Usage:
+//!
+//! ```text
+//! cargo run --release --bin train_speedup [samples] [repeats]
+//! ```
+
+use archpredict_ann::{fit_ensemble, CvFit, Dataset, Parallelism, Sample, TrainConfig};
+use archpredict_bench::write_artifact;
+use archpredict_stats::rng::Xoshiro256;
+use std::path::Path;
+use std::time::Instant;
+
+fn dataset(n: usize) -> Dataset {
+    let mut rng = Xoshiro256::seed_from(5);
+    (0..n)
+        .map(|_| {
+            let a = rng.next_f64();
+            let b = rng.next_f64();
+            let c = rng.next_f64();
+            Sample::new(
+                vec![a, b, c],
+                0.3 + 0.5 * (a * 2.0).sin().abs() + 0.2 * b * c,
+            )
+        })
+        .collect()
+}
+
+fn fits_match(a: &CvFit, b: &CvFit) -> bool {
+    let probes = [[0.1, 0.2, 0.3], [0.5, 0.5, 0.5], [0.9, 0.4, 0.7]];
+    a.estimate == b.estimate
+        && probes
+            .iter()
+            .all(|x| a.ensemble.member_predictions(x) == b.ensemble.member_predictions(x))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let samples: usize = args
+        .next()
+        .map(|a| a.parse().expect("samples must be a number"))
+        .unwrap_or(200);
+    let repeats: usize = args
+        .next()
+        .map(|a| a.parse().expect("repeats must be a number"))
+        .unwrap_or(3);
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let data = dataset(samples);
+    let config_with = |parallelism| TrainConfig {
+        max_epochs: 200,
+        patience: 200,
+        parallelism,
+        ..TrainConfig::default()
+    };
+
+    // Thread counts: 1, 2, 4, ... up to the core count (always including
+    // the core count itself, and 10 = fold count if the machine is bigger).
+    let mut thread_counts = vec![1usize];
+    let mut t = 2;
+    while t < cores.min(10) {
+        thread_counts.push(t);
+        t *= 2;
+    }
+    if cores > 1 {
+        thread_counts.push(cores.min(10));
+    }
+
+    eprintln!(
+        "train_speedup: {samples} samples, 10 folds, best of {repeats} runs, {cores} core(s)"
+    );
+    let reference = fit_ensemble(&data, 10, &config_with(Parallelism::Fixed(1)), 7);
+
+    let mut rows = Vec::new();
+    let mut baseline = f64::NAN;
+    for &threads in &thread_counts {
+        let config = config_with(Parallelism::Fixed(threads));
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let started = Instant::now();
+            let fit = fit_ensemble(&data, 10, &config, 7);
+            best = best.min(started.elapsed().as_secs_f64());
+            assert!(
+                fits_match(&reference, &fit),
+                "{threads}-thread fit diverged from the sequential fit"
+            );
+        }
+        if threads == 1 {
+            baseline = best;
+        }
+        rows.push((threads, best, baseline / best));
+    }
+
+    let mut table = String::from("threads,seconds,speedup\n");
+    eprintln!("{:>8} {:>10} {:>8}", "threads", "seconds", "speedup");
+    for (threads, seconds, speedup) in &rows {
+        eprintln!("{threads:>8} {seconds:>10.3} {speedup:>7.2}x");
+        table.push_str(&format!("{threads},{seconds:.4},{speedup:.3}\n"));
+    }
+    eprintln!("(all thread counts produced bit-for-bit identical fits)");
+    write_artifact(Path::new("results/train_speedup.csv"), &table);
+
+    if cores >= 4 {
+        let best = rows.iter().map(|r| r.2).fold(0.0, f64::max);
+        assert!(
+            best >= 2.0,
+            "expected >=2x speedup with {cores} cores, best was {best:.2}x"
+        );
+    }
+}

@@ -27,4 +27,6 @@ pub mod opts;
 pub mod runner;
 
 pub use opts::ExperimentOpts;
-pub use runner::{curve_for, reduction_analysis, CurveOpts, ReductionRow, StudyCurve};
+pub use runner::{
+    curve_for, reduction_analysis, write_artifact, CurveOpts, ReductionRow, StudyCurve,
+};

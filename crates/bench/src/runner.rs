@@ -10,7 +10,6 @@ use archpredict_ann::{Ensemble, TrainConfig};
 use archpredict_stats::describe::Accumulator;
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_workloads::{Benchmark, TraceGenerator};
-use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::Path;
 
@@ -313,10 +312,10 @@ fn cache_path(dir: &str, tag: &str) -> std::path::PathBuf {
 fn load_cache<E: Evaluator>(evaluator: &CachedEvaluator<E>, dir: Option<&str>, tag: &str) {
     let Some(dir) = dir else { return };
     let path = cache_path(dir, tag);
-    let Ok(bytes) = std::fs::read(&path) else {
+    let Ok(text) = std::fs::read_to_string(&path) else {
         return;
     };
-    match serde_json::from_slice::<HashMap<usize, f64>>(&bytes) {
+    match archpredict_stats::json::map_from_json(&text) {
         Ok(map) => {
             eprintln!("loaded {} cached sims from {}", map.len(), path.display());
             evaluator.preload(map);
@@ -329,7 +328,7 @@ fn save_cache<E: Evaluator>(evaluator: &CachedEvaluator<E>, dir: Option<&str>, t
     let Some(dir) = dir else { return };
     std::fs::create_dir_all(dir).expect("create cache dir");
     let path = cache_path(dir, tag);
-    let json = serde_json::to_vec(&evaluator.snapshot()).expect("serialize cache");
+    let json = archpredict_stats::json::map_to_json(&evaluator.snapshot());
     std::fs::write(&path, json).expect("write cache");
 }
 
@@ -349,6 +348,8 @@ mod tests {
                 true_mean: Some(true_mean),
                 true_std_dev: Some(1.0),
                 training_seconds: 0.1,
+                simulation_seconds: 0.2,
+                mean_fold_epochs: 100.0,
             });
         }
         StudyCurve {

@@ -27,10 +27,8 @@
 //! # Ok::<(), archpredict_cacti::GeometryError>(())
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 /// Physical organization of a cache: capacity, associativity, block size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheGeometry {
     capacity_bytes: u64,
     associativity: u32,

@@ -11,7 +11,7 @@
 
 use crate::simulate::{evaluate_batch, Evaluator};
 use crate::space::DesignSpace;
-use archpredict_ann::cross_validation::{fit_ensemble, ErrorEstimate};
+use archpredict_ann::cross_validation::{fit_ensemble, ErrorEstimate, FoldRecord};
 use archpredict_ann::{Dataset, Ensemble, Sample, TrainConfig};
 use archpredict_stats::describe::Accumulator;
 use archpredict_stats::rng::Xoshiro256;
@@ -31,6 +31,8 @@ pub struct CrossAppModel {
     apps: Vec<Benchmark>,
     /// Pooled cross-validation error estimate.
     pub estimate: ErrorEstimate,
+    /// Per-fold training telemetry from the pooled fit.
+    pub folds: Vec<FoldRecord>,
 }
 
 impl CrossAppModel {
@@ -69,6 +71,7 @@ impl CrossAppModel {
             ensemble: fit.ensemble,
             apps,
             estimate: fit.estimate,
+            folds: fit.folds,
         }
     }
 
@@ -186,6 +189,8 @@ mod tests {
         let evaluators = apps(&space);
         let model = CrossAppModel::fit(&space, &evaluators, 40, &TrainConfig::scaled_to(80), 7);
         assert_eq!(model.apps(), &[Benchmark::Gzip, Benchmark::Mcf]);
+        assert_eq!(model.folds.len(), 10);
+        assert!(model.folds.iter().all(|f| f.epochs > 0));
         let held_out: Vec<usize> = (0..space.size()).step_by(7).collect();
         for (benchmark, evaluator) in &evaluators {
             let (mean, _) = model.true_error(&space, *benchmark, evaluator, &held_out);

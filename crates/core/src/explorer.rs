@@ -16,15 +16,45 @@
 use crate::sampling::Strategy;
 use crate::simulate::{evaluate_batch, Evaluator};
 use crate::space::DesignSpace;
-use archpredict_ann::cross_validation::{fit_ensemble, ErrorEstimate};
+use archpredict_ann::cross_validation::{fit_ensemble, ErrorEstimate, FoldRecord};
 use archpredict_ann::{Dataset, Ensemble, Sample, TrainConfig};
 use archpredict_stats::describe::Accumulator;
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_stats::sampling::IncrementalSampler;
-use serde::{Deserialize, Serialize};
+
+/// Why a refinement round could not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The training set (after drawing whatever points remained) is still
+    /// smaller than the three folds cross-validation needs. Configure a
+    /// larger batch, or step again once more points are available.
+    TooFewSamples {
+        /// Samples collected so far.
+        have: usize,
+    },
+    /// Every point in the design space has been simulated and the training
+    /// set is empty — there is nothing to train on.
+    SpaceExhausted,
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::TooFewSamples { have } => write!(
+                f,
+                "training set has {have} sample(s); cross-validation needs at least 3"
+            ),
+            ExploreError::SpaceExhausted => {
+                write!(f, "design space exhausted with no training data")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
 
 /// Exploration policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExplorerConfig {
     /// Simulations added per refinement round (the paper uses 50).
     pub batch: usize,
@@ -57,7 +87,7 @@ impl Default for ExplorerConfig {
 }
 
 /// One refinement round's outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Round {
     /// Training-set size after this round.
     pub samples: usize,
@@ -65,12 +95,28 @@ pub struct Round {
     pub fraction_sampled: f64,
     /// Cross-validation error estimate.
     pub estimate: ErrorEstimate,
-    /// Wall-clock seconds spent training this round's ensemble.
+    /// Wall-clock seconds spent training this round's ensemble (all folds,
+    /// as observed by the caller — folds training in parallel overlap here).
     pub training_seconds: f64,
+    /// Wall-clock seconds spent simulating this round's batch.
+    pub simulation_seconds: f64,
+    /// Per-fold training telemetry (epochs, best early-stopping error,
+    /// per-fold wall seconds), in fold order.
+    pub folds: Vec<FoldRecord>,
+}
+
+impl Round {
+    /// Mean epochs per fold this round (0 if telemetry is empty).
+    pub fn mean_epochs(&self) -> f64 {
+        if self.folds.is_empty() {
+            return 0.0;
+        }
+        self.folds.iter().map(|f| f.epochs as f64).sum::<f64>() / self.folds.len() as f64
+    }
 }
 
 /// True (measured) model error on held-out points.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrueError {
     /// Mean absolute percentage error.
     pub mean: f64,
@@ -147,7 +193,11 @@ impl<'a, E: Evaluator> Explorer<'a, E> {
     }
 
     /// Runs one refinement round; returns the new round's record.
-    pub fn step(&mut self) -> &Round {
+    ///
+    /// Any points drawn and simulated are kept in the training set even on
+    /// error, so a failed round wastes no simulations — stepping again with
+    /// more points available can succeed.
+    pub fn try_step(&mut self) -> Result<&Round, ExploreError> {
         // 1. Choose fresh points.
         let batch = match self.config.strategy {
             Strategy::Random => self.sampler.next_batch(self.config.batch),
@@ -160,8 +210,13 @@ impl<'a, E: Evaluator> Explorer<'a, E> {
                 &mut self.rng,
             ),
         };
+        if batch.is_empty() && self.dataset.is_empty() {
+            return Err(ExploreError::SpaceExhausted);
+        }
         // 2. Simulate them.
+        let sim_started = std::time::Instant::now();
         let results = evaluate_batch(self.evaluator, self.space, &batch);
+        let simulation_seconds = sim_started.elapsed().as_secs_f64();
         for (&index, &ipc) in batch.iter().zip(&results) {
             self.dataset.push(Sample::new(
                 self.space.encode(&self.space.point(index)),
@@ -169,11 +224,19 @@ impl<'a, E: Evaluator> Explorer<'a, E> {
             ));
             self.sampled_indices.push(index);
         }
-        // 3. Train the cross-validation ensemble.
+        // 3. Train the cross-validation ensemble, with the fold count
+        // clamped to the training-set size (a tiny first batch would
+        // otherwise request more folds than there are samples).
+        let folds = self.config.folds.min(self.dataset.len());
+        if folds < 3 {
+            return Err(ExploreError::TooFewSamples {
+                have: self.dataset.len(),
+            });
+        }
         let started = std::time::Instant::now();
         let fit = fit_ensemble(
             &self.dataset,
-            self.config.folds.min(self.dataset.len()),
+            folds,
             &self.config.train,
             self.rng.next_u64(),
         );
@@ -185,8 +248,40 @@ impl<'a, E: Evaluator> Explorer<'a, E> {
             fraction_sampled: self.dataset.len() as f64 / self.space.size() as f64,
             estimate: fit.estimate,
             training_seconds,
+            simulation_seconds,
+            folds: fit.folds,
         });
-        self.history.last().expect("just pushed")
+        Ok(self.history.last().expect("just pushed"))
+    }
+
+    /// Runs one refinement round; returns the new round's record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round cannot run ([`Explorer::try_step`] returns the
+    /// condition as a typed error instead).
+    pub fn step(&mut self) -> &Round {
+        if let Err(e) = self.try_step() {
+            panic!("exploration step failed: {e}");
+        }
+        self.history.last().expect("just stepped")
+    }
+
+    /// Steps until the estimated mean error reaches the configured target,
+    /// the sample cap is hit, or the space is exhausted. Returns the final
+    /// round.
+    pub fn try_run(&mut self) -> Result<&Round, ExploreError> {
+        loop {
+            self.try_step()?;
+            let round = self.history.last().expect("stepped");
+            let done = round.estimate.mean <= self.config.target_error
+                || self.dataset.len() >= self.config.max_samples
+                || self.sampler.remaining() == 0;
+            if done {
+                break;
+            }
+        }
+        Ok(self.history.last().expect("at least one round ran"))
     }
 
     /// Steps until the estimated mean error reaches the configured target,
@@ -195,17 +290,12 @@ impl<'a, E: Evaluator> Explorer<'a, E> {
     ///
     /// # Panics
     ///
-    /// Panics if the explorer cannot draw any samples at all (empty space).
+    /// Panics if a round cannot run (empty space, or batches too small to
+    /// ever reach three samples); [`Explorer::try_run`] surfaces the typed
+    /// error instead.
     pub fn run(&mut self) -> &Round {
-        loop {
-            self.step();
-            let round = self.history.last().expect("stepped");
-            let done = round.estimate.mean <= self.config.target_error
-                || self.dataset.len() >= self.config.max_samples
-                || self.sampler.remaining() == 0;
-            if done {
-                break;
-            }
+        if let Err(e) = self.try_run() {
+            panic!("exploration failed: {e}");
         }
         self.history.last().expect("at least one round ran")
     }
@@ -235,19 +325,24 @@ impl<'a, E: Evaluator> Explorer<'a, E> {
 
     /// Draws `count` indices that have *not* been simulated, for true-error
     /// evaluation. Deterministic given the explorer's seed.
+    ///
+    /// The complement of the sampled set is built directly and a random
+    /// prefix of it is returned, so cost stays `O(space + count)` even when
+    /// nearly every point has been simulated (a rejection loop would
+    /// degenerate into coupon collecting there). When fewer than `count`
+    /// unsimulated points remain, all of them are returned — callers must
+    /// not assume the result has exactly `count` elements.
     pub fn held_out_set(&self, count: usize) -> Vec<usize> {
         let sampled: std::collections::HashSet<usize> =
             self.sampled_indices.iter().copied().collect();
+        let mut complement: Vec<usize> = (0..self.space.size())
+            .filter(|i| !sampled.contains(i))
+            .collect();
+        let want = count.min(complement.len());
         let mut rng = Xoshiro256::seed_from(self.config.seed ^ 0xE7A1);
-        let mut out = Vec::with_capacity(count);
-        let mut seen = std::collections::HashSet::new();
-        while out.len() < count && seen.len() < self.space.size() {
-            let i = rng.index(self.space.size());
-            if seen.insert(i) && !sampled.contains(&i) {
-                out.push(i);
-            }
-        }
-        out
+        archpredict_stats::sampling::partial_shuffle(&mut complement, want, &mut rng);
+        complement.truncate(want);
+        complement
     }
 }
 
@@ -360,6 +455,98 @@ mod tests {
             explorer.sampled_indices().iter().copied().collect();
         assert!(held_out.iter().all(|i| !trained.contains(i)));
         assert_eq!(held_out.len(), 100);
+    }
+
+    #[test]
+    fn tiny_first_batch_errors_then_recovers() {
+        // Regression: batch=2 used to panic inside fit_ensemble (folds
+        // clamped to dataset len 2, tripping the folds >= 3 assertion).
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        let config = ExplorerConfig {
+            batch: 2,
+            ..explorer_config()
+        };
+        let mut explorer = Explorer::new(&space, &synthetic, config);
+        assert_eq!(
+            explorer.try_step(),
+            Err(ExploreError::TooFewSamples { have: 2 })
+        );
+        // The two simulated points were kept; the next batch reaches 4
+        // samples and trains with the fold count clamped to 4.
+        let round = explorer.try_step().expect("4 samples can train").clone();
+        assert_eq!(round.samples, 4);
+        assert_eq!(round.folds.len(), 4);
+        assert!(explorer.ensemble().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-validation needs at least 3")]
+    fn step_panics_with_typed_message_on_tiny_batch() {
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        let config = ExplorerConfig {
+            batch: 1,
+            ..explorer_config()
+        };
+        Explorer::new(&space, &synthetic, config).step();
+    }
+
+    #[test]
+    fn held_out_set_truncates_near_space_exhaustion() {
+        // Regression: the old rejection loop degenerated (and silently
+        // under-filled) once most of the space was sampled.
+        let space = space(); // 12 * 12 * 3 = 432 points
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        let config = ExplorerConfig {
+            batch: 100,
+            max_samples: 400,
+            target_error: 0.0,
+            ..explorer_config()
+        };
+        let mut explorer = Explorer::new(&space, &synthetic, config);
+        for _ in 0..4 {
+            explorer.step(); // 400 of 432 points simulated
+        }
+        let trained: std::collections::HashSet<_> =
+            explorer.sampled_indices().iter().copied().collect();
+        assert_eq!(trained.len(), 400);
+
+        // Asking for more than the 32 remaining points returns all 32.
+        let held_out = explorer.held_out_set(100);
+        assert_eq!(held_out.len(), 32);
+        assert!(held_out.iter().all(|i| !trained.contains(i)));
+        let distinct: std::collections::HashSet<_> = held_out.iter().copied().collect();
+        assert_eq!(distinct.len(), 32);
+
+        // A smaller request draws from the same deterministic stream.
+        let smaller = explorer.held_out_set(10);
+        assert_eq!(smaller.len(), 10);
+        assert_eq!(smaller, explorer.held_out_set(10));
+        assert!(smaller.iter().all(|i| !trained.contains(i)));
+    }
+
+    #[test]
+    fn round_records_fold_telemetry() {
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        let mut explorer = Explorer::new(&space, &synthetic, explorer_config());
+        let round = explorer.step().clone();
+        assert_eq!(round.folds.len(), 10);
+        assert!(round.mean_epochs() > 0.0);
+        assert!(round.simulation_seconds >= 0.0);
+        // Per-fold wall time is a breakdown of (overlapping) training work.
+        assert!(round.folds.iter().all(|f| f.seconds >= 0.0 && f.epochs > 0));
+        let pooled: usize = round.folds.iter().map(|f| f.test_samples).sum();
+        assert_eq!(pooled, round.samples);
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod smarts;
 pub mod space;
 pub mod studies;
 
-pub use explorer::{Explorer, ExplorerConfig, Round, TrueError};
+pub use explorer::{ExploreError, Explorer, ExplorerConfig, Round, TrueError};
 pub use param::{Param, ParamKind, ParamValue};
 pub use simulate::{CachedEvaluator, Evaluator, SimBudget, SimPointEvaluator, StudyEvaluator};
 pub use space::{DesignPoint, DesignSpace, SpaceError};

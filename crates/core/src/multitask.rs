@@ -17,10 +17,9 @@ use archpredict_ann::TrainConfig;
 use archpredict_sim::simulate_with_warmup;
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_workloads::{Benchmark, TraceGenerator};
-use serde::{Deserialize, Serialize};
 
 /// The metric vector a detailed simulation yields for multi-task training.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Metrics {
     /// Instructions per cycle (the primary target).
     pub ipc: f64,
@@ -97,7 +96,7 @@ impl MetricsEvaluator {
 }
 
 /// A trained multi-output network with its scalers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiTaskModel {
     network: Network,
     input_scaler: MinMaxScaler,

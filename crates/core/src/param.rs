@@ -9,10 +9,8 @@
 //! captures Table 4.2's register-file rule, where the two allowed sizes
 //! depend on the chosen ROB size.
 
-use serde::{Deserialize, Serialize};
-
 /// The kind (and levels) of one design parameter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ParamKind {
     /// Quantitative discrete levels (e.g. L1 size ∈ {8, 16, 32, 64} KB).
     /// Encoded as a single input scaled by the level range.
@@ -54,7 +52,7 @@ impl ParamKind {
 }
 
 /// A named design parameter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     name: String,
     kind: ParamKind,
@@ -145,7 +143,7 @@ impl Param {
 }
 
 /// The concrete value a parameter takes at a design point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ParamValue {
     /// A quantitative value (cardinal, linked, or continuous).
     Number(f64),

@@ -6,10 +6,9 @@
 //! them as CSV (for plotting) or an aligned text table (for logs).
 
 use crate::explorer::{Round, TrueError};
-use serde::{Deserialize, Serialize};
 
 /// One row of a learning curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CurvePoint {
     /// Training-set size in simulations.
     pub samples: usize,
@@ -23,12 +22,17 @@ pub struct CurvePoint {
     pub true_mean: Option<f64>,
     /// Measured standard deviation, when available.
     pub true_std_dev: Option<f64>,
-    /// Seconds spent training this row's ensemble.
+    /// Wall-clock seconds spent training this row's ensemble, as seen by
+    /// the caller (folds training in parallel overlap inside this figure).
     pub training_seconds: f64,
+    /// Wall-clock seconds spent simulating this row's batch.
+    pub simulation_seconds: f64,
+    /// Mean training epochs per fold before early stopping.
+    pub mean_fold_epochs: f64,
 }
 
 /// A labelled learning curve (one application × one study).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct LearningCurve {
     /// Label, e.g. `"mesa (memory)"`.
     pub label: String,
@@ -55,18 +59,20 @@ impl LearningCurve {
             true_mean: true_error.map(|t| t.mean),
             true_std_dev: true_error.map(|t| t.std_dev),
             training_seconds: round.training_seconds,
+            simulation_seconds: round.simulation_seconds,
+            mean_fold_epochs: round.mean_epochs(),
         });
     }
 
     /// CSV rendering with a header row.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "label,samples,percent_sampled,estimated_mean,estimated_std_dev,true_mean,true_std_dev,training_seconds\n",
+            "label,samples,percent_sampled,estimated_mean,estimated_std_dev,true_mean,true_std_dev,training_seconds,simulation_seconds,mean_fold_epochs\n",
         );
         for p in &self.points {
             let fmt_opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.4}"));
             out.push_str(&format!(
-                "{},{},{:.4},{:.4},{:.4},{},{},{:.4}\n",
+                "{},{},{:.4},{:.4},{:.4},{},{},{:.4},{:.4},{:.1}\n",
                 self.label,
                 p.samples,
                 p.percent_sampled,
@@ -75,6 +81,8 @@ impl LearningCurve {
                 fmt_opt(p.true_mean),
                 fmt_opt(p.true_std_dev),
                 p.training_seconds,
+                p.simulation_seconds,
+                p.mean_fold_epochs,
             ));
         }
         out
@@ -123,6 +131,19 @@ mod tests {
                 points: samples as u64,
             },
             training_seconds: 0.5,
+            simulation_seconds: 0.25,
+            folds: vec![
+                archpredict_ann::FoldRecord {
+                    fold: 0,
+                    train_samples: samples.saturating_sub(20),
+                    es_samples: 10,
+                    test_samples: 10,
+                    epochs: 120,
+                    best_es_error: mean,
+                    seconds: 0.05,
+                };
+                10
+            ],
         }
     }
 
@@ -142,7 +163,9 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("label,samples"));
+        assert!(lines[0].ends_with("training_seconds,simulation_seconds,mean_fold_epochs"));
         assert!(lines[1].contains("mesa (memory),50,5.0000,8.0000"));
+        assert!(lines[1].ends_with("0.5000,0.2500,120.0"));
         assert!(lines[2].contains("4.2000"));
     }
 

@@ -12,10 +12,9 @@ use crate::space::DesignSpace;
 use archpredict_ann::Ensemble;
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_stats::sampling::IncrementalSampler;
-use serde::{Deserialize, Serialize};
 
 /// How each refinement round chooses its new design points.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Strategy {
     /// Uniform random sampling without replacement (the paper's method).
     Random,

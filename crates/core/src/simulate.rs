@@ -256,16 +256,15 @@ pub fn evaluate_batch<E: Evaluator>(
     }
     let mut results = vec![0.0; indices.len()];
     let chunk = indices.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, work) in results.chunks_mut(chunk).zip(indices.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (out, &i) in slot.iter_mut().zip(work) {
                     *out = evaluator.evaluate(&space.point(i));
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
 }
 

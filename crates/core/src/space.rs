@@ -6,10 +6,9 @@
 //! into the normalized feature vector the networks consume (§3.3).
 
 use crate::param::{Param, ParamKind, ParamValue};
-use serde::{Deserialize, Serialize};
 
 /// One configuration: a level index per parameter.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DesignPoint(pub Vec<usize>);
 
 impl DesignPoint {
@@ -62,7 +61,7 @@ impl std::fmt::Display for SpaceError {
 impl std::error::Error for SpaceError {}
 
 /// An architectural design space (e.g. Table 4.1 or 4.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignSpace {
     params: Vec<Param>,
 }

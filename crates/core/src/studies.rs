@@ -12,12 +12,11 @@
 use crate::param::Param;
 use crate::space::{DesignPoint, DesignSpace};
 use archpredict_sim::{CacheParams, SimConfig, WritePolicy};
-use serde::{Deserialize, Serialize};
 
 const KB: f64 = 1024.0;
 
 /// Which of the paper's studies a space/configuration belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Study {
     /// Table 4.1: memory-system parameters, fixed 4 GHz core.
     MemorySystem,

@@ -7,10 +7,9 @@
 //! hand, so a configuration is fully determined by its architectural knobs.
 
 use archpredict_cacti::{access_time_ns, cycles_at_ghz, CacheGeometry, GeometryError};
-use serde::{Deserialize, Serialize};
 
 /// L1 data cache write policy (Table 4.1 varies this).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WritePolicy {
     /// Write-through, no write-allocate: stores propagate to L2.
     WriteThrough,
@@ -28,7 +27,7 @@ impl std::fmt::Display for WritePolicy {
 }
 
 /// Geometry + policy of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheParams {
     /// Capacity in bytes.
     pub capacity_bytes: u64,
@@ -69,7 +68,7 @@ impl CacheParams {
 /// out-of-order core with a 128-entry ROB, 96+96 registers, 48/48 LSQ,
 /// 2/2 load-store units, a 32 KB 2-cycle L1I, tournament predictor, 100 ns
 /// SDRAM, and a 64-bit 800 MHz front-side bus.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Core clock in GHz (Table 4.2 varies 2 and 4).
     pub freq_ghz: f64,
@@ -241,7 +240,7 @@ impl SimConfig {
 }
 
 /// Per-cycle issue limits per functional-unit family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FuThroughput {
     /// Integer ALU operations per cycle.
     pub int_alu: u32,
@@ -252,7 +251,7 @@ pub struct FuThroughput {
 }
 
 /// Timing values derived from a [`SimConfig`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DerivedTiming {
     /// L1I hit latency in cycles.
     pub l1i_lat: u64,
@@ -391,12 +390,16 @@ mod tests {
 
     #[test]
     fn validation_catches_errors() {
-        let mut cfg = SimConfig::default();
-        cfg.width = 0;
+        let cfg = SimConfig {
+            width: 0,
+            ..SimConfig::default()
+        };
         assert_eq!(cfg.derive().unwrap_err(), ConfigError::ZeroField("width"));
 
-        let mut cfg = SimConfig::default();
-        cfg.predictor_entries = 3000;
+        let cfg = SimConfig {
+            predictor_entries: 3000,
+            ..SimConfig::default()
+        };
         assert!(matches!(
             cfg.derive().unwrap_err(),
             ConfigError::PredictorEntries(3000)

@@ -9,13 +9,11 @@
 //! concurrent misses to different banks overlap while same-bank misses
 //! serialize.
 
-use serde::{Deserialize, Serialize};
-
 /// Row-buffer size assumed by the banked model.
 const ROW_BYTES_LOG2: u32 = 12; // 4 KB rows
 
 /// SDRAM device timing model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sdram {
     /// Per-bank (open row, busy-until cycle); empty = flat model.
     banks: Vec<(u64, u64)>,

@@ -737,8 +737,10 @@ mod tests {
     #[test]
     fn banked_sdram_helps_streaming_workloads() {
         let flat = SimConfig::default();
-        let mut banked = SimConfig::default();
-        banked.sdram_banks = 8;
+        let banked = SimConfig {
+            sdram_banks: 8,
+            ..SimConfig::default()
+        };
         let rf = run(&flat, Benchmark::Applu, 10_000);
         let rb = run(&banked, Benchmark::Applu, 10_000);
         // applu streams rows: the open-row model must not be slower, and

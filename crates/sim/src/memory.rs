@@ -409,8 +409,10 @@ mod prefetch_tests {
     #[test]
     fn nextline_prefetch_hides_strided_misses() {
         // applu's strided sweeps are the prefetcher's best case.
-        let mut on = SimConfig::default();
-        on.prefetch_nextline = true;
+        let on = SimConfig {
+            prefetch_nextline: true,
+            ..SimConfig::default()
+        };
         let off = SimConfig::default();
         let generator = TraceGenerator::new(Benchmark::Applu);
         let run = |cfg: &SimConfig| {
@@ -437,15 +439,15 @@ mod prefetch_tests {
         let mut m = MemoryHierarchy::new(&SimConfig::default());
         m.load(0x1000_0000, 0);
         assert_eq!(m.stats().prefetches, 0);
-        let mut cfg = SimConfig::default();
-        cfg.prefetch_nextline = true;
+        let cfg = SimConfig {
+            prefetch_nextline: true,
+            ..SimConfig::default()
+        };
         let mut m = MemoryHierarchy::new(&cfg);
         m.load(0x1000_0000, 0);
         assert_eq!(m.stats().prefetches, 1);
         // The prefetched next line is now a (delayed) hit, not a new miss.
-        let t = m.timing();
-        let ready = m.load(0x1000_0000 + t.l2_bus_l1_block * 0 + 32, 1);
-        let _ = ready;
+        let _ready = m.load(0x1000_0000 + 32, 1);
         assert_eq!(m.stats().prefetches, 1, "no cascade on the merged hit");
     }
 }

@@ -1,9 +1,7 @@
 //! Simulation results and statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Outcome of one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimResult {
     /// Instructions committed.
     pub instructions: u64,

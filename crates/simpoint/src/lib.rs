@@ -33,13 +33,12 @@ use archpredict_sim::{simulate_with_warmup, SimConfig};
 use archpredict_stats::kmeans::kmeans_best_bic;
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_workloads::TraceGenerator;
-use serde::{Deserialize, Serialize};
 
 /// Dimensionality BBVs are reduced to before clustering (SimPoint uses 15).
 pub const PROJECTED_DIMS: usize = 15;
 
 /// One selected simulation point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimPoint {
     /// Interval index to simulate in detail.
     pub interval: usize,
@@ -48,7 +47,7 @@ pub struct SimPoint {
 }
 
 /// A complete SimPoint selection for one benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimPointPlan {
     points: Vec<SimPoint>,
     interval_len: usize,

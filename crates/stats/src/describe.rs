@@ -6,8 +6,6 @@
 //! *standard deviation* of percentage error over a design space; every such
 //! number in this workspace flows through an `Accumulator`.
 
-use serde::{Deserialize, Serialize};
-
 /// Single-pass (Welford) accumulator for mean, variance, and extrema.
 ///
 /// # Example
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(acc.mean(), 5.0);
 /// assert_eq!(acc.population_std_dev(), 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Accumulator {
     n: u64,
     mean: f64,
@@ -153,7 +151,7 @@ impl Extend<f64> for Accumulator {
 }
 
 /// Immutable snapshot of an [`Accumulator`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub count: u64,

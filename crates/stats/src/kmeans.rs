@@ -6,10 +6,9 @@
 //! picks the number of clusters, exactly as in Sherwood et al. (ASPLOS 2002).
 
 use crate::rng::Xoshiro256;
-use serde::{Deserialize, Serialize};
 
 /// Result of a k-means run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Clustering {
     /// Cluster centroids, one `Vec<f64>` per cluster.
     pub centroids: Vec<Vec<f64>>,

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod describe;
+pub mod json;
 pub mod kmeans;
 pub mod linear;
 pub mod plackett_burman;

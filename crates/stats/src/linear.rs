@@ -6,10 +6,8 @@
 //! `ablation_linear` benchmark fits both models on identical samples and
 //! compares their percentage error.
 
-use serde::{Deserialize, Serialize};
-
 /// A fitted linear model `y = intercept + coefficients . x`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearModel {
     intercept: f64,
     coefficients: Vec<f64>,

@@ -8,8 +8,6 @@
 //! the sign-flipped matrix) removes confounding of main effects with
 //! two-factor interactions.
 
-use serde::{Deserialize, Serialize};
-
 /// Generator first-rows for standard Plackett–Burman designs
 /// (Plackett & Burman, 1946). `+` is `+1`, `-` is `-1`.
 const GENERATORS: &[(usize, &str)] = &[
@@ -22,7 +20,7 @@ const GENERATORS: &[(usize, &str)] = &[
 
 /// A two-level screening design: rows are runs, columns are parameters,
 /// entries are `+1` (high level) or `-1` (low level).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Design {
     rows: Vec<Vec<i8>>,
     columns: usize,

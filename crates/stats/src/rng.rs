@@ -12,8 +12,6 @@
 //! Blackman & Vigna so that streams are reproducible across platforms and
 //! independent of any external crate's version churn.
 
-use serde::{Deserialize, Serialize};
-
 /// SplitMix64 generator (Steele, Lea & Flood).
 ///
 /// Mainly used to expand a single `u64` seed into the larger state required
@@ -29,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// let b = sm.next_u64();
 /// assert_ne!(a, b);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SplitMix64 {
     state: u64,
 }
@@ -64,7 +62,7 @@ impl SplitMix64 {
 /// let x = rng.next_f64();
 /// assert!((0.0..1.0).contains(&x));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Xoshiro256 {
     s: [u64; 4],
 }

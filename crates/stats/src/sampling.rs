@@ -29,6 +29,22 @@ pub fn shuffle<T>(items: &mut [T], rng: &mut Xoshiro256) {
     }
 }
 
+/// Partial Fisher–Yates: after this call, the first `k` elements of `items`
+/// are a uniform random sample (in random order) of the whole slice. Costs
+/// `k` swaps regardless of the slice length, so it is the cheap way to draw
+/// a small random subset of a large materialized set.
+///
+/// # Panics
+///
+/// Panics if `k > items.len()`.
+pub fn partial_shuffle<T>(items: &mut [T], k: usize, rng: &mut Xoshiro256) {
+    assert!(k <= items.len(), "cannot shuffle {k} of {}", items.len());
+    for i in 0..k {
+        let j = i + rng.index(items.len() - i);
+        items.swap(i, j);
+    }
+}
+
 /// Draws `k` distinct indices uniformly from `0..population`.
 ///
 /// Uses a sparse Fisher–Yates (hash-map backed) so it is efficient even when
@@ -128,6 +144,24 @@ impl IncrementalSampler {
 mod tests {
     use super::*;
     use std::collections::HashSet;
+
+    #[test]
+    fn partial_shuffle_prefix_is_a_distinct_sample() {
+        let mut rng = Xoshiro256::seed_from(11);
+        let mut items: Vec<usize> = (0..500).collect();
+        partial_shuffle(&mut items, 40, &mut rng);
+        let prefix: HashSet<usize> = items[..40].iter().copied().collect();
+        assert_eq!(prefix.len(), 40);
+        // Still a permutation of the original slice.
+        let mut sorted = items.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..500).collect::<Vec<_>>());
+        // Deterministic given the seed.
+        let mut rng2 = Xoshiro256::seed_from(11);
+        let mut items2: Vec<usize> = (0..500).collect();
+        partial_shuffle(&mut items2, 40, &mut rng2);
+        assert_eq!(items[..40], items2[..40]);
+    }
 
     #[test]
     fn sample_without_replacement_is_distinct_and_in_range() {

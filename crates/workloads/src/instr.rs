@@ -1,10 +1,8 @@
 //! Dynamic instruction records produced by the trace generators and consumed
 //! by the cycle-level simulator.
 
-use serde::{Deserialize, Serialize};
-
 /// Functional class of a dynamic instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// Integer ALU operation (add, logic, shift, compare).
     IntAlu,
@@ -81,7 +79,7 @@ impl std::fmt::Display for OpClass {
 /// dependency through that operand). This is the standard representation for
 /// statistically generated traces (cf. HLS, Oskin et al., ISCA 2000) and is
 /// all an out-of-order timing model needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Instruction {
     /// Functional class.
     pub op: OpClass,

@@ -5,15 +5,13 @@
 //! behavior, the working-set hierarchy, code footprint, and a set of
 //! [`Phase`]s the program moves through over time.
 
-use serde::{Deserialize, Serialize};
-
 /// Relative frequencies of instruction classes.
 ///
 /// Weights need not sum to one; they are normalized at trace-generation
 /// time. Branch weight is specified separately via basic-block length (every
 /// basic block ends in exactly one branch), so this mix covers the
 /// *non-branch* body of each block.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpMix {
     /// Integer ALU weight.
     pub int_alu: f64,
@@ -57,7 +55,7 @@ impl OpMix {
 /// population's law. Real predictors then achieve workload-specific accuracy
 /// as an emergent property — exactly what the processor study needs when it
 /// varies predictor and BTB capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BranchMix {
     /// Fraction of static branches that are heavily biased (taken or
     /// not-taken with probability `bias`).
@@ -97,7 +95,7 @@ impl BranchMix {
 }
 
 /// One component of the data working-set hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Region {
     /// Size of the region in bytes.
     pub bytes: u64,
@@ -108,7 +106,7 @@ pub struct Region {
 }
 
 /// Spatial pattern of accesses within a [`Region`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AccessPattern {
     /// Unit-stride streaming (with occasional restarts).
     Sequential,
@@ -122,7 +120,7 @@ pub enum AccessPattern {
 }
 
 /// Data-side memory behavior: a mixture of regions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryMix {
     /// Working-set components, innermost (hottest) first by convention.
     pub regions: Vec<Region>,
@@ -158,7 +156,7 @@ impl MemoryMix {
 ///
 /// Phases differ in instruction mix, memory behavior and code region, which
 /// is what basic-block-vector clustering (SimPoint) keys on.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Phase {
     /// Human-readable label (e.g. `"init"`, `"solve"`).
     pub name: String,
@@ -175,7 +173,7 @@ pub struct Phase {
 }
 
 /// Complete statistical description of one benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadProfile {
     /// Benchmark name (e.g. `"mcf"`).
     pub name: String,

@@ -1,0 +1,298 @@
+//! Offline benchmarking facade.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the slice of the `criterion` API the workspace's
+//! benches use: `criterion_group!` / `criterion_main!`, benchmark groups
+//! with `sample_size` / `measurement_time` / `throughput`, and
+//! `Bencher::iter`. Statistics are deliberately simple — each sample times
+//! a batch of iterations and the report prints the fastest sample's
+//! per-iteration time (an upper bound on the true cost) plus the mean.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, |b| f(b));
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget across the samples of one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this facade's calibration run plays
+    /// the warm-up role, so the duration is not used.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            per_iter: None,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+    }
+
+    /// Runs one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (reporting happens per-benchmark; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let Some((best, mean)) = bencher.per_iter else {
+            eprintln!(
+                "{}/{}: no measurement (iter never called)",
+                self.name, id.id
+            );
+            return;
+        };
+        let label = if self.name.is_empty() {
+            id.id.clone()
+        } else if id.id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        let thrpt = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:.0} elem/s", n as f64 / best.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {:.0} B/s", n as f64 / best.as_secs_f64())
+            }
+            None => String::new(),
+        };
+        eprintln!(
+            "{label}: best {}  mean {}{thrpt}",
+            format_duration(best),
+            format_duration(mean),
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// `(fastest, mean)` per-iteration times, filled by [`Bencher::iter`].
+    per_iter: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: one untimed run, then estimate the per-call cost.
+        hint::black_box(routine());
+        let calibrate_start = Instant::now();
+        hint::black_box(routine());
+        let estimate = calibrate_start.elapsed().max(Duration::from_nanos(1));
+
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters = (per_sample.as_secs_f64() / estimate.as_secs_f64()).clamp(1.0, 1e6) as u32;
+
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut timed_iters = 0u64;
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                hint::black_box(routine());
+            }
+            let sample = start.elapsed();
+            total += sample;
+            timed_iters += iters as u64;
+            let per_iter = sample / iters;
+            if per_iter < best {
+                best = per_iter;
+            }
+            // Never exceed twice the configured budget even if the estimate
+            // was wildly off.
+            if budget_start.elapsed() > self.measurement_time * 2 {
+                break;
+            }
+        }
+        let mean = total / timed_iters.max(1) as u32;
+        self.per_iter = Some((best, mean));
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("facade");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}
