@@ -126,10 +126,11 @@ pub fn fit_ensemble(dataset: &Dataset, folds: usize, config: &TrainConfig, seed:
         }
         let mut model_rng = rng.derive(m as u64 + 1);
         let model = train_network(&train, &es, config, &mut model_rng);
+        let mut buf = crate::train::PredictBuffer::default();
         let errors: Vec<f64> = test
             .iter()
             .map(|s| {
-                let pred = model.predict(&s.features);
+                let pred = model.predict_with(&s.features, &mut buf);
                 100.0 * (pred - s.target).abs() / s.target.abs().max(1e-12)
             })
             .collect();

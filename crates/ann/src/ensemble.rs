@@ -4,7 +4,8 @@
 //! their predictions — "an approach frequently used in weather forecasting"
 //! that usually beats a single network trained on all the data.
 
-use crate::train::TrainedModel;
+use crate::train::{PredictBuffer, TrainedModel};
+use archpredict_stats::describe::Accumulator;
 use archpredict_stats::json::{JsonError, Value};
 
 /// An averaging ensemble of trained models.
@@ -40,22 +41,95 @@ impl Ensemble {
     }
 
     /// Predicts the raw-scale target by averaging member predictions.
+    ///
+    /// Convenience wrapper over [`Ensemble::predict_with`] that pays one
+    /// scratch allocation per call; sweeps should hold a [`PredictBuffer`]
+    /// and use `predict_with` / [`Ensemble::predict_batch_into`].
     pub fn predict(&self, features: &[f64]) -> f64 {
-        let sum: f64 = self.models.iter().map(|m| m.predict(features)).sum();
+        self.predict_with(features, &mut PredictBuffer::default())
+    }
+
+    /// Predicts the raw-scale target using caller-owned scratch — zero
+    /// allocations per call, bit-for-bit identical to
+    /// [`Ensemble::predict`].
+    pub fn predict_with(&self, features: &[f64], buf: &mut PredictBuffer) -> f64 {
+        let sum: f64 = self
+            .models
+            .iter()
+            .map(|m| m.predict_with(features, buf))
+            .sum();
         sum / self.models.len() as f64
+    }
+
+    /// Width of the raw feature vectors the ensemble consumes.
+    pub fn input_dims(&self) -> usize {
+        self.models[0].input_dims()
+    }
+
+    /// Predicts raw-scale targets for a row-major matrix of raw feature
+    /// rows (each [`Ensemble::input_dims`] wide), appending one averaged
+    /// prediction per row to `out`. The loop runs member-outer so each
+    /// model's weights stay hot across the whole chunk; per-row sums still
+    /// accumulate in member order, so results are bit-for-bit identical to
+    /// per-row [`Ensemble::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the input width.
+    pub fn predict_batch_into(&self, rows: &[f64], out: &mut Vec<f64>, buf: &mut PredictBuffer) {
+        let dims = self.input_dims();
+        assert_eq!(
+            rows.len() % dims,
+            0,
+            "batch length {} is not a multiple of the feature width {dims}",
+            rows.len()
+        );
+        let start = out.len();
+        out.resize(start + rows.len() / dims, 0.0);
+        for model in &self.models {
+            for (slot, row) in out[start..].iter_mut().zip(rows.chunks_exact(dims)) {
+                *slot += model.predict_with(row, buf);
+            }
+        }
+        let n = self.models.len() as f64;
+        for slot in &mut out[start..] {
+            *slot /= n;
+        }
     }
 
     /// Per-member predictions, exposed for query-by-committee active
     /// learning (disagreement = informativeness; paper §7 future work).
     pub fn member_predictions(&self, features: &[f64]) -> Vec<f64> {
-        self.models.iter().map(|m| m.predict(features)).collect()
+        let mut out = Vec::with_capacity(self.models.len());
+        self.member_predictions_into(features, &mut out, &mut PredictBuffer::default());
+        out
+    }
+
+    /// Per-member predictions appended to `out`, allocation-free given a
+    /// warm [`PredictBuffer`].
+    pub fn member_predictions_into(
+        &self,
+        features: &[f64],
+        out: &mut Vec<f64>,
+        buf: &mut PredictBuffer,
+    ) {
+        out.extend(self.models.iter().map(|m| m.predict_with(features, buf)));
     }
 
     /// Sample standard deviation of member predictions — the committee
     /// disagreement used by the active-learning extension.
     pub fn disagreement(&self, features: &[f64]) -> f64 {
-        let preds = self.member_predictions(features);
-        let acc: archpredict_stats::Accumulator = preds.into_iter().collect();
+        self.disagreement_with(features, &mut PredictBuffer::default())
+    }
+
+    /// Committee disagreement using caller-owned scratch: member
+    /// predictions fold straight into a Welford [`Accumulator`], so scoring
+    /// a candidate allocates nothing.
+    pub fn disagreement_with(&self, features: &[f64], buf: &mut PredictBuffer) -> f64 {
+        let mut acc = Accumulator::new();
+        for model in &self.models {
+            acc.add(model.predict_with(features, buf));
+        }
         acc.sample_std_dev()
     }
 

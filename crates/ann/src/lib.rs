@@ -47,4 +47,5 @@ pub mod train;
 pub use cross_validation::{fit_ensemble, CvFit, ErrorEstimate, FoldRecord};
 pub use dataset::{Dataset, Sample};
 pub use ensemble::Ensemble;
-pub use train::{Parallelism, TrainConfig, TrainedModel};
+pub use network::{Network, NetworkSnapshot, PredictScratch};
+pub use train::{Parallelism, PredictBuffer, TrainConfig, TrainedModel};

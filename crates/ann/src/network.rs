@@ -79,15 +79,47 @@ impl Layer {
 
     fn forward(&self, input: &[f64], output: &mut Vec<f64>) {
         output.clear();
-        for o in 0..self.outputs {
+        output.resize(self.outputs, 0.0);
+        self.forward_into(input, output);
+    }
+
+    /// Forward pass into a caller-provided slice of exactly `outputs`
+    /// elements — no allocation, same arithmetic order as [`Self::forward`].
+    fn forward_into(&self, input: &[f64], output: &mut [f64]) {
+        debug_assert_eq!(output.len(), self.outputs);
+        for (o, out) in output.iter_mut().enumerate() {
             let row = &self.weights[o * (self.inputs + 1)..(o + 1) * (self.inputs + 1)];
             let mut net = row[self.inputs]; // bias
             for (w, x) in row[..self.inputs].iter().zip(input) {
                 net += w * x;
             }
-            output.push(self.activation.apply(net));
+            *out = self.activation.apply(net);
         }
     }
+}
+
+/// Caller-owned scratch for allocation-free forward passes.
+///
+/// Two flat buffers, ping-ponged between layers. A scratch grows to the
+/// widest layer of the first network it is used with and is reused
+/// verbatim afterwards, so a long prediction sweep allocates exactly once
+/// per worker. One scratch may be shared across networks of different
+/// topologies (it re-sizes as needed).
+#[derive(Debug, Clone, Default)]
+pub struct PredictScratch {
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+/// A weights + velocity snapshot of a [`Network`], without the scratch and
+/// delta buffers a full `clone` would copy. Used by early stopping to
+/// remember the best epoch cheaply: `snapshot_into` overwrites a
+/// preallocated snapshot in place, so the per-improving-epoch cost is two
+/// `memcpy`s and zero allocations after the first.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetworkSnapshot {
+    weights: Vec<f64>,
+    velocity: Vec<f64>,
 }
 
 /// A feed-forward multi-layer perceptron.
@@ -200,20 +232,124 @@ impl Network {
         })
     }
 
+    /// Width of the widest activation vector (input layer included).
+    fn max_width(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.outputs)
+            .max()
+            .unwrap_or(0)
+            .max(self.inputs())
+    }
+
     /// Runs the network forward.
+    ///
+    /// Convenience wrapper over [`Self::predict_into`] that allocates a
+    /// fresh scratch per call; hot paths should hold a [`PredictScratch`]
+    /// and call `predict_into` (or [`Self::predict_batch`]) instead.
     ///
     /// # Panics
     ///
     /// Panics if `input.len()` differs from the input layer size.
     pub fn predict(&self, input: &[f64]) -> Vec<f64> {
+        let mut scratch = PredictScratch::default();
+        self.predict_into(input, &mut scratch).to_vec()
+    }
+
+    /// Runs the network forward using caller-owned scratch, returning the
+    /// output activations as a slice into the scratch. Performs zero
+    /// allocations once the scratch has grown to the network's width, and
+    /// is bit-for-bit identical to [`Self::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the input layer size.
+    pub fn predict_into<'s>(&self, input: &[f64], scratch: &'s mut PredictScratch) -> &'s [f64] {
         assert_eq!(input.len(), self.inputs(), "input dimensionality");
-        let mut current = input.to_vec();
-        let mut next = Vec::new();
+        let width = self.max_width();
+        scratch.a.resize(width, 0.0);
+        scratch.b.resize(width, 0.0);
+        scratch.a[..input.len()].copy_from_slice(input);
+        let PredictScratch { a, b } = scratch;
+        let (mut current, mut next) = (a, b);
+        let mut len = input.len();
         for layer in &self.layers {
-            layer.forward(&current, &mut next);
+            layer.forward_into(&current[..len], &mut next[..layer.outputs]);
+            len = layer.outputs;
             std::mem::swap(&mut current, &mut next);
         }
-        current
+        &current[..len]
+    }
+
+    /// Runs the network forward over a row-major feature matrix
+    /// (`rows.len() / inputs()` rows, each `inputs()` wide), appending each
+    /// row's output activations to `outputs`. Equivalent to calling
+    /// [`Self::predict`] per row, bit for bit, without the per-call
+    /// allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the input layer size.
+    pub fn predict_batch(
+        &self,
+        rows: &[f64],
+        outputs: &mut Vec<f64>,
+        scratch: &mut PredictScratch,
+    ) {
+        let dims = self.inputs();
+        assert_eq!(
+            rows.len() % dims,
+            0,
+            "batch length {} is not a multiple of the input width {dims}",
+            rows.len()
+        );
+        outputs.reserve(rows.len() / dims * self.outputs());
+        for row in rows.chunks_exact(dims) {
+            let y = self.predict_into(row, scratch);
+            outputs.extend_from_slice(y);
+        }
+    }
+
+    /// Total number of weights (biases included) across all layers.
+    pub fn weight_count(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len()).sum()
+    }
+
+    /// Copies the weights and velocities into `snapshot`, resizing it on
+    /// first use and overwriting in place afterwards (no allocation on the
+    /// steady-state path).
+    pub fn snapshot_into(&self, snapshot: &mut NetworkSnapshot) {
+        let n = self.weight_count();
+        snapshot.weights.resize(n, 0.0);
+        snapshot.velocity.resize(n, 0.0);
+        let mut at = 0;
+        for layer in &self.layers {
+            let end = at + layer.weights.len();
+            snapshot.weights[at..end].copy_from_slice(&layer.weights);
+            snapshot.velocity[at..end].copy_from_slice(&layer.velocity);
+            at = end;
+        }
+    }
+
+    /// Restores weights and velocities captured by [`Self::snapshot_into`]
+    /// on a network of the same topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's parameter count does not match.
+    pub fn restore(&mut self, snapshot: &NetworkSnapshot) {
+        assert_eq!(
+            snapshot.weights.len(),
+            self.weight_count(),
+            "snapshot topology mismatch"
+        );
+        let mut at = 0;
+        for layer in &mut self.layers {
+            let end = at + layer.weights.len();
+            layer.weights.copy_from_slice(&snapshot.weights[at..end]);
+            layer.velocity.copy_from_slice(&snapshot.velocity[at..end]);
+            at = end;
+        }
     }
 
     /// One stochastic gradient step on a single example, with momentum

@@ -84,19 +84,33 @@ impl MinMaxScaler {
     ///
     /// Panics on dimensionality mismatch.
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.dims());
+        self.transform_into(row, &mut out);
+        out
+    }
+
+    /// Scales a feature vector, *appending* the `dims()` scaled values to
+    /// `out` — the allocation-free building block for row-major feature
+    /// matrices. Bit-for-bit identical to [`MinMaxScaler::transform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn transform_into(&self, row: &[f64], out: &mut Vec<f64>) {
         assert_eq!(row.len(), self.dims(), "dimensionality mismatch");
-        row.iter()
-            .zip(self.mins.iter().zip(&self.maxs))
-            .map(
-                |(&x, (&lo, &hi))| {
-                    if hi > lo {
-                        (x - lo) / (hi - lo)
-                    } else {
-                        0.5
-                    }
-                },
-            )
-            .collect()
+        out.extend(
+            row.iter()
+                .zip(self.mins.iter().zip(&self.maxs))
+                .map(
+                    |(&x, (&lo, &hi))| {
+                        if hi > lo {
+                            (x - lo) / (hi - lo)
+                        } else {
+                            0.5
+                        }
+                    },
+                ),
+        );
     }
 }
 

@@ -8,7 +8,7 @@
 //! percentage error on a held-aside set and restores the best weights.
 
 use crate::dataset::Sample;
-use crate::network::Network;
+use crate::network::{Network, NetworkSnapshot, PredictScratch};
 use crate::scaling::{MinMaxScaler, TargetScaler};
 use archpredict_stats::json::{JsonError, Value};
 use archpredict_stats::rng::Xoshiro256;
@@ -151,11 +151,63 @@ pub struct TrainedModel {
     pub best_es_error: f64,
 }
 
+/// Caller-owned scratch for allocation-free model and ensemble inference:
+/// a buffer for the scaled input row plus the network's ping-pong scratch.
+/// One buffer per worker thread is the intended usage; it may be shared
+/// across models of different widths (it re-sizes as needed).
+#[derive(Debug, Clone, Default)]
+pub struct PredictBuffer {
+    scaled: Vec<f64>,
+    scratch: PredictScratch,
+}
+
 impl TrainedModel {
     /// Predicts the raw-scale target for raw features.
+    ///
+    /// Convenience wrapper over [`TrainedModel::predict_with`] that pays
+    /// one scratch allocation per call; sweeps should hold a
+    /// [`PredictBuffer`] and use `predict_with` / `predict_batch_into`.
     pub fn predict(&self, features: &[f64]) -> f64 {
-        let x = self.input_scaler.transform(features);
-        self.target_scaler.unscale(self.network.predict(&x)[0])
+        self.predict_with(features, &mut PredictBuffer::default())
+    }
+
+    /// Predicts the raw-scale target for raw features using caller-owned
+    /// scratch — zero allocations per call once the buffer has grown, and
+    /// bit-for-bit identical to [`TrainedModel::predict`].
+    pub fn predict_with(&self, features: &[f64], buf: &mut PredictBuffer) -> f64 {
+        buf.scaled.clear();
+        self.input_scaler.transform_into(features, &mut buf.scaled);
+        let PredictBuffer { scaled, scratch } = buf;
+        self.target_scaler
+            .unscale(self.network.predict_into(scaled, scratch)[0])
+    }
+
+    /// Width of the raw feature vectors this model consumes.
+    pub fn input_dims(&self) -> usize {
+        self.input_scaler.dims()
+    }
+
+    /// Predicts raw-scale targets for a row-major matrix of raw feature
+    /// rows (each [`TrainedModel::input_dims`] wide), appending one
+    /// prediction per row to `out`. Equivalent to per-row
+    /// [`TrainedModel::predict`], bit for bit, without the per-call
+    /// allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the input width.
+    pub fn predict_batch_into(&self, rows: &[f64], out: &mut Vec<f64>, buf: &mut PredictBuffer) {
+        let dims = self.input_dims();
+        assert_eq!(
+            rows.len() % dims,
+            0,
+            "batch length {} is not a multiple of the feature width {dims}",
+            rows.len()
+        );
+        out.reserve(rows.len() / dims);
+        for row in rows.chunks_exact(dims) {
+            out.push(self.predict_with(row, buf));
+        }
     }
 
     /// Serializes the model (network plus scalers) to a JSON [`Value`].
@@ -182,20 +234,25 @@ impl TrainedModel {
 }
 
 /// Mean absolute percentage error (in percent) of `model`-style prediction
-/// over `samples`, using the supplied scalers and network.
+/// over a pre-scaled row-major feature matrix (`dims` wide per row) with
+/// raw-scale targets. The early-stopping loop calls this every epoch, so
+/// the scaler transform is hoisted to the caller (done once per training
+/// run) and the forward passes reuse one scratch — zero allocations per
+/// epoch.
 fn percent_error(
     network: &Network,
-    input_scaler: &MinMaxScaler,
     target_scaler: &TargetScaler,
-    samples: &[&Sample],
+    scaled_rows: &[f64],
+    dims: usize,
+    targets: &[f64],
+    scratch: &mut PredictScratch,
 ) -> f64 {
     let mut total = 0.0;
-    for s in samples {
-        let x = input_scaler.transform(&s.features);
-        let y = target_scaler.unscale(network.predict(&x)[0]);
-        total += 100.0 * (y - s.target).abs() / s.target.abs().max(1e-12);
+    for (row, &target) in scaled_rows.chunks_exact(dims).zip(targets) {
+        let y = target_scaler.unscale(network.predict_into(row, scratch)[0]);
+        total += 100.0 * (y - target).abs() / target.abs().max(1e-12);
     }
-    total / samples.len() as f64
+    total / targets.len() as f64
 }
 
 /// Trains one network on `train`, early-stopping on `es`, with scalers
@@ -240,8 +297,22 @@ pub fn train_network(
     };
     let alias = WeightedAlias::new(&weights);
 
-    let mut network = Network::new(&layer_sizes(inputs[0].len(), config, 1), rng);
-    let mut best = network.clone();
+    // The early-stopping set is evaluated every epoch: scale it once up
+    // front (the per-epoch loop then runs allocation-free on one scratch).
+    let dims = inputs[0].len();
+    let mut es_inputs: Vec<f64> = Vec::with_capacity(es.len() * dims);
+    for s in es {
+        input_scaler.transform_into(&s.features, &mut es_inputs);
+    }
+    let es_targets: Vec<f64> = es.iter().map(|s| s.target).collect();
+    let mut es_scratch = PredictScratch::default();
+
+    let mut network = Network::new(&layer_sizes(dims, config, 1), rng);
+    // Best-epoch bookkeeping: a weights/velocity-only snapshot overwritten
+    // in place, instead of cloning the network (and its scratch and delta
+    // buffers) on every improving epoch.
+    let mut best = NetworkSnapshot::default();
+    network.snapshot_into(&mut best);
     let mut best_error = f64::INFINITY;
     let mut best_epoch = 0;
     let mut epochs = 0;
@@ -257,18 +328,26 @@ pub fn train_network(
                 config.momentum,
             );
         }
-        let es_error = percent_error(&network, &input_scaler, &target_scaler, es);
+        let es_error = percent_error(
+            &network,
+            &target_scaler,
+            &es_inputs,
+            dims,
+            &es_targets,
+            &mut es_scratch,
+        );
         if es_error < best_error {
             best_error = es_error;
-            best = network.clone();
+            network.snapshot_into(&mut best);
             best_epoch = epoch;
         } else if epoch - best_epoch >= config.patience {
             break;
         }
     }
+    network.restore(&best);
 
     TrainedModel {
-        network: best,
+        network,
         input_scaler,
         target_scaler,
         epochs,
@@ -417,6 +496,51 @@ mod tests {
         let m1 = train_network(&train_refs, &es_refs, &TrainConfig::default(), &mut r1);
         let m2 = train_network(&train_refs, &es_refs, &TrainConfig::default(), &mut r2);
         assert_eq!(m1.predict(&[0.3, 0.3]), m2.predict(&[0.3, 0.3]));
+    }
+
+    #[test]
+    fn returned_model_carries_the_best_early_stopping_weights() {
+        // Regression for the snapshot refactor (weights-only snapshot +
+        // restore-on-exit instead of cloning the whole network every
+        // improving epoch): recomputing the early-stopping error from the
+        // *returned* model must reproduce `best_es_error` bit for bit.
+        let samples = make_samples(200, 31);
+        let (train, es) = samples.split_at(160);
+        let train_refs: Vec<&Sample> = train.iter().collect();
+        let es_refs: Vec<&Sample> = es.iter().collect();
+        let config = TrainConfig {
+            max_epochs: 400,
+            patience: 25,
+            ..TrainConfig::default()
+        };
+        let mut rng = Xoshiro256::seed_from(32);
+        let model = train_network(&train_refs, &es_refs, &config, &mut rng);
+        // The model keeps training past its best epoch before patience runs
+        // out, so restore-on-exit must have rolled weights back.
+        let mut total = 0.0;
+        for s in &es_refs {
+            let y = model.predict(&s.features);
+            total += 100.0 * (y - s.target).abs() / s.target.abs().max(1e-12);
+        }
+        assert_eq!(total / es_refs.len() as f64, model.best_es_error);
+    }
+
+    #[test]
+    fn zero_epoch_budget_returns_the_initial_network() {
+        // max_epochs = 0 exercises the pre-loop snapshot: restore must be
+        // a no-op, not a rollback to garbage.
+        let samples = make_samples(60, 33);
+        let (train, es) = samples.split_at(40);
+        let train_refs: Vec<&Sample> = train.iter().collect();
+        let es_refs: Vec<&Sample> = es.iter().collect();
+        let config = TrainConfig {
+            max_epochs: 0,
+            ..TrainConfig::default()
+        };
+        let mut rng = Xoshiro256::seed_from(34);
+        let model = train_network(&train_refs, &es_refs, &config, &mut rng);
+        assert_eq!(model.epochs, 0);
+        assert!(model.predict(&[0.4, 0.6]).is_finite());
     }
 
     #[test]

@@ -1,10 +1,25 @@
 //! Property tests for the neural-network stack.
 
 use archpredict_ann::dataset::fold_ranges;
-use archpredict_ann::network::Network;
+use archpredict_ann::network::{Network, NetworkSnapshot, PredictScratch};
 use archpredict_ann::scaling::{MinMaxScaler, TargetScaler};
 use archpredict_stats::rng::Xoshiro256;
 use proptest::prelude::*;
+
+/// A small random topology: input width, 1–2 hidden layers, output width.
+fn arb_topology() -> impl Strategy<Value = Vec<usize>> {
+    (
+        1usize..5,
+        prop::collection::vec(1usize..12, 1..3),
+        1usize..3,
+    )
+        .prop_map(|(inputs, hidden, outputs)| {
+            let mut t = vec![inputs];
+            t.extend(hidden);
+            t.push(outputs);
+            t
+        })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -56,6 +71,72 @@ proptest! {
         let mut rng = Xoshiro256::seed_from(seed);
         let net = Network::new(&[2, 8, 1], &mut rng);
         prop_assert_eq!(net.predict(&[x, y]), net.predict(&[x, y]));
+    }
+
+    /// The allocation-free kernel is bit-for-bit the allocating path, on
+    /// any random topology — including scratch reuse across topologies.
+    #[test]
+    fn predict_into_matches_predict_bit_for_bit(
+        topology in arb_topology(),
+        other in arb_topology(),
+        seed in 0u64..1000,
+        raw in prop::collection::vec(0.0f64..1.0, 4),
+    ) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let net = Network::new(&topology, &mut rng);
+        let input = &raw[..topology[0]];
+        let mut scratch = PredictScratch::default();
+        // Dirty the scratch with a different topology first: buffers must
+        // be reusable across networks of any shape.
+        let other_net = Network::new(&other, &mut rng);
+        let _ = other_net.predict_into(&raw[..other[0]], &mut scratch);
+        prop_assert_eq!(
+            net.predict_into(input, &mut scratch).to_vec(),
+            net.predict(input)
+        );
+    }
+
+    /// Batch prediction over a row-major matrix equals row-by-row predict,
+    /// bit for bit, and appends (never clobbers) the output vector.
+    #[test]
+    fn predict_batch_matches_predict_bit_for_bit(
+        topology in arb_topology(),
+        seed in 0u64..1000,
+        n_rows in 0usize..9,
+        raw in prop::collection::vec(0.0f64..1.0, 8 * 4),
+    ) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let net = Network::new(&topology, &mut rng);
+        let dims = topology[0];
+        let rows: Vec<f64> = raw.iter().copied().take(n_rows * dims).collect();
+        let mut scratch = PredictScratch::default();
+        let mut outputs = vec![f64::NAN];
+        net.predict_batch(&rows, &mut outputs, &mut scratch);
+        let outputs_per_row = *topology.last().unwrap();
+        prop_assert_eq!(outputs.len(), 1 + n_rows * outputs_per_row);
+        prop_assert!(outputs[0].is_nan(), "batch must append, not clobber");
+        for (row, out) in rows.chunks_exact(dims).zip(outputs[1..].chunks_exact(outputs_per_row)) {
+            prop_assert_eq!(net.predict(row), out.to_vec());
+        }
+    }
+
+    /// Snapshot → perturb → restore is a bit-for-bit round trip.
+    #[test]
+    fn snapshot_restore_round_trips(
+        topology in arb_topology(),
+        seed in 0u64..1000,
+        raw in prop::collection::vec(0.05f64..0.95, 4),
+    ) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut net = Network::new(&topology, &mut rng);
+        let input = raw[..topology[0]].to_vec();
+        let before = net.predict(&input);
+        let mut snap = NetworkSnapshot::default();
+        net.snapshot_into(&mut snap);
+        let target = vec![0.5; *topology.last().unwrap()];
+        net.train_example(&input, &target, 0.3, 0.5);
+        net.restore(&snap);
+        prop_assert_eq!(net.predict(&input), before);
     }
 
     /// Training on one example reduces (or preserves) that example's error

@@ -3,7 +3,7 @@
 //! simulation once the model is built.
 
 use archpredict::studies::Study;
-use archpredict_ann::{fit_ensemble, Dataset, Sample, TrainConfig};
+use archpredict_ann::{fit_ensemble, Dataset, Parallelism, PredictBuffer, Sample, TrainConfig};
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_stats::sampling::sample_without_replacement;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -47,5 +47,73 @@ fn bench_prediction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prediction);
+/// The allocation-free inference kernel against the point-at-a-time
+/// baseline, and the parallel full-space sweep on top of it.
+fn bench_inference_throughput(c: &mut Criterion) {
+    let space = Study::MemorySystem.space();
+    let mut rng = Xoshiro256::seed_from(2);
+    let data: Dataset = sample_without_replacement(space.size(), 300, &mut rng)
+        .into_iter()
+        .map(|i| {
+            let f = space.encode(&space.point(i));
+            let t = 0.5 + 0.3 * f[0];
+            Sample::new(f, t)
+        })
+        .collect();
+    let config = TrainConfig {
+        max_epochs: 100,
+        ..TrainConfig::default()
+    };
+    let fit = fit_ensemble(&data, 10, &config, 3);
+    let indices: Vec<usize> = (0..space.size()).step_by(5).collect();
+
+    let mut group = c.benchmark_group("inference_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(indices.len() as u64));
+    // Baseline: allocate-per-call predict, one point at a time.
+    group.bench_function("point_at_a_time", |b| {
+        b.iter(|| {
+            indices
+                .iter()
+                .map(|&i| fit.ensemble.predict(&space.encode(&space.point(i))))
+                .sum::<f64>()
+        })
+    });
+    // Same work through the reusable-buffer scalar kernel.
+    group.bench_function("scratch_reuse", |b| {
+        let mut buf = PredictBuffer::default();
+        let mut features = Vec::new();
+        b.iter(|| {
+            indices
+                .iter()
+                .map(|&i| {
+                    features.clear();
+                    space.encode_into(&space.point(i), &mut features);
+                    fit.ensemble.predict_with(&features, &mut buf)
+                })
+                .sum::<f64>()
+        })
+    });
+    // The chunked batch sweep, single-threaded and parallel.
+    group.bench_function("batched_1_thread", |b| {
+        b.iter(|| {
+            archpredict::infer::predict_indices(
+                &fit.ensemble,
+                &space,
+                &indices,
+                Parallelism::Fixed(1),
+            )
+        })
+    });
+    group.bench_function("batched_auto_threads", |b| {
+        b.iter(|| {
+            archpredict::infer::predict_indices(&fit.ensemble, &space, &indices, Parallelism::Auto)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction, bench_inference_throughput);
 criterion_main!(benches);

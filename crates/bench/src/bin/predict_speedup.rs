@@ -1,0 +1,124 @@
+//! Batched-inference speedup table: the allocation-free sweep kernel
+//! against the point-at-a-time baseline, then the parallel sweep at 1, 2,
+//! 4, … worker threads up to the machine's core count — with bit-for-bit
+//! determinism of the predictions checked at every thread count.
+//!
+//! With enough points the single-threaded batched sweep must beat the
+//! point-at-a-time baseline (the kernel removes every per-point
+//! allocation); tiny smoke runs only check determinism. Usage:
+//!
+//! ```text
+//! cargo run --release --bin predict_speedup [points] [repeats]
+//! ```
+
+use archpredict::infer::predict_indices;
+use archpredict::studies::Study;
+use archpredict_ann::{fit_ensemble, Dataset, Parallelism, Sample, TrainConfig};
+use archpredict_bench::write_artifact;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::sample_without_replacement;
+use std::path::Path;
+use std::time::Instant;
+
+/// Below this many swept points, skip the batched-beats-baseline assertion:
+/// the fixed setup costs of one run dominate and the comparison is noise.
+const SPEEDUP_ASSERT_MIN_POINTS: usize = 4_096;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let points: usize = args
+        .next()
+        .map(|a| a.parse().expect("points must be a number"))
+        .unwrap_or(16_384);
+    let repeats: usize = args
+        .next()
+        .map(|a| a.parse().expect("repeats must be a number"))
+        .unwrap_or(3);
+
+    let space = Study::MemorySystem.space();
+    let points = points.min(space.size());
+    let mut rng = Xoshiro256::seed_from(2);
+    // Synthetic targets are fine: inference cost is target-independent.
+    let data: Dataset = sample_without_replacement(space.size(), 300, &mut rng)
+        .into_iter()
+        .map(|i| {
+            let f = space.encode(&space.point(i));
+            let t = 0.5 + 0.3 * f[0];
+            Sample::new(f, t)
+        })
+        .collect();
+    let config = TrainConfig {
+        max_epochs: 100,
+        ..TrainConfig::default()
+    };
+    let fit = fit_ensemble(&data, 10, &config, 3);
+    let indices: Vec<usize> = (0..points).collect();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "predict_speedup: {points} points, 10-member ensemble, best of {repeats} runs, \
+         {cores} core(s)"
+    );
+
+    // Reference: the pre-kernel path, one fresh allocation set per point.
+    let mut baseline = f64::INFINITY;
+    let mut reference = Vec::new();
+    for _ in 0..repeats {
+        let started = Instant::now();
+        reference = indices
+            .iter()
+            .map(|&i| fit.ensemble.predict(&space.encode(&space.point(i))))
+            .collect();
+        baseline = baseline.min(started.elapsed().as_secs_f64());
+    }
+
+    // Thread counts: 1, 2, 4, ... up to the core count.
+    let mut thread_counts = vec![1usize];
+    let mut t = 2;
+    while t < cores {
+        thread_counts.push(t);
+        t *= 2;
+    }
+    if cores > 1 {
+        thread_counts.push(cores);
+    }
+
+    let mut rows = vec![("point_at_a_time".to_string(), baseline, 1.0)];
+    let mut batched_1 = f64::NAN;
+    for &threads in &thread_counts {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let started = Instant::now();
+            let swept =
+                predict_indices(&fit.ensemble, &space, &indices, Parallelism::Fixed(threads));
+            best = best.min(started.elapsed().as_secs_f64());
+            assert_eq!(
+                reference, swept,
+                "{threads}-thread sweep diverged from the point-at-a-time predictions"
+            );
+        }
+        if threads == 1 {
+            batched_1 = best;
+        }
+        rows.push((format!("batched_{threads}"), best, baseline / best));
+    }
+
+    let mut table = String::from("path,seconds,speedup_vs_baseline\n");
+    eprintln!("{:>18} {:>10} {:>8}", "path", "seconds", "speedup");
+    for (path, seconds, speedup) in &rows {
+        eprintln!("{path:>18} {seconds:>10.4} {speedup:>7.2}x");
+        table.push_str(&format!("{path},{seconds:.6},{speedup:.3}\n"));
+    }
+    eprintln!("(every thread count produced bit-for-bit identical predictions)");
+    write_artifact(Path::new("results/predict_speedup.csv"), &table);
+
+    if points >= SPEEDUP_ASSERT_MIN_POINTS {
+        assert!(
+            batched_1 <= baseline,
+            "single-thread batched sweep ({batched_1:.4}s) should beat the point-at-a-time \
+             baseline ({baseline:.4}s) at {points} points"
+        );
+    } else {
+        eprintln!("(smoke run: <{SPEEDUP_ASSERT_MIN_POINTS} points, speedup assertion skipped)");
+    }
+}

@@ -349,6 +349,7 @@ mod tests {
                 true_std_dev: Some(1.0),
                 training_seconds: 0.1,
                 simulation_seconds: 0.2,
+                prediction_seconds: 0.0,
                 mean_fold_epochs: 100.0,
             });
         }

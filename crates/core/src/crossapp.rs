@@ -12,7 +12,7 @@
 use crate::simulate::{evaluate_batch, Evaluator};
 use crate::space::DesignSpace;
 use archpredict_ann::cross_validation::{fit_ensemble, ErrorEstimate, FoldRecord};
-use archpredict_ann::{Dataset, Ensemble, Sample, TrainConfig};
+use archpredict_ann::{Dataset, Ensemble, Parallelism, Sample, TrainConfig};
 use archpredict_stats::describe::Accumulator;
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_stats::sampling::IncrementalSampler;
@@ -95,8 +95,55 @@ impl CrossAppModel {
             .predict(&encode_with_app(space, index, slot, self.apps.len()))
     }
 
+    /// Predicts the metric for `benchmark` at each design-point index via
+    /// the batched inference path, parallelized per `parallelism`.
+    /// Bit-for-bit identical to per-index [`CrossAppModel::predict`] at
+    /// every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benchmark` was not part of the training set.
+    pub fn predict_indices(
+        &self,
+        space: &DesignSpace,
+        indices: &[usize],
+        benchmark: Benchmark,
+        parallelism: Parallelism,
+    ) -> Vec<f64> {
+        let slot = self
+            .apps
+            .iter()
+            .position(|&b| b == benchmark)
+            .unwrap_or_else(|| panic!("{benchmark} was not in the training set"));
+        let n_apps = self.apps.len();
+        crate::infer::sweep_encoded(
+            &self.ensemble,
+            indices,
+            parallelism,
+            |index, features| {
+                space.encode_into(&space.point(index), features);
+                for s in 0..n_apps {
+                    features.push(if s == slot { 1.0 } else { 0.0 });
+                }
+            },
+            space.encoded_width() + n_apps,
+        )
+    }
+
+    /// Predicts the metric for `benchmark` over the **entire** design
+    /// space, in index order — the cross-application full-space sweep.
+    pub fn predict_space(
+        &self,
+        space: &DesignSpace,
+        benchmark: Benchmark,
+        parallelism: Parallelism,
+    ) -> Vec<f64> {
+        let indices: Vec<usize> = (0..space.size()).collect();
+        self.predict_indices(space, &indices, benchmark, parallelism)
+    }
+
     /// Measures true percentage error for one application on held-out
-    /// design-point indices.
+    /// design-point indices (predictions run through the batched sweep).
     pub fn true_error<E: Evaluator>(
         &self,
         space: &DesignSpace,
@@ -105,9 +152,9 @@ impl CrossAppModel {
         held_out: &[usize],
     ) -> (f64, f64) {
         let actuals = evaluate_batch(evaluator, space, held_out);
+        let predictions = self.predict_indices(space, held_out, benchmark, Parallelism::Auto);
         let mut acc = Accumulator::new();
-        for (&i, &actual) in held_out.iter().zip(&actuals) {
-            let predicted = self.predict(space, i, benchmark);
+        for (&predicted, &actual) in predictions.iter().zip(&actuals) {
             acc.add(100.0 * (predicted - actual).abs() / actual.abs().max(1e-12));
         }
         (acc.mean(), acc.population_std_dev())

@@ -17,7 +17,7 @@ use crate::sampling::Strategy;
 use crate::simulate::{evaluate_batch, Evaluator};
 use crate::space::DesignSpace;
 use archpredict_ann::cross_validation::{fit_ensemble, ErrorEstimate, FoldRecord};
-use archpredict_ann::{Dataset, Ensemble, Sample, TrainConfig};
+use archpredict_ann::{Dataset, Ensemble, Parallelism, Sample, TrainConfig};
 use archpredict_stats::describe::Accumulator;
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_stats::sampling::IncrementalSampler;
@@ -100,6 +100,10 @@ pub struct Round {
     pub training_seconds: f64,
     /// Wall-clock seconds spent simulating this round's batch.
     pub simulation_seconds: f64,
+    /// Wall-clock seconds spent in ensemble prediction this round —
+    /// query-by-committee candidate scoring under the active-learning
+    /// strategy (0 for random sampling, which predicts nothing).
+    pub prediction_seconds: f64,
     /// Per-fold training telemetry (epochs, best early-stopping error,
     /// per-fold wall seconds), in fold order.
     pub folds: Vec<FoldRecord>,
@@ -192,13 +196,77 @@ impl<'a, E: Evaluator> Explorer<'a, E> {
         ensemble.predict(&self.space.encode(&self.space.point(index)))
     }
 
+    /// Predicts the metric at each of the given design-point indices via
+    /// the batched inference path, parallelized per the configured
+    /// [`Parallelism`] knob. Bit-for-bit identical to calling
+    /// [`Explorer::predict`] per index, at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round has run yet.
+    pub fn predict_indices(&self, indices: &[usize]) -> Vec<f64> {
+        let ensemble = self.ensemble.as_ref().expect("no ensemble trained yet");
+        crate::infer::predict_indices(ensemble, self.space, indices, self.parallelism())
+    }
+
+    /// Predicts the metric over the **entire** design space, in index
+    /// order — the paper's payoff step. Chunked and parallelized per the
+    /// configured [`Parallelism`] knob; the output is bit-for-bit
+    /// identical for every setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round has run yet.
+    pub fn predict_space(&self) -> Vec<f64> {
+        self.predict_space_with(self.parallelism())
+    }
+
+    /// [`Explorer::predict_space`] with an explicit worker policy
+    /// (exposed so callers and tests can pin or sweep thread counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round has run yet.
+    pub fn predict_space_with(&self, parallelism: Parallelism) -> Vec<f64> {
+        let ensemble = self.ensemble.as_ref().expect("no ensemble trained yet");
+        let indices: Vec<usize> = (0..self.space.size()).collect();
+        crate::infer::predict_indices(ensemble, self.space, &indices, parallelism)
+    }
+
+    /// Ranks every design point by predicted metric, best (highest)
+    /// first, with ties broken by index so the ranking is deterministic.
+    /// This is "find the best configuration without simulating the
+    /// space": a full-space sweep plus one sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round has run yet.
+    pub fn rank_space(&self) -> Vec<usize> {
+        let predictions = self.predict_space();
+        let mut order: Vec<usize> = (0..predictions.len()).collect();
+        order.sort_by(|&a, &b| predictions[b].total_cmp(&predictions[a]).then(a.cmp(&b)));
+        order
+    }
+
+    /// The worker policy governing batched prediction sweeps (shared with
+    /// fold training).
+    fn parallelism(&self) -> Parallelism {
+        self.config.train.parallelism
+    }
+
     /// Runs one refinement round; returns the new round's record.
     ///
     /// Any points drawn and simulated are kept in the training set even on
     /// error, so a failed round wastes no simulations — stepping again with
     /// more points available can succeed.
     pub fn try_step(&mut self) -> Result<&Round, ExploreError> {
-        // 1. Choose fresh points.
+        // 1. Choose fresh points. Under active learning with a trained
+        // ensemble this scores candidates through the batched inference
+        // path — that is the round's prediction work, so time it.
+        let scoring =
+            self.ensemble.is_some() && matches!(self.config.strategy, Strategy::Active { .. });
+        let selection_started = std::time::Instant::now();
+        let parallelism = self.parallelism();
         let batch = match self.config.strategy {
             Strategy::Random => self.sampler.next_batch(self.config.batch),
             Strategy::Active { pool_factor } => crate::sampling::active_batch(
@@ -207,8 +275,13 @@ impl<'a, E: Evaluator> Explorer<'a, E> {
                 self.space,
                 self.config.batch,
                 pool_factor,
-                &mut self.rng,
+                parallelism,
             ),
+        };
+        let prediction_seconds = if scoring {
+            selection_started.elapsed().as_secs_f64()
+        } else {
+            0.0
         };
         if batch.is_empty() && self.dataset.is_empty() {
             return Err(ExploreError::SpaceExhausted);
@@ -249,6 +322,7 @@ impl<'a, E: Evaluator> Explorer<'a, E> {
             estimate: fit.estimate,
             training_seconds,
             simulation_seconds,
+            prediction_seconds,
             folds: fit.folds,
         });
         Ok(self.history.last().expect("just pushed"))
@@ -309,11 +383,10 @@ impl<'a, E: Evaluator> Explorer<'a, E> {
     /// Panics if no round has run yet or `held_out` is empty.
     pub fn true_error(&self, held_out: &[usize]) -> TrueError {
         assert!(!held_out.is_empty(), "need held-out points");
-        let ensemble = self.ensemble.as_ref().expect("no ensemble trained yet");
         let actuals = evaluate_batch(self.evaluator, self.space, held_out);
+        let predictions = self.predict_indices(held_out);
         let mut acc = Accumulator::new();
-        for (&index, &actual) in held_out.iter().zip(&actuals) {
-            let predicted = ensemble.predict(&self.space.encode(&self.space.point(index)));
+        for (&predicted, &actual) in predictions.iter().zip(&actuals) {
             acc.add(100.0 * (predicted - actual).abs() / actual.abs().max(1e-12));
         }
         TrueError {
@@ -563,6 +636,72 @@ mod tests {
         for &i in explorer.sampled_indices() {
             assert!(seen.insert(i), "index {i} simulated twice");
         }
+    }
+
+    #[test]
+    fn predict_space_is_identical_at_every_thread_count() {
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        let mut explorer = Explorer::new(&space, &synthetic, explorer_config());
+        explorer.step();
+        let reference = explorer.predict_space_with(Parallelism::Fixed(1));
+        assert_eq!(reference.len(), space.size());
+        for parallelism in [Parallelism::Fixed(4), Parallelism::Auto] {
+            assert_eq!(
+                reference,
+                explorer.predict_space_with(parallelism),
+                "{parallelism:?}"
+            );
+        }
+        // And the batched sweep is bit-for-bit the point-at-a-time path.
+        for (i, &batched) in reference.iter().enumerate().step_by(37) {
+            assert_eq!(explorer.predict(i), batched, "index {i}");
+        }
+        assert_eq!(explorer.predict_space(), reference);
+    }
+
+    #[test]
+    fn rank_space_orders_best_first_with_index_tiebreak() {
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        let mut explorer = Explorer::new(&space, &synthetic, explorer_config());
+        explorer.step();
+        let predictions = explorer.predict_space();
+        let order = explorer.rank_space();
+        assert_eq!(order.len(), space.size());
+        for pair in order.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            assert!(
+                predictions[a] > predictions[b] || (predictions[a] == predictions[b] && a < b),
+                "rank order violated at {a} -> {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_seconds_recorded_only_when_scoring() {
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        // Random sampling never predicts during selection.
+        let mut random = Explorer::new(&space, &synthetic, explorer_config());
+        random.step();
+        assert_eq!(random.history()[0].prediction_seconds, 0.0);
+        // Active learning scores candidates from round 2 on.
+        let config = ExplorerConfig {
+            strategy: Strategy::Active { pool_factor: 3 },
+            ..explorer_config()
+        };
+        let mut active = Explorer::new(&space, &synthetic, config);
+        active.step();
+        assert_eq!(active.history()[0].prediction_seconds, 0.0);
+        active.step();
+        assert!(active.history()[1].prediction_seconds > 0.0);
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! * [`explorer`] — the incremental sample → train → estimate → refine
 //!   loop (§3.3's procedure, steps 1–8).
 //! * [`sampling`] — random (paper) and active-learning (§7) strategies.
+//! * [`infer`] — the batched, allocation-free, parallel inference engine
+//!   behind full-space sweeps and committee scoring.
 //! * [`multitask`] — the §7 multi-task extension (IPC + auxiliary
 //!   metrics through a shared hidden layer).
 //! * [`crossapp`] — the §7 cross-application extension (one pooled model
@@ -61,6 +63,7 @@
 
 pub mod crossapp;
 pub mod explorer;
+pub mod infer;
 pub mod multitask;
 pub mod param;
 pub mod report;

@@ -27,6 +27,9 @@ pub struct CurvePoint {
     pub training_seconds: f64,
     /// Wall-clock seconds spent simulating this row's batch.
     pub simulation_seconds: f64,
+    /// Wall-clock seconds spent scoring candidate points through the
+    /// batched inference path (0 outside active learning).
+    pub prediction_seconds: f64,
     /// Mean training epochs per fold before early stopping.
     pub mean_fold_epochs: f64,
 }
@@ -60,6 +63,7 @@ impl LearningCurve {
             true_std_dev: true_error.map(|t| t.std_dev),
             training_seconds: round.training_seconds,
             simulation_seconds: round.simulation_seconds,
+            prediction_seconds: round.prediction_seconds,
             mean_fold_epochs: round.mean_epochs(),
         });
     }
@@ -67,12 +71,12 @@ impl LearningCurve {
     /// CSV rendering with a header row.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "label,samples,percent_sampled,estimated_mean,estimated_std_dev,true_mean,true_std_dev,training_seconds,simulation_seconds,mean_fold_epochs\n",
+            "label,samples,percent_sampled,estimated_mean,estimated_std_dev,true_mean,true_std_dev,training_seconds,simulation_seconds,prediction_seconds,mean_fold_epochs\n",
         );
         for p in &self.points {
             let fmt_opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.4}"));
             out.push_str(&format!(
-                "{},{},{:.4},{:.4},{:.4},{},{},{:.4},{:.4},{:.1}\n",
+                "{},{},{:.4},{:.4},{:.4},{},{},{:.4},{:.4},{:.4},{:.1}\n",
                 self.label,
                 p.samples,
                 p.percent_sampled,
@@ -82,6 +86,7 @@ impl LearningCurve {
                 fmt_opt(p.true_std_dev),
                 p.training_seconds,
                 p.simulation_seconds,
+                p.prediction_seconds,
                 p.mean_fold_epochs,
             ));
         }
@@ -132,6 +137,7 @@ mod tests {
             },
             training_seconds: 0.5,
             simulation_seconds: 0.25,
+            prediction_seconds: 0.125,
             folds: vec![
                 archpredict_ann::FoldRecord {
                     fold: 0,
@@ -163,9 +169,10 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("label,samples"));
-        assert!(lines[0].ends_with("training_seconds,simulation_seconds,mean_fold_epochs"));
+        assert!(lines[0]
+            .ends_with("training_seconds,simulation_seconds,prediction_seconds,mean_fold_epochs"));
         assert!(lines[1].contains("mesa (memory),50,5.0000,8.0000"));
-        assert!(lines[1].ends_with("0.5000,0.2500,120.0"));
+        assert!(lines[1].ends_with("0.5000,0.2500,0.1250,120.0"));
         assert!(lines[2].contains("4.2000"));
     }
 

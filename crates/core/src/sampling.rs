@@ -9,8 +9,7 @@
 //! candidates are simulated first.
 
 use crate::space::DesignSpace;
-use archpredict_ann::Ensemble;
-use archpredict_stats::rng::Xoshiro256;
+use archpredict_ann::{Ensemble, Parallelism};
 use archpredict_stats::sampling::IncrementalSampler;
 
 /// How each refinement round chooses its new design points.
@@ -32,17 +31,20 @@ pub enum Strategy {
 /// Falls back to plain random sampling for the first round (no ensemble
 /// exists to disagree yet). A pool of `batch * pool_factor` fresh
 /// candidates is drawn from the sampler and scored by committee
-/// disagreement; the top `batch` are simulated. Rejected candidates are
-/// permanently skipped (never simulated), trading a little coverage for
-/// informativeness — acceptable because the pool is a vanishing fraction
-/// of the space.
+/// disagreement through the batched inference path
+/// ([`crate::infer::disagreement_indices`]), parallelized per
+/// `parallelism`; the top `batch` are simulated. Scores are bit-for-bit
+/// identical at every thread count, so the selected batch is too.
+/// Rejected candidates are permanently skipped (never simulated), trading
+/// a little coverage for informativeness — acceptable because the pool is
+/// a vanishing fraction of the space.
 pub(crate) fn active_batch(
     sampler: &mut IncrementalSampler,
     ensemble: Option<&Ensemble>,
     space: &DesignSpace,
     batch: usize,
     pool_factor: usize,
-    rng: &mut Xoshiro256,
+    parallelism: Parallelism,
 ) -> Vec<usize> {
     let Some(ensemble) = ensemble else {
         return sampler.next_batch(batch);
@@ -51,17 +53,11 @@ pub(crate) fn active_batch(
     if pool.len() <= batch {
         return pool;
     }
-    let mut scored: Vec<(f64, usize)> = pool
-        .into_iter()
-        .map(|i| {
-            let features = space.encode(&space.point(i));
-            (ensemble.disagreement(&features), i)
-        })
-        .collect();
-    // Highest disagreement first; ties broken by shuffling beforehand is
-    // unnecessary since the pool arrives in random order.
+    let scores = crate::infer::disagreement_indices(ensemble, space, &pool, parallelism);
+    let mut scored: Vec<(f64, usize)> = scores.into_iter().zip(pool).collect();
+    // Highest disagreement first; the sort is stable, so ties keep the
+    // pool's (random) draw order.
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite disagreement"));
-    let _ = rng; // reserved for stochastic tie-breaking variants
     scored.into_iter().take(batch).map(|(_, i)| i).collect()
 }
 
@@ -69,6 +65,7 @@ pub(crate) fn active_batch(
 mod tests {
     use super::*;
     use crate::param::Param;
+    use archpredict_stats::rng::Xoshiro256;
 
     fn space() -> DesignSpace {
         DesignSpace::new(vec![
@@ -82,8 +79,7 @@ mod tests {
     fn first_round_falls_back_to_random() {
         let space = space();
         let mut sampler = IncrementalSampler::new(space.size(), Xoshiro256::seed_from(1));
-        let mut rng = Xoshiro256::seed_from(2);
-        let batch = active_batch(&mut sampler, None, &space, 10, 4, &mut rng);
+        let batch = active_batch(&mut sampler, None, &space, 10, 4, Parallelism::Auto);
         assert_eq!(batch.len(), 10);
     }
 
@@ -104,10 +100,40 @@ mod tests {
         };
         let fit = fit_ensemble(&data, 5, &config, 3);
         let mut sampler = IncrementalSampler::new(space.size(), Xoshiro256::seed_from(4));
-        let mut rng = Xoshiro256::seed_from(5);
-        let batch = active_batch(&mut sampler, Some(&fit.ensemble), &space, 8, 3, &mut rng);
+        let batch = active_batch(
+            &mut sampler,
+            Some(&fit.ensemble),
+            &space,
+            8,
+            3,
+            Parallelism::Auto,
+        );
         assert_eq!(batch.len(), 8);
         let unique: std::collections::HashSet<_> = batch.iter().collect();
         assert_eq!(unique.len(), 8);
+    }
+
+    #[test]
+    fn selection_is_identical_at_every_thread_count() {
+        use archpredict_ann::{fit_ensemble, Dataset, Sample, TrainConfig};
+        let space = space();
+        let data: Dataset = (0..40)
+            .map(|i| {
+                let p = space.point(i);
+                Sample::new(space.encode(&p), 0.5 + 0.1 * (i % 7) as f64)
+            })
+            .collect();
+        let config = TrainConfig {
+            max_epochs: 30,
+            ..TrainConfig::default()
+        };
+        let fit = fit_ensemble(&data, 5, &config, 3);
+        let run = |parallelism| {
+            let mut sampler = IncrementalSampler::new(space.size(), Xoshiro256::seed_from(9));
+            active_batch(&mut sampler, Some(&fit.ensemble), &space, 8, 3, parallelism)
+        };
+        let reference = run(Parallelism::Fixed(1));
+        assert_eq!(reference, run(Parallelism::Fixed(4)));
+        assert_eq!(reference, run(Parallelism::Auto));
     }
 }

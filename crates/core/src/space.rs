@@ -215,6 +215,15 @@ impl DesignSpace {
     /// one-hot, booleans 0/1.
     pub fn encode(&self, point: &DesignPoint) -> Vec<f64> {
         let mut features = Vec::with_capacity(self.encoded_width());
+        self.encode_into(point, &mut features);
+        features
+    }
+
+    /// Encodes `point`, *appending* its `encoded_width()` features to
+    /// `features` — the building block for row-major feature matrices in
+    /// batched inference (no allocation per point once the buffer is
+    /// warm). Bit-for-bit identical to [`DesignSpace::encode`].
+    pub fn encode_into(&self, point: &DesignPoint, features: &mut Vec<f64>) {
         for (p, param) in self.params.iter().enumerate() {
             match param.kind() {
                 ParamKind::Cardinal(v) => {
@@ -228,12 +237,27 @@ impl DesignSpace {
                 ParamKind::Boolean => features.push(point.level(p) as f64),
                 ParamKind::LinkedCardinal { parent, choices } => {
                     let value = choices[point.level(*parent)][point.level(p)];
-                    let all: Vec<f64> = choices.iter().flatten().copied().collect();
-                    features.push(minimax(value, &all));
+                    // Range over all rows, computed without materializing
+                    // the flattened level list (this runs per point in
+                    // batched sweeps).
+                    let lo = choices
+                        .iter()
+                        .flatten()
+                        .copied()
+                        .fold(f64::INFINITY, f64::min);
+                    let hi = choices
+                        .iter()
+                        .flatten()
+                        .copied()
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    features.push(if hi > lo {
+                        (value - lo) / (hi - lo)
+                    } else {
+                        0.5
+                    });
                 }
             }
         }
-        features
     }
 }
 

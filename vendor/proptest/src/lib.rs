@@ -86,7 +86,48 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream's `prop_map`).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
 }
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Tuples of strategies generate tuples of values, drawn left to right —
+/// the upstream composition idiom (`(a, b).prop_map(..)`).
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
 
 macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
@@ -356,6 +397,15 @@ mod tests {
         fn assume_skips(x in 0u32..10) {
             prop_assume!(x % 2 == 0);
             prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn tuples_and_prop_map_compose(
+            pair in (1usize..4, prop::collection::vec(0f64..1.0, 2..5))
+                .prop_map(|(n, v)| (n, v.len())),
+        ) {
+            prop_assert!((1..4).contains(&pair.0));
+            prop_assert!((2..5).contains(&pair.1));
         }
     }
 
