@@ -38,9 +38,17 @@ impl Parallelism {
     /// Resolves the policy to a concrete worker count for `tasks`
     /// independent tasks (always at least 1, never more than `tasks`).
     pub fn worker_count(self, tasks: usize) -> usize {
+        self.worker_count_with_env(tasks, Self::ENV_THREADS)
+    }
+
+    /// [`Parallelism::worker_count`] with a caller-chosen environment
+    /// override for the `Auto` branch. Subsystems with their own thread
+    /// knob (e.g. batch simulation's `ARCHPREDICT_SIM_THREADS`) resolve
+    /// through this so `Fixed(n)` semantics stay identical everywhere.
+    pub fn worker_count_with_env(self, tasks: usize, env_threads: &str) -> usize {
         let workers = match self {
             Parallelism::Fixed(n) => n.max(1),
-            Parallelism::Auto => std::env::var(Self::ENV_THREADS)
+            Parallelism::Auto => std::env::var(env_threads)
                 .ok()
                 .and_then(|v| v.trim().parse::<usize>().ok())
                 .filter(|&n| n > 0)

@@ -1,6 +1,12 @@
 //! Simulator throughput: cycle-level simulation speed per benchmark, plus
-//! sensitivity of runtime to the machine configuration.
+//! sensitivity of runtime to the machine configuration and the batch-first
+//! oracle's throughput against the naive point-at-a-time loop.
 
+use archpredict::simulate::{
+    CachedEvaluator, Oracle, PointEvaluator, SimBudget, SimStats, StudyEvaluator,
+};
+use archpredict::studies::Study;
+use archpredict_ann::Parallelism;
 use archpredict_sim::{simulate_with_warmup, SimConfig};
 use archpredict_workloads::{Benchmark, TraceGenerator};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -45,5 +51,47 @@ fn bench_trace_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator, bench_trace_generation);
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let study = Study::MemorySystem;
+    let space = study.space();
+    let generator = TraceGenerator::new(Benchmark::Gzip);
+    let budget = SimBudget::spread(&generator, 1, 1_000, 2_000);
+    let evaluator = || StudyEvaluator::with_budget(study, Benchmark::Gzip, budget.clone());
+    // 16 unique points, each evaluated 3 times — the duplicate-heavy
+    // access pattern of a learning-curve run.
+    let indices: Vec<usize> = (0..48).map(|i| (i % 16) * 512).collect();
+
+    let mut group = c.benchmark_group("simulation_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .throughput(Throughput::Elements(indices.len() as u64));
+    let naive = evaluator();
+    group.bench_function("naive_point_loop", |b| {
+        b.iter(|| {
+            indices
+                .iter()
+                .map(|&i| naive.evaluate(&space.point(i)))
+                .collect::<Vec<f64>>()
+        })
+    });
+    group.bench_function("cached_batch_cold", |b| {
+        // Fresh cache each iteration: measures one cold deduplicated
+        // batch, not cache replay.
+        b.iter(|| {
+            let cached =
+                CachedEvaluator::with_parallelism(evaluator(), space.clone(), Parallelism::Auto);
+            let mut stats = SimStats::default();
+            cached.evaluate_batch(&space, &indices, &mut stats)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_trace_generation,
+    bench_simulation_throughput
+);
 criterion_main!(benches);

@@ -11,7 +11,7 @@
 
 use archpredict::explorer::{Explorer, ExplorerConfig};
 use archpredict::sampling::Strategy;
-use archpredict::simulate::{CachedEvaluator, Evaluator, SimBudget, StudyEvaluator};
+use archpredict::simulate::{CachedEvaluator, SimBudget, StudyEvaluator};
 use archpredict::studies::Study;
 use archpredict_ann::train::train_network;
 use archpredict_ann::{fit_ensemble, Dataset, Sample, TrainConfig};

@@ -3,7 +3,7 @@
 //! paper's result — training time is linear in the sample count and
 //! negligible next to simulation time — should reproduce directly.
 
-use archpredict::simulate::{CachedEvaluator, Evaluator, SimBudget, StudyEvaluator};
+use archpredict::simulate::{CachedEvaluator, SimBudget, StudyEvaluator};
 use archpredict::studies::Study;
 use archpredict_ann::{fit_ensemble, Dataset, Sample, TrainConfig};
 use archpredict_bench::ExperimentOpts;

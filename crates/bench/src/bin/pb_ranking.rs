@@ -3,7 +3,7 @@
 //! varied parameters, validating that the studies vary parameters that
 //! actually matter.
 
-use archpredict::simulate::{Evaluator, SimBudget, StudyEvaluator};
+use archpredict::simulate::{PointEvaluator, SimBudget, StudyEvaluator};
 use archpredict::space::DesignPoint;
 use archpredict::studies::Study;
 use archpredict_bench::ExperimentOpts;

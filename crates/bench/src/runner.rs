@@ -3,7 +3,7 @@
 use archpredict::explorer::{Explorer, ExplorerConfig, TrueError};
 use archpredict::report::LearningCurve;
 use archpredict::simulate::{
-    evaluate_batch, CachedEvaluator, Evaluator, SimBudget, SimPointEvaluator, StudyEvaluator,
+    CachedEvaluator, Oracle, PointEvaluator, SimBudget, SimPointEvaluator, SimStats, StudyEvaluator,
 };
 use archpredict::studies::Study;
 use archpredict_ann::{Ensemble, TrainConfig};
@@ -170,7 +170,7 @@ pub fn curve_for(opts: &CurveOpts) -> StudyCurve {
     }
 }
 
-fn run_curve<E: Evaluator, T: Evaluator>(
+fn run_curve<E: Oracle, T: Oracle>(
     explorer: &mut Explorer<'_, E>,
     truth: &T,
     eval_set: &[usize],
@@ -211,13 +211,13 @@ fn run_curve<E: Evaluator, T: Evaluator>(
     }
 }
 
-fn explorer_set_train<E: Evaluator>(explorer: &mut Explorer<'_, E>, train: TrainConfig) {
+fn explorer_set_train<E: Oracle>(explorer: &mut Explorer<'_, E>, train: TrainConfig) {
     explorer.set_train_config(train);
 }
 
 /// True error of `ensemble` against `truth` on `eval_set`, excluding any
 /// points that ended up in the training set.
-pub fn measure_true_error<T: Evaluator>(
+pub fn measure_true_error<T: Oracle>(
     ensemble: &Ensemble,
     space: &archpredict::DesignSpace,
     truth: &T,
@@ -230,7 +230,8 @@ pub fn measure_true_error<T: Evaluator>(
         .copied()
         .filter(|i| !trained.contains(i))
         .collect();
-    let actuals = evaluate_batch(truth, space, &held_out);
+    let mut stats = SimStats::default();
+    let actuals = truth.evaluate_batch(space, &held_out, &mut stats);
     let mut acc = Accumulator::new();
     for (&i, &actual) in held_out.iter().zip(&actuals) {
         let predicted = ensemble.predict(&space.encode(&space.point(i)));
@@ -306,30 +307,53 @@ pub fn write_artifact(path: &Path, content: &str) {
 }
 
 fn cache_path(dir: &str, tag: &str) -> std::path::PathBuf {
+    Path::new(dir).join(format!("{tag}.csv"))
+}
+
+fn legacy_cache_path(dir: &str, tag: &str) -> std::path::PathBuf {
     Path::new(dir).join(format!("{tag}.json"))
 }
 
-fn load_cache<E: Evaluator>(evaluator: &CachedEvaluator<E>, dir: Option<&str>, tag: &str) {
+/// Preloads a persisted cache: the CSV format written by
+/// [`CachedEvaluator::persist`], falling back to the legacy JSON maps
+/// earlier revisions wrote so existing `results/simcache/` files keep
+/// saving simulation time.
+fn load_cache<E: PointEvaluator>(evaluator: &CachedEvaluator<E>, dir: Option<&str>, tag: &str) {
     let Some(dir) = dir else { return };
     let path = cache_path(dir, tag);
-    let Ok(text) = std::fs::read_to_string(&path) else {
+    match evaluator.load(&path) {
+        Ok(loaded) => {
+            eprintln!("loaded {loaded} cached sims from {}", path.display());
+            return;
+        }
+        Err(e) if e.kind() != std::io::ErrorKind::NotFound => {
+            eprintln!("ignoring unreadable cache {}: {e}", path.display());
+            return;
+        }
+        Err(_) => {}
+    }
+    let legacy = legacy_cache_path(dir, tag);
+    let Ok(text) = std::fs::read_to_string(&legacy) else {
         return;
     };
     match archpredict_stats::json::map_from_json(&text) {
         Ok(map) => {
-            eprintln!("loaded {} cached sims from {}", map.len(), path.display());
+            eprintln!(
+                "loaded {} cached sims from legacy {}",
+                map.len(),
+                legacy.display()
+            );
             evaluator.preload(map);
         }
-        Err(e) => eprintln!("ignoring corrupt cache {}: {e}", path.display()),
+        Err(e) => eprintln!("ignoring corrupt cache {}: {e}", legacy.display()),
     }
 }
 
-fn save_cache<E: Evaluator>(evaluator: &CachedEvaluator<E>, dir: Option<&str>, tag: &str) {
+fn save_cache<E: PointEvaluator>(evaluator: &CachedEvaluator<E>, dir: Option<&str>, tag: &str) {
     let Some(dir) = dir else { return };
-    std::fs::create_dir_all(dir).expect("create cache dir");
-    let path = cache_path(dir, tag);
-    let json = archpredict_stats::json::map_to_json(&evaluator.snapshot());
-    std::fs::write(&path, json).expect("write cache");
+    evaluator
+        .persist(&cache_path(dir, tag))
+        .expect("write cache");
 }
 
 #[cfg(test)]
@@ -351,6 +375,9 @@ mod tests {
                 simulation_seconds: 0.2,
                 prediction_seconds: 0.0,
                 mean_fold_epochs: 100.0,
+                unique_simulations: n as u64,
+                simulation_cache_hits: 0,
+                simulated_instructions: n as u64 * 10_000,
             });
         }
         StudyCurve {

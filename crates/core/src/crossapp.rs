@@ -9,7 +9,7 @@
 //! cross-validation ensemble models them all — reducing the per-application
 //! sampling requirement when response surfaces share structure.
 
-use crate::simulate::{evaluate_batch, Evaluator};
+use crate::simulate::{Oracle, SimStats};
 use crate::space::DesignSpace;
 use archpredict_ann::cross_validation::{fit_ensemble, ErrorEstimate, FoldRecord};
 use archpredict_ann::{Dataset, Ensemble, Parallelism, Sample, TrainConfig};
@@ -33,6 +33,8 @@ pub struct CrossAppModel {
     pub estimate: ErrorEstimate,
     /// Per-fold training telemetry from the pooled fit.
     pub folds: Vec<FoldRecord>,
+    /// Simulation telemetry pooled over every application's sampling.
+    pub simulation: SimStats,
 }
 
 impl CrossAppModel {
@@ -43,7 +45,7 @@ impl CrossAppModel {
     /// # Panics
     ///
     /// Panics if `evaluators` is empty or `per_app_samples` is zero.
-    pub fn fit<E: Evaluator>(
+    pub fn fit<E: Oracle>(
         space: &DesignSpace,
         evaluators: &[(Benchmark, E)],
         per_app_samples: usize,
@@ -54,11 +56,12 @@ impl CrossAppModel {
         assert!(per_app_samples > 0, "need samples per application");
         let apps: Vec<Benchmark> = evaluators.iter().map(|(b, _)| *b).collect();
         let mut dataset = Dataset::new();
+        let mut simulation = SimStats::default();
         for (slot, (_, evaluator)) in evaluators.iter().enumerate() {
             let rng = Xoshiro256::seed_from(seed).derive(slot as u64 + 1);
             let mut sampler = IncrementalSampler::new(space.size(), rng);
             let indices = sampler.next_batch(per_app_samples);
-            let values = evaluate_batch(evaluator, space, &indices);
+            let values = evaluator.evaluate_batch(space, &indices, &mut simulation);
             for (&index, &value) in indices.iter().zip(&values) {
                 dataset.push(Sample::new(
                     encode_with_app(space, index, slot, apps.len()),
@@ -72,6 +75,7 @@ impl CrossAppModel {
             apps,
             estimate: fit.estimate,
             folds: fit.folds,
+            simulation,
         }
     }
 
@@ -144,14 +148,15 @@ impl CrossAppModel {
 
     /// Measures true percentage error for one application on held-out
     /// design-point indices (predictions run through the batched sweep).
-    pub fn true_error<E: Evaluator>(
+    pub fn true_error<E: Oracle>(
         &self,
         space: &DesignSpace,
         benchmark: Benchmark,
         evaluator: &E,
         held_out: &[usize],
     ) -> (f64, f64) {
-        let actuals = evaluate_batch(evaluator, space, held_out);
+        let mut stats = SimStats::default();
+        let actuals = evaluator.evaluate_batch(space, held_out, &mut stats);
         let predictions = self.predict_indices(space, held_out, benchmark, Parallelism::Auto);
         let mut acc = Accumulator::new();
         for (&predicted, &actual) in predictions.iter().zip(&actuals) {
@@ -180,6 +185,7 @@ pub fn encode_with_app(
 mod tests {
     use super::*;
     use crate::param::Param;
+    use crate::simulate::PointEvaluator;
     use crate::space::DesignPoint;
 
     /// Two synthetic "applications" sharing surface structure: same
@@ -190,7 +196,7 @@ mod tests {
         offset: f64,
     }
 
-    impl Evaluator for SyntheticApp {
+    impl PointEvaluator for SyntheticApp {
         fn evaluate(&self, point: &DesignPoint) -> f64 {
             let a = self.space.number(point, "a") / 9.0;
             let b = self.space.number(point, "b") / 9.0;
@@ -238,6 +244,9 @@ mod tests {
         assert_eq!(model.apps(), &[Benchmark::Gzip, Benchmark::Mcf]);
         assert_eq!(model.folds.len(), 10);
         assert!(model.folds.iter().all(|f| f.epochs > 0));
+        // 40 samples per application, pooled over two applications.
+        assert_eq!(model.simulation.unique_simulations, 80);
+        assert_eq!(model.simulation.cache_hits, 0);
         let held_out: Vec<usize> = (0..space.size()).step_by(7).collect();
         for (benchmark, evaluator) in &evaluators {
             let (mean, _) = model.true_error(&space, *benchmark, evaluator, &held_out);

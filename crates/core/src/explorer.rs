@@ -14,7 +14,7 @@
 //! results until the error estimate is sufficiently low".
 
 use crate::sampling::Strategy;
-use crate::simulate::{evaluate_batch, Evaluator};
+use crate::simulate::{Oracle, SimStats};
 use crate::space::DesignSpace;
 use archpredict_ann::cross_validation::{fit_ensemble, ErrorEstimate, FoldRecord};
 use archpredict_ann::{Dataset, Ensemble, Parallelism, Sample, TrainConfig};
@@ -100,6 +100,11 @@ pub struct Round {
     pub training_seconds: f64,
     /// Wall-clock seconds spent simulating this round's batch.
     pub simulation_seconds: f64,
+    /// Simulation telemetry for this round's batch: unique simulations,
+    /// cache hits, and simulated instructions, as reported by the oracle.
+    /// Keeps the Figs. 5.6/5.7 reduction-factor accounting honest when
+    /// the oracle caches or deduplicates.
+    pub simulation: SimStats,
     /// Wall-clock seconds spent in ensemble prediction this round —
     /// query-by-committee candidate scoring under the active-learning
     /// strategy (0 for random sampling, which predicts nothing).
@@ -131,7 +136,7 @@ pub struct TrueError {
 }
 
 /// The incremental explorer.
-pub struct Explorer<'a, E: Evaluator> {
+pub struct Explorer<'a, E: Oracle> {
     space: &'a DesignSpace,
     evaluator: &'a E,
     config: ExplorerConfig,
@@ -143,7 +148,7 @@ pub struct Explorer<'a, E: Evaluator> {
     history: Vec<Round>,
 }
 
-impl<'a, E: Evaluator> Explorer<'a, E> {
+impl<'a, E: Oracle> Explorer<'a, E> {
     /// Creates an explorer over `space` backed by `evaluator`.
     pub fn new(space: &'a DesignSpace, evaluator: &'a E, config: ExplorerConfig) -> Self {
         let rng = Xoshiro256::seed_from(config.seed);
@@ -286,9 +291,13 @@ impl<'a, E: Evaluator> Explorer<'a, E> {
         if batch.is_empty() && self.dataset.is_empty() {
             return Err(ExploreError::SpaceExhausted);
         }
-        // 2. Simulate them.
+        // 2. Simulate them through the batch-first oracle, keeping its
+        // telemetry for the round record.
         let sim_started = std::time::Instant::now();
-        let results = evaluate_batch(self.evaluator, self.space, &batch);
+        let mut simulation = SimStats::default();
+        let results = self
+            .evaluator
+            .evaluate_batch(self.space, &batch, &mut simulation);
         let simulation_seconds = sim_started.elapsed().as_secs_f64();
         for (&index, &ipc) in batch.iter().zip(&results) {
             self.dataset.push(Sample::new(
@@ -322,6 +331,7 @@ impl<'a, E: Evaluator> Explorer<'a, E> {
             estimate: fit.estimate,
             training_seconds,
             simulation_seconds,
+            simulation,
             prediction_seconds,
             folds: fit.folds,
         });
@@ -383,7 +393,10 @@ impl<'a, E: Evaluator> Explorer<'a, E> {
     /// Panics if no round has run yet or `held_out` is empty.
     pub fn true_error(&self, held_out: &[usize]) -> TrueError {
         assert!(!held_out.is_empty(), "need held-out points");
-        let actuals = evaluate_batch(self.evaluator, self.space, held_out);
+        let mut stats = SimStats::default();
+        let actuals = self
+            .evaluator
+            .evaluate_batch(self.space, held_out, &mut stats);
         let predictions = self.predict_indices(held_out);
         let mut acc = Accumulator::new();
         for (&predicted, &actual) in predictions.iter().zip(&actuals) {
@@ -423,6 +436,7 @@ impl<'a, E: Evaluator> Explorer<'a, E> {
 mod tests {
     use super::*;
     use crate::param::Param;
+    use crate::simulate::PointEvaluator;
     use crate::space::DesignPoint;
 
     /// A cheap synthetic "simulator" over a 3-parameter space.
@@ -439,7 +453,7 @@ mod tests {
         .unwrap()
     }
 
-    impl Evaluator for Synthetic {
+    impl PointEvaluator for Synthetic {
         fn evaluate(&self, point: &DesignPoint) -> f64 {
             let a = self.space.number(point, "a") / 11.0;
             let b = self.space.number(point, "b") / 11.0;
@@ -616,6 +630,14 @@ mod tests {
         assert_eq!(round.folds.len(), 10);
         assert!(round.mean_epochs() > 0.0);
         assert!(round.simulation_seconds >= 0.0);
+        // The oracle accounted for every point in the batch: a bare
+        // evaluator simulates all of them, hitting no cache.
+        assert_eq!(round.simulation.unique_simulations, round.samples as u64);
+        assert_eq!(round.simulation.cache_hits, 0);
+        assert_eq!(
+            round.simulation.simulated_instructions,
+            round.samples as u64
+        );
         // Per-fold wall time is a breakdown of (overlapping) training work.
         assert!(round.folds.iter().all(|f| f.seconds >= 0.0 && f.epochs > 0));
         let pooled: usize = round.folds.iter().map(|f| f.test_samples).sum();

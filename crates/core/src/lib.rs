@@ -19,8 +19,10 @@
 //!   boolean and linked parameters; point indexing; the §3.3 encoding.
 //! * [`studies`] — the paper's two concrete spaces (Tables 4.1/4.2) and
 //!   their mapping onto the cycle-level simulator.
-//! * [`simulate`] — evaluators: full simulation, SimPoint-accelerated
-//!   (noisy) simulation, caching, and parallel batch evaluation.
+//! * [`simulate`] — the batch-first simulation oracle: full simulation,
+//!   SimPoint-accelerated (noisy) simulation, a sharded deduplicating
+//!   cache with CSV persist/preload, parallel batch fan-out, and
+//!   [`simulate::SimStats`] telemetry.
 //! * [`explorer`] — the incremental sample → train → estimate → refine
 //!   loop (§3.3's procedure, steps 1–8).
 //! * [`sampling`] — random (paper) and active-learning (§7) strategies.
@@ -75,6 +77,8 @@ pub mod studies;
 
 pub use explorer::{ExploreError, Explorer, ExplorerConfig, Round, TrueError};
 pub use param::{Param, ParamKind, ParamValue};
-pub use simulate::{CachedEvaluator, Evaluator, SimBudget, SimPointEvaluator, StudyEvaluator};
+pub use simulate::{
+    CachedEvaluator, Oracle, PointEvaluator, SimBudget, SimPointEvaluator, SimStats, StudyEvaluator,
+};
 pub use space::{DesignPoint, DesignSpace, SpaceError};
 pub use studies::Study;

@@ -8,7 +8,7 @@
 //! what early stopping and prediction use; the auxiliary heads act as an
 //! inductive bias.
 
-use crate::simulate::SimBudget;
+use crate::simulate::{PointEvaluator, SimBudget};
 use crate::space::{DesignPoint, DesignSpace};
 use crate::studies::Study;
 use archpredict_ann::network::Network;
@@ -39,26 +39,72 @@ impl Metrics {
     pub fn to_vec(self) -> Vec<f64> {
         vec![self.ipc, self.l2_mpki, self.mispredict_rate, self.l1d_mpki]
     }
+
+    /// The component `target` selects.
+    pub fn get(self, target: TargetMetric) -> f64 {
+        match target {
+            TargetMetric::Ipc => self.ipc,
+            TargetMetric::L2Mpki => self.l2_mpki,
+            TargetMetric::MispredictRate => self.mispredict_rate,
+            TargetMetric::L1dMpki => self.l1d_mpki,
+        }
+    }
+}
+
+/// Which simulator statistic a [`MetricsEvaluator`] exposes through the
+/// scalar [`PointEvaluator`] interface — the selector that unifies the
+/// multi-metric evaluator with the single-metric oracle stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TargetMetric {
+    /// Instructions per cycle (the paper's target).
+    #[default]
+    Ipc,
+    /// L2 misses per kilo-instruction.
+    L2Mpki,
+    /// Branch misprediction rate.
+    MispredictRate,
+    /// L1D misses per kilo-instruction.
+    L1dMpki,
 }
 
 /// Evaluates the full metric vector for multi-task training.
+///
+/// Also a [`PointEvaluator`]: through the scalar interface it exposes the
+/// configured [`TargetMetric`] (IPC by default), so the same evaluator
+/// plugs into the oracle stack — explorer, cache, batch fan-out — as any
+/// single-metric simulator.
 #[derive(Debug)]
 pub struct MetricsEvaluator {
     study: Study,
     space: DesignSpace,
     generator: TraceGenerator,
     budget: SimBudget,
+    target: TargetMetric,
 }
 
 impl MetricsEvaluator {
-    /// Creates a metrics evaluator with an explicit budget.
+    /// Creates a metrics evaluator with an explicit budget (scalar target:
+    /// IPC).
     pub fn new(study: Study, benchmark: Benchmark, budget: SimBudget) -> Self {
         Self {
             study,
             space: study.space(),
             generator: TraceGenerator::new(benchmark),
             budget,
+            target: TargetMetric::default(),
         }
+    }
+
+    /// Selects which metric the scalar [`PointEvaluator`] interface
+    /// reports.
+    pub fn with_target(mut self, target: TargetMetric) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// The metric the scalar interface reports.
+    pub fn target(&self) -> TargetMetric {
+        self.target
     }
 
     /// The study's design space.
@@ -67,7 +113,7 @@ impl MetricsEvaluator {
     }
 
     /// Simulates `point` and returns all metrics.
-    pub fn evaluate(&self, point: &DesignPoint) -> Metrics {
+    pub fn evaluate_metrics(&self, point: &DesignPoint) -> Metrics {
         let config = self.study.config_at(&self.space, point);
         let mut ipc = 0.0;
         let mut l2 = 0.0;
@@ -92,6 +138,16 @@ impl MetricsEvaluator {
             mispredict_rate: mispredict / n,
             l1d_mpki: l1d / n,
         }
+    }
+}
+
+impl PointEvaluator for MetricsEvaluator {
+    fn evaluate(&self, point: &DesignPoint) -> f64 {
+        self.evaluate_metrics(point).get(self.target)
+    }
+
+    fn instructions_per_evaluation(&self) -> u64 {
+        self.budget.instructions()
     }
 }
 
@@ -275,6 +331,26 @@ mod tests {
         };
         assert_eq!(m.to_vec(), vec![1.0, 2.0, 0.05, 10.0]);
         assert_eq!(Metrics::COUNT, 4);
+    }
+
+    #[test]
+    fn scalar_interface_reports_selected_metric() {
+        let generator = TraceGenerator::new(Benchmark::Gzip);
+        let budget = SimBudget::spread(&generator, 2, 2_000, 4_000);
+        let ipc_eval = MetricsEvaluator::new(Study::MemorySystem, Benchmark::Gzip, budget.clone());
+        let point = ipc_eval.space().point(42);
+        let metrics = ipc_eval.evaluate_metrics(&point);
+        // Default target is IPC; the selector switches heads; instruction
+        // accounting matches the budget.
+        assert_eq!(PointEvaluator::evaluate(&ipc_eval, &point), metrics.ipc);
+        assert_eq!(
+            ipc_eval.instructions_per_evaluation(),
+            budget.instructions()
+        );
+        let l2_eval = MetricsEvaluator::new(Study::MemorySystem, Benchmark::Gzip, budget)
+            .with_target(TargetMetric::L2Mpki);
+        assert_eq!(l2_eval.target(), TargetMetric::L2Mpki);
+        assert_eq!(PointEvaluator::evaluate(&l2_eval, &point), metrics.l2_mpki);
     }
 
     #[test]

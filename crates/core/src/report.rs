@@ -32,6 +32,13 @@ pub struct CurvePoint {
     pub prediction_seconds: f64,
     /// Mean training epochs per fold before early stopping.
     pub mean_fold_epochs: f64,
+    /// Configurations actually simulated for this row's batch (cached or
+    /// duplicated points excluded) — the honest Figs. 5.6/5.7 count.
+    pub unique_simulations: u64,
+    /// Evaluations the oracle served from cache for this row's batch.
+    pub simulation_cache_hits: u64,
+    /// Instructions simulated for this row's batch.
+    pub simulated_instructions: u64,
 }
 
 /// A labelled learning curve (one application × one study).
@@ -65,18 +72,21 @@ impl LearningCurve {
             simulation_seconds: round.simulation_seconds,
             prediction_seconds: round.prediction_seconds,
             mean_fold_epochs: round.mean_epochs(),
+            unique_simulations: round.simulation.unique_simulations,
+            simulation_cache_hits: round.simulation.cache_hits,
+            simulated_instructions: round.simulation.simulated_instructions,
         });
     }
 
     /// CSV rendering with a header row.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "label,samples,percent_sampled,estimated_mean,estimated_std_dev,true_mean,true_std_dev,training_seconds,simulation_seconds,prediction_seconds,mean_fold_epochs\n",
+            "label,samples,percent_sampled,estimated_mean,estimated_std_dev,true_mean,true_std_dev,training_seconds,simulation_seconds,prediction_seconds,mean_fold_epochs,unique_simulations,simulation_cache_hits,simulated_instructions\n",
         );
         for p in &self.points {
             let fmt_opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.4}"));
             out.push_str(&format!(
-                "{},{},{:.4},{:.4},{:.4},{},{},{:.4},{:.4},{:.4},{:.1}\n",
+                "{},{},{:.4},{:.4},{:.4},{},{},{:.4},{:.4},{:.4},{:.1},{},{},{}\n",
                 self.label,
                 p.samples,
                 p.percent_sampled,
@@ -88,6 +98,9 @@ impl LearningCurve {
                 p.simulation_seconds,
                 p.prediction_seconds,
                 p.mean_fold_epochs,
+                p.unique_simulations,
+                p.simulation_cache_hits,
+                p.simulated_instructions,
             ));
         }
         out
@@ -137,6 +150,12 @@ mod tests {
             },
             training_seconds: 0.5,
             simulation_seconds: 0.25,
+            simulation: crate::simulate::SimStats {
+                unique_simulations: 45,
+                cache_hits: 5,
+                simulated_instructions: 45_000,
+                wall_seconds: 0.25,
+            },
             prediction_seconds: 0.125,
             folds: vec![
                 archpredict_ann::FoldRecord {
@@ -169,10 +188,11 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("label,samples"));
-        assert!(lines[0]
-            .ends_with("training_seconds,simulation_seconds,prediction_seconds,mean_fold_epochs"));
+        assert!(lines[0].ends_with(
+            "mean_fold_epochs,unique_simulations,simulation_cache_hits,simulated_instructions"
+        ));
         assert!(lines[1].contains("mesa (memory),50,5.0000,8.0000"));
-        assert!(lines[1].ends_with("0.5000,0.2500,0.1250,120.0"));
+        assert!(lines[1].ends_with("0.5000,0.2500,0.1250,120.0,45,5,45000"));
         assert!(lines[2].contains("4.2000"));
     }
 

@@ -1,29 +1,201 @@
-//! Evaluators: the bridge between design points and the simulator.
+//! The simulation oracle: the bridge between design points and the
+//! simulator.
 //!
-//! The paper views the simulator as a function `SIM(p0..pM, A)` (§2). An
-//! [`Evaluator`] is exactly that function for a fixed application `A`:
-//! hand it a design point, get the target metric back. Three evaluators are
-//! provided: the full [`StudyEvaluator`], the noisy-but-cheap
-//! [`SimPointEvaluator`] (§5.3), and a memoizing [`CachedEvaluator`]
-//! wrapper so repeated experiments never re-simulate a configuration.
-//! [`evaluate_batch`] fans a batch out across CPU cores.
+//! The paper views the simulator as a function `SIM(p0..pM, A)` (§2). This
+//! module makes **batch evaluation the primitive**: an [`Oracle`] answers
+//! "what is the metric at each of these design-point indices?" in one
+//! call, recording [`SimStats`] telemetry (unique simulations, cache hits,
+//! simulated instructions, wall seconds) as it goes. Point-at-a-time
+//! simulators implement the leaf trait [`PointEvaluator`] — the literal
+//! `SIM(p, A)` function — and become batch-first oracles automatically via
+//! a blanket impl whose fan-out respects the shared [`Parallelism`] knob
+//! (with an `ARCHPREDICT_SIM_THREADS` override, mirroring training's
+//! `ARCHPREDICT_TRAIN_THREADS`).
+//!
+//! Three leaf evaluators are provided: the full [`StudyEvaluator`], the
+//! noisy-but-cheap [`SimPointEvaluator`] (§5.3), and — in sibling modules —
+//! the SMARTS and multi-task evaluators. [`CachedEvaluator`] wraps any of
+//! them in a **sharded** memo cache with in-batch deduplication, so a
+//! batch containing duplicates — or parallel worker threads — never
+//! simulates the same configuration twice, and offers a plain-CSV
+//! [`CachedEvaluator::persist`]/[`CachedEvaluator::load`] path so
+//! interrupted experiments resume without re-simulating.
+//!
+//! # Determinism contract
+//!
+//! Batch results are **bit-for-bit identical** at every [`Parallelism`]
+//! setting: each output depends only on its own design-point index,
+//! workers own disjoint contiguous spans of the (deduplicated) work list,
+//! and spans are merged in input order — the same contract parallel fold
+//! training and the batched inference sweep already honor.
 
 use crate::space::{DesignPoint, DesignSpace};
 use crate::studies::Study;
+use archpredict_ann::Parallelism;
 use archpredict_sim::simulate_with_warmup;
 use archpredict_simpoint::SimPointPlan;
 use archpredict_workloads::{Benchmark, TraceGenerator};
 use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
-/// The simulator-as-a-function abstraction of §2.
-pub trait Evaluator: Sync {
+/// Environment variable overriding the `Parallelism::Auto` worker count
+/// for batch simulation (the simulation leg's analogue of training's
+/// `ARCHPREDICT_TRAIN_THREADS`).
+pub const ENV_SIM_THREADS: &str = "ARCHPREDICT_SIM_THREADS";
+
+/// Telemetry for one or more oracle calls: how much simulation actually
+/// happened, and how much the cache saved.
+///
+/// Counters are additive — pass the same record through several calls to
+/// accumulate, or [`SimStats::merge`] records from independent calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Simulator invocations: configurations actually simulated. Under
+    /// [`CachedEvaluator`] this counts *unique* points only (duplicates
+    /// and cached points are served without simulating).
+    pub unique_simulations: u64,
+    /// Evaluations served without simulating: memo-cache hits plus
+    /// in-batch duplicates of a point already being simulated.
+    pub cache_hits: u64,
+    /// Instructions simulated (`unique_simulations ×` the evaluator's
+    /// per-evaluation budget) — the Figs. 5.6/5.7 reduction-factor
+    /// currency.
+    pub simulated_instructions: u64,
+    /// Wall-clock seconds spent inside the oracle.
+    pub wall_seconds: f64,
+}
+
+impl SimStats {
+    /// Total evaluations answered (simulated + served from cache).
+    pub fn evaluations(&self) -> u64 {
+        self.unique_simulations + self.cache_hits
+    }
+
+    /// Adds another record's counters into this one.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.unique_simulations += other.unique_simulations;
+        self.cache_hits += other.cache_hits;
+        self.simulated_instructions += other.simulated_instructions;
+        self.wall_seconds += other.wall_seconds;
+    }
+}
+
+/// The batch-first simulation backend: the simulator-as-a-function
+/// abstraction of §2, vectorized.
+///
+/// Implementors answer whole batches at once (fanning out across worker
+/// threads, deduplicating, caching — whatever the backend does best) and
+/// account for the work in the caller's [`SimStats`]. Point-at-a-time
+/// simulators should implement [`PointEvaluator`] instead and inherit this
+/// trait through the blanket impl.
+pub trait Oracle: Sync {
+    /// The target metric (IPC in the paper) at each design-point index of
+    /// `space`, in input order. Telemetry is added into `stats`.
+    fn evaluate_batch(
+        &self,
+        space: &DesignSpace,
+        indices: &[usize],
+        stats: &mut SimStats,
+    ) -> Vec<f64>;
+
+    /// Single-point adapter: a one-element batch (telemetry discarded).
+    fn evaluate_index(&self, space: &DesignSpace, index: usize) -> f64 {
+        let mut stats = SimStats::default();
+        self.evaluate_batch(space, std::slice::from_ref(&index), &mut stats)
+            .pop()
+            .expect("one result for one index")
+    }
+}
+
+/// A point-at-a-time simulator function — the literal `SIM(p, A)` of §2.
+///
+/// Every `PointEvaluator` is an [`Oracle`]: the blanket impl fans batches
+/// out across scoped worker threads per [`PointEvaluator::parallelism`]
+/// (deterministically — see the module docs). Implement this trait for
+/// anything that simulates one configuration at a time; implement
+/// [`Oracle`] directly only for backends with a smarter batch story
+/// (e.g. [`CachedEvaluator`]).
+pub trait PointEvaluator: Sync {
     /// The target metric (IPC in the paper) at `point`.
     fn evaluate(&self, point: &DesignPoint) -> f64;
 
     /// Instructions one evaluation simulates (for the reduction-factor
     /// accounting of Figs. 5.6/5.7).
     fn instructions_per_evaluation(&self) -> u64;
+
+    /// Worker policy for the batch fan-out (`Auto` honors
+    /// [`ENV_SIM_THREADS`]). Results are identical for every setting; this
+    /// only affects wall-clock time.
+    fn parallelism(&self) -> Parallelism {
+        Parallelism::Auto
+    }
+}
+
+impl<E: PointEvaluator> Oracle for E {
+    fn evaluate_batch(
+        &self,
+        space: &DesignSpace,
+        indices: &[usize],
+        stats: &mut SimStats,
+    ) -> Vec<f64> {
+        evaluate_indices(self, space, indices, self.parallelism(), stats)
+    }
+}
+
+/// Evaluates `indices` through `evaluator` with an explicit worker policy,
+/// fanning out across scoped threads and recording telemetry. Results are
+/// in input order and bit-for-bit identical at every `parallelism`.
+///
+/// This is the raw fan-out (no caching, no deduplication): a batch with
+/// duplicate indices simulates each occurrence. Wrap the evaluator in a
+/// [`CachedEvaluator`] to get dedup and memoization.
+pub fn evaluate_indices<E: PointEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &DesignSpace,
+    indices: &[usize],
+    parallelism: Parallelism,
+    stats: &mut SimStats,
+) -> Vec<f64> {
+    let started = Instant::now();
+    let results = fan_out(evaluator, space, indices, parallelism);
+    stats.unique_simulations += indices.len() as u64;
+    stats.simulated_instructions += indices.len() as u64 * evaluator.instructions_per_evaluation();
+    stats.wall_seconds += started.elapsed().as_secs_f64();
+    results
+}
+
+/// The scoped-thread fan-out shared by the blanket impl and the cached
+/// oracle's miss path. Workers own disjoint contiguous spans of the output
+/// and each value depends only on its own index, so the result is
+/// identical at every worker count.
+fn fan_out<E: PointEvaluator + ?Sized>(
+    evaluator: &E,
+    space: &DesignSpace,
+    indices: &[usize],
+    parallelism: Parallelism,
+) -> Vec<f64> {
+    let workers = parallelism.worker_count_with_env(indices.len(), ENV_SIM_THREADS);
+    if workers <= 1 || indices.len() < 2 {
+        return indices
+            .iter()
+            .map(|&i| evaluator.evaluate(&space.point(i)))
+            .collect();
+    }
+    let mut results = vec![0.0; indices.len()];
+    let chunk = indices.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (slot, work) in results.chunks_mut(chunk).zip(indices.chunks(chunk)) {
+            scope.spawn(move || {
+                for (out, &i) in slot.iter_mut().zip(work) {
+                    *out = evaluator.evaluate(&space.point(i));
+                }
+            });
+        }
+    });
+    results
 }
 
 /// How much simulation one full evaluation performs.
@@ -110,7 +282,7 @@ impl StudyEvaluator {
     }
 }
 
-impl Evaluator for StudyEvaluator {
+impl PointEvaluator for StudyEvaluator {
     fn evaluate(&self, point: &DesignPoint) -> f64 {
         let config = self.study.config_at(&self.space, point);
         let sum: f64 = self
@@ -166,7 +338,7 @@ impl SimPointEvaluator {
     }
 }
 
-impl Evaluator for SimPointEvaluator {
+impl PointEvaluator for SimPointEvaluator {
     fn evaluate(&self, point: &DesignPoint) -> f64 {
         let config = self.study.config_at(&self.space, point);
         self.plan.estimate_ipc(&config, &self.generator)
@@ -177,95 +349,231 @@ impl Evaluator for SimPointEvaluator {
     }
 }
 
-/// Memoizing wrapper: each design point is simulated at most once.
+/// Shard count for [`CachedEvaluator`] (power of two; indexed by the top
+/// bits of a Fibonacci hash so consecutive point indices spread evenly).
+const CACHE_SHARDS: usize = 16;
+
+/// Sharded memoizing oracle: each design point is simulated at most once
+/// per cache, batches are deduplicated before the fan-out, and the whole
+/// cache persists to / preloads from plain CSV.
 ///
 /// Experiments repeatedly touch the same points (learning curves reuse the
 /// growing training set; evaluation sets are fixed); caching makes those
-/// reuses free and keeps the simulation count honest.
+/// reuses free and keeps the simulation count honest. The cache is split
+/// across [`CACHE_SHARDS`] independently-mutexed shards so parallel
+/// lookups and inserts don't serialize on one lock.
+///
+/// # Exactly-once guarantee
+///
+/// Within one [`Oracle::evaluate_batch`] call, every unique index is
+/// simulated **exactly once**, no matter how many duplicates the batch
+/// contains or how many worker threads fan it out: duplicates are folded
+/// before the fan-out, and workers own disjoint spans of the unique miss
+/// list. Inserts are per-shard insert-once (`entry().or_insert`), so even
+/// two *concurrent* batch calls racing on the same point leave a single
+/// consistent entry (the simulator is deterministic, so both compute the
+/// same value; at most one redundant simulation can happen across
+/// concurrent batches, never within one).
 #[derive(Debug)]
 pub struct CachedEvaluator<E> {
     inner: E,
     space: DesignSpace,
-    cache: Mutex<HashMap<usize, f64>>,
+    shards: Vec<Mutex<HashMap<usize, f64>>>,
+    parallelism: Parallelism,
+    hits: AtomicU64,
 }
 
-impl<E: Evaluator> CachedEvaluator<E> {
-    /// Wraps `inner`, memoizing by point index within `space`.
+impl<E: PointEvaluator> CachedEvaluator<E> {
+    /// Wraps `inner`, memoizing by point index within `space`, fanning
+    /// batch misses out per `Parallelism::Auto`.
     pub fn new(inner: E, space: DesignSpace) -> Self {
+        Self::with_parallelism(inner, space, Parallelism::Auto)
+    }
+
+    /// [`CachedEvaluator::new`] with an explicit worker policy for the
+    /// batch-miss fan-out. Results are identical for every setting.
+    pub fn with_parallelism(inner: E, space: DesignSpace, parallelism: Parallelism) -> Self {
         Self {
             inner,
             space,
-            cache: Mutex::new(HashMap::new()),
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            parallelism,
+            hits: AtomicU64::new(0),
         }
     }
 
-    /// Number of distinct points simulated so far.
+    /// Replaces the worker policy for subsequent batch fan-outs.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The shard holding `index`.
+    fn shard(&self, index: usize) -> &Mutex<HashMap<usize, f64>> {
+        // Fibonacci hashing: consecutive indices land on distinct shards.
+        let h = (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 60) as usize % CACHE_SHARDS]
+    }
+
+    fn lookup(&self, index: usize) -> Option<f64> {
+        self.shard(index)
+            .lock()
+            .expect("cache shard")
+            .get(&index)
+            .copied()
+    }
+
+    /// Inserts `value` for `index` unless a racing call got there first.
+    fn insert_once(&self, index: usize, value: f64) {
+        self.shard(index)
+            .lock()
+            .expect("cache shard")
+            .entry(index)
+            .or_insert(value);
+    }
+
+    /// Number of distinct points simulated (or preloaded) so far.
     pub fn unique_evaluations(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").len())
+            .sum()
+    }
+
+    /// Cumulative evaluations served without simulating, over the cache's
+    /// lifetime.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Seeds the cache with previously computed results (e.g. loaded from
     /// disk by an experiment harness).
     pub fn preload(&self, entries: impl IntoIterator<Item = (usize, f64)>) {
-        self.cache.lock().expect("cache lock").extend(entries);
+        for (index, value) in entries {
+            self.insert_once(index, value);
+        }
     }
 
     /// Snapshot of all cached results, keyed by point index.
     pub fn snapshot(&self) -> HashMap<usize, f64> {
-        self.cache.lock().expect("cache lock").clone()
+        let mut all = HashMap::with_capacity(self.unique_evaluations());
+        for shard in &self.shards {
+            all.extend(shard.lock().expect("cache shard").iter());
+        }
+        all
+    }
+
+    /// Writes every cached result to `path` as plain CSV
+    /// (`index,value` rows under an `index,value` header, sorted by index
+    /// so the file is deterministic). Values use Rust's shortest
+    /// round-trip float formatting, so [`CachedEvaluator::load`] restores
+    /// them bit-for-bit.
+    pub fn persist(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut entries: Vec<(usize, f64)> = self.snapshot().into_iter().collect();
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        let mut out = String::with_capacity(16 * entries.len() + 12);
+        out.push_str("index,value\n");
+        for (index, value) in entries {
+            out.push_str(&format!("{index},{value}\n"));
+        }
+        std::fs::write(path, out)
+    }
+
+    /// Preloads the cache from a CSV written by
+    /// [`CachedEvaluator::persist`]; returns how many entries were loaded.
+    /// Unparsable lines (including the header) are skipped, so a truncated
+    /// file from an interrupted run loads whatever survived.
+    pub fn load(&self, path: &Path) -> std::io::Result<usize> {
+        let text = std::fs::read_to_string(path)?;
+        let mut loaded = 0;
+        for line in text.lines() {
+            let Some((index, value)) = line.split_once(',') else {
+                continue;
+            };
+            let (Ok(index), Ok(value)) =
+                (index.trim().parse::<usize>(), value.trim().parse::<f64>())
+            else {
+                continue;
+            };
+            self.insert_once(index, value);
+            loaded += 1;
+        }
+        Ok(loaded)
     }
 
     /// The wrapped evaluator.
     pub fn inner(&self) -> &E {
         &self.inner
     }
-}
 
-impl<E: Evaluator> Evaluator for CachedEvaluator<E> {
-    fn evaluate(&self, point: &DesignPoint) -> f64 {
+    /// Instructions one (uncached) evaluation simulates.
+    pub fn instructions_per_evaluation(&self) -> u64 {
+        self.inner.instructions_per_evaluation()
+    }
+
+    /// Point-at-a-time adapter through the cache, for callers holding a
+    /// [`DesignPoint`] rather than an index.
+    pub fn evaluate(&self, point: &DesignPoint) -> f64 {
         let index = self.space.index(point);
-        if let Some(&v) = self.cache.lock().expect("cache lock").get(&index) {
+        if let Some(v) = self.lookup(index) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return v;
         }
         let v = self.inner.evaluate(point);
-        self.cache.lock().expect("cache lock").insert(index, v);
+        self.insert_once(index, v);
         v
-    }
-
-    fn instructions_per_evaluation(&self) -> u64 {
-        self.inner.instructions_per_evaluation()
     }
 }
 
-/// Evaluates many points, fanning out across available CPU cores with
-/// scoped threads. Results are returned in input order.
-pub fn evaluate_batch<E: Evaluator>(
-    evaluator: &E,
-    space: &DesignSpace,
-    indices: &[usize],
-) -> Vec<f64> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(indices.len().max(1));
-    if threads <= 1 || indices.len() < 4 {
-        return indices
-            .iter()
-            .map(|&i| evaluator.evaluate(&space.point(i)))
-            .collect();
-    }
-    let mut results = vec![0.0; indices.len()];
-    let chunk = indices.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (slot, work) in results.chunks_mut(chunk).zip(indices.chunks(chunk)) {
-            scope.spawn(move || {
-                for (out, &i) in slot.iter_mut().zip(work) {
-                    *out = evaluator.evaluate(&space.point(i));
-                }
-            });
+impl<E: PointEvaluator> Oracle for CachedEvaluator<E> {
+    fn evaluate_batch(
+        &self,
+        space: &DesignSpace,
+        indices: &[usize],
+        stats: &mut SimStats,
+    ) -> Vec<f64> {
+        let started = Instant::now();
+        let mut results = vec![0.0; indices.len()];
+        // In-batch dedup: `misses` keeps unique uncached indices in first-
+        // occurrence order; `pending` remembers which result slots each
+        // miss must fill (first occurrence and all its duplicates).
+        let mut miss_slot: HashMap<usize, usize> = HashMap::new();
+        let mut misses: Vec<usize> = Vec::new();
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        for (slot, &index) in indices.iter().enumerate() {
+            if let Some(&m) = miss_slot.get(&index) {
+                pending.push((slot, m));
+            } else if let Some(v) = self.lookup(index) {
+                results[slot] = v;
+            } else {
+                let m = misses.len();
+                miss_slot.insert(index, m);
+                misses.push(index);
+                pending.push((slot, m));
+            }
         }
-    });
-    results
+        // Simulate each unique miss exactly once, fanned out per the
+        // cache's worker policy (deterministic at every thread count).
+        let values = fan_out(&self.inner, space, &misses, self.parallelism);
+        for (&index, &value) in misses.iter().zip(&values) {
+            self.insert_once(index, value);
+        }
+        for (slot, m) in pending {
+            results[slot] = values[m];
+        }
+        let hits = (indices.len() - misses.len()) as u64;
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        stats.unique_simulations += misses.len() as u64;
+        stats.cache_hits += hits;
+        stats.simulated_instructions +=
+            misses.len() as u64 * self.inner.instructions_per_evaluation();
+        stats.wall_seconds += started.elapsed().as_secs_f64();
+        results
+    }
 }
 
 #[cfg(test)]
@@ -277,7 +585,15 @@ mod tests {
         calls: AtomicUsize,
     }
 
-    impl Evaluator for CountingEvaluator {
+    impl CountingEvaluator {
+        fn new() -> Self {
+            Self {
+                calls: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl PointEvaluator for CountingEvaluator {
         fn evaluate(&self, point: &DesignPoint) -> f64 {
             self.calls.fetch_add(1, Ordering::SeqCst);
             point.0.iter().sum::<usize>() as f64 + 1.0
@@ -290,18 +606,14 @@ mod tests {
     #[test]
     fn cached_evaluator_simulates_each_point_once() {
         let space = Study::MemorySystem.space();
-        let cached = CachedEvaluator::new(
-            CountingEvaluator {
-                calls: AtomicUsize::new(0),
-            },
-            space.clone(),
-        );
+        let cached = CachedEvaluator::new(CountingEvaluator::new(), space.clone());
         let p = space.point(17);
         let a = cached.evaluate(&p);
         let b = cached.evaluate(&p);
         assert_eq!(a, b);
         assert_eq!(cached.inner().calls.load(Ordering::SeqCst), 1);
         assert_eq!(cached.unique_evaluations(), 1);
+        assert_eq!(cached.cache_hits(), 1);
         cached.evaluate(&space.point(18));
         assert_eq!(cached.unique_evaluations(), 2);
     }
@@ -309,16 +621,159 @@ mod tests {
     #[test]
     fn batch_matches_sequential() {
         let space = Study::MemorySystem.space();
-        let evaluator = CountingEvaluator {
-            calls: AtomicUsize::new(0),
-        };
+        let evaluator = CountingEvaluator::new();
         let indices: Vec<usize> = (0..40).map(|i| i * 13).collect();
-        let batch = evaluate_batch(&evaluator, &space, &indices);
+        let mut stats = SimStats::default();
+        let batch = evaluator.evaluate_batch(&space, &indices, &mut stats);
         let sequential: Vec<f64> = indices
             .iter()
             .map(|&i| evaluator.evaluate(&space.point(i)))
             .collect();
         assert_eq!(batch, sequential);
+        assert_eq!(stats.unique_simulations, 40);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.simulated_instructions, 4_000);
+        assert!(stats.wall_seconds >= 0.0);
+    }
+
+    #[test]
+    fn parallel_batch_with_duplicates_simulates_each_unique_index_exactly_once() {
+        let space = Study::MemorySystem.space();
+        // Force a genuinely parallel fan-out regardless of host cores.
+        let cached = CachedEvaluator::with_parallelism(
+            CountingEvaluator::new(),
+            space.clone(),
+            Parallelism::Fixed(4),
+        );
+        // 20 unique indices, each appearing 3 times, interleaved so
+        // duplicates land in different worker spans.
+        let unique: Vec<usize> = (0..20).map(|i| i * 7).collect();
+        let mut indices = Vec::new();
+        for round in 0..3 {
+            for &i in &unique {
+                indices.push(i);
+                let _ = round;
+            }
+        }
+        let mut stats = SimStats::default();
+        let results = cached.evaluate_batch(&space, &indices, &mut stats);
+        // Exactly once per unique index, despite duplicates + 4 threads.
+        assert_eq!(cached.inner().calls.load(Ordering::SeqCst), 20);
+        assert_eq!(cached.unique_evaluations(), 20);
+        assert_eq!(stats.unique_simulations, 20);
+        assert_eq!(stats.cache_hits, 40);
+        assert_eq!(stats.evaluations(), indices.len() as u64);
+        assert_eq!(stats.simulated_instructions, 2_000);
+        // Every occurrence of an index got the same (correct) value.
+        for (&i, &v) in indices.iter().zip(&results) {
+            assert_eq!(v, space.point(i).0.iter().sum::<usize>() as f64 + 1.0);
+        }
+        // A second batch over the same points is pure cache hits.
+        let mut stats2 = SimStats::default();
+        let again = cached.evaluate_batch(&space, &unique, &mut stats2);
+        assert_eq!(cached.inner().calls.load(Ordering::SeqCst), 20);
+        assert_eq!(stats2.unique_simulations, 0);
+        assert_eq!(stats2.cache_hits, 20);
+        assert_eq!(&results[..20], &again[..]);
+    }
+
+    #[test]
+    fn batch_results_identical_at_every_parallelism() {
+        let space = Study::MemorySystem.space();
+        let generator = TraceGenerator::new(Benchmark::Gzip);
+        let budget = SimBudget::spread(&generator, 2, 2_000, 4_000);
+        let indices: Vec<usize> = (0..23).map(|i| i * 101).collect();
+        let run = |parallelism| {
+            let cached = CachedEvaluator::with_parallelism(
+                StudyEvaluator::with_budget(Study::MemorySystem, Benchmark::Gzip, budget.clone()),
+                space.clone(),
+                parallelism,
+            );
+            let mut stats = SimStats::default();
+            cached.evaluate_batch(&space, &indices, &mut stats)
+        };
+        let reference = run(Parallelism::Fixed(1));
+        for parallelism in [Parallelism::Fixed(4), Parallelism::Auto] {
+            assert_eq!(reference, run(parallelism), "{parallelism:?}");
+        }
+        // The raw (uncached) fan-out honors the same contract.
+        let evaluator =
+            StudyEvaluator::with_budget(Study::MemorySystem, Benchmark::Gzip, budget.clone());
+        let raw = |parallelism| {
+            let mut stats = SimStats::default();
+            evaluate_indices(&evaluator, &space, &indices, parallelism, &mut stats)
+        };
+        let raw_reference = raw(Parallelism::Fixed(1));
+        assert_eq!(raw_reference, reference);
+        for parallelism in [Parallelism::Fixed(4), Parallelism::Auto] {
+            assert_eq!(raw_reference, raw(parallelism), "raw {parallelism:?}");
+        }
+    }
+
+    #[test]
+    fn persist_and_load_round_trip() {
+        let space = Study::MemorySystem.space();
+        let cached = CachedEvaluator::new(CountingEvaluator::new(), space.clone());
+        let indices: Vec<usize> = (0..30).map(|i| i * 17 + 3).collect();
+        let mut stats = SimStats::default();
+        let original = cached.evaluate_batch(&space, &indices, &mut stats);
+        let path = std::env::temp_dir().join(format!(
+            "archpredict_simcache_roundtrip_{}.csv",
+            std::process::id()
+        ));
+        cached.persist(&path).expect("persist cache");
+
+        let resumed = CachedEvaluator::new(CountingEvaluator::new(), space.clone());
+        let loaded = resumed.load(&path).expect("load cache");
+        assert_eq!(loaded, 30);
+        assert_eq!(resumed.unique_evaluations(), 30);
+        // Every resumed value is bit-for-bit the original, with zero
+        // fresh simulation.
+        let mut stats2 = SimStats::default();
+        let values = resumed.evaluate_batch(&space, &indices, &mut stats2);
+        assert_eq!(values, original);
+        assert_eq!(resumed.inner().calls.load(Ordering::SeqCst), 0);
+        assert_eq!(stats2.unique_simulations, 0);
+        assert_eq!(stats2.cache_hits, 30);
+        assert_eq!(resumed.snapshot(), cached.snapshot());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_skips_malformed_lines() {
+        let space = Study::MemorySystem.space();
+        let path = std::env::temp_dir().join(format!(
+            "archpredict_simcache_malformed_{}.csv",
+            std::process::id()
+        ));
+        std::fs::write(&path, "index,value\n5,1.25\nnot a row\n9,oops\n7,2.5\n").unwrap();
+        let cached = CachedEvaluator::new(CountingEvaluator::new(), space.clone());
+        assert_eq!(cached.load(&path).expect("load"), 2);
+        assert_eq!(cached.unique_evaluations(), 2);
+        assert_eq!(cached.evaluate_index(&space, 5), 1.25);
+        assert_eq!(cached.evaluate_index(&space, 7), 2.5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = SimStats {
+            unique_simulations: 3,
+            cache_hits: 2,
+            simulated_instructions: 300,
+            wall_seconds: 0.5,
+        };
+        a.merge(&SimStats {
+            unique_simulations: 1,
+            cache_hits: 4,
+            simulated_instructions: 100,
+            wall_seconds: 0.25,
+        });
+        assert_eq!(a.unique_simulations, 4);
+        assert_eq!(a.cache_hits, 6);
+        assert_eq!(a.evaluations(), 10);
+        assert_eq!(a.simulated_instructions, 400);
+        assert!((a.wall_seconds - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -5,11 +5,11 @@
 //! simulating many *tiny* measurement units spread systematically through
 //! the execution, each preceded by a warming window, and attaches a
 //! confidence interval from the between-unit variance. This module provides
-//! that estimator as another fast-but-noisy [`Evaluator`] the ANN ensembles
-//! can train on — structurally different noise than SimPoint's (variance
-//! from tiny units rather than bias from unrepresented behavior).
+//! that estimator as another fast-but-noisy [`PointEvaluator`] the ANN
+//! ensembles can train on — structurally different noise than SimPoint's
+//! (variance from tiny units rather than bias from unrepresented behavior).
 
-use crate::simulate::Evaluator;
+use crate::simulate::PointEvaluator;
 use crate::space::{DesignPoint, DesignSpace};
 use crate::studies::Study;
 use archpredict_sim::simulate_with_warmup;
@@ -108,7 +108,7 @@ impl SmartsEvaluator {
     }
 }
 
-impl Evaluator for SmartsEvaluator {
+impl PointEvaluator for SmartsEvaluator {
     fn evaluate(&self, point: &DesignPoint) -> f64 {
         self.estimate(point).ipc
     }

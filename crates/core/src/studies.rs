@@ -56,6 +56,20 @@ impl Study {
             Study::Processor => processor_config(space, point),
         }
     }
+
+    /// The standard simulation oracle for this study and `benchmark`: the
+    /// full-detail [`StudyEvaluator`](crate::simulate::StudyEvaluator)
+    /// behind a sharded, deduplicating
+    /// [`CachedEvaluator`](crate::simulate::CachedEvaluator).
+    pub fn oracle(
+        self,
+        benchmark: archpredict_workloads::Benchmark,
+    ) -> crate::simulate::CachedEvaluator<crate::simulate::StudyEvaluator> {
+        crate::simulate::CachedEvaluator::new(
+            crate::simulate::StudyEvaluator::new(self, benchmark),
+            self.space(),
+        )
+    }
 }
 
 impl std::fmt::Display for Study {

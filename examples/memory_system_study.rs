@@ -69,7 +69,6 @@ fn main() {
     println!("\npredicted worst: IPC~{worst_pred:.3} (point {worst_index})");
 
     // Validate the headline prediction with one real simulation.
-    use archpredict::simulate::Evaluator as _;
     let best_actual = evaluator.evaluate(&space.point(ranked[0].0));
     println!(
         "\nsimulating the predicted-best point: actual IPC {best_actual:.3} (predicted {:.3})",

@@ -37,14 +37,14 @@ fn main() {
         .collect();
     let metrics: Vec<Vec<f64>> = train_idx
         .iter()
-        .map(|&i| evaluator.evaluate(&space.point(i)).to_vec())
+        .map(|&i| evaluator.evaluate_metrics(&space.point(i)).to_vec())
         .collect();
     let test: Vec<(Vec<f64>, f64)> = test_idx
         .iter()
         .map(|&i| {
             (
                 space.encode(&space.point(i)),
-                evaluator.evaluate(&space.point(i)).ipc,
+                evaluator.evaluate_metrics(&space.point(i)).ipc,
             )
         })
         .collect();

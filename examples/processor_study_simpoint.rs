@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example processor_study_simpoint [app]`
 
 use archpredict::explorer::{Explorer, ExplorerConfig};
-use archpredict::simulate::{Evaluator, SimBudget, SimPointEvaluator, StudyEvaluator};
+use archpredict::simulate::{PointEvaluator, SimBudget, SimPointEvaluator, StudyEvaluator};
 use archpredict::studies::Study;
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_stats::sampling::sample_without_replacement;

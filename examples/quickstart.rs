@@ -1,13 +1,14 @@
 //! Quickstart: model a custom design space with a custom evaluator.
 //!
 //! Shows the core loop on a toy "simulator" so it runs in seconds:
-//! define a space, plug in anything implementing `Evaluator`, explore
-//! until the error estimate is low, then query the model anywhere.
+//! define a space, plug in anything implementing `PointEvaluator`,
+//! explore until the error estimate is low, then query the model
+//! anywhere.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use archpredict::explorer::{Explorer, ExplorerConfig};
-use archpredict::simulate::Evaluator;
+use archpredict::simulate::PointEvaluator;
 use archpredict::{DesignPoint, DesignSpace, Param};
 
 /// A stand-in for a cycle-level simulator: some smooth nonlinear response.
@@ -15,7 +16,7 @@ struct ToySimulator {
     space: DesignSpace,
 }
 
-impl Evaluator for ToySimulator {
+impl PointEvaluator for ToySimulator {
     fn evaluate(&self, point: &DesignPoint) -> f64 {
         let cache_kb = self.space.number(point, "cache_kb");
         let width = self.space.number(point, "width");

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example smarts_study [app]`
 
 use archpredict::explorer::{Explorer, ExplorerConfig};
-use archpredict::simulate::{Evaluator, SimBudget, StudyEvaluator};
+use archpredict::simulate::{PointEvaluator, SimBudget, StudyEvaluator};
 use archpredict::smarts::{SmartsConfig, SmartsEvaluator};
 use archpredict::studies::Study;
 use archpredict_stats::rng::Xoshiro256;

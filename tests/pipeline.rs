@@ -3,7 +3,7 @@
 //! prescribes (sample, simulate, cross-validate, estimate, refine).
 
 use archpredict::explorer::{Explorer, ExplorerConfig};
-use archpredict::simulate::{CachedEvaluator, Evaluator, SimBudget, StudyEvaluator};
+use archpredict::simulate::{CachedEvaluator, SimBudget, StudyEvaluator};
 use archpredict::studies::Study;
 use archpredict_ann::TrainConfig;
 use archpredict_workloads::{Benchmark, TraceGenerator};

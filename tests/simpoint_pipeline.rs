@@ -2,7 +2,7 @@
 //! SimPoint estimates, validated against full simulation.
 
 use archpredict::explorer::{Explorer, ExplorerConfig};
-use archpredict::simulate::{Evaluator, SimBudget, SimPointEvaluator, StudyEvaluator};
+use archpredict::simulate::{PointEvaluator, SimBudget, SimPointEvaluator, StudyEvaluator};
 use archpredict::studies::Study;
 use archpredict_ann::TrainConfig;
 use archpredict_stats::describe::Accumulator;
