@@ -48,7 +48,19 @@ pub struct FoldRecord {
     /// Wall-clock seconds spent training this fold (when folds train in
     /// parallel these overlap, so they sum to more than elapsed time).
     pub seconds: f64,
+    /// Times this fold was reinitialized after detecting training
+    /// divergence (non-finite early-stopping error). `0` on healthy folds.
+    pub reinits: u32,
 }
+
+/// Bounded attempts at re-training a diverged fold before giving up and
+/// keeping its best finite snapshot.
+pub const MAX_FOLD_REINITS: u32 = 3;
+
+/// Learning-rate decay applied on each divergence reinit. A divergence is
+/// almost always a step-size instability, so a fresh seed alone rarely
+/// helps; shrinking the step makes recovery deterministic.
+pub const REINIT_LR_DECAY: f64 = 0.1;
 
 /// Result of fitting a cross-validation ensemble.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,7 +137,17 @@ pub fn fit_ensemble(dataset: &Dataset, folds: usize, config: &TrainConfig, seed:
             }
         }
         let mut model_rng = rng.derive(m as u64 + 1);
-        let model = train_network(&train, &es, config, &mut model_rng);
+        let mut fold_config = *config;
+        let mut model = train_network(&train, &es, &fold_config, &mut model_rng);
+        let mut reinits = 0u32;
+        while model.diverged && reinits < MAX_FOLD_REINITS {
+            reinits += 1;
+            // Base fold streams are 1..=folds, so reinit streams start at
+            // folds + 1 and can never collide with another fold's stream.
+            model_rng = rng.derive(m as u64 + 1 + (folds as u64) * reinits as u64);
+            fold_config.learning_rate *= REINIT_LR_DECAY;
+            model = train_network(&train, &es, &fold_config, &mut model_rng);
+        }
         let mut buf = crate::train::PredictBuffer::default();
         let errors: Vec<f64> = test
             .iter()
@@ -142,6 +164,7 @@ pub fn fit_ensemble(dataset: &Dataset, folds: usize, config: &TrainConfig, seed:
             epochs: model.epochs,
             best_es_error: model.best_es_error,
             seconds: started.elapsed().as_secs_f64(),
+            reinits,
         };
         FoldOutput {
             model,
@@ -331,6 +354,38 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn diverged_folds_recover_via_reinit_with_damped_learning_rate() {
+        // lr = 10 explodes every fold (linear output layer, geometric error
+        // growth). The reinit loop must retrain each fold with a damped
+        // step until it converges, leaving a finite, usable ensemble.
+        let train = dataset(150, 16);
+        let config = TrainConfig {
+            learning_rate: 10.0,
+            max_epochs: 300,
+            ..TrainConfig::default()
+        };
+        let fit = fit_ensemble(&train, 5, &config, 17);
+        assert!(
+            fit.folds.iter().any(|r| r.reinits > 0),
+            "expected at least one fold to reinit, got {:?}",
+            fit.folds.iter().map(|r| r.reinits).collect::<Vec<_>>()
+        );
+        assert!(
+            fit.folds.iter().all(|r| r.reinits <= MAX_FOLD_REINITS),
+            "reinits must stay bounded"
+        );
+        assert!(
+            fit.estimate.mean.is_finite(),
+            "estimate {} must be finite after recovery",
+            fit.estimate.mean
+        );
+        assert!(fit.ensemble.predict(&[0.3, 0.5, 0.7]).is_finite());
+        // Recovery is deterministic: same seed, same result.
+        let again = fit_ensemble(&train, 5, &config, 17);
+        assert_eq!(fit.estimate, again.estimate);
     }
 
     #[test]

@@ -101,15 +101,16 @@ impl MinMaxScaler {
         out.extend(
             row.iter()
                 .zip(self.mins.iter().zip(&self.maxs))
-                .map(
-                    |(&x, (&lo, &hi))| {
-                        if hi > lo {
-                            (x - lo) / (hi - lo)
-                        } else {
-                            0.5
-                        }
-                    },
-                ),
+                .map(|(&x, (&lo, &hi))| {
+                    // Degenerate (constant, non-finite, or never-fitted) ranges
+                    // map to the interval midpoint instead of producing NaN/Inf
+                    // that would poison every downstream weight.
+                    if lo.is_finite() && hi.is_finite() && hi > lo {
+                        (x - lo) / (hi - lo)
+                    } else {
+                        0.5
+                    }
+                }),
         );
     }
 }
@@ -122,17 +123,25 @@ pub struct TargetScaler {
 }
 
 impl TargetScaler {
-    /// Fits to observed target values.
+    /// Fits to observed target values. Non-finite values are ignored (a
+    /// faulty simulator must not poison the scale of every good sample);
+    /// if no finite value remains the scaler degenerates to the constant
+    /// range `[0, 0]`, which [`TargetScaler::scale`] maps to `0.5`.
     ///
     /// # Panics
     ///
-    /// Panics if `values` is empty or contains non-finite numbers.
+    /// Panics if `values` is empty.
     pub fn fit(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "cannot fit scaler to no data");
-        assert!(values.iter().all(|v| v.is_finite()), "non-finite target");
-        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Self { min, max }
+        let finite = values.iter().copied().filter(|v| v.is_finite());
+        let (min, max) = finite.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(v), hi.max(v))
+        });
+        if min.is_finite() && max.is_finite() {
+            Self { min, max }
+        } else {
+            Self { min: 0.0, max: 0.0 }
+        }
     }
 
     /// Serializes the fitted range to a JSON [`Value`].
@@ -153,9 +162,10 @@ impl TargetScaler {
         Ok(Self { min, max })
     }
 
-    /// Scales a raw target into `[0, 1]` (`0.5` for a constant target).
+    /// Scales a raw target into `[0, 1]` (`0.5` for a constant or
+    /// degenerate range).
     pub fn scale(&self, value: f64) -> f64 {
-        if self.max > self.min {
+        if self.max > self.min && (self.max - self.min).is_finite() {
             (value - self.min) / (self.max - self.min)
         } else {
             0.5
@@ -164,7 +174,7 @@ impl TargetScaler {
 
     /// Maps a normalized prediction back to the raw range.
     pub fn unscale(&self, normalized: f64) -> f64 {
-        if self.max > self.min {
+        if self.max > self.min && (self.max - self.min).is_finite() {
             self.min + normalized * (self.max - self.min)
         } else {
             self.min
@@ -200,6 +210,26 @@ mod tests {
         }
         assert_eq!(scaler.scale(0.2), 0.0);
         assert_eq!(scaler.scale(1.4), 1.0);
+    }
+
+    #[test]
+    fn non_finite_targets_are_ignored_by_fit() {
+        let scaler = TargetScaler::fit(&[0.2, f64::NAN, 1.4, f64::INFINITY, 0.8]);
+        assert_eq!(scaler.scale(0.2), 0.0);
+        assert_eq!(scaler.scale(1.4), 1.0);
+        // All-non-finite data degenerates to the midpoint, never NaN.
+        let degenerate = TargetScaler::fit(&[f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!(degenerate.scale(7.0), 0.5);
+        assert!(degenerate.unscale(0.3).is_finite());
+    }
+
+    #[test]
+    fn non_finite_feature_bounds_map_to_midpoint() {
+        let rows = [vec![f64::NAN, 1.0], vec![f64::NAN, 3.0]];
+        let scaler = MinMaxScaler::fit(rows.iter().map(|r| r.as_slice()));
+        let out = scaler.transform(&[5.0, 2.0]);
+        assert!(out.iter().all(|v| v.is_finite()), "got {out:?}");
+        assert_eq!(out[1], 0.5);
     }
 
     #[test]

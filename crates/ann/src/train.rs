@@ -157,6 +157,10 @@ pub struct TrainedModel {
     /// Best mean absolute percentage error seen on the early-stopping set
     /// (the error of the restored weights).
     pub best_es_error: f64,
+    /// Whether training diverged (non-finite early-stopping error from
+    /// exploding weights). The returned weights are still the best finite
+    /// snapshot, but callers should prefer to retrain from a fresh seed.
+    pub diverged: bool,
 }
 
 /// Caller-owned scratch for allocation-free model and ensemble inference:
@@ -226,6 +230,7 @@ impl TrainedModel {
             ("target_scaler".into(), self.target_scaler.to_json_value()),
             ("epochs".into(), Value::num(self.epochs as f64)),
             ("best_es_error".into(), Value::num(self.best_es_error)),
+            ("diverged".into(), Value::Bool(self.diverged)),
         ])
     }
 
@@ -237,6 +242,11 @@ impl TrainedModel {
             target_scaler: TargetScaler::from_json_value(value.get("target_scaler")?)?,
             epochs: value.get("epochs")?.as_usize()?,
             best_es_error: value.get("best_es_error")?.as_f64_or(f64::INFINITY)?,
+            // Absent in models written before the fault-tolerance work.
+            diverged: value
+                .get("diverged")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
         })
     }
 }
@@ -324,6 +334,7 @@ pub fn train_network(
     let mut best_error = f64::INFINITY;
     let mut best_epoch = 0;
     let mut epochs = 0;
+    let mut diverged = false;
 
     for epoch in 0..config.max_epochs {
         epochs = epoch + 1;
@@ -344,6 +355,14 @@ pub fn train_network(
             &es_targets,
             &mut es_scratch,
         );
+        if !es_error.is_finite() {
+            // Exploding weights: further epochs only compound NaN/Inf.
+            // Bail out; the restore below rolls back to the best finite
+            // snapshot (the near-zero init if no epoch ever improved) and
+            // the caller can reinitialize from a fresh seed.
+            diverged = true;
+            break;
+        }
         if es_error < best_error {
             best_error = es_error;
             network.snapshot_into(&mut best);
@@ -360,6 +379,7 @@ pub fn train_network(
         target_scaler,
         epochs,
         best_es_error: best_error,
+        diverged,
     }
 }
 
@@ -549,6 +569,35 @@ mod tests {
         let model = train_network(&train_refs, &es_refs, &config, &mut rng);
         assert_eq!(model.epochs, 0);
         assert!(model.predict(&[0.4, 0.6]).is_finite());
+    }
+
+    #[test]
+    fn divergent_learning_rate_is_detected_and_model_stays_finite() {
+        // A huge learning rate on linear outputs explodes geometrically to
+        // ±Inf/NaN within an epoch or two. Training must flag the
+        // divergence, stop early, and still return finite weights (the
+        // best snapshot before the blow-up).
+        let samples = make_samples(200, 41);
+        let (train, es) = samples.split_at(160);
+        let train_refs: Vec<&Sample> = train.iter().collect();
+        let es_refs: Vec<&Sample> = es.iter().collect();
+        let config = TrainConfig {
+            learning_rate: 10.0,
+            max_epochs: 200,
+            ..TrainConfig::default()
+        };
+        let mut rng = Xoshiro256::seed_from(42);
+        let model = train_network(&train_refs, &es_refs, &config, &mut rng);
+        assert!(model.diverged, "lr=10 should diverge");
+        assert!(
+            model.epochs < 200,
+            "should bail early, ran {}",
+            model.epochs
+        );
+        assert!(
+            model.predict(&[0.4, 0.6]).is_finite(),
+            "returned weights must be the last finite snapshot"
+        );
     }
 
     #[test]

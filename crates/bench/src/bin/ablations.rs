@@ -47,14 +47,16 @@ fn main() {
         test_idx.len()
     );
     let enc = |i: usize| space.encode(&space.point(i));
+    let eval = |i: usize| {
+        evaluator
+            .evaluate(&space.point(i))
+            .expect("fault-free evaluator")
+    };
     let data: Dataset = train_idx
         .iter()
-        .map(|&i| Sample::new(enc(i), evaluator.evaluate(&space.point(i))))
+        .map(|&i| Sample::new(enc(i), eval(i)))
         .collect();
-    let test: Vec<(Vec<f64>, f64)> = test_idx
-        .iter()
-        .map(|&i| (enc(i), evaluator.evaluate(&space.point(i))))
-        .collect();
+    let test: Vec<(Vec<f64>, f64)> = test_idx.iter().map(|&i| (enc(i), eval(i))).collect();
 
     let mape = |predict: &dyn Fn(&[f64]) -> f64| -> (f64, f64) {
         let mut acc = Accumulator::new();

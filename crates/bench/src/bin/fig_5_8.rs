@@ -37,7 +37,9 @@ fn main() {
             .map(|&i| {
                 Sample::new(
                     space.encode(&space.point(i)),
-                    evaluator.evaluate(&space.point(i)),
+                    evaluator
+                        .evaluate(&space.point(i))
+                        .expect("fault-free evaluator"),
                 )
             })
             .collect();

@@ -10,7 +10,6 @@ use archpredict_ann::{Ensemble, TrainConfig};
 use archpredict_stats::describe::Accumulator;
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_workloads::{Benchmark, TraceGenerator};
-use std::io::Write as _;
 use std::path::Path;
 
 /// SimPoint profiling/simulation interval length used by §5.3 experiments.
@@ -233,7 +232,10 @@ pub fn measure_true_error<T: Oracle>(
     let mut stats = SimStats::default();
     let actuals = truth.evaluate_batch(space, &held_out, &mut stats);
     let mut acc = Accumulator::new();
-    for (&i, &actual) in held_out.iter().zip(&actuals) {
+    for (&i, actual) in held_out.iter().zip(&actuals) {
+        // Held-out points whose truth evaluation failed are skipped; the
+        // error is measured over the surviving points.
+        let Ok(actual) = actual else { continue };
         let predicted = ensemble.predict(&space.encode(&space.point(i)));
         acc.add(100.0 * (predicted - actual).abs() / actual.abs().max(1e-12));
     }
@@ -292,17 +294,14 @@ pub fn reduction_analysis(result: &StudyCurve, targets: &[f64]) -> Vec<Reduction
         .collect()
 }
 
-/// Writes `content` to `path`, creating parent directories.
+/// Atomically writes `content` to `path`, creating parent directories
+/// (temp file, fsync, rename — a kill mid-write never tears an artifact).
 ///
 /// # Panics
 ///
 /// Panics on I/O failure (acceptable in experiment binaries).
 pub fn write_artifact(path: &Path, content: &str) {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent).expect("create artifact dir");
-    }
-    let mut f = std::fs::File::create(path).expect("create artifact");
-    f.write_all(content.as_bytes()).expect("write artifact");
+    archpredict::persist::write_atomic(path, content).expect("write artifact");
     eprintln!("wrote {}", path.display());
 }
 
@@ -378,6 +377,10 @@ mod tests {
                 unique_simulations: n as u64,
                 simulation_cache_hits: 0,
                 simulated_instructions: n as u64 * 10_000,
+                sim_failures: 0,
+                sim_retries: 0,
+                sim_quarantined: 0,
+                sim_resampled: 0,
             });
         }
         StudyCurve {

@@ -1,0 +1,580 @@
+//! Crash-safe checkpointing of exploration state.
+//!
+//! After every refinement round the [`crate::explorer::Explorer`] can
+//! persist an [`ExplorerState`] snapshot — sampler position, RNG state,
+//! training set, quarantine, and full round history — to
+//! `results/checkpoints/{tag}/state.json` via the atomic
+//! [`crate::persist::write_atomic`] path. A study killed at any point
+//! (`kill -9` included) resumes from the last completed round with
+//! [`crate::explorer::Explorer::resume`], and because every stochastic
+//! stream is restored bit-for-bit, the resumed run's learning curve is
+//! byte-for-byte identical to the uninterrupted one.
+//!
+//! # Format
+//!
+//! JSON, written with the workspace's own round-tripping writer
+//! ([`archpredict_stats::json`]): finite floats use Rust's shortest
+//! round-trip formatting, and 64-bit seeds / RNG state words are encoded
+//! as **hex strings** because a JSON number (an `f64`) cannot represent
+//! every `u64` exactly.
+
+use crate::explorer::Round;
+use crate::persist::write_atomic;
+use crate::simulate::SimStats;
+use archpredict_ann::cross_validation::{ErrorEstimate, FoldRecord};
+use archpredict_ann::{Parallelism, TrainConfig};
+use archpredict_stats::json::{JsonError, Value};
+use archpredict_stats::sampling::SamplerState;
+use std::path::Path;
+
+/// Current checkpoint schema version.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Why a checkpoint could not be saved or restored.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The checkpoint file could not be read or written.
+    Io(std::io::Error),
+    /// The file exists but does not parse as a valid checkpoint.
+    Corrupt(String),
+    /// The checkpoint is valid but was taken under a different seed or
+    /// design space than the caller supplied.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<JsonError> for CheckpointError {
+    fn from(e: JsonError) -> Self {
+        CheckpointError::Corrupt(e.to_string())
+    }
+}
+
+/// The network-training hyperparameters in force when the last ensemble
+/// was fit, minus the [`Parallelism`] knob: thread count never affects
+/// results, so the resumed run applies the *caller's* parallelism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainSnapshot {
+    /// Hidden units in the first hidden layer.
+    pub hidden_units: usize,
+    /// Units in the optional second hidden layer (0 = none).
+    pub second_hidden_units: usize,
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Hard cap on training epochs.
+    pub max_epochs: usize,
+    /// Early-stopping patience.
+    pub patience: usize,
+    /// Percentage-error training mode.
+    pub percentage_error: bool,
+}
+
+impl TrainSnapshot {
+    /// Captures the result-affecting fields of `config`.
+    pub fn of(config: &TrainConfig) -> Self {
+        Self {
+            hidden_units: config.hidden_units,
+            second_hidden_units: config.second_hidden_units,
+            learning_rate: config.learning_rate,
+            momentum: config.momentum,
+            max_epochs: config.max_epochs,
+            patience: config.patience,
+            percentage_error: config.percentage_error,
+        }
+    }
+
+    /// Rebuilds a full [`TrainConfig`] under the given worker policy.
+    pub fn to_config(&self, parallelism: Parallelism) -> TrainConfig {
+        TrainConfig {
+            hidden_units: self.hidden_units,
+            second_hidden_units: self.second_hidden_units,
+            learning_rate: self.learning_rate,
+            momentum: self.momentum,
+            max_epochs: self.max_epochs,
+            patience: self.patience,
+            percentage_error: self.percentage_error,
+            parallelism,
+        }
+    }
+
+    fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("hidden_units".into(), Value::num(self.hidden_units as f64)),
+            (
+                "second_hidden_units".into(),
+                Value::num(self.second_hidden_units as f64),
+            ),
+            ("learning_rate".into(), Value::num(self.learning_rate)),
+            ("momentum".into(), Value::num(self.momentum)),
+            ("max_epochs".into(), Value::num(self.max_epochs as f64)),
+            ("patience".into(), Value::num(self.patience as f64)),
+            (
+                "percentage_error".into(),
+                Value::Bool(self.percentage_error),
+            ),
+        ])
+    }
+
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        Ok(Self {
+            hidden_units: value.get("hidden_units")?.as_usize()?,
+            second_hidden_units: value.get("second_hidden_units")?.as_usize()?,
+            learning_rate: value.get("learning_rate")?.as_f64()?,
+            momentum: value.get("momentum")?.as_f64()?,
+            max_epochs: value.get("max_epochs")?.as_usize()?,
+            patience: value.get("patience")?.as_usize()?,
+            percentage_error: value.get("percentage_error")?.as_bool()?,
+        })
+    }
+}
+
+/// A complete, restorable snapshot of an explorer after a round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorerState {
+    /// The master seed the run was configured with (validated on resume).
+    pub seed: u64,
+    /// Size of the design space (validated on resume).
+    pub space_size: usize,
+    /// The explorer's training-seed RNG state *after* the last round
+    /// consumed its fit seed.
+    pub rng: [u64; 4],
+    /// The incremental sampler's full state (drawn count + sparse
+    /// Fisher–Yates swaps + its RNG).
+    pub sampler: SamplerState,
+    /// The training set as `(point index, measured metric)` pairs, in
+    /// collection order. Features are re-encoded from the space on resume.
+    pub samples: Vec<(usize, f64)>,
+    /// Indices the run gave up on (failed every retry); excluded from
+    /// future batches and held-out sets.
+    pub quarantined: Vec<usize>,
+    /// The seed handed to `fit_ensemble` for the last round, so resume can
+    /// refit the identical ensemble.
+    pub last_fit_seed: Option<u64>,
+    /// The training hyperparameters in force at the last fit.
+    pub last_train: Option<TrainSnapshot>,
+    /// Full round history.
+    pub rounds: Vec<Round>,
+}
+
+fn hex(x: u64) -> Value {
+    Value::Str(format!("{x:016x}"))
+}
+
+fn from_hex(value: &Value) -> Result<u64, JsonError> {
+    let s = value.as_str()?;
+    u64::from_str_radix(s, 16).map_err(|_| JsonError::custom(format!("bad hex u64 {s:?}")))
+}
+
+fn rng_to_json(state: &[u64; 4]) -> Value {
+    Value::Array(state.iter().map(|&w| hex(w)).collect())
+}
+
+fn rng_from_json(value: &Value) -> Result<[u64; 4], JsonError> {
+    let words = value.as_array()?;
+    if words.len() != 4 {
+        return Err(JsonError::custom(format!(
+            "RNG state needs 4 words, got {}",
+            words.len()
+        )));
+    }
+    Ok([
+        from_hex(&words[0])?,
+        from_hex(&words[1])?,
+        from_hex(&words[2])?,
+        from_hex(&words[3])?,
+    ])
+}
+
+fn stats_to_json(stats: &SimStats) -> Value {
+    Value::Object(vec![
+        (
+            "unique_simulations".into(),
+            Value::num(stats.unique_simulations as f64),
+        ),
+        ("cache_hits".into(), Value::num(stats.cache_hits as f64)),
+        (
+            "simulated_instructions".into(),
+            Value::num(stats.simulated_instructions as f64),
+        ),
+        ("wall_seconds".into(), Value::num(stats.wall_seconds)),
+        ("failures".into(), Value::num(stats.failures as f64)),
+        ("retries".into(), Value::num(stats.retries as f64)),
+        ("quarantined".into(), Value::num(stats.quarantined as f64)),
+        ("resampled".into(), Value::num(stats.resampled as f64)),
+    ])
+}
+
+fn stats_from_json(value: &Value) -> Result<SimStats, JsonError> {
+    Ok(SimStats {
+        unique_simulations: value.get("unique_simulations")?.as_u64()?,
+        cache_hits: value.get("cache_hits")?.as_u64()?,
+        simulated_instructions: value.get("simulated_instructions")?.as_u64()?,
+        wall_seconds: value.get("wall_seconds")?.as_f64()?,
+        failures: value.get("failures")?.as_u64()?,
+        retries: value.get("retries")?.as_u64()?,
+        quarantined: value.get("quarantined")?.as_u64()?,
+        resampled: value.get("resampled")?.as_u64()?,
+    })
+}
+
+fn fold_to_json(fold: &FoldRecord) -> Value {
+    Value::Object(vec![
+        ("fold".into(), Value::num(fold.fold as f64)),
+        (
+            "train_samples".into(),
+            Value::num(fold.train_samples as f64),
+        ),
+        ("es_samples".into(), Value::num(fold.es_samples as f64)),
+        ("test_samples".into(), Value::num(fold.test_samples as f64)),
+        ("epochs".into(), Value::num(fold.epochs as f64)),
+        ("best_es_error".into(), Value::num(fold.best_es_error)),
+        ("seconds".into(), Value::num(fold.seconds)),
+        ("reinits".into(), Value::num(fold.reinits as f64)),
+    ])
+}
+
+fn fold_from_json(value: &Value) -> Result<FoldRecord, JsonError> {
+    Ok(FoldRecord {
+        fold: value.get("fold")?.as_usize()?,
+        train_samples: value.get("train_samples")?.as_usize()?,
+        es_samples: value.get("es_samples")?.as_usize()?,
+        test_samples: value.get("test_samples")?.as_usize()?,
+        epochs: value.get("epochs")?.as_usize()?,
+        best_es_error: value.get("best_es_error")?.as_f64_or(f64::INFINITY)?,
+        seconds: value.get("seconds")?.as_f64()?,
+        reinits: value.get("reinits")?.as_u64()? as u32,
+    })
+}
+
+fn round_to_json(round: &Round) -> Value {
+    Value::Object(vec![
+        ("samples".into(), Value::num(round.samples as f64)),
+        (
+            "fraction_sampled".into(),
+            Value::num(round.fraction_sampled),
+        ),
+        (
+            "estimate".into(),
+            Value::Object(vec![
+                ("mean".into(), Value::num(round.estimate.mean)),
+                ("std_dev".into(), Value::num(round.estimate.std_dev)),
+                ("points".into(), Value::num(round.estimate.points as f64)),
+            ]),
+        ),
+        (
+            "training_seconds".into(),
+            Value::num(round.training_seconds),
+        ),
+        (
+            "simulation_seconds".into(),
+            Value::num(round.simulation_seconds),
+        ),
+        ("simulation".into(), stats_to_json(&round.simulation)),
+        (
+            "prediction_seconds".into(),
+            Value::num(round.prediction_seconds),
+        ),
+        (
+            "folds".into(),
+            Value::Array(round.folds.iter().map(fold_to_json).collect()),
+        ),
+    ])
+}
+
+fn round_from_json(value: &Value) -> Result<Round, JsonError> {
+    let estimate = value.get("estimate")?;
+    Ok(Round {
+        samples: value.get("samples")?.as_usize()?,
+        fraction_sampled: value.get("fraction_sampled")?.as_f64()?,
+        estimate: ErrorEstimate {
+            mean: estimate.get("mean")?.as_f64_or(f64::INFINITY)?,
+            std_dev: estimate.get("std_dev")?.as_f64_or(f64::INFINITY)?,
+            points: estimate.get("points")?.as_u64()?,
+        },
+        training_seconds: value.get("training_seconds")?.as_f64()?,
+        simulation_seconds: value.get("simulation_seconds")?.as_f64()?,
+        simulation: stats_from_json(value.get("simulation")?)?,
+        prediction_seconds: value.get("prediction_seconds")?.as_f64()?,
+        folds: value
+            .get("folds")?
+            .as_array()?
+            .iter()
+            .map(fold_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+impl ExplorerState {
+    /// Serializes the snapshot to compact JSON.
+    pub fn to_json(&self) -> String {
+        let sampler = Value::Object(vec![
+            (
+                "population".into(),
+                Value::num(self.sampler.population as f64),
+            ),
+            ("drawn".into(), Value::num(self.sampler.drawn as f64)),
+            (
+                "swapped".into(),
+                Value::Array(
+                    self.sampler
+                        .swapped
+                        .iter()
+                        .map(|&(a, b)| {
+                            Value::Array(vec![Value::num(a as f64), Value::num(b as f64)])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("rng".into(), rng_to_json(&self.sampler.rng)),
+        ]);
+        let samples = Value::Array(
+            self.samples
+                .iter()
+                .map(|&(index, value)| {
+                    Value::Array(vec![Value::num(index as f64), Value::num(value)])
+                })
+                .collect(),
+        );
+        Value::Object(vec![
+            ("version".into(), Value::num(CHECKPOINT_VERSION as f64)),
+            ("seed".into(), hex(self.seed)),
+            ("space_size".into(), Value::num(self.space_size as f64)),
+            ("rng".into(), rng_to_json(&self.rng)),
+            ("sampler".into(), sampler),
+            ("samples".into(), samples),
+            (
+                "quarantined".into(),
+                Value::Array(
+                    self.quarantined
+                        .iter()
+                        .map(|&i| Value::num(i as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "last_fit_seed".into(),
+                match self.last_fit_seed {
+                    Some(seed) => hex(seed),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "last_train".into(),
+                match &self.last_train {
+                    Some(train) => train.to_json_value(),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "rounds".into(),
+                Value::Array(self.rounds.iter().map(round_to_json).collect()),
+            ),
+        ])
+        .to_json()
+    }
+
+    /// Parses a snapshot written by [`ExplorerState::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, CheckpointError> {
+        let value = Value::parse(text)?;
+        let version = value.get("version")?.as_u64()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint version {version}, this build reads {CHECKPOINT_VERSION}"
+            )));
+        }
+        let sampler = value.get("sampler")?;
+        let swapped = sampler
+            .get("swapped")?
+            .as_array()?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_array()?;
+                if pair.len() != 2 {
+                    return Err(JsonError::custom("swap entries are [from, to] pairs"));
+                }
+                Ok((pair[0].as_usize()?, pair[1].as_usize()?))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let samples = value
+            .get("samples")?
+            .as_array()?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_array()?;
+                if pair.len() != 2 {
+                    return Err(JsonError::custom("samples are [index, value] pairs"));
+                }
+                Ok((pair[0].as_usize()?, pair[1].as_f64()?))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let quarantined = value
+            .get("quarantined")?
+            .as_array()?
+            .iter()
+            .map(Value::as_usize)
+            .collect::<Result<Vec<_>, _>>()?;
+        let last_fit_seed = match value.get("last_fit_seed")? {
+            Value::Null => None,
+            other => Some(from_hex(other)?),
+        };
+        let last_train = match value.get("last_train")? {
+            Value::Null => None,
+            other => Some(TrainSnapshot::from_json_value(other)?),
+        };
+        let rounds = value
+            .get("rounds")?
+            .as_array()?
+            .iter()
+            .map(round_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            seed: from_hex(value.get("seed")?)?,
+            space_size: value.get("space_size")?.as_usize()?,
+            rng: rng_from_json(value.get("rng")?)?,
+            sampler: SamplerState {
+                population: sampler.get("population")?.as_usize()?,
+                drawn: sampler.get("drawn")?.as_usize()?,
+                swapped,
+                rng: rng_from_json(sampler.get("rng")?)?,
+            },
+            samples,
+            quarantined,
+            last_fit_seed,
+            last_train,
+            rounds,
+        })
+    }
+
+    /// Atomically writes the snapshot to `dir/state.json`.
+    pub fn save(&self, dir: &Path) -> Result<(), CheckpointError> {
+        write_atomic(&dir.join("state.json"), &self.to_json())?;
+        Ok(())
+    }
+
+    /// Loads the snapshot at `dir/state.json`.
+    pub fn load(dir: &Path) -> Result<Self, CheckpointError> {
+        let text = std::fs::read_to_string(dir.join("state.json"))?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ExplorerState {
+        ExplorerState {
+            seed: 0xDEAD_BEEF_CAFE_F00D,
+            space_size: 432,
+            rng: [u64::MAX, 1, 0x8000_0000_0000_0001, 42],
+            sampler: SamplerState {
+                population: 432,
+                drawn: 100,
+                swapped: vec![(3, 431), (17, 401)],
+                rng: [9, 8, 7, u64::MAX - 1],
+            },
+            samples: vec![(3, 0.1 + 0.2), (431, 1.25), (17, f64::MIN_POSITIVE)],
+            quarantined: vec![11, 99],
+            last_fit_seed: Some(0xFFFF_FFFF_FFFF_FFFF),
+            last_train: Some(TrainSnapshot {
+                hidden_units: 16,
+                second_hidden_units: 0,
+                learning_rate: 0.001,
+                momentum: 0.5,
+                max_epochs: 800,
+                patience: 60,
+                percentage_error: true,
+            }),
+            rounds: vec![Round {
+                samples: 100,
+                fraction_sampled: 100.0 / 432.0,
+                estimate: ErrorEstimate {
+                    mean: 4.25,
+                    std_dev: 1.125,
+                    points: 100,
+                },
+                training_seconds: 0.5,
+                simulation_seconds: 0.25,
+                simulation: SimStats {
+                    unique_simulations: 100,
+                    cache_hits: 3,
+                    simulated_instructions: 100_000,
+                    wall_seconds: 0.25,
+                    failures: 7,
+                    retries: 5,
+                    quarantined: 2,
+                    resampled: 2,
+                },
+                prediction_seconds: 0.0,
+                folds: vec![FoldRecord {
+                    fold: 0,
+                    train_samples: 80,
+                    es_samples: 10,
+                    test_samples: 10,
+                    epochs: 123,
+                    best_es_error: 4.5,
+                    seconds: 0.05,
+                    reinits: 1,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let original = state();
+        let text = original.to_json();
+        let back = ExplorerState::from_json(&text).expect("parse back");
+        assert_eq!(back, original);
+        // Floats survive bit-for-bit, u64s exactly (both beyond 2^53).
+        assert_eq!(back.samples[0].1.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(back.rng[0], u64::MAX);
+        assert_eq!(back.last_fit_seed, Some(u64::MAX));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("archpredict_ckpt_{}", std::process::id()));
+        let original = state();
+        original.save(&dir).expect("save");
+        let back = ExplorerState::load(&dir).expect("load");
+        assert_eq!(back, original);
+        // A torn temp file from a killed writer is ignored by readers.
+        std::fs::write(dir.join("state.json.tmp"), "{\"version\":").unwrap();
+        assert_eq!(ExplorerState::load(&dir).expect("load again"), original);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_checkpoints_are_typed_errors() {
+        assert!(matches!(
+            ExplorerState::from_json("{ not json"),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let text = state()
+            .to_json()
+            .replace("\"version\":1.0", "\"version\":2");
+        assert!(matches!(
+            ExplorerState::from_json(&text),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+}

@@ -60,13 +60,32 @@ impl CrossAppModel {
         for (slot, (_, evaluator)) in evaluators.iter().enumerate() {
             let rng = Xoshiro256::seed_from(seed).derive(slot as u64 + 1);
             let mut sampler = IncrementalSampler::new(space.size(), rng);
-            let indices = sampler.next_batch(per_app_samples);
-            let values = evaluator.evaluate_batch(space, &indices, &mut simulation);
-            for (&index, &value) in indices.iter().zip(&values) {
-                dataset.push(Sample::new(
-                    encode_with_app(space, index, slot, apps.len()),
-                    value,
-                ));
+            // Failed evaluations are dropped and replaced with fresh draws
+            // (mirroring the explorer's quarantine-and-resample policy) so
+            // every application still contributes its full sample quota.
+            let mut pending = sampler.next_batch(per_app_samples);
+            loop {
+                let results = evaluator.evaluate_batch(space, &pending, &mut simulation);
+                let mut failed = 0usize;
+                for (&index, result) in pending.iter().zip(&results) {
+                    if let Ok(value) = result {
+                        dataset.push(Sample::new(
+                            encode_with_app(space, index, slot, apps.len()),
+                            *value,
+                        ));
+                    } else {
+                        failed += 1;
+                    }
+                }
+                if failed == 0 {
+                    break;
+                }
+                let replacements = sampler.next_batch(failed);
+                if replacements.is_empty() {
+                    break;
+                }
+                simulation.resampled += replacements.len() as u64;
+                pending = replacements;
             }
         }
         let fit = fit_ensemble(&dataset, 10.min(dataset.len()), train, seed ^ 0xC405);
@@ -148,6 +167,7 @@ impl CrossAppModel {
 
     /// Measures true percentage error for one application on held-out
     /// design-point indices (predictions run through the batched sweep).
+    /// Held-out points whose evaluation fails are skipped.
     pub fn true_error<E: Oracle>(
         &self,
         space: &DesignSpace,
@@ -159,8 +179,10 @@ impl CrossAppModel {
         let actuals = evaluator.evaluate_batch(space, held_out, &mut stats);
         let predictions = self.predict_indices(space, held_out, benchmark, Parallelism::Auto);
         let mut acc = Accumulator::new();
-        for (&predicted, &actual) in predictions.iter().zip(&actuals) {
-            acc.add(100.0 * (predicted - actual).abs() / actual.abs().max(1e-12));
+        for (&predicted, actual) in predictions.iter().zip(&actuals) {
+            if let Ok(actual) = actual {
+                acc.add(100.0 * (predicted - actual).abs() / actual.abs().max(1e-12));
+            }
         }
         (acc.mean(), acc.population_std_dev())
     }

@@ -12,7 +12,29 @@
 //! [`Explorer::run`] repeats until the estimated error reaches the target
 //! or the sample budget is exhausted — the paper's "collect simulation
 //! results until the error estimate is sufficiently low".
+//!
+//! # Fault tolerance
+//!
+//! The oracle is fallible: each batch returns one
+//! [`crate::simulate::SimResult`] per point. Points whose evaluation fails
+//! (after whatever retrying the oracle stack performs) are **quarantined**
+//! — never drawn again, excluded from held-out sets — and the round draws
+//! replacement points until its sample budget is met or the space runs
+//! out, so a faulty backend degrades throughput, never correctness.
+//!
+//! # Checkpoint / resume
+//!
+//! With [`Explorer::enable_checkpoints`], the full exploration state is
+//! atomically persisted after every round; [`Explorer::resume`] restores
+//! it — RNG streams, sampler position, training set, quarantine, history —
+//! and refits the last ensemble from its recorded seed, so a run killed at
+//! any point continues bit-for-bit as if never interrupted.
 
+// User-reachable failures must surface as typed `ExploreError`s, not
+// panics; the lint holds this file to that (tests opt back out).
+#![deny(clippy::unwrap_used)]
+
+use crate::checkpoint::{ExplorerState, TrainSnapshot};
 use crate::sampling::Strategy;
 use crate::simulate::{Oracle, SimStats};
 use crate::space::DesignSpace;
@@ -21,9 +43,11 @@ use archpredict_ann::{Dataset, Ensemble, Parallelism, Sample, TrainConfig};
 use archpredict_stats::describe::Accumulator;
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_stats::sampling::IncrementalSampler;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 
-/// Why a refinement round could not run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Why a refinement round (or model query) could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExploreError {
     /// The training set (after drawing whatever points remained) is still
     /// smaller than the three folds cross-validation needs. Configure a
@@ -35,6 +59,13 @@ pub enum ExploreError {
     /// Every point in the design space has been simulated and the training
     /// set is empty — there is nothing to train on.
     SpaceExhausted,
+    /// A prediction was requested before any round trained an ensemble.
+    NoEnsemble,
+    /// A true-error measurement was requested with no held-out points (or
+    /// every held-out evaluation failed).
+    EmptyHeldOut,
+    /// Checkpoint persistence or restoration failed.
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for ExploreError {
@@ -47,6 +78,9 @@ impl std::fmt::Display for ExploreError {
             ExploreError::SpaceExhausted => {
                 write!(f, "design space exhausted with no training data")
             }
+            ExploreError::NoEnsemble => write!(f, "no ensemble trained yet"),
+            ExploreError::EmptyHeldOut => write!(f, "need held-out points"),
+            ExploreError::Checkpoint(message) => write!(f, "checkpoint failed: {message}"),
         }
     }
 }
@@ -144,8 +178,18 @@ pub struct Explorer<'a, E: Oracle> {
     rng: Xoshiro256,
     dataset: Dataset,
     sampled_indices: Vec<usize>,
+    /// Measured metric per entry of `sampled_indices` (kept so checkpoints
+    /// can rebuild the training set without re-simulating).
+    sample_values: Vec<f64>,
+    /// Indices whose evaluation failed for good; never drawn again.
+    quarantined: BTreeSet<usize>,
     ensemble: Option<Ensemble>,
     history: Vec<Round>,
+    checkpoint_dir: Option<PathBuf>,
+    /// Seed and hyperparameters of the most recent `fit_ensemble`, so a
+    /// resume can refit the identical ensemble.
+    last_fit_seed: Option<u64>,
+    last_train: Option<TrainSnapshot>,
 }
 
 impl<'a, E: Oracle> Explorer<'a, E> {
@@ -160,8 +204,120 @@ impl<'a, E: Oracle> Explorer<'a, E> {
             config,
             dataset: Dataset::new(),
             sampled_indices: Vec::new(),
+            sample_values: Vec::new(),
+            quarantined: BTreeSet::new(),
             ensemble: None,
             history: Vec::new(),
+            checkpoint_dir: None,
+            last_fit_seed: None,
+            last_train: None,
+        }
+    }
+
+    /// Restores an explorer from the checkpoint directory written by a
+    /// previous run with [`Explorer::enable_checkpoints`].
+    ///
+    /// Every stochastic stream (sampler, training seeds) resumes exactly
+    /// where the checkpoint froze it, the last round's ensemble is refit
+    /// from its recorded seed (bit-for-bit identical at any thread count),
+    /// and checkpointing stays enabled on the same directory — so the
+    /// resumed run's remaining rounds are indistinguishable from an
+    /// uninterrupted run's.
+    ///
+    /// `config` must carry the same `seed` the checkpointed run used and
+    /// `space` must have the same size; both are validated. Fields that do
+    /// not affect results (e.g. `train.parallelism`) may differ.
+    pub fn resume(
+        space: &'a DesignSpace,
+        evaluator: &'a E,
+        config: ExplorerConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, ExploreError> {
+        let dir = dir.as_ref();
+        let state =
+            ExplorerState::load(dir).map_err(|e| ExploreError::Checkpoint(e.to_string()))?;
+        if state.seed != config.seed {
+            return Err(ExploreError::Checkpoint(format!(
+                "checkpoint was taken under seed {:#018x}, config has {:#018x}",
+                state.seed, config.seed
+            )));
+        }
+        if state.space_size != space.size() {
+            return Err(ExploreError::Checkpoint(format!(
+                "checkpoint space has {} points, this space has {}",
+                state.space_size,
+                space.size()
+            )));
+        }
+        let mut dataset = Dataset::new();
+        let mut sampled_indices = Vec::with_capacity(state.samples.len());
+        let mut sample_values = Vec::with_capacity(state.samples.len());
+        for &(index, value) in &state.samples {
+            if index >= space.size() {
+                return Err(ExploreError::Checkpoint(format!(
+                    "checkpoint sample index {index} out of space"
+                )));
+            }
+            dataset.push(Sample::new(space.encode(&space.point(index)), value));
+            sampled_indices.push(index);
+            sample_values.push(value);
+        }
+        let ensemble = match (state.last_fit_seed, &state.last_train, state.rounds.last()) {
+            (Some(fit_seed), Some(train), Some(last_round)) => {
+                let folds = last_round.folds.len();
+                let train = train.to_config(config.train.parallelism);
+                Some(fit_ensemble(&dataset, folds, &train, fit_seed).ensemble)
+            }
+            _ => None,
+        };
+        Ok(Self {
+            sampler: IncrementalSampler::from_state(&state.sampler),
+            rng: Xoshiro256::from_state(state.rng),
+            space,
+            evaluator,
+            config,
+            dataset,
+            sampled_indices,
+            sample_values,
+            quarantined: state.quarantined.iter().copied().collect(),
+            ensemble,
+            history: state.rounds,
+            checkpoint_dir: Some(dir.to_path_buf()),
+            last_fit_seed: state.last_fit_seed,
+            last_train: state.last_train,
+        })
+    }
+
+    /// Enables crash-safe checkpointing: after every completed round the
+    /// full exploration state is atomically written to `dir/state.json`
+    /// (see [`crate::checkpoint`]). Returns the explorer for chaining.
+    pub fn enable_checkpoints(&mut self, dir: impl Into<PathBuf>) -> &mut Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// The checkpoint directory, when checkpointing is enabled.
+    pub fn checkpoint_dir(&self) -> Option<&Path> {
+        self.checkpoint_dir.as_deref()
+    }
+
+    /// A restorable snapshot of the current exploration state.
+    pub fn snapshot(&self) -> ExplorerState {
+        ExplorerState {
+            seed: self.config.seed,
+            space_size: self.space.size(),
+            rng: self.rng.state(),
+            sampler: self.sampler.state(),
+            samples: self
+                .sampled_indices
+                .iter()
+                .copied()
+                .zip(self.sample_values.iter().copied())
+                .collect(),
+            quarantined: self.quarantined.iter().copied().collect(),
+            last_fit_seed: self.last_fit_seed,
+            last_train: self.last_train.clone(),
+            rounds: self.history.clone(),
         }
     }
 
@@ -173,6 +329,12 @@ impl<'a, E: Oracle> Explorer<'a, E> {
     /// Indices of all design points simulated so far.
     pub fn sampled_indices(&self) -> &[usize] {
         &self.sampled_indices
+    }
+
+    /// Indices whose evaluation failed permanently, in ascending order.
+    /// These are excluded from future batches and held-out sets.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.quarantined.iter().copied().collect()
     }
 
     /// The current ensemble, once at least one round has run.
@@ -191,66 +353,117 @@ impl<'a, E: Oracle> Explorer<'a, E> {
         self.config.train = train;
     }
 
+    /// The trained ensemble, or [`ExploreError::NoEnsemble`] before the
+    /// first round.
+    fn require_ensemble(&self) -> Result<&Ensemble, ExploreError> {
+        self.ensemble.as_ref().ok_or(ExploreError::NoEnsemble)
+    }
+
+    /// Predicts the metric at an arbitrary design point, or
+    /// [`ExploreError::NoEnsemble`] before the first round.
+    pub fn try_predict(&self, index: usize) -> Result<f64, ExploreError> {
+        let ensemble = self.require_ensemble()?;
+        Ok(ensemble.predict(&self.space.encode(&self.space.point(index))))
+    }
+
     /// Predicts the metric at an arbitrary design point.
     ///
     /// # Panics
     ///
-    /// Panics if no round has run yet.
+    /// Panics if no round has run yet ([`Explorer::try_predict`] returns
+    /// the condition as a typed error instead).
     pub fn predict(&self, index: usize) -> f64 {
-        let ensemble = self.ensemble.as_ref().expect("no ensemble trained yet");
-        ensemble.predict(&self.space.encode(&self.space.point(index)))
+        self.try_predict(index).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Predicts the metric at each of the given design-point indices via
     /// the batched inference path, parallelized per the configured
     /// [`Parallelism`] knob. Bit-for-bit identical to calling
-    /// [`Explorer::predict`] per index, at any thread count.
+    /// [`Explorer::predict`] per index, at any thread count. Errors with
+    /// [`ExploreError::NoEnsemble`] before the first round.
+    pub fn try_predict_indices(&self, indices: &[usize]) -> Result<Vec<f64>, ExploreError> {
+        let ensemble = self.require_ensemble()?;
+        Ok(crate::infer::predict_indices(
+            ensemble,
+            self.space,
+            indices,
+            self.parallelism(),
+        ))
+    }
+
+    /// Infallible [`Explorer::try_predict_indices`].
     ///
     /// # Panics
     ///
     /// Panics if no round has run yet.
     pub fn predict_indices(&self, indices: &[usize]) -> Vec<f64> {
-        let ensemble = self.ensemble.as_ref().expect("no ensemble trained yet");
-        crate::infer::predict_indices(ensemble, self.space, indices, self.parallelism())
+        self.try_predict_indices(indices)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Predicts the metric over the **entire** design space, in index
     /// order — the paper's payoff step. Chunked and parallelized per the
     /// configured [`Parallelism`] knob; the output is bit-for-bit
-    /// identical for every setting.
+    /// identical for every setting. Errors with
+    /// [`ExploreError::NoEnsemble`] before the first round.
+    pub fn try_predict_space(&self) -> Result<Vec<f64>, ExploreError> {
+        self.try_predict_space_with(self.parallelism())
+    }
+
+    /// Infallible [`Explorer::try_predict_space`].
     ///
     /// # Panics
     ///
     /// Panics if no round has run yet.
     pub fn predict_space(&self) -> Vec<f64> {
-        self.predict_space_with(self.parallelism())
+        self.try_predict_space().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// [`Explorer::predict_space`] with an explicit worker policy
+    /// [`Explorer::try_predict_space`] with an explicit worker policy
     /// (exposed so callers and tests can pin or sweep thread counts).
+    pub fn try_predict_space_with(
+        &self,
+        parallelism: Parallelism,
+    ) -> Result<Vec<f64>, ExploreError> {
+        let ensemble = self.require_ensemble()?;
+        let indices: Vec<usize> = (0..self.space.size()).collect();
+        Ok(crate::infer::predict_indices(
+            ensemble,
+            self.space,
+            &indices,
+            parallelism,
+        ))
+    }
+
+    /// Infallible [`Explorer::try_predict_space_with`].
     ///
     /// # Panics
     ///
     /// Panics if no round has run yet.
     pub fn predict_space_with(&self, parallelism: Parallelism) -> Vec<f64> {
-        let ensemble = self.ensemble.as_ref().expect("no ensemble trained yet");
-        let indices: Vec<usize> = (0..self.space.size()).collect();
-        crate::infer::predict_indices(ensemble, self.space, &indices, parallelism)
+        self.try_predict_space_with(parallelism)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Ranks every design point by predicted metric, best (highest)
     /// first, with ties broken by index so the ranking is deterministic.
     /// This is "find the best configuration without simulating the
-    /// space": a full-space sweep plus one sort.
+    /// space": a full-space sweep plus one sort. Errors with
+    /// [`ExploreError::NoEnsemble`] before the first round.
+    pub fn try_rank_space(&self) -> Result<Vec<usize>, ExploreError> {
+        let predictions = self.try_predict_space()?;
+        let mut order: Vec<usize> = (0..predictions.len()).collect();
+        order.sort_by(|&a, &b| predictions[b].total_cmp(&predictions[a]).then(a.cmp(&b)));
+        Ok(order)
+    }
+
+    /// Infallible [`Explorer::try_rank_space`].
     ///
     /// # Panics
     ///
     /// Panics if no round has run yet.
     pub fn rank_space(&self) -> Vec<usize> {
-        let predictions = self.predict_space();
-        let mut order: Vec<usize> = (0..predictions.len()).collect();
-        order.sort_by(|&a, &b| predictions[b].total_cmp(&predictions[a]).then(a.cmp(&b)));
-        order
+        self.try_rank_space().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The worker policy governing batched prediction sweeps (shared with
@@ -292,20 +505,49 @@ impl<'a, E: Oracle> Explorer<'a, E> {
             return Err(ExploreError::SpaceExhausted);
         }
         // 2. Simulate them through the batch-first oracle, keeping its
-        // telemetry for the round record.
+        // telemetry for the round record. Failed points (after whatever
+        // retrying the oracle stack did) are quarantined and replaced by
+        // fresh draws until the round's budget is met or the space runs
+        // dry, so a faulty backend cannot starve the training set.
         let sim_started = std::time::Instant::now();
         let mut simulation = SimStats::default();
-        let results = self
-            .evaluator
-            .evaluate_batch(self.space, &batch, &mut simulation);
-        let simulation_seconds = sim_started.elapsed().as_secs_f64();
-        for (&index, &ipc) in batch.iter().zip(&results) {
-            self.dataset.push(Sample::new(
-                self.space.encode(&self.space.point(index)),
-                ipc,
-            ));
-            self.sampled_indices.push(index);
+        let mut pending = batch;
+        loop {
+            let results = self
+                .evaluator
+                .evaluate_batch(self.space, &pending, &mut simulation);
+            let mut failed = 0usize;
+            for (&index, result) in pending.iter().zip(&results) {
+                match result {
+                    Ok(value) => {
+                        self.dataset.push(Sample::new(
+                            self.space.encode(&self.space.point(index)),
+                            *value,
+                        ));
+                        self.sampled_indices.push(index);
+                        self.sample_values.push(*value);
+                    }
+                    Err(_) => {
+                        self.quarantined.insert(index);
+                        failed += 1;
+                    }
+                }
+            }
+            if failed == 0 {
+                break;
+            }
+            // Replacements come from the plain sampler stream (even under
+            // active learning — re-scoring a handful of fill-ins is not
+            // worth a second committee sweep) and are counted so the CSVs
+            // show how much backfilling the faults caused.
+            let replacements = self.sampler.next_batch(failed);
+            if replacements.is_empty() {
+                break;
+            }
+            simulation.resampled += replacements.len() as u64;
+            pending = replacements;
         }
+        let simulation_seconds = sim_started.elapsed().as_secs_f64();
         // 3. Train the cross-validation ensemble, with the fold count
         // clamped to the training-set size (a tiny first batch would
         // otherwise request more folds than there are samples).
@@ -316,14 +558,12 @@ impl<'a, E: Oracle> Explorer<'a, E> {
             });
         }
         let started = std::time::Instant::now();
-        let fit = fit_ensemble(
-            &self.dataset,
-            folds,
-            &self.config.train,
-            self.rng.next_u64(),
-        );
+        let fit_seed = self.rng.next_u64();
+        let fit = fit_ensemble(&self.dataset, folds, &self.config.train, fit_seed);
         let training_seconds = started.elapsed().as_secs_f64();
         self.ensemble = Some(fit.ensemble);
+        self.last_fit_seed = Some(fit_seed);
+        self.last_train = Some(TrainSnapshot::of(&self.config.train));
         // 4. Record the estimate.
         self.history.push(Round {
             samples: self.dataset.len(),
@@ -335,6 +575,13 @@ impl<'a, E: Oracle> Explorer<'a, E> {
             prediction_seconds,
             folds: fit.folds,
         });
+        // 5. Persist the post-round state (atomic, so a kill at any moment
+        // leaves either the previous complete checkpoint or this one).
+        if let Some(dir) = self.checkpoint_dir.clone() {
+            self.snapshot()
+                .save(&dir)
+                .map_err(|e| ExploreError::Checkpoint(e.to_string()))?;
+        }
         Ok(self.history.last().expect("just pushed"))
     }
 
@@ -387,26 +634,45 @@ impl<'a, E: Oracle> Explorer<'a, E> {
     /// Measures the model's *true* error on `held_out` point indices
     /// (simulating any that were never simulated — callers typically pass a
     /// fixed random evaluation set disjoint from the training set).
+    /// Held-out points whose evaluation fails are skipped — the error is
+    /// measured over the surviving points, reported in
+    /// [`TrueError::points`].
+    ///
+    /// Errors if `held_out` is empty, every evaluation failed, or no round
+    /// has run yet.
+    pub fn try_true_error(&self, held_out: &[usize]) -> Result<TrueError, ExploreError> {
+        if held_out.is_empty() {
+            return Err(ExploreError::EmptyHeldOut);
+        }
+        let mut stats = SimStats::default();
+        let actuals = self
+            .evaluator
+            .evaluate_batch(self.space, held_out, &mut stats);
+        let predictions = self.try_predict_indices(held_out)?;
+        let mut acc = Accumulator::new();
+        for (&predicted, actual) in predictions.iter().zip(&actuals) {
+            if let Ok(actual) = actual {
+                acc.add(100.0 * (predicted - actual).abs() / actual.abs().max(1e-12));
+            }
+        }
+        if acc.count() == 0 {
+            return Err(ExploreError::EmptyHeldOut);
+        }
+        Ok(TrueError {
+            mean: acc.mean(),
+            std_dev: acc.population_std_dev(),
+            points: acc.count(),
+        })
+    }
+
+    /// Infallible [`Explorer::try_true_error`].
     ///
     /// # Panics
     ///
     /// Panics if no round has run yet or `held_out` is empty.
     pub fn true_error(&self, held_out: &[usize]) -> TrueError {
-        assert!(!held_out.is_empty(), "need held-out points");
-        let mut stats = SimStats::default();
-        let actuals = self
-            .evaluator
-            .evaluate_batch(self.space, held_out, &mut stats);
-        let predictions = self.predict_indices(held_out);
-        let mut acc = Accumulator::new();
-        for (&predicted, &actual) in predictions.iter().zip(&actuals) {
-            acc.add(100.0 * (predicted - actual).abs() / actual.abs().max(1e-12));
-        }
-        TrueError {
-            mean: acc.mean(),
-            std_dev: acc.population_std_dev(),
-            points: acc.count(),
-        }
+        self.try_true_error(held_out)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Draws `count` indices that have *not* been simulated, for true-error
@@ -422,7 +688,7 @@ impl<'a, E: Oracle> Explorer<'a, E> {
         let sampled: std::collections::HashSet<usize> =
             self.sampled_indices.iter().copied().collect();
         let mut complement: Vec<usize> = (0..self.space.size())
-            .filter(|i| !sampled.contains(i))
+            .filter(|i| !sampled.contains(i) && !self.quarantined.contains(i))
             .collect();
         let want = count.min(complement.len());
         let mut rng = Xoshiro256::seed_from(self.config.seed ^ 0xE7A1);
@@ -433,10 +699,11 @@ impl<'a, E: Oracle> Explorer<'a, E> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::param::Param;
-    use crate::simulate::PointEvaluator;
+    use crate::simulate::{PointEvaluator, SimError, SimResult};
     use crate::space::DesignPoint;
 
     /// A cheap synthetic "simulator" over a 3-parameter space.
@@ -724,6 +991,187 @@ mod tests {
         assert_eq!(active.history()[0].prediction_seconds, 0.0);
         active.step();
         assert!(active.history()[1].prediction_seconds > 0.0);
+    }
+
+    /// A synthetic simulator that permanently fails on every 7th index.
+    struct Faulty {
+        space: DesignSpace,
+    }
+
+    impl PointEvaluator for Faulty {
+        fn evaluate(&self, point: &DesignPoint) -> f64 {
+            Synthetic {
+                space: self.space.clone(),
+            }
+            .evaluate(point)
+        }
+        fn try_evaluate(&self, point: &DesignPoint) -> SimResult {
+            if self.space.index(point).is_multiple_of(7) {
+                Err(SimError::Crashed)
+            } else {
+                Ok(self.evaluate(point))
+            }
+        }
+        fn instructions_per_evaluation(&self) -> u64 {
+            1
+        }
+    }
+
+    #[test]
+    fn failed_points_are_quarantined_and_resampled_to_budget() {
+        let space = space();
+        let faulty = Faulty {
+            space: space.clone(),
+        };
+        let mut explorer = Explorer::new(&space, &faulty, explorer_config());
+        let round = explorer.step().clone();
+        // Every round still reaches its 40-point budget despite ~1/7 of
+        // draws failing, via replacement draws.
+        assert_eq!(round.samples, 40);
+        assert!(round.simulation.failures > 0, "{:?}", round.simulation);
+        assert!(round.simulation.resampled >= round.simulation.failures);
+        let quarantined = explorer.quarantined();
+        assert!(!quarantined.is_empty());
+        assert!(quarantined.iter().all(|i| i % 7 == 0));
+        // Quarantined points never enter the training set or held-out set
+        // (the held-out filter can only know about *observed* failures).
+        assert!(explorer.sampled_indices().iter().all(|i| i % 7 != 0));
+        let held_out = explorer.held_out_set(200);
+        assert!(held_out.iter().all(|i| !quarantined.contains(i)));
+        // And the whole faulty run is deterministic.
+        let mut again = Explorer::new(&space, &faulty, explorer_config());
+        let round2 = again.step().clone();
+        assert_eq!(round2.samples, round.samples);
+        assert_eq!(round2.simulation.failures, round.simulation.failures);
+        assert_eq!(again.sampled_indices(), explorer.sampled_indices());
+    }
+
+    #[test]
+    fn true_error_skips_failed_held_out_points() {
+        let space = space();
+        let faulty = Faulty {
+            space: space.clone(),
+        };
+        let mut explorer = Explorer::new(&space, &faulty, explorer_config());
+        explorer.step();
+        // Hand-pick a held-out set that includes perma-failing indices not
+        // yet quarantined (held_out_set already excludes known ones).
+        let sampled: std::collections::HashSet<_> =
+            explorer.sampled_indices().iter().copied().collect();
+        let held_out: Vec<usize> = (0..space.size()).filter(|i| !sampled.contains(i)).collect();
+        let failing = held_out.iter().filter(|i| *i % 7 == 0).count();
+        assert!(failing > 0);
+        let error = explorer.try_true_error(&held_out).expect("some survive");
+        assert_eq!(error.points as usize, held_out.len() - failing);
+        assert_eq!(
+            explorer.try_true_error(&[]),
+            Err(ExploreError::EmptyHeldOut)
+        );
+    }
+
+    #[test]
+    fn predict_before_first_round_is_a_typed_error() {
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        let explorer = Explorer::new(&space, &synthetic, explorer_config());
+        assert_eq!(explorer.try_predict(0), Err(ExploreError::NoEnsemble));
+        assert_eq!(explorer.try_predict_space(), Err(ExploreError::NoEnsemble));
+        assert_eq!(explorer.try_rank_space(), Err(ExploreError::NoEnsemble));
+    }
+
+    #[test]
+    #[should_panic(expected = "no ensemble trained yet")]
+    fn predict_before_first_round_panics_with_stable_message() {
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        Explorer::new(&space, &synthetic, explorer_config()).predict(0);
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_bit_for_bit() {
+        let dir =
+            std::env::temp_dir().join(format!("archpredict_explorer_ckpt_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        // Reference: an uninterrupted 4-round run.
+        let mut uninterrupted = Explorer::new(&space, &synthetic, explorer_config());
+        for _ in 0..4 {
+            uninterrupted.step();
+        }
+        // Crashed run: 2 rounds with checkpointing, then "kill" (drop).
+        {
+            let mut crashed = Explorer::new(&space, &synthetic, explorer_config());
+            crashed.enable_checkpoints(&dir);
+            crashed.step();
+            crashed.step();
+        }
+        // Resume and finish the remaining rounds.
+        let mut resumed = Explorer::resume(&space, &synthetic, explorer_config(), &dir)
+            .expect("resume from checkpoint");
+        assert_eq!(resumed.history().len(), 2);
+        assert_eq!(resumed.samples(), uninterrupted.history()[1].samples);
+        resumed.step();
+        resumed.step();
+        // Result-affecting state matches the uninterrupted run exactly.
+        assert_eq!(resumed.sampled_indices(), uninterrupted.sampled_indices());
+        for (a, b) in resumed.history().iter().zip(uninterrupted.history()) {
+            assert_eq!(a.samples, b.samples);
+            assert_eq!(a.estimate, b.estimate);
+            assert_eq!(
+                a.simulation.unique_simulations,
+                b.simulation.unique_simulations
+            );
+            assert_eq!(a.folds.len(), b.folds.len());
+            for (fa, fb) in a.folds.iter().zip(&b.folds) {
+                assert_eq!(fa.epochs, fb.epochs);
+                assert_eq!(fa.best_es_error, fb.best_es_error);
+                assert_eq!(fa.reinits, fb.reinits);
+            }
+        }
+        // The payoff sweep is bit-for-bit identical.
+        assert_eq!(resumed.predict_space(), uninterrupted.predict_space());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_validates_seed_and_space() {
+        let dir = std::env::temp_dir().join(format!(
+            "archpredict_explorer_mismatch_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let space = space();
+        let synthetic = Synthetic {
+            space: space.clone(),
+        };
+        let mut explorer = Explorer::new(&space, &synthetic, explorer_config());
+        explorer.enable_checkpoints(&dir);
+        explorer.step();
+        // Missing directory and wrong seed both surface as typed errors.
+        let wrong_seed = ExplorerConfig {
+            seed: 99,
+            ..explorer_config()
+        };
+        assert!(matches!(
+            Explorer::resume(&space, &synthetic, wrong_seed, &dir),
+            Err(ExploreError::Checkpoint(_))
+        ));
+        assert!(matches!(
+            Explorer::resume(&space, &synthetic, explorer_config(), dir.join("nope")),
+            Err(ExploreError::Checkpoint(_))
+        ));
+        // Correct config resumes and predicts identically to the original.
+        let resumed =
+            Explorer::resume(&space, &synthetic, explorer_config(), &dir).expect("matching resume");
+        assert_eq!(resumed.predict_space(), explorer.predict_space());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

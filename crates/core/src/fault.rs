@@ -1,0 +1,269 @@
+//! Deterministic fault injection for testing the fault-tolerant oracle
+//! stack.
+//!
+//! [`FaultInjectingOracle`] wraps any [`Oracle`] and injects seeded,
+//! per-(index, attempt) faults with a configurable probability and mode
+//! mix. The fault schedule is a *pure function* of the configured seed,
+//! the design-point index, and how many times that index has been
+//! attempted — never of thread timing — so an injected-fault run is
+//! bit-for-bit reproducible at every [`archpredict_ann::Parallelism`]
+//! setting, which is exactly what the CI smoke gate asserts.
+
+use crate::simulate::{Oracle, SimError, SimResult, SimStats};
+use crate::space::DesignSpace;
+use archpredict_stats::rng::Xoshiro256;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Fault schedule configuration for [`FaultInjectingOracle`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that any single (index, attempt) evaluation faults.
+    pub probability: f64,
+    /// Seed of the deterministic fault schedule.
+    pub seed: u64,
+    /// Fault mode mix: `(mode, weight)` pairs, weights need not sum to 1.
+    pub modes: Vec<(SimError, f64)>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            probability: 0.1,
+            seed: 0xFA_17ED,
+            modes: vec![
+                (SimError::Transient, 0.5),
+                (SimError::Crashed, 0.2),
+                (SimError::TimedOut, 0.2),
+                (SimError::NonFinite, 0.1),
+            ],
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A schedule that only injects retriable faults — useful when a test
+    /// must guarantee every index eventually succeeds within the retry
+    /// budget's reach (no deterministic `NonFinite` garbage).
+    pub fn retriable_only(probability: f64, seed: u64) -> Self {
+        Self {
+            probability,
+            seed,
+            modes: vec![
+                (SimError::Transient, 0.6),
+                (SimError::Crashed, 0.2),
+                (SimError::TimedOut, 0.2),
+            ],
+        }
+    }
+
+    /// The fault decision for attempt number `attempt` (1-based) at
+    /// `index`: a pure function of `(seed, index, attempt)`.
+    pub fn fault_for(&self, index: usize, attempt: u64) -> Option<SimError> {
+        let mut rng = Xoshiro256::seed_from(self.seed)
+            .derive(index as u64 + 1)
+            .derive(attempt);
+        if rng.next_f64() >= self.probability {
+            return None;
+        }
+        let total: f64 = self.modes.iter().map(|&(_, w)| w).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut pick = rng.next_f64() * total;
+        for &(mode, weight) in &self.modes {
+            pick -= weight;
+            if pick < 0.0 {
+                return Some(mode);
+            }
+        }
+        self.modes.last().map(|&(mode, _)| mode)
+    }
+}
+
+/// Wraps any oracle with a seeded, deterministic fault schedule.
+///
+/// Faulted (index, attempt) pairs never reach the inner oracle — the
+/// injector simulates the backend dying *before* it produces a value — so
+/// wrapping a [`crate::simulate::CachedEvaluator`] keeps the cache free of
+/// injected garbage, and the exactly-once-per-surviving-index property of
+/// the stack is preserved.
+///
+/// Fault decisions are computed sequentially in input order before the
+/// surviving subset is delegated to the inner oracle, so injection is
+/// independent of the inner oracle's thread count.
+#[derive(Debug)]
+pub struct FaultInjectingOracle<O> {
+    inner: O,
+    config: FaultConfig,
+    /// Attempts seen per index (shared across batches, so retries of an
+    /// index advance its schedule).
+    attempts: Mutex<HashMap<usize, u64>>,
+    injected: AtomicU64,
+}
+
+impl<O: Oracle> FaultInjectingOracle<O> {
+    /// Wraps `inner` with the default 10% mixed-mode schedule.
+    pub fn new(inner: O) -> Self {
+        Self::with_config(inner, FaultConfig::default())
+    }
+
+    /// Wraps `inner` with an explicit schedule.
+    pub fn with_config(inner: O, config: FaultConfig) -> Self {
+        Self {
+            inner,
+            config,
+            attempts: Mutex::new(HashMap::new()),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// The fault schedule in force.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+impl<O: Oracle> Oracle for FaultInjectingOracle<O> {
+    fn evaluate_batch(
+        &self,
+        space: &DesignSpace,
+        indices: &[usize],
+        stats: &mut SimStats,
+    ) -> Vec<SimResult> {
+        // Phase 1 (sequential, input order): decide each occurrence's
+        // fate. Duplicate occurrences of an index advance its attempt
+        // counter independently, in input order, so the schedule does not
+        // depend on how the inner oracle parallelizes.
+        let mut results: Vec<SimResult> = Vec::with_capacity(indices.len());
+        let mut passing: Vec<usize> = Vec::new();
+        let mut passing_slots: Vec<usize> = Vec::new();
+        {
+            let mut attempts = self.attempts.lock().expect("attempt counter lock");
+            for (slot, &index) in indices.iter().enumerate() {
+                let attempt = attempts.entry(index).or_insert(0);
+                *attempt += 1;
+                match self.config.fault_for(index, *attempt) {
+                    Some(error) => {
+                        stats.failures += 1;
+                        self.injected.fetch_add(1, Ordering::Relaxed);
+                        results.push(Err(error));
+                    }
+                    None => {
+                        passing.push(index);
+                        passing_slots.push(slot);
+                        results.push(Ok(0.0)); // placeholder, filled below
+                    }
+                }
+            }
+        }
+        // Phase 2: the surviving subset goes to the inner oracle as one
+        // batch, preserving its dedup/fan-out behavior.
+        let inner_results = self.inner.evaluate_batch(space, &passing, stats);
+        for (slot, outcome) in passing_slots.into_iter().zip(inner_results) {
+            results[slot] = outcome;
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::{PointEvaluator, RetryingOracle};
+    use crate::space::DesignPoint;
+    use crate::studies::Study;
+    use std::sync::atomic::AtomicUsize;
+
+    struct CountingEvaluator {
+        calls: AtomicUsize,
+    }
+
+    impl PointEvaluator for CountingEvaluator {
+        fn evaluate(&self, point: &DesignPoint) -> f64 {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            point.0.iter().sum::<usize>() as f64 + 1.0
+        }
+        fn instructions_per_evaluation(&self) -> u64 {
+            100
+        }
+    }
+
+    fn counting() -> CountingEvaluator {
+        CountingEvaluator {
+            calls: AtomicUsize::new(0),
+        }
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_index_attempt() {
+        let config = FaultConfig::default();
+        for index in 0..200 {
+            for attempt in 1..4 {
+                assert_eq!(
+                    config.fault_for(index, attempt),
+                    config.fault_for(index, attempt)
+                );
+            }
+        }
+        // ~10% of first attempts fault (loose statistical bound).
+        let faults = (0..2000)
+            .filter(|&i| config.fault_for(i, 1).is_some())
+            .count();
+        assert!((100..300).contains(&faults), "fault count {faults}");
+    }
+
+    #[test]
+    fn faulted_attempts_never_reach_the_inner_oracle() {
+        let space = Study::MemorySystem.space();
+        let injector = FaultInjectingOracle::with_config(
+            counting(),
+            FaultConfig {
+                probability: 0.5,
+                ..FaultConfig::default()
+            },
+        );
+        let indices: Vec<usize> = (0..100).collect();
+        let mut stats = SimStats::default();
+        let results = injector.evaluate_batch(&space, &indices, &mut stats);
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        let failed = results.len() - ok;
+        assert_eq!(injector.inner().calls.load(Ordering::SeqCst), ok);
+        assert_eq!(injector.injected() as usize, failed);
+        assert_eq!(stats.failures as usize, failed);
+        assert_eq!(stats.unique_simulations as usize, ok);
+        assert!(failed > 10 && ok > 10, "ok {ok} / failed {failed}");
+    }
+
+    #[test]
+    fn retry_stack_recovers_retriable_injected_faults_deterministically() {
+        let space = Study::MemorySystem.space();
+        let run = || {
+            let oracle = RetryingOracle::new(FaultInjectingOracle::with_config(
+                counting(),
+                FaultConfig::retriable_only(0.3, 77),
+            ));
+            let mut stats = SimStats::default();
+            let results = oracle.evaluate_batch(&space, &(0..50).collect::<Vec<_>>(), &mut stats);
+            (results, stats.retries, stats.quarantined)
+        };
+        let (a, retries, _) = run();
+        let (b, _, _) = run();
+        assert_eq!(a, b, "same seed, same outcome");
+        assert!(retries > 0, "0.3 fault rate should trigger retries");
+        // With p = 0.3 and 3 attempts, perma-failure is ~2.7% per index.
+        let ok = a.iter().filter(|r| r.is_ok()).count();
+        assert!(ok >= 40, "only {ok}/50 survived");
+    }
+}

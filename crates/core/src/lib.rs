@@ -23,8 +23,13 @@
 //!   SimPoint-accelerated (noisy) simulation, a sharded deduplicating
 //!   cache with CSV persist/preload, parallel batch fan-out, and
 //!   [`simulate::SimStats`] telemetry.
+//! * [`fault`] — deterministic, seeded fault injection for exercising the
+//!   retry/quarantine stack under reproducible failure schedules.
 //! * [`explorer`] — the incremental sample → train → estimate → refine
-//!   loop (§3.3's procedure, steps 1–8).
+//!   loop (§3.3's procedure, steps 1–8), with crash-safe checkpoint /
+//!   resume via [`checkpoint`].
+//! * [`persist`] — atomic (write-temp, fsync, rename) file persistence
+//!   shared by caches, checkpoints and reports.
 //! * [`sampling`] — random (paper) and active-learning (§7) strategies.
 //! * [`infer`] — the batched, allocation-free, parallel inference engine
 //!   behind full-space sweeps and committee scoring.
@@ -63,11 +68,14 @@
 //! });
 //! ```
 
+pub mod checkpoint;
 pub mod crossapp;
 pub mod explorer;
+pub mod fault;
 pub mod infer;
 pub mod multitask;
 pub mod param;
+pub mod persist;
 pub mod report;
 pub mod sampling;
 pub mod simulate;
@@ -75,10 +83,13 @@ pub mod smarts;
 pub mod space;
 pub mod studies;
 
+pub use checkpoint::{CheckpointError, ExplorerState};
 pub use explorer::{ExploreError, Explorer, ExplorerConfig, Round, TrueError};
+pub use fault::{FaultConfig, FaultInjectingOracle};
 pub use param::{Param, ParamKind, ParamValue};
 pub use simulate::{
-    CachedEvaluator, Oracle, PointEvaluator, SimBudget, SimPointEvaluator, SimStats, StudyEvaluator,
+    CachedEvaluator, Oracle, PointEvaluator, RetryPolicy, RetryingOracle, SimBudget, SimError,
+    SimPointEvaluator, SimResult, SimStats, StudyEvaluator,
 };
 pub use space::{DesignPoint, DesignSpace, SpaceError};
 pub use studies::Study;

@@ -1,0 +1,80 @@
+//! Crash-safe file writes shared by every persist path in the workspace.
+//!
+//! A study killed mid-write (`kill -9`, OOM, power loss) must never leave
+//! a torn `results/` artifact: resumption depends on every persisted file
+//! being either the complete old version or the complete new one. The
+//! standard recipe is write-to-sibling-temp, fsync, rename — rename within
+//! one directory is atomic on POSIX filesystems.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Sibling temp path for `path` (`<name>.tmp` in the same directory, so
+/// the final rename never crosses a filesystem boundary).
+fn temp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically replaces the file at `path` with `contents`.
+///
+/// Creates parent directories as needed, writes `<path>.tmp`, fsyncs it,
+/// then renames over `path`. The directory entry is fsynced best-effort
+/// (not all platforms allow opening directories), which is the standard
+/// durability/portability trade-off.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = temp_sibling(path);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            // Durability of the rename itself; failure is not fatal.
+            if let Ok(dir) = fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces_contents() {
+        let dir = std::env::temp_dir().join(format!("archpredict_persist_{}", std::process::id()));
+        let path = dir.join("nested/artifact.csv");
+        write_atomic(&path, "a,b\n1,2\n").expect("first write");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        write_atomic(&path, "a,b\n3,4\n").expect("replace");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "a,b\n3,4\n");
+        // No temp residue after a successful write.
+        assert!(!temp_sibling(&path).exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_temp_file_is_overwritten_not_fatal() {
+        let dir =
+            std::env::temp_dir().join(format!("archpredict_persist_stale_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.csv");
+        // Simulate a kill mid-write from a previous run: a torn temp file.
+        fs::write(temp_sibling(&path), "torn garba").unwrap();
+        write_atomic(&path, "complete\n").expect("write over stale temp");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "complete\n");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -4,8 +4,16 @@
 //! (fraction-of-space-sampled → error) points. [`LearningCurve`] collects
 //! those rows — estimated and, when measured, true error — and renders
 //! them as CSV (for plotting) or an aligned text table (for logs).
+//!
+//! Two CSV flavors exist: [`LearningCurve::to_csv`] carries everything
+//! including wall-clock timings, and [`LearningCurve::to_csv_deterministic`]
+//! drops the timing columns so two runs with identical seeds produce
+//! byte-for-byte identical files — the currency of the fault-tolerance and
+//! checkpoint/resume equivalence gates. File writes go through the atomic
+//! [`crate::persist::write_atomic`] path.
 
 use crate::explorer::{Round, TrueError};
+use std::path::Path;
 
 /// One row of a learning curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +47,14 @@ pub struct CurvePoint {
     pub simulation_cache_hits: u64,
     /// Instructions simulated for this row's batch.
     pub simulated_instructions: u64,
+    /// Evaluation attempts that failed for this row's batch.
+    pub sim_failures: u64,
+    /// Retry attempts the oracle stack issued for this row's batch.
+    pub sim_retries: u64,
+    /// Points quarantined (gave up on) during this row's batch.
+    pub sim_quarantined: u64,
+    /// Replacement points drawn to backfill failures this round.
+    pub sim_resampled: u64,
 }
 
 /// A labelled learning curve (one application × one study).
@@ -75,18 +91,22 @@ impl LearningCurve {
             unique_simulations: round.simulation.unique_simulations,
             simulation_cache_hits: round.simulation.cache_hits,
             simulated_instructions: round.simulation.simulated_instructions,
+            sim_failures: round.simulation.failures,
+            sim_retries: round.simulation.retries,
+            sim_quarantined: round.simulation.quarantined,
+            sim_resampled: round.simulation.resampled,
         });
     }
 
     /// CSV rendering with a header row.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "label,samples,percent_sampled,estimated_mean,estimated_std_dev,true_mean,true_std_dev,training_seconds,simulation_seconds,prediction_seconds,mean_fold_epochs,unique_simulations,simulation_cache_hits,simulated_instructions\n",
+            "label,samples,percent_sampled,estimated_mean,estimated_std_dev,true_mean,true_std_dev,training_seconds,simulation_seconds,prediction_seconds,mean_fold_epochs,unique_simulations,simulation_cache_hits,simulated_instructions,sim_failures,sim_retries,sim_quarantined,sim_resampled\n",
         );
         for p in &self.points {
             let fmt_opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.4}"));
             out.push_str(&format!(
-                "{},{},{:.4},{:.4},{:.4},{},{},{:.4},{:.4},{:.4},{:.1},{},{},{}\n",
+                "{},{},{:.4},{:.4},{:.4},{},{},{:.4},{:.4},{:.4},{:.1},{},{},{},{},{},{},{}\n",
                 self.label,
                 p.samples,
                 p.percent_sampled,
@@ -101,9 +121,56 @@ impl LearningCurve {
                 p.unique_simulations,
                 p.simulation_cache_hits,
                 p.simulated_instructions,
+                p.sim_failures,
+                p.sim_retries,
+                p.sim_quarantined,
+                p.sim_resampled,
             ));
         }
         out
+    }
+
+    /// CSV rendering with the wall-clock timing columns removed, so the
+    /// output is a pure function of seeds and data. Two runs that should
+    /// be equivalent (different thread counts, resumed vs. uninterrupted)
+    /// can be compared byte-for-byte on this rendering.
+    pub fn to_csv_deterministic(&self) -> String {
+        let mut out = String::from(
+            "label,samples,percent_sampled,estimated_mean,estimated_std_dev,true_mean,true_std_dev,mean_fold_epochs,unique_simulations,simulation_cache_hits,simulated_instructions,sim_failures,sim_retries,sim_quarantined,sim_resampled\n",
+        );
+        for p in &self.points {
+            let fmt_opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.4}"));
+            out.push_str(&format!(
+                "{},{},{:.4},{:.4},{:.4},{},{},{:.1},{},{},{},{},{},{},{}\n",
+                self.label,
+                p.samples,
+                p.percent_sampled,
+                p.estimated_mean,
+                p.estimated_std_dev,
+                fmt_opt(p.true_mean),
+                fmt_opt(p.true_std_dev),
+                p.mean_fold_epochs,
+                p.unique_simulations,
+                p.simulation_cache_hits,
+                p.simulated_instructions,
+                p.sim_failures,
+                p.sim_retries,
+                p.sim_quarantined,
+                p.sim_resampled,
+            ));
+        }
+        out
+    }
+
+    /// Atomically writes [`LearningCurve::to_csv`] to `path` (temp file,
+    /// fsync, rename — a kill mid-write never leaves a torn artifact).
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        crate::persist::write_atomic(path, &self.to_csv())
+    }
+
+    /// Atomically writes [`LearningCurve::to_csv_deterministic`] to `path`.
+    pub fn write_csv_deterministic(&self, path: &Path) -> std::io::Result<()> {
+        crate::persist::write_atomic(path, &self.to_csv_deterministic())
     }
 
     /// Aligned, human-readable table.
@@ -155,6 +222,10 @@ mod tests {
                 cache_hits: 5,
                 simulated_instructions: 45_000,
                 wall_seconds: 0.25,
+                failures: 7,
+                retries: 5,
+                quarantined: 2,
+                resampled: 3,
             },
             prediction_seconds: 0.125,
             folds: vec![
@@ -166,6 +237,7 @@ mod tests {
                     epochs: 120,
                     best_es_error: mean,
                     seconds: 0.05,
+                    reinits: 0,
                 };
                 10
             ],
@@ -189,11 +261,56 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("label,samples"));
         assert!(lines[0].ends_with(
-            "mean_fold_epochs,unique_simulations,simulation_cache_hits,simulated_instructions"
+            "simulated_instructions,sim_failures,sim_retries,sim_quarantined,sim_resampled"
         ));
         assert!(lines[1].contains("mesa (memory),50,5.0000,8.0000"));
-        assert!(lines[1].ends_with("0.5000,0.2500,0.1250,120.0,45,5,45000"));
+        assert!(lines[1].ends_with("0.5000,0.2500,0.1250,120.0,45,5,45000,7,5,2,3"));
         assert!(lines[2].contains("4.2000"));
+    }
+
+    #[test]
+    fn deterministic_csv_excludes_wall_clock_columns() {
+        let mut curve = LearningCurve::new("x");
+        curve.push(&round(50, 8.0), None);
+        // The same run with different timings renders identically.
+        let mut jittered = LearningCurve::new("x");
+        let mut r = round(50, 8.0);
+        r.training_seconds = 99.0;
+        r.simulation_seconds = 1.0;
+        r.prediction_seconds = 2.0;
+        r.simulation.wall_seconds = 3.0;
+        jittered.push(&r, None);
+        assert_eq!(
+            curve.to_csv_deterministic(),
+            jittered.to_csv_deterministic()
+        );
+        assert_ne!(curve.to_csv(), jittered.to_csv());
+        let csv = curve.to_csv_deterministic();
+        assert!(!csv.contains("seconds"), "{csv}");
+        assert!(csv.lines().next().unwrap().ends_with(
+            "simulated_instructions,sim_failures,sim_retries,sim_quarantined,sim_resampled"
+        ));
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .ends_with("120.0,45,5,45000,7,5,2,3"));
+    }
+
+    #[test]
+    fn csv_writes_are_atomic_and_readable() {
+        let dir = std::env::temp_dir().join(format!("archpredict_report_{}", std::process::id()));
+        let mut curve = LearningCurve::new("x");
+        curve.push(&round(50, 8.0), None);
+        let path = dir.join("curve.csv");
+        curve.write_csv(&path).expect("write csv");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), curve.to_csv());
+        curve.write_csv_deterministic(&path).expect("rewrite");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            curve.to_csv_deterministic()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

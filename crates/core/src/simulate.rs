@@ -21,25 +21,91 @@
 //! [`CachedEvaluator::persist`]/[`CachedEvaluator::load`] path so
 //! interrupted experiments resume without re-simulating.
 //!
+//! # Fallibility
+//!
+//! Real simulator backends crash, hang, and emit garbage. Batch results
+//! are therefore **per-index [`SimResult`]s**: a fault at one index
+//! ([`SimError`]) never poisons its batchmates. [`RetryingOracle`] wraps
+//! any oracle with a bounded, deterministically-seeded retry policy and a
+//! persistent quarantine set for permanently failing points;
+//! [`crate::fault::FaultInjectingOracle`] injects seeded faults for
+//! testing the whole stack.
+//!
 //! # Determinism contract
 //!
 //! Batch results are **bit-for-bit identical** at every [`Parallelism`]
 //! setting: each output depends only on its own design-point index,
 //! workers own disjoint contiguous spans of the (deduplicated) work list,
 //! and spans are merged in input order — the same contract parallel fold
-//! training and the batched inference sweep already honor.
+//! training and the batched inference sweep already honor. The guarantee
+//! covers errors too: which indices fail, and how, is independent of the
+//! thread count.
 
+use crate::persist::write_atomic;
 use crate::space::{DesignPoint, DesignSpace};
 use crate::studies::Study;
 use archpredict_ann::Parallelism;
 use archpredict_sim::simulate_with_warmup;
 use archpredict_simpoint::SimPointPlan;
+use archpredict_stats::rng::Xoshiro256;
 use archpredict_workloads::{Benchmark, TraceGenerator};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Why a single design-point evaluation failed.
+///
+/// The taxonomy mirrors what flaky cycle-accurate backends actually do:
+/// transient infrastructure hiccups, hard crashes, garbage output, and
+/// hangs. [`SimError::is_retriable`] encodes the retry policy's view of
+/// each mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimError {
+    /// A transient infrastructure failure (I/O blip, lost worker); the
+    /// same point may well succeed on retry.
+    Transient,
+    /// The simulator process crashed on this configuration.
+    Crashed,
+    /// The simulator returned a non-finite metric (NaN/Inf). Deterministic
+    /// simulators return the same garbage again, so this is not retried.
+    NonFinite,
+    /// The simulation exceeded its time budget.
+    TimedOut,
+    /// The point is in a [`RetryingOracle`]'s quarantine set and was not
+    /// re-attempted.
+    Quarantined,
+}
+
+impl SimError {
+    /// Whether a retry can plausibly succeed. `NonFinite` (deterministic
+    /// garbage) and `Quarantined` (already given up) are permanent;
+    /// everything else is worth re-attempting.
+    pub fn is_retriable(self) -> bool {
+        matches!(
+            self,
+            SimError::Transient | SimError::Crashed | SimError::TimedOut
+        )
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Transient => write!(f, "transient simulation failure"),
+            SimError::Crashed => write!(f, "simulator crashed"),
+            SimError::NonFinite => write!(f, "simulator returned a non-finite metric"),
+            SimError::TimedOut => write!(f, "simulation timed out"),
+            SimError::Quarantined => write!(f, "design point is quarantined"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-index outcome of a batch evaluation.
+pub type SimResult = Result<f64, SimError>;
 
 /// Environment variable overriding the `Parallelism::Auto` worker count
 /// for batch simulation (the simulation leg's analogue of training's
@@ -60,12 +126,23 @@ pub struct SimStats {
     /// Evaluations served without simulating: memo-cache hits plus
     /// in-batch duplicates of a point already being simulated.
     pub cache_hits: u64,
-    /// Instructions simulated (`unique_simulations ×` the evaluator's
-    /// per-evaluation budget) — the Figs. 5.6/5.7 reduction-factor
-    /// currency.
+    /// Instructions simulated (evaluation *attempts* × the evaluator's
+    /// per-evaluation budget — failed attempts burn simulator work too) —
+    /// the Figs. 5.6/5.7 reduction-factor currency.
     pub simulated_instructions: u64,
     /// Wall-clock seconds spent inside the oracle.
     pub wall_seconds: f64,
+    /// Evaluation attempts that returned a [`SimError`], counted where the
+    /// error originated (the faulty backend or injector, not the retry
+    /// wrapper). Quarantine short-circuits are not counted here.
+    pub failures: u64,
+    /// Re-attempts issued by [`RetryingOracle`] after retriable failures.
+    pub retries: u64,
+    /// Indices a [`RetryingOracle`] gave up on and quarantined.
+    pub quarantined: u64,
+    /// Replacement draws made by the explorer to backfill failed points so
+    /// a round still reaches its sample budget.
+    pub resampled: u64,
 }
 
 impl SimStats {
@@ -80,6 +157,10 @@ impl SimStats {
         self.cache_hits += other.cache_hits;
         self.simulated_instructions += other.simulated_instructions;
         self.wall_seconds += other.wall_seconds;
+        self.failures += other.failures;
+        self.retries += other.retries;
+        self.quarantined += other.quarantined;
+        self.resampled += other.resampled;
     }
 }
 
@@ -93,19 +174,22 @@ impl SimStats {
 /// trait through the blanket impl.
 pub trait Oracle: Sync {
     /// The target metric (IPC in the paper) at each design-point index of
-    /// `space`, in input order. Telemetry is added into `stats`.
+    /// `space`, in input order — one [`SimResult`] per index, so a fault
+    /// at one point never poisons its batchmates. Telemetry is added into
+    /// `stats`.
     fn evaluate_batch(
         &self,
         space: &DesignSpace,
         indices: &[usize],
         stats: &mut SimStats,
-    ) -> Vec<f64>;
+    ) -> Vec<SimResult>;
 
     /// Single-point adapter: a one-element batch (telemetry discarded).
-    fn evaluate_index(&self, space: &DesignSpace, index: usize) -> f64 {
+    fn evaluate_index(&self, space: &DesignSpace, index: usize) -> SimResult {
         let mut stats = SimStats::default();
         self.evaluate_batch(space, std::slice::from_ref(&index), &mut stats)
             .pop()
+            // Invariant: evaluate_batch returns one result per index.
             .expect("one result for one index")
     }
 }
@@ -121,6 +205,19 @@ pub trait Oracle: Sync {
 pub trait PointEvaluator: Sync {
     /// The target metric (IPC in the paper) at `point`.
     fn evaluate(&self, point: &DesignPoint) -> f64;
+
+    /// Fallible evaluation. The default wraps [`PointEvaluator::evaluate`]
+    /// and converts a non-finite metric into [`SimError::NonFinite`], so
+    /// every leaf gets garbage-output detection for free; backends with
+    /// richer failure modes (crashes, timeouts) override this.
+    fn try_evaluate(&self, point: &DesignPoint) -> SimResult {
+        let value = self.evaluate(point);
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            Err(SimError::NonFinite)
+        }
+    }
 
     /// Instructions one evaluation simulates (for the reduction-factor
     /// accounting of Figs. 5.6/5.7).
@@ -140,7 +237,7 @@ impl<E: PointEvaluator> Oracle for E {
         space: &DesignSpace,
         indices: &[usize],
         stats: &mut SimStats,
-    ) -> Vec<f64> {
+    ) -> Vec<SimResult> {
         evaluate_indices(self, space, indices, self.parallelism(), stats)
     }
 }
@@ -151,17 +248,21 @@ impl<E: PointEvaluator> Oracle for E {
 ///
 /// This is the raw fan-out (no caching, no deduplication): a batch with
 /// duplicate indices simulates each occurrence. Wrap the evaluator in a
-/// [`CachedEvaluator`] to get dedup and memoization.
+/// [`CachedEvaluator`] to get dedup and memoization, and a
+/// [`RetryingOracle`] to get retry/quarantine handling of failures.
 pub fn evaluate_indices<E: PointEvaluator + ?Sized>(
     evaluator: &E,
     space: &DesignSpace,
     indices: &[usize],
     parallelism: Parallelism,
     stats: &mut SimStats,
-) -> Vec<f64> {
+) -> Vec<SimResult> {
     let started = Instant::now();
     let results = fan_out(evaluator, space, indices, parallelism);
-    stats.unique_simulations += indices.len() as u64;
+    let failed = results.iter().filter(|r| r.is_err()).count() as u64;
+    stats.unique_simulations += indices.len() as u64 - failed;
+    stats.failures += failed;
+    // Failed attempts burn simulator work too.
     stats.simulated_instructions += indices.len() as u64 * evaluator.instructions_per_evaluation();
     stats.wall_seconds += started.elapsed().as_secs_f64();
     results
@@ -169,28 +270,28 @@ pub fn evaluate_indices<E: PointEvaluator + ?Sized>(
 
 /// The scoped-thread fan-out shared by the blanket impl and the cached
 /// oracle's miss path. Workers own disjoint contiguous spans of the output
-/// and each value depends only on its own index, so the result is
-/// identical at every worker count.
+/// and each result depends only on its own index, so the outcome — values
+/// *and* errors — is identical at every worker count.
 fn fan_out<E: PointEvaluator + ?Sized>(
     evaluator: &E,
     space: &DesignSpace,
     indices: &[usize],
     parallelism: Parallelism,
-) -> Vec<f64> {
+) -> Vec<SimResult> {
     let workers = parallelism.worker_count_with_env(indices.len(), ENV_SIM_THREADS);
     if workers <= 1 || indices.len() < 2 {
         return indices
             .iter()
-            .map(|&i| evaluator.evaluate(&space.point(i)))
+            .map(|&i| evaluator.try_evaluate(&space.point(i)))
             .collect();
     }
-    let mut results = vec![0.0; indices.len()];
+    let mut results = vec![Ok(0.0); indices.len()];
     let chunk = indices.len().div_ceil(workers);
     std::thread::scope(|scope| {
         for (slot, work) in results.chunks_mut(chunk).zip(indices.chunks(chunk)) {
             scope.spawn(move || {
                 for (out, &i) in slot.iter_mut().zip(work) {
-                    *out = evaluator.evaluate(&space.point(i));
+                    *out = evaluator.try_evaluate(&space.point(i));
                 }
             });
         }
@@ -480,27 +581,49 @@ impl<E: PointEvaluator> CachedEvaluator<E> {
         for (index, value) in entries {
             out.push_str(&format!("{index},{value}\n"));
         }
-        std::fs::write(path, out)
+        // tmp + fsync + rename: a kill mid-write never tears the cache.
+        write_atomic(path, &out)
     }
 
     /// Preloads the cache from a CSV written by
     /// [`CachedEvaluator::persist`]; returns how many entries were loaded.
-    /// Unparsable lines (including the header) are skipped, so a truncated
-    /// file from an interrupted run loads whatever survived.
+    /// Unparsable lines (beyond the header) are skipped and logged, so a
+    /// truncated file from an interrupted run loads whatever survived
+    /// instead of aborting the study.
     pub fn load(&self, path: &Path) -> std::io::Result<usize> {
         let text = std::fs::read_to_string(path)?;
         let mut loaded = 0;
-        for line in text.lines() {
-            let Some((index, value)) = line.split_once(',') else {
-                continue;
-            };
-            let (Ok(index), Ok(value)) =
-                (index.trim().parse::<usize>(), value.trim().parse::<f64>())
-            else {
-                continue;
-            };
-            self.insert_once(index, value);
-            loaded += 1;
+        let mut skipped = 0usize;
+        for (number, line) in text.lines().enumerate() {
+            if number == 0 && line.trim() == "index,value" {
+                continue; // header
+            }
+            let parsed = line.split_once(',').and_then(|(index, value)| {
+                match (index.trim().parse::<usize>(), value.trim().parse::<f64>()) {
+                    (Ok(index), Ok(value)) => Some((index, value)),
+                    _ => None,
+                }
+            });
+            match parsed {
+                Some((index, value)) => {
+                    self.insert_once(index, value);
+                    loaded += 1;
+                }
+                None => {
+                    skipped += 1;
+                    eprintln!(
+                        "simcache {}: skipping malformed line {}: {line:?}",
+                        path.display(),
+                        number + 1
+                    );
+                }
+            }
+        }
+        if skipped > 0 {
+            eprintln!(
+                "simcache {}: loaded {loaded} entries, skipped {skipped} malformed lines",
+                path.display()
+            );
         }
         Ok(loaded)
     }
@@ -516,16 +639,17 @@ impl<E: PointEvaluator> CachedEvaluator<E> {
     }
 
     /// Point-at-a-time adapter through the cache, for callers holding a
-    /// [`DesignPoint`] rather than an index.
-    pub fn evaluate(&self, point: &DesignPoint) -> f64 {
+    /// [`DesignPoint`] rather than an index. Only successful values enter
+    /// the cache, so a transient fault is re-attempted on the next call.
+    pub fn evaluate(&self, point: &DesignPoint) -> SimResult {
         let index = self.space.index(point);
         if let Some(v) = self.lookup(index) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return v;
+            return Ok(v);
         }
-        let v = self.inner.evaluate(point);
+        let v = self.inner.try_evaluate(point)?;
         self.insert_once(index, v);
-        v
+        Ok(v)
     }
 }
 
@@ -535,9 +659,9 @@ impl<E: PointEvaluator> Oracle for CachedEvaluator<E> {
         space: &DesignSpace,
         indices: &[usize],
         stats: &mut SimStats,
-    ) -> Vec<f64> {
+    ) -> Vec<SimResult> {
         let started = Instant::now();
-        let mut results = vec![0.0; indices.len()];
+        let mut results = vec![Ok(0.0); indices.len()];
         // In-batch dedup: `misses` keeps unique uncached indices in first-
         // occurrence order; `pending` remembers which result slots each
         // miss must fill (first occurrence and all its duplicates).
@@ -548,7 +672,7 @@ impl<E: PointEvaluator> Oracle for CachedEvaluator<E> {
             if let Some(&m) = miss_slot.get(&index) {
                 pending.push((slot, m));
             } else if let Some(v) = self.lookup(index) {
-                results[slot] = v;
+                results[slot] = Ok(v);
             } else {
                 let m = misses.len();
                 miss_slot.insert(index, m);
@@ -558,20 +682,222 @@ impl<E: PointEvaluator> Oracle for CachedEvaluator<E> {
         }
         // Simulate each unique miss exactly once, fanned out per the
         // cache's worker policy (deterministic at every thread count).
+        // Only successes are cached: a transient fault must be
+        // re-attemptable in a later batch, and errors must never be
+        // served as hits.
         let values = fan_out(&self.inner, space, &misses, self.parallelism);
-        for (&index, &value) in misses.iter().zip(&values) {
-            self.insert_once(index, value);
+        for (&index, value) in misses.iter().zip(&values) {
+            if let Ok(v) = value {
+                self.insert_once(index, *v);
+            }
         }
         for (slot, m) in pending {
             results[slot] = values[m];
         }
         let hits = (indices.len() - misses.len()) as u64;
+        let failed = values.iter().filter(|r| r.is_err()).count() as u64;
         self.hits.fetch_add(hits, Ordering::Relaxed);
-        stats.unique_simulations += misses.len() as u64;
+        stats.unique_simulations += misses.len() as u64 - failed;
+        stats.failures += failed;
         stats.cache_hits += hits;
         stats.simulated_instructions +=
             misses.len() as u64 * self.inner.instructions_per_evaluation();
         stats.wall_seconds += started.elapsed().as_secs_f64();
+        results
+    }
+}
+
+/// Bounded retry policy for [`RetryingOracle`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per index per batch (first try included). After
+    /// this many retriable failures the index is quarantined.
+    pub max_attempts: u32,
+    /// Base of the exponential backoff schedule, in (virtual) seconds:
+    /// attempt `k`'s backoff is `base × 2^(k-1) × jitter`.
+    pub base_backoff_seconds: f64,
+    /// Seed for the deterministic per-(index, attempt) backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff_seconds: 0.05,
+            seed: 0x5EED_BACC,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Deterministic jittered backoff (in seconds) charged before retry
+    /// attempt `attempt` (≥ 2) of `index`: exponential in the attempt
+    /// number with a seeded jitter factor in `[0.5, 1.5)`.
+    pub fn backoff_seconds(&self, index: usize, attempt: u32) -> f64 {
+        let jitter = 0.5
+            + Xoshiro256::seed_from(self.seed)
+                .derive(index as u64 + 1)
+                .derive(attempt as u64)
+                .next_f64();
+        self.base_backoff_seconds * f64::from(1u32 << (attempt.saturating_sub(2)).min(20)) * jitter
+    }
+}
+
+/// Retry/quarantine wrapper: turns a flaky [`Oracle`] into one that
+/// re-attempts retriable failures a bounded number of times and
+/// permanently quarantines indices that never succeed.
+///
+/// * Retries re-batch all still-failing indices, so the inner oracle's
+///   batch fan-out (and its determinism contract) applies to retries too.
+/// * Backoff is **accounted, not slept**: this workspace's backends fail
+///   deterministically, so sleeping would only slow tests. The schedule a
+///   production deployment would sleep is accumulated in
+///   [`RetryingOracle::virtual_backoff_seconds`], deterministically
+///   seeded per (index, attempt).
+/// * Quarantined indices short-circuit to [`SimError::Quarantined`] on
+///   later batches without touching the inner oracle; the set can be
+///   persisted/preloaded so a resumed study skips known-bad points
+///   immediately.
+///
+/// Telemetry: `stats.retries` counts re-attempts issued here and
+/// `stats.quarantined` counts indices given up on; `stats.failures` is
+/// counted by whoever originates the errors (the inner oracle).
+#[derive(Debug)]
+pub struct RetryingOracle<O> {
+    inner: O,
+    policy: RetryPolicy,
+    quarantine: Mutex<BTreeSet<usize>>,
+    backoff_nanos: AtomicU64,
+}
+
+impl<O: Oracle> RetryingOracle<O> {
+    /// Wraps `inner` with the default [`RetryPolicy`].
+    pub fn new(inner: O) -> Self {
+        Self::with_policy(inner, RetryPolicy::default())
+    }
+
+    /// Wraps `inner` with an explicit policy.
+    pub fn with_policy(inner: O, policy: RetryPolicy) -> Self {
+        Self {
+            inner,
+            policy,
+            quarantine: Mutex::new(BTreeSet::new()),
+            backoff_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Snapshot of the quarantined indices, sorted.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.quarantine
+            .lock()
+            .expect("quarantine lock")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Total backoff the retry schedule *would* have slept, in seconds.
+    pub fn virtual_backoff_seconds(&self) -> f64 {
+        self.backoff_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+
+    /// Seeds the quarantine set (e.g. from a previous run's persisted
+    /// file), so known-bad points are skipped without re-attempting.
+    pub fn preload_quarantine(&self, indices: impl IntoIterator<Item = usize>) {
+        let mut q = self.quarantine.lock().expect("quarantine lock");
+        q.extend(indices);
+    }
+
+    /// Writes the quarantine set to `path` (one index per line under a
+    /// header), atomically (tmp + fsync + rename).
+    pub fn persist_quarantine(&self, path: &Path) -> std::io::Result<()> {
+        let mut out = String::from("quarantined_index\n");
+        for index in self.quarantined() {
+            out.push_str(&format!("{index}\n"));
+        }
+        write_atomic(path, &out)
+    }
+
+    /// Preloads the quarantine set from a file written by
+    /// [`RetryingOracle::persist_quarantine`]; returns how many indices
+    /// were loaded. Malformed lines are skipped.
+    pub fn load_quarantine(&self, path: &Path) -> std::io::Result<usize> {
+        let text = std::fs::read_to_string(path)?;
+        let indices: Vec<usize> = text
+            .lines()
+            .filter_map(|line| line.trim().parse::<usize>().ok())
+            .collect();
+        let loaded = indices.len();
+        self.preload_quarantine(indices);
+        Ok(loaded)
+    }
+}
+
+impl<O: Oracle> Oracle for RetryingOracle<O> {
+    fn evaluate_batch(
+        &self,
+        space: &DesignSpace,
+        indices: &[usize],
+        stats: &mut SimStats,
+    ) -> Vec<SimResult> {
+        let mut results: Vec<SimResult> = vec![Err(SimError::Quarantined); indices.len()];
+        // Quarantined indices short-circuit without touching the inner
+        // oracle (and without counting as fresh failures).
+        let mut live: Vec<(usize, usize)> = {
+            let q = self.quarantine.lock().expect("quarantine lock");
+            indices
+                .iter()
+                .enumerate()
+                .filter(|&(_, index)| !q.contains(index))
+                .map(|(slot, &index)| (slot, index))
+                .collect()
+        };
+        let mut backoff = 0.0f64;
+        for attempt in 1..=self.policy.max_attempts.max(1) {
+            if live.is_empty() {
+                break;
+            }
+            let batch: Vec<usize> = live.iter().map(|&(_, index)| index).collect();
+            let outcomes = self.inner.evaluate_batch(space, &batch, stats);
+            let mut next: Vec<(usize, usize)> = Vec::new();
+            for (&(slot, index), outcome) in live.iter().zip(&outcomes) {
+                match *outcome {
+                    Ok(v) => results[slot] = Ok(v),
+                    Err(e) if e.is_retriable() && attempt < self.policy.max_attempts => {
+                        backoff += self.policy.backoff_seconds(index, attempt + 1);
+                        next.push((slot, index));
+                    }
+                    Err(e) => {
+                        results[slot] = Err(e);
+                        // `insert` dedups: a batch with duplicate copies of
+                        // a permanently failing index quarantines it once.
+                        if self
+                            .quarantine
+                            .lock()
+                            .expect("quarantine lock")
+                            .insert(index)
+                        {
+                            stats.quarantined += 1;
+                        }
+                    }
+                }
+            }
+            stats.retries += next.len() as u64;
+            live = next;
+        }
+        self.backoff_nanos
+            .fetch_add((backoff * 1e9) as u64, Ordering::Relaxed);
         results
     }
 }
@@ -614,7 +940,7 @@ mod tests {
         assert_eq!(cached.inner().calls.load(Ordering::SeqCst), 1);
         assert_eq!(cached.unique_evaluations(), 1);
         assert_eq!(cached.cache_hits(), 1);
-        cached.evaluate(&space.point(18));
+        cached.evaluate(&space.point(18)).expect("fault-free");
         assert_eq!(cached.unique_evaluations(), 2);
     }
 
@@ -624,7 +950,11 @@ mod tests {
         let evaluator = CountingEvaluator::new();
         let indices: Vec<usize> = (0..40).map(|i| i * 13).collect();
         let mut stats = SimStats::default();
-        let batch = evaluator.evaluate_batch(&space, &indices, &mut stats);
+        let batch: Vec<f64> = evaluator
+            .evaluate_batch(&space, &indices, &mut stats)
+            .into_iter()
+            .map(|r| r.expect("no faults"))
+            .collect();
         let sequential: Vec<f64> = indices
             .iter()
             .map(|&i| evaluator.evaluate(&space.point(i)))
@@ -665,8 +995,8 @@ mod tests {
         assert_eq!(stats.evaluations(), indices.len() as u64);
         assert_eq!(stats.simulated_instructions, 2_000);
         // Every occurrence of an index got the same (correct) value.
-        for (&i, &v) in indices.iter().zip(&results) {
-            assert_eq!(v, space.point(i).0.iter().sum::<usize>() as f64 + 1.0);
+        for (&i, v) in indices.iter().zip(&results) {
+            assert_eq!(*v, Ok(space.point(i).0.iter().sum::<usize>() as f64 + 1.0));
         }
         // A second batch over the same points is pure cache hits.
         let mut stats2 = SimStats::default();
@@ -750,8 +1080,8 @@ mod tests {
         let cached = CachedEvaluator::new(CountingEvaluator::new(), space.clone());
         assert_eq!(cached.load(&path).expect("load"), 2);
         assert_eq!(cached.unique_evaluations(), 2);
-        assert_eq!(cached.evaluate_index(&space, 5), 1.25);
-        assert_eq!(cached.evaluate_index(&space, 7), 2.5);
+        assert_eq!(cached.evaluate_index(&space, 5), Ok(1.25));
+        assert_eq!(cached.evaluate_index(&space, 7), Ok(2.5));
         std::fs::remove_file(&path).ok();
     }
 
@@ -762,18 +1092,30 @@ mod tests {
             cache_hits: 2,
             simulated_instructions: 300,
             wall_seconds: 0.5,
+            failures: 1,
+            retries: 2,
+            quarantined: 1,
+            resampled: 1,
         };
         a.merge(&SimStats {
             unique_simulations: 1,
             cache_hits: 4,
             simulated_instructions: 100,
             wall_seconds: 0.25,
+            failures: 2,
+            retries: 1,
+            quarantined: 0,
+            resampled: 3,
         });
         assert_eq!(a.unique_simulations, 4);
         assert_eq!(a.cache_hits, 6);
         assert_eq!(a.evaluations(), 10);
         assert_eq!(a.simulated_instructions, 400);
         assert!((a.wall_seconds - 0.75).abs() < 1e-12);
+        assert_eq!(
+            (a.failures, a.retries, a.quarantined, a.resampled),
+            (3, 3, 1, 4)
+        );
     }
 
     #[test]
@@ -848,5 +1190,133 @@ mod tests {
         let n = generator.num_intervals();
         assert!(budget.intervals.iter().all(|&i| i < n));
         assert!(budget.intervals.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// An oracle that fails each index's first `failures_of(index)`
+    /// attempts with `Transient`, then succeeds with `index as f64`.
+    struct FlakyOracle {
+        attempts: Mutex<HashMap<usize, u32>>,
+        failures_of: fn(usize) -> u32,
+    }
+
+    impl FlakyOracle {
+        fn new(failures_of: fn(usize) -> u32) -> Self {
+            Self {
+                attempts: Mutex::new(HashMap::new()),
+                failures_of,
+            }
+        }
+    }
+
+    impl Oracle for FlakyOracle {
+        fn evaluate_batch(
+            &self,
+            _space: &DesignSpace,
+            indices: &[usize],
+            stats: &mut SimStats,
+        ) -> Vec<SimResult> {
+            let mut attempts = self.attempts.lock().unwrap();
+            indices
+                .iter()
+                .map(|&index| {
+                    let n = attempts.entry(index).or_insert(0);
+                    *n += 1;
+                    if *n <= (self.failures_of)(index) {
+                        stats.failures += 1;
+                        Err(SimError::Transient)
+                    } else {
+                        stats.unique_simulations += 1;
+                        Ok(index as f64)
+                    }
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn retrying_oracle_recovers_transient_failures_and_quarantines_the_rest() {
+        let space = Study::MemorySystem.space();
+        // Index 3 fails once, index 7 twice, index 11 always; the rest
+        // succeed immediately.
+        let flaky = FlakyOracle::new(|i| match i {
+            3 => 1,
+            7 => 2,
+            11 => u32::MAX,
+            _ => 0,
+        });
+        let oracle = RetryingOracle::new(flaky); // max_attempts = 3
+        let mut stats = SimStats::default();
+        let results = oracle.evaluate_batch(&space, &[1, 3, 7, 11, 2], &mut stats);
+        assert_eq!(results[0], Ok(1.0));
+        assert_eq!(results[1], Ok(3.0)); // recovered after 1 retry
+        assert_eq!(results[2], Ok(7.0)); // recovered after 2 retries
+        assert_eq!(results[3], Err(SimError::Transient));
+        assert_eq!(results[4], Ok(2.0));
+        assert_eq!(stats.retries, 5); // 3→1, 7→2, 11→2 (then exhausted)
+        assert_eq!(stats.failures, 6); // 3×1 + 7×2 + 11×3
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(oracle.quarantined(), vec![11]);
+        assert!(oracle.virtual_backoff_seconds() > 0.0);
+
+        // A later batch short-circuits the quarantined index without
+        // touching the inner oracle again.
+        let mut stats2 = SimStats::default();
+        let again = oracle.evaluate_batch(&space, &[11, 4], &mut stats2);
+        assert_eq!(again[0], Err(SimError::Quarantined));
+        assert_eq!(again[1], Ok(4.0));
+        assert_eq!(stats2.failures, 0);
+        assert_eq!(stats2.quarantined, 0);
+        assert_eq!(oracle.inner().attempts.lock().unwrap().get(&11), Some(&3));
+    }
+
+    #[test]
+    fn non_finite_results_are_not_retried() {
+        struct GarbageEvaluator;
+        impl PointEvaluator for GarbageEvaluator {
+            fn evaluate(&self, point: &DesignPoint) -> f64 {
+                if point.0.iter().sum::<usize>() == 0 {
+                    f64::NAN
+                } else {
+                    1.0
+                }
+            }
+            fn instructions_per_evaluation(&self) -> u64 {
+                10
+            }
+        }
+        let space = Study::MemorySystem.space();
+        let oracle = RetryingOracle::new(GarbageEvaluator);
+        let mut stats = SimStats::default();
+        let results = oracle.evaluate_batch(&space, &[0, 5], &mut stats);
+        assert_eq!(results[0], Err(SimError::NonFinite));
+        assert_eq!(results[1], Ok(1.0));
+        // NonFinite is permanent: no retry, straight to quarantine.
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(oracle.quarantined(), vec![0]);
+    }
+
+    #[test]
+    fn quarantine_persists_and_reloads() {
+        let space = Study::MemorySystem.space();
+        let flaky = FlakyOracle::new(|i| if i % 2 == 1 { u32::MAX } else { 0 });
+        let oracle = RetryingOracle::new(flaky);
+        let mut stats = SimStats::default();
+        oracle.evaluate_batch(&space, &[1, 2, 3, 4], &mut stats);
+        assert_eq!(oracle.quarantined(), vec![1, 3]);
+        let path =
+            std::env::temp_dir().join(format!("archpredict_quarantine_{}.csv", std::process::id()));
+        oracle.persist_quarantine(&path).expect("persist");
+
+        let fresh = RetryingOracle::new(FlakyOracle::new(|_| 0));
+        assert_eq!(fresh.load_quarantine(&path).expect("load"), 2);
+        let mut stats2 = SimStats::default();
+        let results = fresh.evaluate_batch(&space, &[1, 2, 3], &mut stats2);
+        assert_eq!(results[0], Err(SimError::Quarantined));
+        assert_eq!(results[1], Ok(2.0));
+        assert_eq!(results[2], Err(SimError::Quarantined));
+        // The quarantined indices never reached the inner oracle.
+        assert!(!fresh.inner().attempts.lock().unwrap().contains_key(&1));
+        std::fs::remove_file(&path).ok();
     }
 }

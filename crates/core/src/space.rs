@@ -5,6 +5,10 @@
 //! is what the samplers draw from; [`DesignSpace::encode`] turns a point
 //! into the normalized feature vector the networks consume (§3.3).
 
+// User-reachable failures must surface as typed `SpaceError`s, not
+// panics; the lint holds this file to that (tests opt back out).
+#![deny(clippy::unwrap_used)]
+
 use crate::param::{Param, ParamKind, ParamValue};
 
 /// One configuration: a level index per parameter.
@@ -18,7 +22,7 @@ impl DesignPoint {
     }
 }
 
-/// Errors constructing a design space.
+/// Errors constructing or querying a design space.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SpaceError {
     /// A space needs at least one parameter.
@@ -37,6 +41,44 @@ pub enum SpaceError {
         /// Parent's level count.
         parent_levels: usize,
     },
+    /// A point index at or beyond [`DesignSpace::size`].
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The space's size.
+        size: usize,
+    },
+    /// A point with the wrong number of levels for this space.
+    ArityMismatch {
+        /// Levels the point carries.
+        got: usize,
+        /// Parameters the space has.
+        want: usize,
+    },
+    /// A point level at or beyond its parameter's level count.
+    LevelOutOfRange {
+        /// The offending parameter's name.
+        param: String,
+        /// The level requested.
+        level: usize,
+        /// Levels the parameter has.
+        levels: usize,
+    },
+    /// No parameter has the requested name.
+    NoSuchParam {
+        /// The name looked up.
+        name: String,
+    },
+    /// The named parameter has no numeric value.
+    NotQuantitative {
+        /// The parameter's name.
+        name: String,
+    },
+    /// The named parameter has no categorical value.
+    NotNominal {
+        /// The parameter's name.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for SpaceError {
@@ -54,6 +96,28 @@ impl std::fmt::Display for SpaceError {
                 f,
                 "parameter {param} has {rows} choice rows but its parent has {parent_levels} levels"
             ),
+            SpaceError::IndexOutOfRange { index, size } => {
+                write!(f, "index {index} out of space ({size} points)")
+            }
+            SpaceError::ArityMismatch { got, want } => {
+                write!(
+                    f,
+                    "point arity mismatch: {got} levels for {want} parameters"
+                )
+            }
+            SpaceError::LevelOutOfRange {
+                param,
+                level,
+                levels,
+            } => write!(
+                f,
+                "level {level} out of range for {param} ({levels} levels)"
+            ),
+            SpaceError::NoSuchParam { name } => write!(f, "no parameter named {name}"),
+            SpaceError::NotQuantitative { name } => {
+                write!(f, "parameter {name} is not quantitative")
+            }
+            SpaceError::NotNominal { name } => write!(f, "parameter {name} is not nominal"),
         }
     }
 }
@@ -106,13 +170,15 @@ impl DesignSpace {
     }
 
     /// Decodes a point from its index in `0..size()` (mixed-radix,
-    /// first parameter fastest).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= size()`.
-    pub fn point(&self, index: usize) -> DesignPoint {
-        assert!(index < self.size(), "index {index} out of space");
+    /// first parameter fastest), or
+    /// [`SpaceError::IndexOutOfRange`] beyond the space.
+    pub fn try_point(&self, index: usize) -> Result<DesignPoint, SpaceError> {
+        if index >= self.size() {
+            return Err(SpaceError::IndexOutOfRange {
+                index,
+                size: self.size(),
+            });
+        }
         let mut rest = index;
         let levels = self
             .params
@@ -124,24 +190,54 @@ impl DesignSpace {
                 choice
             })
             .collect();
-        DesignPoint(levels)
+        Ok(DesignPoint(levels))
+    }
+
+    /// Decodes a point from its index in `0..size()` (mixed-radix,
+    /// first parameter fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= size()` ([`DesignSpace::try_point`] returns the
+    /// condition as a typed error instead).
+    pub fn point(&self, index: usize) -> DesignPoint {
+        self.try_point(index).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Encodes a point back to its index, or a typed error if the point's
+    /// shape or any level is out of range.
+    pub fn try_index(&self, point: &DesignPoint) -> Result<usize, SpaceError> {
+        if point.0.len() != self.params.len() {
+            return Err(SpaceError::ArityMismatch {
+                got: point.0.len(),
+                want: self.params.len(),
+            });
+        }
+        let mut index = 0;
+        let mut stride = 1;
+        for (p, &level) in self.params.iter().zip(&point.0) {
+            if level >= p.levels() {
+                return Err(SpaceError::LevelOutOfRange {
+                    param: p.name().to_owned(),
+                    level,
+                    levels: p.levels(),
+                });
+            }
+            index += level * stride;
+            stride *= p.levels();
+        }
+        Ok(index)
     }
 
     /// Encodes a point back to its index.
     ///
     /// # Panics
     ///
-    /// Panics if the point's shape or any level is out of range.
+    /// Panics if the point's shape or any level is out of range
+    /// ([`DesignSpace::try_index`] returns the condition as a typed error
+    /// instead).
     pub fn index(&self, point: &DesignPoint) -> usize {
-        assert_eq!(point.0.len(), self.params.len(), "point arity");
-        let mut index = 0;
-        let mut stride = 1;
-        for (p, &level) in self.params.iter().zip(&point.0) {
-            assert!(level < p.levels(), "level out of range for {}", p.name());
-            index += level * stride;
-            stride *= p.levels();
-        }
-        index
+        self.try_index(point).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The concrete value parameter `p` takes at `point`.
@@ -162,33 +258,59 @@ impl DesignSpace {
         self.params.iter().position(|p| p.name() == name)
     }
 
+    /// The numeric value of the named parameter at `point`, or a typed
+    /// error if no parameter has that name or it is not quantitative.
+    pub fn try_number(&self, point: &DesignPoint, name: &str) -> Result<f64, SpaceError> {
+        let p = self
+            .param_index(name)
+            .ok_or_else(|| SpaceError::NoSuchParam {
+                name: name.to_owned(),
+            })?;
+        self.value(point, p)
+            .as_number()
+            .ok_or_else(|| SpaceError::NotQuantitative {
+                name: name.to_owned(),
+            })
+    }
+
     /// The numeric value of the named parameter at `point`.
     ///
     /// # Panics
     ///
-    /// Panics if no parameter has that name or it is not quantitative.
+    /// Panics if no parameter has that name or it is not quantitative
+    /// ([`DesignSpace::try_number`] returns the condition as a typed error
+    /// instead).
     pub fn number(&self, point: &DesignPoint, name: &str) -> f64 {
+        self.try_number(point, name)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The categorical value of the named parameter at `point`, or a typed
+    /// error if no parameter has that name or it is not nominal.
+    pub fn try_choice(&self, point: &DesignPoint, name: &str) -> Result<String, SpaceError> {
         let p = self
             .param_index(name)
-            .unwrap_or_else(|| panic!("no parameter named {name}"));
+            .ok_or_else(|| SpaceError::NoSuchParam {
+                name: name.to_owned(),
+            })?;
         self.value(point, p)
-            .as_number()
-            .unwrap_or_else(|| panic!("parameter {name} is not quantitative"))
+            .as_choice()
+            .map(str::to_owned)
+            .ok_or_else(|| SpaceError::NotNominal {
+                name: name.to_owned(),
+            })
     }
 
     /// The categorical value of the named parameter at `point`.
     ///
     /// # Panics
     ///
-    /// Panics if no parameter has that name or it is not nominal.
+    /// Panics if no parameter has that name or it is not nominal
+    /// ([`DesignSpace::try_choice`] returns the condition as a typed error
+    /// instead).
     pub fn choice(&self, point: &DesignPoint, name: &str) -> String {
-        let p = self
-            .param_index(name)
-            .unwrap_or_else(|| panic!("no parameter named {name}"));
-        self.value(point, p)
-            .as_choice()
-            .unwrap_or_else(|| panic!("parameter {name} is not nominal"))
-            .to_owned()
+        self.try_choice(point, name)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Width of the encoded feature vector.
@@ -272,6 +394,7 @@ fn minimax(value: f64, levels: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -371,5 +494,51 @@ mod tests {
     fn out_of_range_index_panics() {
         let space = toy_space();
         space.point(space.size());
+    }
+
+    #[test]
+    fn queries_surface_typed_errors() {
+        let space = toy_space();
+        assert_eq!(
+            space.try_point(space.size()),
+            Err(SpaceError::IndexOutOfRange {
+                index: space.size(),
+                size: space.size(),
+            })
+        );
+        assert_eq!(
+            space.try_index(&DesignPoint(vec![0, 0])),
+            Err(SpaceError::ArityMismatch { got: 2, want: 4 })
+        );
+        assert_eq!(
+            space.try_index(&DesignPoint(vec![0, 9, 0, 0])),
+            Err(SpaceError::LevelOutOfRange {
+                param: "policy".into(),
+                level: 9,
+                levels: 2,
+            })
+        );
+        let point = space.point(0);
+        assert_eq!(
+            space.try_number(&point, "nope"),
+            Err(SpaceError::NoSuchParam {
+                name: "nope".into()
+            })
+        );
+        assert_eq!(
+            space.try_number(&point, "policy"),
+            Err(SpaceError::NotQuantitative {
+                name: "policy".into()
+            })
+        );
+        assert_eq!(
+            space.try_choice(&point, "rob"),
+            Err(SpaceError::NotNominal { name: "rob".into() })
+        );
+        // Happy paths agree with the panicking accessors.
+        assert_eq!(space.try_point(5).unwrap(), space.point(5));
+        assert_eq!(space.try_index(&point).unwrap(), 0);
+        assert_eq!(space.try_number(&point, "rob").unwrap(), 96.0);
+        assert_eq!(space.try_choice(&point, "policy").unwrap(), "WT");
     }
 }

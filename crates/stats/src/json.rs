@@ -145,6 +145,14 @@ impl Value {
         Ok(self.as_u64()? as usize)
     }
 
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(JsonError::new("expected boolean")),
+        }
+    }
+
     /// The value as a string slice.
     pub fn as_str(&self) -> Result<&str, JsonError> {
         match self {

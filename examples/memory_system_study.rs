@@ -69,7 +69,9 @@ fn main() {
     println!("\npredicted worst: IPC~{worst_pred:.3} (point {worst_index})");
 
     // Validate the headline prediction with one real simulation.
-    let best_actual = evaluator.evaluate(&space.point(ranked[0].0));
+    let best_actual = evaluator
+        .evaluate(&space.point(ranked[0].0))
+        .expect("fault-free evaluator");
     println!(
         "\nsimulating the predicted-best point: actual IPC {best_actual:.3} (predicted {:.3})",
         ranked[0].1

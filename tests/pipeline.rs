@@ -121,7 +121,11 @@ fn prediction_beats_mean_baseline() {
     // Mean baseline: predict the training mean everywhere.
     let actuals: Vec<f64> = held_out
         .iter()
-        .map(|&i| evaluator.evaluate(&space.point(i)))
+        .map(|&i| {
+            evaluator
+                .evaluate(&space.point(i))
+                .expect("fault-free evaluator")
+        })
         .collect();
     let mean: f64 = actuals.iter().sum::<f64>() / actuals.len() as f64;
     let baseline: f64 = actuals
