@@ -48,4 +48,6 @@ pub use cross_validation::{fit_ensemble, CvFit, ErrorEstimate, FoldRecord};
 pub use dataset::{Dataset, Sample};
 pub use ensemble::Ensemble;
 pub use network::{Network, NetworkSnapshot, PredictScratch};
-pub use train::{Parallelism, PredictBuffer, TrainConfig, TrainedModel};
+pub use train::{
+    train_multi_network, MultiTrainedModel, Parallelism, PredictBuffer, TrainConfig, TrainedModel,
+};

@@ -251,8 +251,8 @@ impl TrainedModel {
     }
 }
 
-/// Mean absolute percentage error (in percent) of `model`-style prediction
-/// over a pre-scaled row-major feature matrix (`dims` wide per row) with
+/// Mean absolute percentage error (in percent) of one output head over a
+/// pre-scaled row-major feature matrix (`dims` wide per row) with
 /// raw-scale targets. The early-stopping loop calls this every epoch, so
 /// the scaler transform is hoisted to the caller (done once per training
 /// run) and the forward passes reuse one scratch — zero allocations per
@@ -260,6 +260,7 @@ impl TrainedModel {
 fn percent_error(
     network: &Network,
     target_scaler: &TargetScaler,
+    head: usize,
     scaled_rows: &[f64],
     dims: usize,
     targets: &[f64],
@@ -267,7 +268,7 @@ fn percent_error(
 ) -> f64 {
     let mut total = 0.0;
     for (row, &target) in scaled_rows.chunks_exact(dims).zip(targets) {
-        let y = target_scaler.unscale(network.predict_into(row, scratch)[0]);
+        let y = target_scaler.unscale(network.predict_into(row, scratch)[head]);
         total += 100.0 * (y - target).abs() / target.abs().max(1e-12);
     }
     total / targets.len() as f64
@@ -350,6 +351,7 @@ pub fn train_network(
         let es_error = percent_error(
             &network,
             &target_scaler,
+            0,
             &es_inputs,
             dims,
             &es_targets,
@@ -377,6 +379,201 @@ pub fn train_network(
         network,
         input_scaler,
         target_scaler,
+        epochs,
+        best_es_error: best_error,
+        diverged,
+    }
+}
+
+/// A trained multi-output network (one output head per task, shared
+/// hidden layers) together with its scalers. The **primary** head is the
+/// one early stopping monitored; auxiliary heads act as an inductive bias
+/// through the shared hidden layer (the paper's §7 multi-task proposal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTrainedModel {
+    network: Network,
+    input_scaler: MinMaxScaler,
+    target_scalers: Vec<TargetScaler>,
+    /// Output index of the primary task (the early-stopping head).
+    pub primary: usize,
+    /// Epochs actually run before stopping.
+    pub epochs: usize,
+    /// Best primary-head mean absolute percentage error seen on the
+    /// early-stopping set (the error of the restored weights).
+    pub best_es_error: f64,
+    /// Whether training diverged (see [`TrainedModel::diverged`]).
+    pub diverged: bool,
+}
+
+impl MultiTrainedModel {
+    /// Number of output heads.
+    pub fn tasks(&self) -> usize {
+        self.target_scalers.len()
+    }
+
+    /// Width of the raw feature vectors this model consumes.
+    pub fn input_dims(&self) -> usize {
+        self.input_scaler.dims()
+    }
+
+    /// Predicts every task's raw-scale target for raw features, appending
+    /// one value per head (in head order) to `out`.
+    pub fn predict_all_into(&self, features: &[f64], buf: &mut PredictBuffer, out: &mut Vec<f64>) {
+        buf.scaled.clear();
+        self.input_scaler.transform_into(features, &mut buf.scaled);
+        let PredictBuffer { scaled, scratch } = buf;
+        let heads = self.network.predict_into(scaled, scratch);
+        out.extend(
+            heads
+                .iter()
+                .zip(&self.target_scalers)
+                .map(|(&y, s)| s.unscale(y)),
+        );
+    }
+
+    /// Predicts every task's raw-scale target for raw features.
+    pub fn predict_all(&self, features: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.tasks());
+        self.predict_all_into(features, &mut PredictBuffer::default(), &mut out);
+        out
+    }
+
+    /// Predicts the primary task's raw-scale target using caller-owned
+    /// scratch.
+    pub fn predict_primary_with(&self, features: &[f64], buf: &mut PredictBuffer) -> f64 {
+        buf.scaled.clear();
+        self.input_scaler.transform_into(features, &mut buf.scaled);
+        let PredictBuffer { scaled, scratch } = buf;
+        self.target_scalers[self.primary]
+            .unscale(self.network.predict_into(scaled, scratch)[self.primary])
+    }
+
+    /// Predicts the primary task's raw-scale target for raw features.
+    pub fn predict_primary(&self, features: &[f64]) -> f64 {
+        self.predict_primary_with(features, &mut PredictBuffer::default())
+    }
+}
+
+/// Trains one multi-output network on `train`, early-stopping on the
+/// `primary` head's percentage error over `es`. Each element pairs a raw
+/// feature row with its target row (one value per task, every row the
+/// same width). Mirrors [`train_network`] exactly — scalers fitted over
+/// both sets, inverse-primary-target presentation frequency under
+/// [`TrainConfig::percentage_error`], snapshot/restore best-epoch
+/// bookkeeping, divergence detection — with one output unit per task.
+///
+/// # Panics
+///
+/// Panics if either set is empty, target rows are empty or ragged, or
+/// `primary` is out of range.
+pub fn train_multi_network(
+    train: &[(&[f64], &[f64])],
+    es: &[(&[f64], &[f64])],
+    primary: usize,
+    config: &TrainConfig,
+    rng: &mut Xoshiro256,
+) -> MultiTrainedModel {
+    assert!(!train.is_empty(), "empty training set");
+    assert!(!es.is_empty(), "empty early-stopping set");
+    let tasks = train[0].1.len();
+    assert!(tasks > 0, "no target tasks");
+    assert!(primary < tasks, "primary task out of range");
+    assert!(
+        train.iter().chain(es).all(|(_, row)| row.len() == tasks),
+        "ragged target rows"
+    );
+
+    let input_scaler = MinMaxScaler::fit(train.iter().chain(es).map(|&(x, _)| x));
+    let target_scalers: Vec<TargetScaler> = (0..tasks)
+        .map(|t| {
+            let column: Vec<f64> = train.iter().chain(es).map(|(_, row)| row[t]).collect();
+            TargetScaler::fit(&column)
+        })
+        .collect();
+
+    // Pre-normalize the training set once.
+    let inputs: Vec<Vec<f64>> = train
+        .iter()
+        .map(|(x, _)| input_scaler.transform(x))
+        .collect();
+    let targets: Vec<Vec<f64>> = train
+        .iter()
+        .map(|(_, row)| {
+            row.iter()
+                .zip(&target_scalers)
+                .map(|(&v, s)| s.scale(v))
+                .collect()
+        })
+        .collect();
+
+    // Presentation frequency follows the primary target, so squared-error
+    // descent optimizes the primary head's percentage error; the auxiliary
+    // heads ride along on whatever presentation the primary dictates.
+    let weights: Vec<f64> = if config.percentage_error {
+        train
+            .iter()
+            .map(|(_, row)| 1.0 / row[primary].abs().max(1e-9))
+            .collect()
+    } else {
+        vec![1.0; train.len()]
+    };
+    let alias = WeightedAlias::new(&weights);
+
+    let dims = inputs[0].len();
+    let mut es_inputs: Vec<f64> = Vec::with_capacity(es.len() * dims);
+    for (x, _) in es {
+        input_scaler.transform_into(x, &mut es_inputs);
+    }
+    let es_targets: Vec<f64> = es.iter().map(|(_, row)| row[primary]).collect();
+    let mut es_scratch = PredictScratch::default();
+
+    let mut network = Network::new(&layer_sizes(dims, config, tasks), rng);
+    let mut best = NetworkSnapshot::default();
+    network.snapshot_into(&mut best);
+    let mut best_error = f64::INFINITY;
+    let mut best_epoch = 0;
+    let mut epochs = 0;
+    let mut diverged = false;
+
+    for epoch in 0..config.max_epochs {
+        epochs = epoch + 1;
+        for _ in 0..inputs.len() {
+            let i = alias.sample(rng);
+            network.train_example(
+                &inputs[i],
+                &targets[i],
+                config.learning_rate,
+                config.momentum,
+            );
+        }
+        let es_error = percent_error(
+            &network,
+            &target_scalers[primary],
+            primary,
+            &es_inputs,
+            dims,
+            &es_targets,
+            &mut es_scratch,
+        );
+        if !es_error.is_finite() {
+            diverged = true;
+            break;
+        }
+        if es_error < best_error {
+            best_error = es_error;
+            network.snapshot_into(&mut best);
+            best_epoch = epoch;
+        } else if epoch - best_epoch >= config.patience {
+            break;
+        }
+    }
+    network.restore(&best);
+
+    MultiTrainedModel {
+        network,
+        input_scaler,
+        target_scalers,
+        primary,
         epochs,
         best_es_error: best_error,
         diverged,
@@ -605,5 +802,98 @@ mod tests {
     fn empty_train_panics() {
         let mut rng = Xoshiro256::seed_from(1);
         train_network(&[], &[], &TrainConfig::default(), &mut rng);
+    }
+
+    /// Correlated multi-task rows: aux heads are smooth transforms of the
+    /// primary.
+    fn make_multi_rows(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a = rng.next_f64();
+            let b = rng.next_f64();
+            let primary = 0.3 + 0.5 * (a * 2.2).sin().abs() + 0.2 * a * b;
+            xs.push(vec![a, b]);
+            ys.push(vec![primary, 2.0 - primary, primary * primary]);
+        }
+        (xs, ys)
+    }
+
+    fn as_pairs<'a>(xs: &'a [Vec<f64>], ys: &'a [Vec<f64>]) -> Vec<(&'a [f64], &'a [f64])> {
+        xs.iter()
+            .zip(ys)
+            .map(|(x, y)| (x.as_slice(), y.as_slice()))
+            .collect()
+    }
+
+    #[test]
+    fn multi_output_learns_every_head() {
+        let (xs, ys) = make_multi_rows(300, 51);
+        let pairs = as_pairs(&xs, &ys);
+        let (train, es) = pairs.split_at(240);
+        let mut rng = Xoshiro256::seed_from(52);
+        let model = train_multi_network(train, es, 0, &TrainConfig::default(), &mut rng);
+        assert_eq!(model.tasks(), 3);
+        assert_eq!(model.input_dims(), 2);
+        assert!(!model.diverged);
+
+        let (test_x, test_y) = make_multi_rows(150, 53);
+        let mut primary_mape = 0.0;
+        for (x, y) in test_x.iter().zip(&test_y) {
+            primary_mape += 100.0 * (model.predict_primary(x) - y[0]).abs() / y[0];
+            let all = model.predict_all(x);
+            assert_eq!(all.len(), 3);
+            // The anti-correlated head mirrors the primary.
+            assert!((all[0] + all[1] - 2.0).abs() < 0.3, "{all:?} vs {y:?}");
+        }
+        primary_mape /= test_x.len() as f64;
+        assert!(primary_mape < 6.0, "primary MAPE {primary_mape:.2}%");
+    }
+
+    #[test]
+    fn multi_output_is_deterministic_and_restores_best_weights() {
+        let (xs, ys) = make_multi_rows(150, 61);
+        let pairs = as_pairs(&xs, &ys);
+        let (train, es) = pairs.split_at(120);
+        let config = TrainConfig {
+            max_epochs: 300,
+            patience: 20,
+            ..TrainConfig::default()
+        };
+        let run = || {
+            let mut rng = Xoshiro256::seed_from(62);
+            train_multi_network(train, es, 0, &config, &mut rng)
+        };
+        let (m1, m2) = (run(), run());
+        assert_eq!(m1.predict_all(&[0.3, 0.7]), m2.predict_all(&[0.3, 0.7]));
+        // Recomputing the primary-head ES error from the returned model
+        // must reproduce `best_es_error` bit for bit (restore-on-exit).
+        let mut total = 0.0;
+        for &(x, y) in es {
+            total += 100.0 * (m1.predict_primary(x) - y[0]).abs() / y[0].abs().max(1e-12);
+        }
+        assert_eq!(total / es.len() as f64, m1.best_es_error);
+    }
+
+    #[test]
+    #[should_panic(expected = "primary task out of range")]
+    fn multi_output_bad_primary_panics() {
+        let (xs, ys) = make_multi_rows(20, 71);
+        let pairs = as_pairs(&xs, &ys);
+        let (train, es) = pairs.split_at(16);
+        let mut rng = Xoshiro256::seed_from(72);
+        train_multi_network(train, es, 9, &TrainConfig::default(), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged target rows")]
+    fn multi_output_ragged_targets_panic() {
+        let xs = [vec![0.1, 0.2], vec![0.3, 0.4]];
+        let ys = [vec![1.0, 2.0], vec![1.0]];
+        let train = [(xs[0].as_slice(), ys[0].as_slice())];
+        let es = [(xs[1].as_slice(), ys[1].as_slice())];
+        let mut rng = Xoshiro256::seed_from(73);
+        train_multi_network(&train, &es, 0, &TrainConfig::default(), &mut rng);
     }
 }

@@ -12,7 +12,10 @@
 //! 3. a run killed after any round and resumed from its on-disk checkpoint
 //!    produces the **byte-for-byte** same CSV as the uninterrupted run,
 //!    even with a torn `.tmp` file left in the checkpoint directory;
-//! 4. the quarantine survives persist/load round-trips.
+//! 4. the quarantine survives persist/load round-trips;
+//! 5. a pooled cross-application fit through the same faulted stack fills
+//!    every application's quota and emits an identical deterministic CSV
+//!    at every parallelism setting.
 //!
 //! Usage:
 //!
@@ -21,6 +24,7 @@
 //!     [batch] [rounds] [fault_percent]
 //! ```
 
+use archpredict::crossapp::CrossAppModel;
 use archpredict::explorer::{Explorer, ExplorerConfig};
 use archpredict::fault::{FaultConfig, FaultInjectingOracle};
 use archpredict::report::LearningCurve;
@@ -192,6 +196,64 @@ fn main() {
         quarantined.len()
     );
 
+    // Gate 5: cross-application determinism under the same faulted stack.
+    // The pooled fit samples each application through the engine's
+    // quarantine/resample loop; its single-round CSV must be identical at
+    // every parallelism setting.
+    let crossapp = |parallelism: Parallelism| -> (String, usize, SimStats) {
+        let evaluators = vec![
+            (benchmark, stack(parallelism)),
+            (Benchmark::Mcf, {
+                let generator = TraceGenerator::new(Benchmark::Mcf);
+                let budget = SimBudget::spread(&generator, 2, 4_000, 8_000);
+                RetryingOracle::new(FaultInjectingOracle::with_config(
+                    CachedEvaluator::with_parallelism(
+                        StudyEvaluator::with_budget(study, Benchmark::Mcf, budget),
+                        space.clone(),
+                        parallelism,
+                    ),
+                    fault.clone(),
+                ))
+            }),
+        ];
+        let train = TrainConfig {
+            max_epochs: 40,
+            patience: 10,
+            parallelism,
+            ..TrainConfig::default()
+        };
+        let model = CrossAppModel::fit(&space, &evaluators, batch, &train, 0x1BEC);
+        let mut curve = LearningCurve::new("crossapp");
+        curve.push(&model.round(), None);
+        (
+            curve.to_csv_deterministic(),
+            model.samples,
+            model.simulation,
+        )
+    };
+    let (crossapp_csv, crossapp_samples, crossapp_stats) = crossapp(Parallelism::Fixed(1));
+    assert_eq!(
+        crossapp_samples,
+        batch * 2,
+        "crossapp fit fell short of its per-app quota under faults"
+    );
+    for &(label, parallelism) in &settings[1..] {
+        let (csv, ..) = crossapp(parallelism);
+        assert_eq!(
+            crossapp_csv, csv,
+            "crossapp deterministic CSV diverged between fixed_1 and {label}"
+        );
+    }
+    eprintln!(
+        "  crossapp fit: {} samples, {} failures, {} resampled — CSV identical \
+         across all parallelism settings",
+        crossapp_samples, crossapp_stats.failures, crossapp_stats.resampled
+    );
+
     write_artifact(Path::new("results/fault_tolerance/curve.csv"), auto_csv);
+    write_artifact(
+        Path::new("results/fault_tolerance/crossapp_curve.csv"),
+        &crossapp_csv,
+    );
     eprintln!("fault_tolerance: all gates passed");
 }

@@ -1,12 +1,13 @@
 //! Shared experiment logic behind the table/figure binaries.
 
+use archpredict::campaign::seed_stream;
 use archpredict::explorer::{Explorer, ExplorerConfig, TrueError};
 use archpredict::report::LearningCurve;
 use archpredict::simulate::{
     CachedEvaluator, Oracle, PointEvaluator, SimBudget, SimPointEvaluator, SimStats, StudyEvaluator,
 };
 use archpredict::studies::Study;
-use archpredict_ann::{Ensemble, TrainConfig};
+use archpredict_ann::{Ensemble, Parallelism, TrainConfig};
 use archpredict_stats::describe::Accumulator;
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_workloads::{Benchmark, TraceGenerator};
@@ -111,9 +112,10 @@ pub fn curve_for(opts: &CurveOpts) -> StudyCurve {
     let mut curve = LearningCurve::new(label);
 
     // Fixed held-out evaluation set, disjoint from anything trained on by
-    // construction (the explorer's sampler and this RNG are decorrelated;
-    // overlaps are filtered after exploration).
-    let mut eval_rng = Xoshiro256::seed_from(opts.seed ^ 0xE7A1_0000);
+    // construction (the explorer's sampler and this RNG are decorrelated
+    // streams of the audited seed map; overlaps are filtered after
+    // exploration).
+    let mut eval_rng = Xoshiro256::seed_from(opts.seed).derive(seed_stream::BENCH_EVAL);
     let eval_set: Vec<usize> = archpredict_stats::sampling::sample_without_replacement(
         space.size(),
         opts.eval_points.min(space.size()),
@@ -231,12 +233,13 @@ pub fn measure_true_error<T: Oracle>(
         .collect();
     let mut stats = SimStats::default();
     let actuals = truth.evaluate_batch(space, &held_out, &mut stats);
+    let predictions =
+        archpredict::infer::predict_indices(ensemble, space, &held_out, Parallelism::Auto);
     let mut acc = Accumulator::new();
-    for (&i, actual) in held_out.iter().zip(&actuals) {
+    for (&predicted, actual) in predictions.iter().zip(&actuals) {
         // Held-out points whose truth evaluation failed are skipped; the
         // error is measured over the surviving points.
         let Ok(actual) = actual else { continue };
-        let predicted = ensemble.predict(&space.encode(&space.point(i)));
         acc.add(100.0 * (predicted - actual).abs() / actual.abs().max(1e-12));
     }
     TrueError {

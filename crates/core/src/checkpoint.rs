@@ -18,7 +18,7 @@
 //! as **hex strings** because a JSON number (an `f64`) cannot represent
 //! every `u64` exactly.
 
-use crate::explorer::Round;
+use crate::campaign::Round;
 use crate::persist::write_atomic;
 use crate::simulate::SimStats;
 use archpredict_ann::cross_validation::{ErrorEstimate, FoldRecord};

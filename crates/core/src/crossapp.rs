@@ -4,11 +4,19 @@
 //! section proposes exploiting similarity *between* benchmarks: "make the
 //! application name an input into the models and train one large model for
 //! all of the benchmarks". This module implements that idea: design-point
-//! features are extended with a one-hot application identifier, training
-//! samples from several applications are pooled, and a single
-//! cross-validation ensemble models them all — reducing the per-application
-//! sampling requirement when response surfaces share structure.
+//! features are extended with a one-hot application identifier (the
+//! engine's [`AppEncoder`]), training samples from several applications
+//! are pooled through the campaign engine's quarantine-and-resample
+//! primitive ([`crate::campaign::collect_batch`]), and a single
+//! cross-validation ensemble models them all — reducing the
+//! per-application sampling requirement when response surfaces share
+//! structure.
+//!
+//! Seeds follow the audited [`seed_stream`] map: application slot `s`
+//! samples from stream [`seed_stream::APP_SAMPLER_BASE`]` + s`, and the
+//! pooled fit seed comes from stream [`seed_stream::CROSSAPP_FIT`].
 
+use crate::campaign::{collect_batch, seed_stream, AppEncoder, Encoder, Round};
 use crate::simulate::{Oracle, SimStats};
 use crate::space::DesignSpace;
 use archpredict_ann::cross_validation::{fit_ensemble, ErrorEstimate, FoldRecord};
@@ -35,12 +43,26 @@ pub struct CrossAppModel {
     pub folds: Vec<FoldRecord>,
     /// Simulation telemetry pooled over every application's sampling.
     pub simulation: SimStats,
+    /// Pooled training-set size (short of `apps × per_app_samples` only
+    /// when faults exhaust an application's sampler).
+    pub samples: usize,
+    /// Wall-clock seconds spent simulating the pooled sample.
+    pub simulation_seconds: f64,
+    /// Wall-clock seconds spent fitting the pooled ensemble.
+    pub training_seconds: f64,
+    /// Fraction of the pooled (space × applications) population simulated.
+    pub fraction_sampled: f64,
 }
 
 impl CrossAppModel {
     /// Pools `per_app_samples` random simulations from each `(benchmark,
     /// evaluator)` pair and fits one ensemble over the joint input space
     /// (design-point encoding ⧺ one-hot application id).
+    ///
+    /// Failed evaluations are dropped and replaced with fresh draws (the
+    /// engine's quarantine-and-resample policy, via
+    /// [`crate::campaign::collect_batch`]) so every application still
+    /// contributes its full sample quota under a faulty backend.
     ///
     /// # Panics
     ///
@@ -57,44 +79,44 @@ impl CrossAppModel {
         let apps: Vec<Benchmark> = evaluators.iter().map(|(b, _)| *b).collect();
         let mut dataset = Dataset::new();
         let mut simulation = SimStats::default();
+        let sim_started = std::time::Instant::now();
         for (slot, (_, evaluator)) in evaluators.iter().enumerate() {
-            let rng = Xoshiro256::seed_from(seed).derive(slot as u64 + 1);
+            let encoder = AppEncoder {
+                slot,
+                apps: apps.len(),
+            };
+            let rng =
+                Xoshiro256::seed_from(seed).derive(seed_stream::APP_SAMPLER_BASE + slot as u64);
             let mut sampler = IncrementalSampler::new(space.size(), rng);
-            // Failed evaluations are dropped and replaced with fresh draws
-            // (mirroring the explorer's quarantine-and-resample policy) so
-            // every application still contributes its full sample quota.
-            let mut pending = sampler.next_batch(per_app_samples);
-            loop {
-                let results = evaluator.evaluate_batch(space, &pending, &mut simulation);
-                let mut failed = 0usize;
-                for (&index, result) in pending.iter().zip(&results) {
-                    if let Ok(value) = result {
-                        dataset.push(Sample::new(
-                            encode_with_app(space, index, slot, apps.len()),
-                            *value,
-                        ));
-                    } else {
-                        failed += 1;
-                    }
-                }
-                if failed == 0 {
-                    break;
-                }
-                let replacements = sampler.next_batch(failed);
-                if replacements.is_empty() {
-                    break;
-                }
-                simulation.resampled += replacements.len() as u64;
-                pending = replacements;
-            }
+            let initial = sampler.next_batch(per_app_samples);
+            collect_batch(
+                evaluator,
+                space,
+                &mut sampler,
+                initial,
+                &mut simulation,
+                |index, value| dataset.push(Sample::new(encoder.encode(space, index), value)),
+                |_| {},
+            );
         }
-        let fit = fit_ensemble(&dataset, 10.min(dataset.len()), train, seed ^ 0xC405);
+        let simulation_seconds = sim_started.elapsed().as_secs_f64();
+        let fit_seed = Xoshiro256::seed_from(seed)
+            .derive(seed_stream::CROSSAPP_FIT)
+            .next_u64();
+        let train_started = std::time::Instant::now();
+        let fit = fit_ensemble(&dataset, 10.min(dataset.len()), train, fit_seed);
+        let training_seconds = train_started.elapsed().as_secs_f64();
+        let samples = dataset.len();
         Self {
             ensemble: fit.ensemble,
-            apps,
             estimate: fit.estimate,
             folds: fit.folds,
             simulation,
+            samples,
+            simulation_seconds,
+            training_seconds,
+            fraction_sampled: samples as f64 / (space.size() * apps.len()) as f64,
+            apps,
         }
     }
 
@@ -103,19 +125,42 @@ impl CrossAppModel {
         &self.apps
     }
 
+    /// This fit as a campaign [`Round`] record, so cross-application runs
+    /// flow into the same learning-curve CSVs
+    /// ([`crate::report::LearningCurve`]) as explorer rounds —
+    /// single-round, with no prediction work during selection.
+    pub fn round(&self) -> Round {
+        Round {
+            samples: self.samples,
+            fraction_sampled: self.fraction_sampled,
+            estimate: self.estimate,
+            training_seconds: self.training_seconds,
+            simulation_seconds: self.simulation_seconds,
+            simulation: self.simulation,
+            prediction_seconds: 0.0,
+            folds: self.folds.clone(),
+        }
+    }
+
+    /// The one-hot slot of `benchmark`, panicking like the predict paths.
+    fn slot(&self, benchmark: Benchmark) -> usize {
+        self.apps
+            .iter()
+            .position(|&b| b == benchmark)
+            .unwrap_or_else(|| panic!("{benchmark} was not in the training set"))
+    }
+
     /// Predicts the metric for `benchmark` at design-point `index`.
     ///
     /// # Panics
     ///
     /// Panics if `benchmark` was not part of the training set.
     pub fn predict(&self, space: &DesignSpace, index: usize, benchmark: Benchmark) -> f64 {
-        let slot = self
-            .apps
-            .iter()
-            .position(|&b| b == benchmark)
-            .unwrap_or_else(|| panic!("{benchmark} was not in the training set"));
-        self.ensemble
-            .predict(&encode_with_app(space, index, slot, self.apps.len()))
+        let encoder = AppEncoder {
+            slot: self.slot(benchmark),
+            apps: self.apps.len(),
+        };
+        self.ensemble.predict(&encoder.encode(space, index))
     }
 
     /// Predicts the metric for `benchmark` at each design-point index via
@@ -133,23 +178,16 @@ impl CrossAppModel {
         benchmark: Benchmark,
         parallelism: Parallelism,
     ) -> Vec<f64> {
-        let slot = self
-            .apps
-            .iter()
-            .position(|&b| b == benchmark)
-            .unwrap_or_else(|| panic!("{benchmark} was not in the training set"));
-        let n_apps = self.apps.len();
+        let encoder = AppEncoder {
+            slot: self.slot(benchmark),
+            apps: self.apps.len(),
+        };
         crate::infer::sweep_encoded(
             &self.ensemble,
             indices,
             parallelism,
-            |index, features| {
-                space.encode_into(&space.point(index), features);
-                for s in 0..n_apps {
-                    features.push(if s == slot { 1.0 } else { 0.0 });
-                }
-            },
-            space.encoded_width() + n_apps,
+            |index, features| encoder.encode_into(space, index, features),
+            encoder.width(space),
         )
     }
 
@@ -190,17 +228,18 @@ impl CrossAppModel {
 
 /// Design-point encoding with a one-hot application identifier appended —
 /// the exact §7 construction (the application is a *nominal* parameter).
+/// Equivalent to [`AppEncoder`]`{ slot: app_slot, apps: n_apps }`.
 pub fn encode_with_app(
     space: &DesignSpace,
     index: usize,
     app_slot: usize,
     n_apps: usize,
 ) -> Vec<f64> {
-    let mut features = space.encode(&space.point(index));
-    for s in 0..n_apps {
-        features.push(if s == app_slot { 1.0 } else { 0.0 });
+    AppEncoder {
+        slot: app_slot,
+        apps: n_apps,
     }
-    features
+    .encode(space, index)
 }
 
 #[cfg(test)]
@@ -269,6 +308,8 @@ mod tests {
         // 40 samples per application, pooled over two applications.
         assert_eq!(model.simulation.unique_simulations, 80);
         assert_eq!(model.simulation.cache_hits, 0);
+        assert_eq!(model.samples, 80);
+        assert!((model.fraction_sampled - 80.0 / 200.0).abs() < 1e-12);
         let held_out: Vec<usize> = (0..space.size()).step_by(7).collect();
         for (benchmark, evaluator) in &evaluators {
             let (mean, _) = model.true_error(&space, *benchmark, evaluator, &held_out);
@@ -314,5 +355,22 @@ mod tests {
         let with = encode_with_app(&space, 3, 1, 3);
         assert_eq!(with.len(), base.len() + 3);
         assert_eq!(&with[base.len()..], &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn round_record_mirrors_fit_telemetry() {
+        let space = space();
+        let evaluators = apps(&space);
+        let model = CrossAppModel::fit(&space, &evaluators, 30, &TrainConfig::scaled_to(60), 5);
+        let round = model.round();
+        assert_eq!(round.samples, model.samples);
+        assert_eq!(round.estimate, model.estimate);
+        assert_eq!(round.simulation, model.simulation);
+        assert_eq!(round.prediction_seconds, 0.0);
+        assert_eq!(round.folds.len(), model.folds.len());
+        // Round records feed straight into learning-curve CSVs.
+        let mut curve = crate::report::LearningCurve::new("crossapp");
+        curve.push(&round, None);
+        assert_eq!(curve.to_csv_deterministic().lines().count(), 2);
     }
 }

@@ -1,710 +1,36 @@
 //! The incremental design-space exploration loop (§3.3's procedure).
 //!
-//! An [`Explorer`] owns a design space, an evaluator (the simulator), and a
-//! growing training set. Each [`Explorer::step`]:
-//!
-//! 1. draws a fresh batch of random, never-before-simulated design points;
-//! 2. simulates them and appends the results to the training set;
-//! 3. trains a k-fold cross-validation ensemble;
-//! 4. records the cross-validation **estimate** of mean and standard
-//!    deviation of percentage error over the full space.
-//!
-//! [`Explorer::run`] repeats until the estimated error reaches the target
-//! or the sample budget is exhausted — the paper's "collect simulation
-//! results until the error estimate is sufficiently low".
-//!
-//! # Fault tolerance
-//!
-//! The oracle is fallible: each batch returns one
-//! [`crate::simulate::SimResult`] per point. Points whose evaluation fails
-//! (after whatever retrying the oracle stack performs) are **quarantined**
-//! — never drawn again, excluded from held-out sets — and the round draws
-//! replacement points until its sample budget is met or the space runs
-//! out, so a faulty backend degrades throughput, never correctness.
-//!
-//! # Checkpoint / resume
-//!
-//! With [`Explorer::enable_checkpoints`], the full exploration state is
-//! atomically persisted after every round; [`Explorer::resume`] restores
-//! it — RNG streams, sampler position, training set, quarantine, history —
-//! and refits the last ensemble from its recorded seed, so a run killed at
-//! any point continues bit-for-bit as if never interrupted.
+//! Since the campaign-engine refactor this module is a thin façade over
+//! [`crate::campaign`]: an [`Explorer`] *is* a [`Campaign`] running the
+//! paper's plain design-point encoding ([`PlainEncoder`]), and
+//! [`ExplorerConfig`] is the engine's [`CampaignConfig`]. The canonical
+//! round loop — select batch, simulate with quarantine/resample, encode,
+//! fit the cross-validation ensemble, record the error estimate — lives in
+//! [`Campaign::try_step`]; every name here is an alias or re-export kept
+//! so existing callers (and the checkpoint format, which predates the
+//! refactor) are unaffected.
 
-// User-reachable failures must surface as typed `ExploreError`s, not
-// panics; the lint holds this file to that (tests opt back out).
-#![deny(clippy::unwrap_used)]
+use crate::campaign::{Campaign, PlainEncoder};
 
-use crate::checkpoint::{ExplorerState, TrainSnapshot};
-use crate::sampling::Strategy;
-use crate::simulate::{Oracle, SimStats};
-use crate::space::DesignSpace;
-use archpredict_ann::cross_validation::{fit_ensemble, ErrorEstimate, FoldRecord};
-use archpredict_ann::{Dataset, Ensemble, Parallelism, Sample, TrainConfig};
-use archpredict_stats::describe::Accumulator;
-use archpredict_stats::rng::Xoshiro256;
-use archpredict_stats::sampling::IncrementalSampler;
-use std::collections::BTreeSet;
-use std::path::{Path, PathBuf};
+pub use crate::campaign::{CampaignConfig, ExploreError, Round, TrueError};
 
-/// Why a refinement round (or model query) could not run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ExploreError {
-    /// The training set (after drawing whatever points remained) is still
-    /// smaller than the three folds cross-validation needs. Configure a
-    /// larger batch, or step again once more points are available.
-    TooFewSamples {
-        /// Samples collected so far.
-        have: usize,
-    },
-    /// Every point in the design space has been simulated and the training
-    /// set is empty — there is nothing to train on.
-    SpaceExhausted,
-    /// A prediction was requested before any round trained an ensemble.
-    NoEnsemble,
-    /// A true-error measurement was requested with no held-out points (or
-    /// every held-out evaluation failed).
-    EmptyHeldOut,
-    /// Checkpoint persistence or restoration failed.
-    Checkpoint(String),
-}
+/// Exploration policy (the engine's [`CampaignConfig`] under its
+/// pre-refactor name).
+pub type ExplorerConfig = CampaignConfig;
 
-impl std::fmt::Display for ExploreError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ExploreError::TooFewSamples { have } => write!(
-                f,
-                "training set has {have} sample(s); cross-validation needs at least 3"
-            ),
-            ExploreError::SpaceExhausted => {
-                write!(f, "design space exhausted with no training data")
-            }
-            ExploreError::NoEnsemble => write!(f, "no ensemble trained yet"),
-            ExploreError::EmptyHeldOut => write!(f, "need held-out points"),
-            ExploreError::Checkpoint(message) => write!(f, "checkpoint failed: {message}"),
-        }
-    }
-}
-
-impl std::error::Error for ExploreError {}
-
-/// Exploration policy.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ExplorerConfig {
-    /// Simulations added per refinement round (the paper uses 50).
-    pub batch: usize,
-    /// Cross-validation folds (the paper uses 10).
-    pub folds: usize,
-    /// Stop once the estimated mean percentage error falls below this.
-    pub target_error: f64,
-    /// Hard cap on total simulations.
-    pub max_samples: usize,
-    /// Network training hyperparameters.
-    pub train: TrainConfig,
-    /// How new design points are chosen each round.
-    pub strategy: Strategy,
-    /// Master seed for sampling and training.
-    pub seed: u64,
-}
-
-impl Default for ExplorerConfig {
-    fn default() -> Self {
-        Self {
-            batch: 50,
-            folds: 10,
-            target_error: 1.0,
-            max_samples: 2_000,
-            train: TrainConfig::default(),
-            strategy: Strategy::Random,
-            seed: 0x00A5_CEED,
-        }
-    }
-}
-
-/// One refinement round's outcome.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Round {
-    /// Training-set size after this round.
-    pub samples: usize,
-    /// Fraction of the full space simulated so far.
-    pub fraction_sampled: f64,
-    /// Cross-validation error estimate.
-    pub estimate: ErrorEstimate,
-    /// Wall-clock seconds spent training this round's ensemble (all folds,
-    /// as observed by the caller — folds training in parallel overlap here).
-    pub training_seconds: f64,
-    /// Wall-clock seconds spent simulating this round's batch.
-    pub simulation_seconds: f64,
-    /// Simulation telemetry for this round's batch: unique simulations,
-    /// cache hits, and simulated instructions, as reported by the oracle.
-    /// Keeps the Figs. 5.6/5.7 reduction-factor accounting honest when
-    /// the oracle caches or deduplicates.
-    pub simulation: SimStats,
-    /// Wall-clock seconds spent in ensemble prediction this round —
-    /// query-by-committee candidate scoring under the active-learning
-    /// strategy (0 for random sampling, which predicts nothing).
-    pub prediction_seconds: f64,
-    /// Per-fold training telemetry (epochs, best early-stopping error,
-    /// per-fold wall seconds), in fold order.
-    pub folds: Vec<FoldRecord>,
-}
-
-impl Round {
-    /// Mean epochs per fold this round (0 if telemetry is empty).
-    pub fn mean_epochs(&self) -> f64 {
-        if self.folds.is_empty() {
-            return 0.0;
-        }
-        self.folds.iter().map(|f| f.epochs as f64).sum::<f64>() / self.folds.len() as f64
-    }
-}
-
-/// True (measured) model error on held-out points.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TrueError {
-    /// Mean absolute percentage error.
-    pub mean: f64,
-    /// Standard deviation of the percentage error.
-    pub std_dev: f64,
-    /// Held-out points measured.
-    pub points: u64,
-}
-
-/// The incremental explorer.
-pub struct Explorer<'a, E: Oracle> {
-    space: &'a DesignSpace,
-    evaluator: &'a E,
-    config: ExplorerConfig,
-    sampler: IncrementalSampler,
-    rng: Xoshiro256,
-    dataset: Dataset,
-    sampled_indices: Vec<usize>,
-    /// Measured metric per entry of `sampled_indices` (kept so checkpoints
-    /// can rebuild the training set without re-simulating).
-    sample_values: Vec<f64>,
-    /// Indices whose evaluation failed for good; never drawn again.
-    quarantined: BTreeSet<usize>,
-    ensemble: Option<Ensemble>,
-    history: Vec<Round>,
-    checkpoint_dir: Option<PathBuf>,
-    /// Seed and hyperparameters of the most recent `fit_ensemble`, so a
-    /// resume can refit the identical ensemble.
-    last_fit_seed: Option<u64>,
-    last_train: Option<TrainSnapshot>,
-}
-
-impl<'a, E: Oracle> Explorer<'a, E> {
-    /// Creates an explorer over `space` backed by `evaluator`.
-    pub fn new(space: &'a DesignSpace, evaluator: &'a E, config: ExplorerConfig) -> Self {
-        let rng = Xoshiro256::seed_from(config.seed);
-        Self {
-            sampler: IncrementalSampler::new(space.size(), rng.derive(1)),
-            rng: rng.derive(2),
-            space,
-            evaluator,
-            config,
-            dataset: Dataset::new(),
-            sampled_indices: Vec::new(),
-            sample_values: Vec::new(),
-            quarantined: BTreeSet::new(),
-            ensemble: None,
-            history: Vec::new(),
-            checkpoint_dir: None,
-            last_fit_seed: None,
-            last_train: None,
-        }
-    }
-
-    /// Restores an explorer from the checkpoint directory written by a
-    /// previous run with [`Explorer::enable_checkpoints`].
-    ///
-    /// Every stochastic stream (sampler, training seeds) resumes exactly
-    /// where the checkpoint froze it, the last round's ensemble is refit
-    /// from its recorded seed (bit-for-bit identical at any thread count),
-    /// and checkpointing stays enabled on the same directory — so the
-    /// resumed run's remaining rounds are indistinguishable from an
-    /// uninterrupted run's.
-    ///
-    /// `config` must carry the same `seed` the checkpointed run used and
-    /// `space` must have the same size; both are validated. Fields that do
-    /// not affect results (e.g. `train.parallelism`) may differ.
-    pub fn resume(
-        space: &'a DesignSpace,
-        evaluator: &'a E,
-        config: ExplorerConfig,
-        dir: impl AsRef<Path>,
-    ) -> Result<Self, ExploreError> {
-        let dir = dir.as_ref();
-        let state =
-            ExplorerState::load(dir).map_err(|e| ExploreError::Checkpoint(e.to_string()))?;
-        if state.seed != config.seed {
-            return Err(ExploreError::Checkpoint(format!(
-                "checkpoint was taken under seed {:#018x}, config has {:#018x}",
-                state.seed, config.seed
-            )));
-        }
-        if state.space_size != space.size() {
-            return Err(ExploreError::Checkpoint(format!(
-                "checkpoint space has {} points, this space has {}",
-                state.space_size,
-                space.size()
-            )));
-        }
-        let mut dataset = Dataset::new();
-        let mut sampled_indices = Vec::with_capacity(state.samples.len());
-        let mut sample_values = Vec::with_capacity(state.samples.len());
-        for &(index, value) in &state.samples {
-            if index >= space.size() {
-                return Err(ExploreError::Checkpoint(format!(
-                    "checkpoint sample index {index} out of space"
-                )));
-            }
-            dataset.push(Sample::new(space.encode(&space.point(index)), value));
-            sampled_indices.push(index);
-            sample_values.push(value);
-        }
-        let ensemble = match (state.last_fit_seed, &state.last_train, state.rounds.last()) {
-            (Some(fit_seed), Some(train), Some(last_round)) => {
-                let folds = last_round.folds.len();
-                let train = train.to_config(config.train.parallelism);
-                Some(fit_ensemble(&dataset, folds, &train, fit_seed).ensemble)
-            }
-            _ => None,
-        };
-        Ok(Self {
-            sampler: IncrementalSampler::from_state(&state.sampler),
-            rng: Xoshiro256::from_state(state.rng),
-            space,
-            evaluator,
-            config,
-            dataset,
-            sampled_indices,
-            sample_values,
-            quarantined: state.quarantined.iter().copied().collect(),
-            ensemble,
-            history: state.rounds,
-            checkpoint_dir: Some(dir.to_path_buf()),
-            last_fit_seed: state.last_fit_seed,
-            last_train: state.last_train,
-        })
-    }
-
-    /// Enables crash-safe checkpointing: after every completed round the
-    /// full exploration state is atomically written to `dir/state.json`
-    /// (see [`crate::checkpoint`]). Returns the explorer for chaining.
-    pub fn enable_checkpoints(&mut self, dir: impl Into<PathBuf>) -> &mut Self {
-        self.checkpoint_dir = Some(dir.into());
-        self
-    }
-
-    /// The checkpoint directory, when checkpointing is enabled.
-    pub fn checkpoint_dir(&self) -> Option<&Path> {
-        self.checkpoint_dir.as_deref()
-    }
-
-    /// A restorable snapshot of the current exploration state.
-    pub fn snapshot(&self) -> ExplorerState {
-        ExplorerState {
-            seed: self.config.seed,
-            space_size: self.space.size(),
-            rng: self.rng.state(),
-            sampler: self.sampler.state(),
-            samples: self
-                .sampled_indices
-                .iter()
-                .copied()
-                .zip(self.sample_values.iter().copied())
-                .collect(),
-            quarantined: self.quarantined.iter().copied().collect(),
-            last_fit_seed: self.last_fit_seed,
-            last_train: self.last_train.clone(),
-            rounds: self.history.clone(),
-        }
-    }
-
-    /// The exploration history so far (one [`Round`] per step).
-    pub fn history(&self) -> &[Round] {
-        &self.history
-    }
-
-    /// Indices of all design points simulated so far.
-    pub fn sampled_indices(&self) -> &[usize] {
-        &self.sampled_indices
-    }
-
-    /// Indices whose evaluation failed permanently, in ascending order.
-    /// These are excluded from future batches and held-out sets.
-    pub fn quarantined(&self) -> Vec<usize> {
-        self.quarantined.iter().copied().collect()
-    }
-
-    /// The current ensemble, once at least one round has run.
-    pub fn ensemble(&self) -> Option<&Ensemble> {
-        self.ensemble.as_ref()
-    }
-
-    /// Training-set size so far.
-    pub fn samples(&self) -> usize {
-        self.dataset.len()
-    }
-
-    /// Replaces the network-training hyperparameters used by subsequent
-    /// rounds (e.g. to scale epoch budgets to the growing training set).
-    pub fn set_train_config(&mut self, train: TrainConfig) {
-        self.config.train = train;
-    }
-
-    /// The trained ensemble, or [`ExploreError::NoEnsemble`] before the
-    /// first round.
-    fn require_ensemble(&self) -> Result<&Ensemble, ExploreError> {
-        self.ensemble.as_ref().ok_or(ExploreError::NoEnsemble)
-    }
-
-    /// Predicts the metric at an arbitrary design point, or
-    /// [`ExploreError::NoEnsemble`] before the first round.
-    pub fn try_predict(&self, index: usize) -> Result<f64, ExploreError> {
-        let ensemble = self.require_ensemble()?;
-        Ok(ensemble.predict(&self.space.encode(&self.space.point(index))))
-    }
-
-    /// Predicts the metric at an arbitrary design point.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no round has run yet ([`Explorer::try_predict`] returns
-    /// the condition as a typed error instead).
-    pub fn predict(&self, index: usize) -> f64 {
-        self.try_predict(index).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Predicts the metric at each of the given design-point indices via
-    /// the batched inference path, parallelized per the configured
-    /// [`Parallelism`] knob. Bit-for-bit identical to calling
-    /// [`Explorer::predict`] per index, at any thread count. Errors with
-    /// [`ExploreError::NoEnsemble`] before the first round.
-    pub fn try_predict_indices(&self, indices: &[usize]) -> Result<Vec<f64>, ExploreError> {
-        let ensemble = self.require_ensemble()?;
-        Ok(crate::infer::predict_indices(
-            ensemble,
-            self.space,
-            indices,
-            self.parallelism(),
-        ))
-    }
-
-    /// Infallible [`Explorer::try_predict_indices`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if no round has run yet.
-    pub fn predict_indices(&self, indices: &[usize]) -> Vec<f64> {
-        self.try_predict_indices(indices)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Predicts the metric over the **entire** design space, in index
-    /// order — the paper's payoff step. Chunked and parallelized per the
-    /// configured [`Parallelism`] knob; the output is bit-for-bit
-    /// identical for every setting. Errors with
-    /// [`ExploreError::NoEnsemble`] before the first round.
-    pub fn try_predict_space(&self) -> Result<Vec<f64>, ExploreError> {
-        self.try_predict_space_with(self.parallelism())
-    }
-
-    /// Infallible [`Explorer::try_predict_space`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if no round has run yet.
-    pub fn predict_space(&self) -> Vec<f64> {
-        self.try_predict_space().unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// [`Explorer::try_predict_space`] with an explicit worker policy
-    /// (exposed so callers and tests can pin or sweep thread counts).
-    pub fn try_predict_space_with(
-        &self,
-        parallelism: Parallelism,
-    ) -> Result<Vec<f64>, ExploreError> {
-        let ensemble = self.require_ensemble()?;
-        let indices: Vec<usize> = (0..self.space.size()).collect();
-        Ok(crate::infer::predict_indices(
-            ensemble,
-            self.space,
-            &indices,
-            parallelism,
-        ))
-    }
-
-    /// Infallible [`Explorer::try_predict_space_with`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if no round has run yet.
-    pub fn predict_space_with(&self, parallelism: Parallelism) -> Vec<f64> {
-        self.try_predict_space_with(parallelism)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Ranks every design point by predicted metric, best (highest)
-    /// first, with ties broken by index so the ranking is deterministic.
-    /// This is "find the best configuration without simulating the
-    /// space": a full-space sweep plus one sort. Errors with
-    /// [`ExploreError::NoEnsemble`] before the first round.
-    pub fn try_rank_space(&self) -> Result<Vec<usize>, ExploreError> {
-        let predictions = self.try_predict_space()?;
-        let mut order: Vec<usize> = (0..predictions.len()).collect();
-        order.sort_by(|&a, &b| predictions[b].total_cmp(&predictions[a]).then(a.cmp(&b)));
-        Ok(order)
-    }
-
-    /// Infallible [`Explorer::try_rank_space`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if no round has run yet.
-    pub fn rank_space(&self) -> Vec<usize> {
-        self.try_rank_space().unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// The worker policy governing batched prediction sweeps (shared with
-    /// fold training).
-    fn parallelism(&self) -> Parallelism {
-        self.config.train.parallelism
-    }
-
-    /// Runs one refinement round; returns the new round's record.
-    ///
-    /// Any points drawn and simulated are kept in the training set even on
-    /// error, so a failed round wastes no simulations — stepping again with
-    /// more points available can succeed.
-    pub fn try_step(&mut self) -> Result<&Round, ExploreError> {
-        // 1. Choose fresh points. Under active learning with a trained
-        // ensemble this scores candidates through the batched inference
-        // path — that is the round's prediction work, so time it.
-        let scoring =
-            self.ensemble.is_some() && matches!(self.config.strategy, Strategy::Active { .. });
-        let selection_started = std::time::Instant::now();
-        let parallelism = self.parallelism();
-        let batch = match self.config.strategy {
-            Strategy::Random => self.sampler.next_batch(self.config.batch),
-            Strategy::Active { pool_factor } => crate::sampling::active_batch(
-                &mut self.sampler,
-                self.ensemble.as_ref(),
-                self.space,
-                self.config.batch,
-                pool_factor,
-                parallelism,
-            ),
-        };
-        let prediction_seconds = if scoring {
-            selection_started.elapsed().as_secs_f64()
-        } else {
-            0.0
-        };
-        if batch.is_empty() && self.dataset.is_empty() {
-            return Err(ExploreError::SpaceExhausted);
-        }
-        // 2. Simulate them through the batch-first oracle, keeping its
-        // telemetry for the round record. Failed points (after whatever
-        // retrying the oracle stack did) are quarantined and replaced by
-        // fresh draws until the round's budget is met or the space runs
-        // dry, so a faulty backend cannot starve the training set.
-        let sim_started = std::time::Instant::now();
-        let mut simulation = SimStats::default();
-        let mut pending = batch;
-        loop {
-            let results = self
-                .evaluator
-                .evaluate_batch(self.space, &pending, &mut simulation);
-            let mut failed = 0usize;
-            for (&index, result) in pending.iter().zip(&results) {
-                match result {
-                    Ok(value) => {
-                        self.dataset.push(Sample::new(
-                            self.space.encode(&self.space.point(index)),
-                            *value,
-                        ));
-                        self.sampled_indices.push(index);
-                        self.sample_values.push(*value);
-                    }
-                    Err(_) => {
-                        self.quarantined.insert(index);
-                        failed += 1;
-                    }
-                }
-            }
-            if failed == 0 {
-                break;
-            }
-            // Replacements come from the plain sampler stream (even under
-            // active learning — re-scoring a handful of fill-ins is not
-            // worth a second committee sweep) and are counted so the CSVs
-            // show how much backfilling the faults caused.
-            let replacements = self.sampler.next_batch(failed);
-            if replacements.is_empty() {
-                break;
-            }
-            simulation.resampled += replacements.len() as u64;
-            pending = replacements;
-        }
-        let simulation_seconds = sim_started.elapsed().as_secs_f64();
-        // 3. Train the cross-validation ensemble, with the fold count
-        // clamped to the training-set size (a tiny first batch would
-        // otherwise request more folds than there are samples).
-        let folds = self.config.folds.min(self.dataset.len());
-        if folds < 3 {
-            return Err(ExploreError::TooFewSamples {
-                have: self.dataset.len(),
-            });
-        }
-        let started = std::time::Instant::now();
-        let fit_seed = self.rng.next_u64();
-        let fit = fit_ensemble(&self.dataset, folds, &self.config.train, fit_seed);
-        let training_seconds = started.elapsed().as_secs_f64();
-        self.ensemble = Some(fit.ensemble);
-        self.last_fit_seed = Some(fit_seed);
-        self.last_train = Some(TrainSnapshot::of(&self.config.train));
-        // 4. Record the estimate.
-        self.history.push(Round {
-            samples: self.dataset.len(),
-            fraction_sampled: self.dataset.len() as f64 / self.space.size() as f64,
-            estimate: fit.estimate,
-            training_seconds,
-            simulation_seconds,
-            simulation,
-            prediction_seconds,
-            folds: fit.folds,
-        });
-        // 5. Persist the post-round state (atomic, so a kill at any moment
-        // leaves either the previous complete checkpoint or this one).
-        if let Some(dir) = self.checkpoint_dir.clone() {
-            self.snapshot()
-                .save(&dir)
-                .map_err(|e| ExploreError::Checkpoint(e.to_string()))?;
-        }
-        Ok(self.history.last().expect("just pushed"))
-    }
-
-    /// Runs one refinement round; returns the new round's record.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the round cannot run ([`Explorer::try_step`] returns the
-    /// condition as a typed error instead).
-    pub fn step(&mut self) -> &Round {
-        if let Err(e) = self.try_step() {
-            panic!("exploration step failed: {e}");
-        }
-        self.history.last().expect("just stepped")
-    }
-
-    /// Steps until the estimated mean error reaches the configured target,
-    /// the sample cap is hit, or the space is exhausted. Returns the final
-    /// round.
-    pub fn try_run(&mut self) -> Result<&Round, ExploreError> {
-        loop {
-            self.try_step()?;
-            let round = self.history.last().expect("stepped");
-            let done = round.estimate.mean <= self.config.target_error
-                || self.dataset.len() >= self.config.max_samples
-                || self.sampler.remaining() == 0;
-            if done {
-                break;
-            }
-        }
-        Ok(self.history.last().expect("at least one round ran"))
-    }
-
-    /// Steps until the estimated mean error reaches the configured target,
-    /// the sample cap is hit, or the space is exhausted. Returns the final
-    /// round.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a round cannot run (empty space, or batches too small to
-    /// ever reach three samples); [`Explorer::try_run`] surfaces the typed
-    /// error instead.
-    pub fn run(&mut self) -> &Round {
-        if let Err(e) = self.try_run() {
-            panic!("exploration failed: {e}");
-        }
-        self.history.last().expect("at least one round ran")
-    }
-
-    /// Measures the model's *true* error on `held_out` point indices
-    /// (simulating any that were never simulated — callers typically pass a
-    /// fixed random evaluation set disjoint from the training set).
-    /// Held-out points whose evaluation fails are skipped — the error is
-    /// measured over the surviving points, reported in
-    /// [`TrueError::points`].
-    ///
-    /// Errors if `held_out` is empty, every evaluation failed, or no round
-    /// has run yet.
-    pub fn try_true_error(&self, held_out: &[usize]) -> Result<TrueError, ExploreError> {
-        if held_out.is_empty() {
-            return Err(ExploreError::EmptyHeldOut);
-        }
-        let mut stats = SimStats::default();
-        let actuals = self
-            .evaluator
-            .evaluate_batch(self.space, held_out, &mut stats);
-        let predictions = self.try_predict_indices(held_out)?;
-        let mut acc = Accumulator::new();
-        for (&predicted, actual) in predictions.iter().zip(&actuals) {
-            if let Ok(actual) = actual {
-                acc.add(100.0 * (predicted - actual).abs() / actual.abs().max(1e-12));
-            }
-        }
-        if acc.count() == 0 {
-            return Err(ExploreError::EmptyHeldOut);
-        }
-        Ok(TrueError {
-            mean: acc.mean(),
-            std_dev: acc.population_std_dev(),
-            points: acc.count(),
-        })
-    }
-
-    /// Infallible [`Explorer::try_true_error`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if no round has run yet or `held_out` is empty.
-    pub fn true_error(&self, held_out: &[usize]) -> TrueError {
-        self.try_true_error(held_out)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Draws `count` indices that have *not* been simulated, for true-error
-    /// evaluation. Deterministic given the explorer's seed.
-    ///
-    /// The complement of the sampled set is built directly and a random
-    /// prefix of it is returned, so cost stays `O(space + count)` even when
-    /// nearly every point has been simulated (a rejection loop would
-    /// degenerate into coupon collecting there). When fewer than `count`
-    /// unsimulated points remain, all of them are returned — callers must
-    /// not assume the result has exactly `count` elements.
-    pub fn held_out_set(&self, count: usize) -> Vec<usize> {
-        let sampled: std::collections::HashSet<usize> =
-            self.sampled_indices.iter().copied().collect();
-        let mut complement: Vec<usize> = (0..self.space.size())
-            .filter(|i| !sampled.contains(i) && !self.quarantined.contains(i))
-            .collect();
-        let want = count.min(complement.len());
-        let mut rng = Xoshiro256::seed_from(self.config.seed ^ 0xE7A1);
-        archpredict_stats::sampling::partial_shuffle(&mut complement, want, &mut rng);
-        complement.truncate(want);
-        complement
-    }
-}
+/// The incremental explorer: the campaign engine with the paper's plain
+/// design-point encoding. See [`Campaign`] for every method.
+pub type Explorer<'a, E> = Campaign<'a, E, PlainEncoder>;
 
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::param::Param;
+    use crate::sampling::Strategy;
     use crate::simulate::{PointEvaluator, SimError, SimResult};
-    use crate::space::DesignPoint;
+    use crate::space::{DesignPoint, DesignSpace};
+    use archpredict_ann::Parallelism;
 
     /// A cheap synthetic "simulator" over a 3-parameter space.
     struct Synthetic {

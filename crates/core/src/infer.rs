@@ -73,18 +73,33 @@ pub fn disagreement_indices(
     indices: &[usize],
     parallelism: Parallelism,
 ) -> Vec<f64> {
-    let dims = space.encoded_width();
-    sweep(
+    disagreement_encoded(
+        ensemble,
         indices,
         parallelism,
         |index, rows| space.encode_into(&space.point(index), rows),
-        dims,
-        |rows, out, buf| {
-            for row in rows.chunks_exact(dims) {
-                out.push(ensemble.disagreement_with(row, buf));
-            }
-        },
+        space.encoded_width(),
     )
+}
+
+/// Committee disagreement with a caller-supplied encoder — the
+/// query-by-committee sweep for campaigns whose feature rows extend the
+/// plain design-point encoding (see [`crate::campaign::Encoder`]).
+pub(crate) fn disagreement_encoded<E>(
+    ensemble: &Ensemble,
+    indices: &[usize],
+    parallelism: Parallelism,
+    encode: E,
+    dims: usize,
+) -> Vec<f64>
+where
+    E: Fn(usize, &mut Vec<f64>) + Sync,
+{
+    sweep(indices, parallelism, encode, dims, |rows, out, buf| {
+        for row in rows.chunks_exact(dims) {
+            out.push(ensemble.disagreement_with(row, buf));
+        }
+    })
 }
 
 /// Shared sweep skeleton: `encode` appends `dims` features per index into

@@ -25,9 +25,13 @@
 //!   [`simulate::SimStats`] telemetry.
 //! * [`fault`] — deterministic, seeded fault injection for exercising the
 //!   retry/quarantine stack under reproducible failure schedules.
-//! * [`explorer`] — the incremental sample → train → estimate → refine
-//!   loop (§3.3's procedure, steps 1–8), with crash-safe checkpoint /
-//!   resume via [`checkpoint`].
+//! * [`campaign`] — the train–estimate–refine engine shared by every
+//!   driver: the canonical round loop (§3.3's procedure, steps 1–8),
+//!   generic over an [`campaign::Encoder`] and the sampling strategy,
+//!   with crash-safe checkpoint / resume via [`checkpoint`] and the
+//!   audited [`campaign::seed_stream`] derivation map.
+//! * [`explorer`] — the single-application driver: a thin façade aliasing
+//!   the engine with the paper's plain design-point encoding.
 //! * [`persist`] — atomic (write-temp, fsync, rename) file persistence
 //!   shared by caches, checkpoints and reports.
 //! * [`sampling`] — random (paper) and active-learning (§7) strategies.
@@ -68,6 +72,7 @@
 //! });
 //! ```
 
+pub mod campaign;
 pub mod checkpoint;
 pub mod crossapp;
 pub mod explorer;
@@ -83,6 +88,7 @@ pub mod smarts;
 pub mod space;
 pub mod studies;
 
+pub use campaign::{AppEncoder, Campaign, CampaignConfig, Encoder, PlainEncoder};
 pub use checkpoint::{CheckpointError, ExplorerState};
 pub use explorer::{ExploreError, Explorer, ExplorerConfig, Round, TrueError};
 pub use fault::{FaultConfig, FaultInjectingOracle};

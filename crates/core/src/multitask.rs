@@ -7,15 +7,23 @@
 //! layer. This module trains such a network: the **primary** head (IPC) is
 //! what early stopping and prediction use; the auxiliary heads act as an
 //! inductive bias.
+//!
+//! Training data comes in through the same batch-first [`Oracle`] stack as
+//! every other driver ([`fit_multitask_oracles`]): one oracle per metric
+//! head, so multi-task fits get deduplicating caches, retry/quarantine,
+//! [`SimStats`] telemetry and batch fan-out for free, and the primary
+//! head's sampling runs through the campaign engine's [`collect_batch`]
+//! quarantine/resample loop with seeds derived from the audited
+//! [`seed_stream`] map.
 
-use crate::simulate::{PointEvaluator, SimBudget};
+use crate::campaign::{collect_batch, seed_stream, Encoder, PlainEncoder};
+use crate::simulate::{Oracle, PointEvaluator, SimBudget, SimStats};
 use crate::space::{DesignPoint, DesignSpace};
 use crate::studies::Study;
-use archpredict_ann::network::Network;
-use archpredict_ann::scaling::{MinMaxScaler, TargetScaler};
-use archpredict_ann::TrainConfig;
+use archpredict_ann::{train_multi_network, MultiTrainedModel, TrainConfig};
 use archpredict_sim::simulate_with_warmup;
 use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::IncrementalSampler;
 use archpredict_workloads::{Benchmark, TraceGenerator};
 
 /// The metric vector a detailed simulation yields for multi-task training.
@@ -151,12 +159,13 @@ impl PointEvaluator for MetricsEvaluator {
     }
 }
 
-/// A trained multi-output network with its scalers.
+/// A trained multi-output network with its scalers — a thin wrapper over
+/// the ann crate's [`MultiTrainedModel`], which carries the snapshot/
+/// restore best-epoch bookkeeping and divergence detection the
+/// single-output trainer has.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultiTaskModel {
-    network: Network,
-    input_scaler: MinMaxScaler,
-    target_scalers: Vec<TargetScaler>,
+    model: MultiTrainedModel,
     /// Index of the primary task among the outputs.
     pub primary: usize,
     /// Epochs actually run.
@@ -166,20 +175,28 @@ pub struct MultiTaskModel {
 impl MultiTaskModel {
     /// Predicts the primary metric (raw scale) for raw features.
     pub fn predict_primary(&self, features: &[f64]) -> f64 {
-        let x = self.input_scaler.transform(features);
-        let y = self.network.predict(&x);
-        self.target_scalers[self.primary].unscale(y[self.primary])
+        self.model.predict_primary(features)
     }
 
     /// Predicts all metrics (raw scale).
     pub fn predict_all(&self, features: &[f64]) -> Vec<f64> {
-        let x = self.input_scaler.transform(features);
-        self.network
-            .predict(&x)
-            .into_iter()
-            .zip(&self.target_scalers)
-            .map(|(y, s)| s.unscale(y))
-            .collect()
+        self.model.predict_all(features)
+    }
+
+    /// Number of output heads.
+    pub fn tasks(&self) -> usize {
+        self.model.tasks()
+    }
+
+    /// Whether training diverged (non-finite early-stopping error); the
+    /// weights are still the best finite snapshot.
+    pub fn diverged(&self) -> bool {
+        self.model.diverged
+    }
+
+    /// Best primary-head percentage error seen on the early-stopping set.
+    pub fn best_es_error(&self) -> f64 {
+        self.model.best_es_error
     }
 }
 
@@ -200,12 +217,6 @@ pub fn fit_multitask(
 ) -> MultiTaskModel {
     assert!(!features.is_empty(), "no training data");
     assert_eq!(features.len(), targets.len(), "feature/target mismatch");
-    let tasks = targets[0].len();
-    assert!(primary < tasks, "primary task out of range");
-    assert!(
-        targets.iter().all(|t| t.len() == tasks),
-        "ragged target rows"
-    );
 
     let mut rng = Xoshiro256::seed_from(seed);
     let mut order: Vec<usize> = (0..features.len()).collect();
@@ -213,67 +224,133 @@ pub fn fit_multitask(
     let es_len = (features.len() / 5).max(1);
     let (train_ids, es_ids) = order.split_at(features.len() - es_len);
 
-    let input_scaler = MinMaxScaler::fit(features.iter().map(|f| f.as_slice()));
-    let target_scalers: Vec<TargetScaler> = (0..tasks)
-        .map(|t| TargetScaler::fit(&targets.iter().map(|row| row[t]).collect::<Vec<_>>()))
-        .collect();
-
-    let scale_row = |row: &[f64]| -> Vec<f64> {
-        row.iter()
-            .zip(&target_scalers)
-            .map(|(&v, s)| s.scale(v))
+    let pairs = |ids: &[usize]| -> Vec<(&[f64], &[f64])> {
+        ids.iter()
+            .map(|&i| (features[i].as_slice(), targets[i].as_slice()))
             .collect()
     };
-    let train_x: Vec<Vec<f64>> = train_ids
-        .iter()
-        .map(|&i| input_scaler.transform(&features[i]))
-        .collect();
-    let train_y: Vec<Vec<f64>> = train_ids.iter().map(|&i| scale_row(&targets[i])).collect();
+    let model = train_multi_network(&pairs(train_ids), &pairs(es_ids), primary, config, &mut rng);
+    MultiTaskModel {
+        primary: model.primary,
+        epochs: model.epochs,
+        model,
+    }
+}
 
-    let mut network = Network::new(&[features[0].len(), config.hidden_units, tasks], &mut rng);
-    let mut best = network.clone();
-    let mut best_error = f64::INFINITY;
-    let mut best_epoch = 0;
-    let mut epochs = 0;
+/// Everything a multi-task oracle fit produces: the model plus the
+/// sampling outcome and the accumulated simulation telemetry.
+#[derive(Debug)]
+pub struct MultiTaskFit {
+    /// The trained multi-output model.
+    pub model: MultiTaskModel,
+    /// Design-point indices whose full metric rows made it into training,
+    /// in evaluation order.
+    pub indices: Vec<usize>,
+    /// Telemetry accumulated across every head's oracle — cache hits,
+    /// retries, quarantines and resamples all land here.
+    pub simulation: SimStats,
+    /// Rows dropped because an auxiliary head failed on the index after
+    /// whatever retrying its oracle stack performed.
+    pub dropped: usize,
+}
 
-    let es_error = |network: &Network| -> f64 {
-        let mut total = 0.0;
-        for &i in es_ids {
-            let x = input_scaler.transform(&features[i]);
-            let y = target_scalers[primary].unscale(network.predict(&x)[primary]);
-            let t = targets[i][primary];
-            total += 100.0 * (y - t).abs() / t.abs().max(1e-12);
+/// Trains a multi-task model through the batch-first [`Oracle`] stack:
+/// one oracle per metric head, in head order.
+///
+/// The `primary` head drives point selection — `samples` indices are
+/// drawn from the seeded sampler stream and evaluated through the
+/// campaign engine's quarantine/resample loop, so a failing point is
+/// replaced by a fresh draw exactly as in single-metric exploration. The
+/// auxiliary heads then evaluate the surviving indices in one batch each;
+/// an index any auxiliary head still fails on is dropped from training
+/// (and counted in [`MultiTaskFit::dropped`]) rather than resampled,
+/// since by then the primary target is already paid for.
+///
+/// Wrap each head in the usual stack
+/// ([`CachedEvaluator`](crate::simulate::CachedEvaluator),
+/// [`RetryingOracle`](crate::simulate::RetryingOracle), …) to get
+/// deduplication, persistence and retries; all telemetry accumulates into
+/// one [`SimStats`]. Sampling and fit seeds derive from `seed` through
+/// [`seed_stream`], and results are identical for every parallelism
+/// setting of the underlying oracles.
+///
+/// # Panics
+///
+/// Panics if `heads` is empty, `primary` is out of range, or every
+/// sampled row is dropped.
+pub fn fit_multitask_oracles<O: Oracle + ?Sized>(
+    space: &DesignSpace,
+    heads: &[&O],
+    primary: usize,
+    samples: usize,
+    config: &TrainConfig,
+    seed: u64,
+) -> MultiTaskFit {
+    assert!(!heads.is_empty(), "no metric heads");
+    assert!(primary < heads.len(), "primary task out of range");
+
+    let rng = Xoshiro256::seed_from(seed);
+    let mut sampler = IncrementalSampler::new(space.size(), rng.derive(seed_stream::SAMPLER));
+    let mut simulation = SimStats::default();
+
+    // The primary head samples with quarantine/resample, exactly like a
+    // campaign round.
+    let initial = sampler.next_batch(samples);
+    let mut indices: Vec<usize> = Vec::new();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    collect_batch(
+        heads[primary],
+        space,
+        &mut sampler,
+        initial,
+        &mut simulation,
+        |index, value| {
+            let mut row = vec![0.0; heads.len()];
+            row[primary] = value;
+            indices.push(index);
+            rows.push(row);
+        },
+        |_| {},
+    );
+
+    // Auxiliary heads fill in their column over the surviving indices.
+    let mut keep = vec![true; indices.len()];
+    for (slot, head) in heads.iter().enumerate() {
+        if slot == primary {
+            continue;
         }
-        total / es_ids.len() as f64
-    };
-
-    for epoch in 0..config.max_epochs {
-        epochs = epoch + 1;
-        for _ in 0..train_x.len() {
-            let i = rng.index(train_x.len());
-            network.train_example(
-                &train_x[i],
-                &train_y[i],
-                config.learning_rate,
-                config.momentum,
-            );
-        }
-        let err = es_error(&network);
-        if err < best_error {
-            best_error = err;
-            best = network.clone();
-            best_epoch = epoch;
-        } else if epoch - best_epoch >= config.patience {
-            break;
+        let results = head.evaluate_batch(space, &indices, &mut simulation);
+        for ((row, ok), result) in rows.iter_mut().zip(keep.iter_mut()).zip(results) {
+            match result {
+                Ok(value) => row[slot] = value,
+                Err(_) => *ok = false,
+            }
         }
     }
 
-    MultiTaskModel {
-        network: best,
-        input_scaler,
-        target_scalers,
-        primary,
-        epochs,
+    let mut features = Vec::new();
+    let mut targets = Vec::new();
+    let mut kept = Vec::new();
+    let mut dropped = 0;
+    for ((index, row), ok) in indices.into_iter().zip(rows).zip(keep) {
+        if ok {
+            features.push(PlainEncoder.encode(space, index));
+            targets.push(row);
+            kept.push(index);
+        } else {
+            dropped += 1;
+        }
+    }
+
+    let fit_seed = Xoshiro256::seed_from(seed)
+        .derive(seed_stream::FIT)
+        .next_u64();
+    let model = fit_multitask(&features, &targets, primary, config, fit_seed);
+    MultiTaskFit {
+        model,
+        indices: kept,
+        simulation,
+        dropped,
     }
 }
 

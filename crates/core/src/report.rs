@@ -12,7 +12,7 @@
 //! checkpoint/resume equivalence gates. File writes go through the atomic
 //! [`crate::persist::write_atomic`] path.
 
-use crate::explorer::{Round, TrueError};
+use crate::campaign::{Round, TrueError};
 use std::path::Path;
 
 /// One row of a learning curve.

@@ -8,7 +8,6 @@
 //! cross-validation ensemble's member networks, and the most contentious
 //! candidates are simulated first.
 
-use crate::space::DesignSpace;
 use archpredict_ann::{Ensemble, Parallelism};
 use archpredict_stats::sampling::IncrementalSampler;
 
@@ -30,22 +29,27 @@ pub enum Strategy {
 ///
 /// Falls back to plain random sampling for the first round (no ensemble
 /// exists to disagree yet). A pool of `batch * pool_factor` fresh
-/// candidates is drawn from the sampler and scored by committee
-/// disagreement through the batched inference path
-/// ([`crate::infer::disagreement_indices`]), parallelized per
-/// `parallelism`; the top `batch` are simulated. Scores are bit-for-bit
-/// identical at every thread count, so the selected batch is too.
-/// Rejected candidates are permanently skipped (never simulated), trading
-/// a little coverage for informativeness — acceptable because the pool is
-/// a vanishing fraction of the space.
-pub(crate) fn active_batch(
+/// candidates is drawn from the sampler, encoded through the campaign's
+/// [`crate::campaign::Encoder`] (as the `encode` closure appending `dims`
+/// features per index), and scored by committee disagreement through the
+/// batched inference path, parallelized per `parallelism`; the top
+/// `batch` are simulated. Scores are bit-for-bit identical at every
+/// thread count, so the selected batch is too. Rejected candidates are
+/// permanently skipped (never simulated), trading a little coverage for
+/// informativeness — acceptable because the pool is a vanishing fraction
+/// of the space.
+pub(crate) fn active_batch<E>(
     sampler: &mut IncrementalSampler,
     ensemble: Option<&Ensemble>,
-    space: &DesignSpace,
     batch: usize,
     pool_factor: usize,
     parallelism: Parallelism,
-) -> Vec<usize> {
+    encode: E,
+    dims: usize,
+) -> Vec<usize>
+where
+    E: Fn(usize, &mut Vec<f64>) + Sync,
+{
     let Some(ensemble) = ensemble else {
         return sampler.next_batch(batch);
     };
@@ -53,7 +57,7 @@ pub(crate) fn active_batch(
     if pool.len() <= batch {
         return pool;
     }
-    let scores = crate::infer::disagreement_indices(ensemble, space, &pool, parallelism);
+    let scores = crate::infer::disagreement_encoded(ensemble, &pool, parallelism, encode, dims);
     let mut scored: Vec<(f64, usize)> = scores.into_iter().zip(pool).collect();
     // Highest disagreement first; the sort is stable, so ties keep the
     // pool's (random) draw order.
@@ -65,7 +69,12 @@ pub(crate) fn active_batch(
 mod tests {
     use super::*;
     use crate::param::Param;
+    use crate::space::DesignSpace;
     use archpredict_stats::rng::Xoshiro256;
+
+    fn plain_encode(space: &DesignSpace) -> impl Fn(usize, &mut Vec<f64>) + Sync + '_ {
+        |index, rows| space.encode_into(&space.point(index), rows)
+    }
 
     fn space() -> DesignSpace {
         DesignSpace::new(vec![
@@ -79,7 +88,15 @@ mod tests {
     fn first_round_falls_back_to_random() {
         let space = space();
         let mut sampler = IncrementalSampler::new(space.size(), Xoshiro256::seed_from(1));
-        let batch = active_batch(&mut sampler, None, &space, 10, 4, Parallelism::Auto);
+        let batch = active_batch(
+            &mut sampler,
+            None,
+            10,
+            4,
+            Parallelism::Auto,
+            plain_encode(&space),
+            space.encoded_width(),
+        );
         assert_eq!(batch.len(), 10);
     }
 
@@ -103,10 +120,11 @@ mod tests {
         let batch = active_batch(
             &mut sampler,
             Some(&fit.ensemble),
-            &space,
             8,
             3,
             Parallelism::Auto,
+            plain_encode(&space),
+            space.encoded_width(),
         );
         assert_eq!(batch.len(), 8);
         let unique: std::collections::HashSet<_> = batch.iter().collect();
@@ -130,7 +148,15 @@ mod tests {
         let fit = fit_ensemble(&data, 5, &config, 3);
         let run = |parallelism| {
             let mut sampler = IncrementalSampler::new(space.size(), Xoshiro256::seed_from(9));
-            active_batch(&mut sampler, Some(&fit.ensemble), &space, 8, 3, parallelism)
+            active_batch(
+                &mut sampler,
+                Some(&fit.ensemble),
+                8,
+                3,
+                parallelism,
+                plain_encode(&space),
+                space.encoded_width(),
+            )
         };
         let reference = run(Parallelism::Fixed(1));
         assert_eq!(reference, run(Parallelism::Fixed(4)));

@@ -29,7 +29,11 @@
 //! any oracle with a bounded, deterministically-seeded retry policy and a
 //! persistent quarantine set for permanently failing points;
 //! [`crate::fault::FaultInjectingOracle`] injects seeded faults for
-//! testing the whole stack.
+//! testing the whole stack. Indices that still fail after the stack's
+//! retries are replaced with fresh draws by the campaign engine's
+//! [`crate::campaign::collect_batch`] loop, which every driver —
+//! single-application, cross-application and multi-task — samples
+//! through.
 //!
 //! # Determinism contract
 //!
@@ -461,7 +465,7 @@ const CACHE_SHARDS: usize = 16;
 /// Experiments repeatedly touch the same points (learning curves reuse the
 /// growing training set; evaluation sets are fixed); caching makes those
 /// reuses free and keeps the simulation count honest. The cache is split
-/// across [`CACHE_SHARDS`] independently-mutexed shards so parallel
+/// across `CACHE_SHARDS` independently-mutexed shards so parallel
 /// lookups and inserts don't serialize on one lock.
 ///
 /// # Exactly-once guarantee

@@ -51,6 +51,14 @@ fn main() {
         apps.map(|b| b.name()),
         pooled.estimate.mean
     );
+    println!(
+        "  {} sims ({:.2}% of space x apps), {} cache hits, {:.1}s sim + {:.1}s train",
+        pooled.samples,
+        100.0 * pooled.fraction_sampled,
+        pooled.simulation.cache_hits,
+        pooled.simulation_seconds,
+        pooled.training_seconds,
+    );
 
     let mut rng = Xoshiro256::seed_from(77);
     let held_out = sample_without_replacement(space.size(), 150, &mut rng);

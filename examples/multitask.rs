@@ -3,10 +3,15 @@
 //! through a shared hidden layer, compared against a single-task model on
 //! an identical simulation budget.
 //!
+//! Training data flows through the batch-first oracle stack — one cached
+//! oracle per metric head — so the fit reports full [`SimStats`]
+//! telemetry and the single-task baseline reuses the primary head's
+//! simulations straight from cache.
+//!
 //! Run with: `cargo run --release --example multitask`
 
-use archpredict::multitask::{fit_multitask, MetricsEvaluator};
-use archpredict::simulate::SimBudget;
+use archpredict::multitask::{fit_multitask_oracles, MetricsEvaluator, TargetMetric};
+use archpredict::simulate::{CachedEvaluator, Oracle, SimBudget, SimStats};
 use archpredict::studies::Study;
 use archpredict_ann::{train::train_network, Sample, TrainConfig};
 use archpredict_stats::describe::Accumulator;
@@ -18,58 +23,76 @@ fn main() {
     let app = Benchmark::Twolf;
     let study = Study::Processor;
     let space = study.space();
-    let generator = TraceGenerator::new(app);
-    let evaluator =
-        MetricsEvaluator::new(study, app, SimBudget::spread(&generator, 2, 6_000, 12_000));
 
-    let mut rng = Xoshiro256::seed_from(11);
-    let train_idx = sample_without_replacement(space.size(), 200, &mut rng);
-    let test_idx = sample_without_replacement(space.size(), 150, &mut rng);
+    // One oracle per metric head, each behind its own dedup cache.
+    let heads: Vec<CachedEvaluator<MetricsEvaluator>> = [
+        TargetMetric::Ipc,
+        TargetMetric::L2Mpki,
+        TargetMetric::MispredictRate,
+        TargetMetric::L1dMpki,
+    ]
+    .iter()
+    .map(|&target| {
+        let generator = TraceGenerator::new(app);
+        let budget = SimBudget::spread(&generator, 2, 6_000, 12_000);
+        CachedEvaluator::new(
+            MetricsEvaluator::new(study, app, budget).with_target(target),
+            space.clone(),
+        )
+    })
+    .collect();
+    let head_refs: Vec<&CachedEvaluator<MetricsEvaluator>> = heads.iter().collect();
 
-    eprintln!(
-        "simulating {} training + {} test points...",
-        train_idx.len(),
-        test_idx.len()
+    // Multi-task: all four heads, early-stopped on IPC (head 0).
+    eprintln!("simulating 200 training points x 4 heads...");
+    let config = TrainConfig::scaled_to(200);
+    let fit = fit_multitask_oracles(&space, &head_refs, 0, 200, &config, 13);
+    println!(
+        "multi-task fit: {} rows ({} dropped), {} unique sims, {} cache hits, {:.2}G instructions",
+        fit.indices.len(),
+        fit.dropped,
+        fit.simulation.unique_simulations,
+        fit.simulation.cache_hits,
+        fit.simulation.simulated_instructions as f64 / 1e9,
     );
-    let features: Vec<Vec<f64>> = train_idx
+
+    // Single-task baseline on the identical training rows — the primary
+    // head's cache serves every repeat lookup.
+    let mut reuse = SimStats::default();
+    let ipc_rows = head_refs[0].evaluate_batch(&space, &fit.indices, &mut reuse);
+    println!(
+        "baseline reuse: {} cache hits, {} new sims",
+        reuse.cache_hits, reuse.unique_simulations
+    );
+    let samples: Vec<Sample> = fit
+        .indices
         .iter()
-        .map(|&i| space.encode(&space.point(i)))
-        .collect();
-    let metrics: Vec<Vec<f64>> = train_idx
-        .iter()
-        .map(|&i| evaluator.evaluate_metrics(&space.point(i)).to_vec())
-        .collect();
-    let test: Vec<(Vec<f64>, f64)> = test_idx
-        .iter()
-        .map(|&i| {
-            (
-                space.encode(&space.point(i)),
-                evaluator.evaluate_metrics(&space.point(i)).ipc,
-            )
+        .zip(&ipc_rows)
+        .filter_map(|(&i, r)| {
+            r.as_ref()
+                .ok()
+                .map(|&ipc| Sample::new(space.encode(&space.point(i)), ipc))
         })
-        .collect();
-
-    // Multi-task: all four heads, early-stopped on IPC.
-    let config = TrainConfig::scaled_to(features.len());
-    let multi = fit_multitask(&features, &metrics, 0, &config, 13);
-    let mut multi_err = Accumulator::new();
-    for (x, ipc) in &test {
-        multi_err.add(100.0 * (multi.predict_primary(x) - ipc).abs() / ipc);
-    }
-
-    // Single-task baseline on the identical data.
-    let samples: Vec<Sample> = features
-        .iter()
-        .zip(&metrics)
-        .map(|(f, m)| Sample::new(f.clone(), m[0]))
         .collect();
     let split = samples.len() * 4 / 5;
     let train_refs: Vec<&Sample> = samples[..split].iter().collect();
     let es_refs: Vec<&Sample> = samples[split..].iter().collect();
+    let mut rng = Xoshiro256::seed_from(11);
     let single = train_network(&train_refs, &es_refs, &config, &mut rng);
+
+    // Fresh held-out points, true IPC through the same cached oracle.
+    let test_idx = sample_without_replacement(space.size(), 150, &mut rng);
+    let mut stats = SimStats::default();
+    let actuals = head_refs[0].evaluate_batch(&space, &test_idx, &mut stats);
+    let mut multi_err = Accumulator::new();
     let mut single_err = Accumulator::new();
-    for (x, ipc) in &test {
-        single_err.add(100.0 * (single.predict(x) - ipc).abs() / ipc);
+    let mut probe = None;
+    for (&i, actual) in test_idx.iter().zip(&actuals) {
+        let Ok(ipc) = actual else { continue };
+        let x = space.encode(&space.point(i));
+        multi_err.add(100.0 * (fit.model.predict_primary(&x) - ipc).abs() / ipc);
+        single_err.add(100.0 * (single.predict(&x) - ipc).abs() / ipc);
+        probe.get_or_insert(x);
     }
 
     println!(
@@ -82,10 +105,12 @@ fn main() {
         single_err.mean(),
         single_err.population_std_dev()
     );
-    println!("\nauxiliary heads at one test point:");
-    let preds = multi.predict_all(&test[0].0);
-    println!(
-        "  ipc={:.3} l2_mpki={:.1} mispredict={:.3} l1d_mpki={:.1}",
-        preds[0], preds[1], preds[2], preds[3]
-    );
+    if let Some(x) = probe {
+        let preds = fit.model.predict_all(&x);
+        println!("\nauxiliary heads at one test point:");
+        println!(
+            "  ipc={:.3} l2_mpki={:.1} mispredict={:.3} l1d_mpki={:.1}",
+            preds[0], preds[1], preds[2], preds[3]
+        );
+    }
 }

@@ -5,6 +5,7 @@
 //! parallelism setting, and a checkpointed run killed between rounds
 //! resumes into the identical learning curve.
 
+use archpredict::crossapp::CrossAppModel;
 use archpredict::explorer::{Explorer, ExplorerConfig};
 use archpredict::fault::{FaultConfig, FaultInjectingOracle};
 use archpredict::report::LearningCurve;
@@ -12,6 +13,7 @@ use archpredict::simulate::{CachedEvaluator, Oracle, PointEvaluator, RetryingOra
 use archpredict::space::{DesignPoint, DesignSpace};
 use archpredict::studies::Study;
 use archpredict_ann::{Parallelism, TrainConfig};
+use archpredict_workloads::Benchmark;
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -200,4 +202,59 @@ fn killed_run_resumes_into_identical_curve() {
     }
     assert_eq!(uninterrupted, curve.to_csv_deterministic());
     std::fs::remove_dir_all(&dir).expect("clean up checkpoint dir");
+}
+
+fn crossapp_run(parallelism: Parallelism) -> (CrossAppModel, String, Vec<u64>) {
+    let space = Study::MemorySystem.space();
+    // A 30% fault rate (distinct schedule per app) forces the pooled
+    // sampler through its quarantine-and-resample loop.
+    let fault = |seed: u64| FaultConfig {
+        probability: 0.3,
+        seed,
+        ..FaultConfig::default()
+    };
+    let evaluators = vec![
+        (Benchmark::Gzip, stack(&space, fault(0xA9_01), parallelism)),
+        (Benchmark::Mcf, stack(&space, fault(0xA9_02), parallelism)),
+    ];
+    let train = TrainConfig {
+        max_epochs: 25,
+        patience: 8,
+        parallelism,
+        ..TrainConfig::default()
+    };
+    let model = CrossAppModel::fit(&space, &evaluators, 40, &train, 0xCA_FA17);
+    let mut curve = LearningCurve::new("crossapp-faulted");
+    curve.push(&model.round(), None);
+    let probes: Vec<u64> = model
+        .predict_indices(&space, &[0, 123, 4_567], Benchmark::Mcf, parallelism)
+        .iter()
+        .map(|p| p.to_bits())
+        .collect();
+    (model, curve.to_csv_deterministic(), probes)
+}
+
+/// A pooled cross-application fit under a 30% injected fault rate still
+/// fills every application's quota (the resample loop fires), records the
+/// faults in its telemetry, and is bit-for-bit identical at one thread,
+/// four threads, and auto parallelism.
+#[test]
+fn faulted_crossapp_fit_is_deterministic_across_parallelism() {
+    let (model, csv_1, probes_1) = crossapp_run(Parallelism::Fixed(1));
+    assert_eq!(model.samples, 80, "both apps reach their quota");
+    assert!(
+        model.simulation.failures > 0 && model.simulation.retries > 0,
+        "fault schedule never fired: {:?}",
+        model.simulation
+    );
+    assert!(
+        model.simulation.resampled > 0,
+        "resample loop never exercised: {:?}",
+        model.simulation
+    );
+    for parallelism in [Parallelism::Fixed(4), Parallelism::Auto] {
+        let (_, csv, probes) = crossapp_run(parallelism);
+        assert_eq!(csv_1, csv, "curve diverged at {parallelism:?}");
+        assert_eq!(probes_1, probes, "predictions diverged at {parallelism:?}");
+    }
 }
