@@ -5,6 +5,8 @@
 //! §3 — non-linear, monotonic, differentiable — are satisfied by both
 //! provided non-linearities.
 
+use archpredict_stats::fastmath;
+
 /// Supported activation functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
@@ -18,12 +20,41 @@ pub enum Activation {
 
 impl Activation {
     /// Applies the function.
+    ///
+    /// Sigmoid goes through [`fastmath::exp`] rather than libm: the
+    /// polynomial is branch-free IEEE arithmetic, so forward-pass loops
+    /// containing the activation still autovectorize, and scalar vs.
+    /// lane-blocked evaluation is bit-for-bit identical — the property the
+    /// blocked batch kernels' determinism contract rests on.
     #[inline]
     pub fn apply(self, x: f64) -> f64 {
         match self {
-            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Sigmoid => 1.0 / (1.0 + fastmath::exp(-x)),
             Activation::Tanh => x.tanh(),
             Activation::Linear => x,
+        }
+    }
+
+    /// Applies the function elementwise in place — per element exactly
+    /// [`Activation::apply`], but with the variant match hoisted out of
+    /// the loop so the body is one branch-free vectorizable pass. The
+    /// batch kernels run this over whole activation matrices (thousands
+    /// of elements), which is where the sigmoid's polynomial `exp`
+    /// actually gets its SIMD width.
+    #[inline]
+    pub fn apply_slice(self, values: &mut [f64]) {
+        match self {
+            Activation::Sigmoid => {
+                for v in values.iter_mut() {
+                    *v = 1.0 / (1.0 + fastmath::exp(-*v));
+                }
+            }
+            Activation::Tanh => {
+                for v in values.iter_mut() {
+                    *v = v.tanh();
+                }
+            }
+            Activation::Linear => {}
         }
     }
 

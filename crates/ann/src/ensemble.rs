@@ -69,7 +69,9 @@ impl Ensemble {
     /// Predicts raw-scale targets for a row-major matrix of raw feature
     /// rows (each [`Ensemble::input_dims`] wide), appending one averaged
     /// prediction per row to `out`. The loop runs member-outer so each
-    /// model's weights stay hot across the whole chunk; per-row sums still
+    /// model's weights stay hot across the whole chunk, and every member
+    /// pushes the chunk through its blocked matrix-matrix kernel
+    /// ([`TrainedModel::predict_batch_into`]); per-row sums still
     /// accumulate in member order, so results are bit-for-bit identical to
     /// per-row [`Ensemble::predict`].
     ///
@@ -86,15 +88,36 @@ impl Ensemble {
         );
         let start = out.len();
         out.resize(start + rows.len() / dims, 0.0);
+        let mut member = std::mem::take(&mut buf.member);
         for model in &self.models {
-            for (slot, row) in out[start..].iter_mut().zip(rows.chunks_exact(dims)) {
-                *slot += model.predict_with(row, buf);
+            member.clear();
+            model.predict_batch_into(rows, &mut member, buf);
+            for (slot, &y) in out[start..].iter_mut().zip(&member) {
+                *slot += y;
             }
         }
+        buf.member = member;
         let n = self.models.len() as f64;
         for slot in &mut out[start..] {
             *slot /= n;
         }
+    }
+
+    /// Ensemble average through each member's textbook per-output forward
+    /// loop ([`TrainedModel::predict_reference_with`]) with one fresh
+    /// scratch per call — structurally the pre-kernel production path
+    /// ([`Ensemble::predict`] before the blocked kernels), kept as the
+    /// honest baseline the speedup gate measures against. Bit-for-bit
+    /// identical to [`Ensemble::predict`]. Not for production use.
+    #[doc(hidden)]
+    pub fn predict_reference(&self, features: &[f64]) -> f64 {
+        let mut buf = PredictBuffer::default();
+        let sum: f64 = self
+            .models
+            .iter()
+            .map(|m| m.predict_reference_with(features, &mut buf))
+            .sum();
+        sum / self.models.len() as f64
     }
 
     /// Per-member predictions, exposed for query-by-committee active
@@ -131,6 +154,64 @@ impl Ensemble {
             acc.add(model.predict_with(features, buf));
         }
         acc.sample_std_dev()
+    }
+
+    /// Committee disagreement for a row-major matrix of raw feature rows,
+    /// appending one score per row to `out` — the batched counterpart of
+    /// [`Ensemble::disagreement_with`], bit for bit.
+    ///
+    /// Runs member-outer: each member predicts the whole chunk through its
+    /// blocked kernel, and the predictions fold into per-row Welford
+    /// states (running mean and M2, updated elementwise in member order —
+    /// the exact `Accumulator::add` recurrence), so the kernel's batch
+    /// throughput carries over to query-by-committee scoring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the input width.
+    pub fn disagreement_batch_into(
+        &self,
+        rows: &[f64],
+        out: &mut Vec<f64>,
+        buf: &mut PredictBuffer,
+    ) {
+        let dims = self.input_dims();
+        assert_eq!(
+            rows.len() % dims,
+            0,
+            "batch length {} is not a multiple of the feature width {dims}",
+            rows.len()
+        );
+        let n_rows = rows.len() / dims;
+        let mut member = std::mem::take(&mut buf.member);
+        let mut mean = std::mem::take(&mut buf.mean);
+        let mut m2 = std::mem::take(&mut buf.m2);
+        mean.clear();
+        mean.resize(n_rows, 0.0);
+        m2.clear();
+        m2.resize(n_rows, 0.0);
+        for (k, model) in self.models.iter().enumerate() {
+            member.clear();
+            model.predict_batch_into(rows, &mut member, buf);
+            let count = (k + 1) as f64;
+            for ((m, s), &x) in mean.iter_mut().zip(&mut m2).zip(&member) {
+                let delta = x - *m;
+                *m += delta / count;
+                *s += delta * (x - *m);
+            }
+        }
+        // Sample standard deviation, matching `Accumulator::sample_std_dev`
+        // (0.0 for fewer than two members).
+        out.reserve(n_rows);
+        if self.models.len() < 2 {
+            out.resize(out.len() + n_rows, 0.0);
+        } else {
+            let denom = (self.models.len() - 1) as f64;
+            out.extend(m2.iter().map(|&s| (s / denom).sqrt()));
+        }
+        buf.member = member;
+        buf.mean = mean;
+        buf.m2 = m2;
     }
 
     /// Serializes the ensemble to a JSON string.

@@ -18,6 +18,30 @@ fn json_err(message: &str) -> JsonError {
     JsonError::custom(message)
 }
 
+/// Lane width of the register-blocked kernels: eight independent f64
+/// accumulator chains. Eight lanes fill four SSE2 registers (or two AVX
+/// ones) when LLVM autovectorizes, and — just as importantly on any
+/// target — break the 4-cycle floating-point add latency chain of a
+/// scalar dot product into eight independent chains that saturate the
+/// FMA pipes. The value is a tuning constant, not a correctness
+/// parameter: every kernel preserves the exact per-unit summation order
+/// at any lane width.
+const LANES: usize = 8;
+
+/// Output units processed together per register tile of the batch kernel
+/// ([`Layer::forward_batch_t`]). One 8-lane accumulator row per unit is a
+/// single vector-add dependency chain (latency-bound); four units give
+/// four independent chains that share each activation load, which is what
+/// moves the kernel from add-latency-bound to FLOP-throughput-bound.
+/// Tuning constant only — per-unit summation order is unchanged.
+const UNIT_TILE: usize = 4;
+
+/// Points per internal block of [`Network::predict_batch`]. Matches the
+/// 256-point chunks `core::infer` hands the ensemble, and bounds the
+/// activation-matrix scratch at `2 * max_width * BLOCK_POINTS` floats per
+/// worker regardless of sweep size.
+const BLOCK_POINTS: usize = 256;
+
 /// One fully connected layer: `outputs x (inputs + 1)` weights, the final
 /// column being the bias.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,9 +108,55 @@ impl Layer {
     }
 
     /// Forward pass into a caller-provided slice of exactly `outputs`
-    /// elements — no allocation, same arithmetic order as [`Self::forward`].
+    /// elements — no allocation, bit-for-bit the arithmetic of
+    /// [`Self::forward_naive_into`].
+    ///
+    /// Outputs are processed in blocks of [`LANES`] independent
+    /// accumulator chains (each output keeps its own bias-then-ascending-
+    /// input summation order, so results are exactly the naive loop's),
+    /// which turns the latency-bound scalar dot product into [`LANES`]
+    /// parallel ones.
+    ///
+    /// The length checks are hard `assert_eq!`s, not `debug_assert_eq!`s:
+    /// a too-short output slice in a release build must abort rather than
+    /// silently compute (and hand back) fewer outputs than the layer has.
     fn forward_into(&self, input: &[f64], output: &mut [f64]) {
-        debug_assert_eq!(output.len(), self.outputs);
+        assert_eq!(output.len(), self.outputs, "output slice length");
+        assert_eq!(input.len(), self.inputs, "input slice length");
+        let stride = self.inputs + 1;
+        let mut o = 0;
+        while o + LANES <= self.outputs {
+            let rows = &self.weights[o * stride..(o + LANES) * stride];
+            let mut acc = [0.0; LANES];
+            for (k, a) in acc.iter_mut().enumerate() {
+                *a = rows[k * stride + self.inputs]; // bias
+            }
+            for (i, &x) in input.iter().enumerate() {
+                for (k, a) in acc.iter_mut().enumerate() {
+                    *a += rows[k * stride + i] * x;
+                }
+            }
+            output[o..o + LANES].copy_from_slice(&acc);
+            o += LANES;
+        }
+        for (row, out) in self.weights[o * stride..]
+            .chunks_exact(stride)
+            .zip(&mut output[o..])
+        {
+            let mut net = row[self.inputs]; // bias
+            for (w, x) in row[..self.inputs].iter().zip(input) {
+                net += w * x;
+            }
+            *out = net;
+        }
+        self.activation.apply_slice(output);
+    }
+
+    /// The textbook one-output-at-a-time forward loop, kept as the
+    /// reference the blocked kernels are property-tested against.
+    fn forward_naive_into(&self, input: &[f64], output: &mut [f64]) {
+        assert_eq!(output.len(), self.outputs, "output slice length");
+        assert_eq!(input.len(), self.inputs, "input slice length");
         for (o, out) in output.iter_mut().enumerate() {
             let row = &self.weights[o * (self.inputs + 1)..(o + 1) * (self.inputs + 1)];
             let mut net = row[self.inputs]; // bias
@@ -96,15 +166,132 @@ impl Layer {
             *out = self.activation.apply(net);
         }
     }
+
+    /// Forward pass over a **feature-major** activation matrix: `input_t`
+    /// holds `inputs` rows of `n` points each (`input_t[i * n + p]` is
+    /// feature `i` of point `p`), `out_t` receives `outputs` rows in the
+    /// same layout. This is the matrix-matrix kernel behind
+    /// [`Network::predict_batch`].
+    ///
+    /// Net inputs are accumulated in register tiles of [`UNIT_TILE`]
+    /// output units × [`LANES`] lanes: the tile keeps one row of eight
+    /// accumulators per unit (initialized to that unit's bias) and streams
+    /// the units' weight rows once, adding `w[u][i] * x[i][lane]` in
+    /// ascending-`i` order — each weight is a broadcast scalar, the eight
+    /// activations are one contiguous load shared by all four units, and
+    /// each `(unit, lane)` chain is exactly the scalar summation order, so
+    /// the result is bit-for-bit [`Self::forward_naive_into`] per point.
+    /// Ragged edges (`outputs % UNIT_TILE` units, `n % LANES` points) run
+    /// the same order with fewer units / one point at a time. The
+    /// activation is then applied in one contiguous elementwise pass over
+    /// the whole output matrix ([`Activation::apply_slice`]) — same
+    /// per-element arithmetic, but the sigmoid's polynomial `exp`
+    /// vectorizes over a long flat loop instead of per-tile fragments.
+    fn forward_batch_t(&self, input_t: &[f64], out_t: &mut [f64], n: usize) {
+        assert_eq!(input_t.len(), self.inputs * n, "input matrix size");
+        assert_eq!(out_t.len(), self.outputs * n, "output matrix size");
+        let stride = self.inputs + 1;
+        let full_units = self.outputs - self.outputs % UNIT_TILE;
+        for (wblock, oblock) in self.weights[..full_units * stride]
+            .chunks_exact(stride * UNIT_TILE)
+            .zip(out_t[..full_units * n].chunks_exact_mut(n * UNIT_TILE))
+        {
+            let mut wrows = wblock.chunks_exact(stride);
+            let (w0, w1, w2, w3) = (
+                wrows.next().expect("tile row"),
+                wrows.next().expect("tile row"),
+                wrows.next().expect("tile row"),
+                wrows.next().expect("tile row"),
+            );
+            let (o0, rest) = oblock.split_at_mut(n);
+            let (o1, rest) = rest.split_at_mut(n);
+            let (o2, o3) = rest.split_at_mut(n);
+            let mut p = 0;
+            while p + LANES <= n {
+                let mut a0 = [w0[self.inputs]; LANES];
+                let mut a1 = [w1[self.inputs]; LANES];
+                let mut a2 = [w2[self.inputs]; LANES];
+                let mut a3 = [w3[self.inputs]; LANES];
+                for ((((xrow, &c0), &c1), &c2), &c3) in input_t
+                    .chunks_exact(n)
+                    .zip(&w0[..self.inputs])
+                    .zip(&w1[..self.inputs])
+                    .zip(&w2[..self.inputs])
+                    .zip(&w3[..self.inputs])
+                {
+                    let x: &[f64; LANES] = xrow[p..p + LANES].try_into().expect("lane tile");
+                    for l in 0..LANES {
+                        a0[l] += c0 * x[l];
+                        a1[l] += c1 * x[l];
+                        a2[l] += c2 * x[l];
+                        a3[l] += c3 * x[l];
+                    }
+                }
+                o0[p..p + LANES].copy_from_slice(&a0);
+                o1[p..p + LANES].copy_from_slice(&a1);
+                o2[p..p + LANES].copy_from_slice(&a2);
+                o3[p..p + LANES].copy_from_slice(&a3);
+                p += LANES;
+            }
+            for (w, out) in [(w0, &mut *o0), (w1, o1), (w2, o2), (w3, o3)] {
+                Self::net_points_tail(w, self.inputs, out, input_t, n, p);
+            }
+        }
+        for (row, out_row) in self.weights[full_units * stride..]
+            .chunks_exact(stride)
+            .zip(out_t[full_units * n..].chunks_exact_mut(n))
+        {
+            let (w, bias) = (&row[..self.inputs], row[self.inputs]);
+            let mut p = 0;
+            while p + LANES <= n {
+                let mut acc = [bias; LANES];
+                for (xrow, &wi) in input_t.chunks_exact(n).zip(w) {
+                    let x: &[f64; LANES] = xrow[p..p + LANES].try_into().expect("lane tile");
+                    for (a, &xl) in acc.iter_mut().zip(x) {
+                        *a += wi * xl;
+                    }
+                }
+                out_row[p..p + LANES].copy_from_slice(&acc);
+                p += LANES;
+            }
+            Self::net_points_tail(row, self.inputs, out_row, input_t, n, p);
+        }
+        self.activation.apply_slice(out_t);
+    }
+
+    /// Scalar tail of [`Self::forward_batch_t`]: net inputs for points
+    /// `from..n` of one output unit, in the exact per-point summation
+    /// order (activation is applied later over the whole matrix).
+    fn net_points_tail(
+        row: &[f64],
+        inputs: usize,
+        out_row: &mut [f64],
+        input_t: &[f64],
+        n: usize,
+        from: usize,
+    ) {
+        let bias = row[inputs];
+        for (p, out) in out_row.iter_mut().enumerate().skip(from) {
+            let mut net = bias;
+            for (xrow, &wi) in input_t.chunks_exact(n).zip(&row[..inputs]) {
+                net += wi * xrow[p];
+            }
+            *out = net;
+        }
+    }
 }
 
 /// Caller-owned scratch for allocation-free forward passes.
 ///
-/// Two flat buffers, ping-ponged between layers. A scratch grows to the
-/// widest layer of the first network it is used with and is reused
-/// verbatim afterwards, so a long prediction sweep allocates exactly once
-/// per worker. One scratch may be shared across networks of different
-/// topologies (it re-sizes as needed).
+/// Two flat buffers, ping-ponged between layers. Single-point passes
+/// ([`Network::predict_into`]) use them as activation vectors of the
+/// widest layer; batched passes ([`Network::predict_batch`]) use them as
+/// whole feature-major activation *matrices* of up to
+/// `max_width * BLOCK_POINTS` floats, ping-ponging one full layer of the
+/// block at a time. A scratch grows to the largest use it has seen and is
+/// reused verbatim afterwards, so a long prediction sweep allocates
+/// exactly once per worker. One scratch may be shared across networks of
+/// different topologies (it re-sizes as needed).
 #[derive(Debug, Clone, Default)]
 pub struct PredictScratch {
     a: Vec<f64>,
@@ -285,7 +472,19 @@ impl Network {
     /// (`rows.len() / inputs()` rows, each `inputs()` wide), appending each
     /// row's output activations to `outputs`. Equivalent to calling
     /// [`Self::predict`] per row, bit for bit, without the per-call
-    /// allocations.
+    /// allocations — and, unlike the per-row path, through a blocked
+    /// matrix-matrix kernel.
+    ///
+    /// Rows are processed in blocks of at most `BLOCK_POINTS` points. Each
+    /// block is transposed once into the scratch as a feature-major
+    /// activation matrix, whole activation matrices are then ping-ponged
+    /// between the layers' register-tiled kernels
+    /// (`Layer::forward_batch_t`), and the final layer's matrix is
+    /// transposed back into row-major order on append. The lane dimension
+    /// of the tiles is the *batch* dimension: each point keeps its own
+    /// accumulator chain in the scalar path's exact summation order, which
+    /// is what makes the blocked kernel bit-for-bit identical to
+    /// [`Self::predict_into`] while the chains vectorize.
     ///
     /// # Panics
     ///
@@ -303,11 +502,92 @@ impl Network {
             "batch length {} is not a multiple of the input width {dims}",
             rows.len()
         );
-        outputs.reserve(rows.len() / dims * self.outputs());
-        for row in rows.chunks_exact(dims) {
-            let y = self.predict_into(row, scratch);
-            outputs.extend_from_slice(y);
+        let total = rows.len() / dims;
+        if total == 0 {
+            return;
         }
+        outputs.reserve(total * self.outputs());
+        let block = total.min(BLOCK_POINTS);
+        let elems = self.max_width() * block;
+        if scratch.a.len() < elems {
+            scratch.a.resize(elems, 0.0);
+        }
+        if scratch.b.len() < elems {
+            scratch.b.resize(elems, 0.0);
+        }
+        for chunk in rows.chunks(block * dims) {
+            let n = chunk.len() / dims;
+            let PredictScratch { a, b } = scratch;
+            // Transpose the block once: feature-major, one row per input.
+            for (i, row) in a.chunks_exact_mut(n).take(dims).enumerate() {
+                for (dst, src) in row.iter_mut().zip(chunk[i..].iter().step_by(dims)) {
+                    *dst = *src;
+                }
+            }
+            let (mut cur, mut next) = (a, b);
+            let mut width = dims;
+            for layer in &self.layers {
+                layer.forward_batch_t(&cur[..width * n], &mut next[..layer.outputs * n], n);
+                width = layer.outputs;
+                std::mem::swap(&mut cur, &mut next);
+            }
+            // Transpose the output matrix back to row-major on append. A
+            // single output unit (the common regression head) is already
+            // row-major: one contiguous copy.
+            let out_t = &cur[..width * n];
+            if width == 1 {
+                outputs.extend_from_slice(out_t);
+            } else {
+                for p in 0..n {
+                    outputs.extend(out_t.iter().skip(p).step_by(n));
+                }
+            }
+        }
+    }
+
+    /// Per-row forward through the unblocked textbook loops — the
+    /// reference implementation the blocked kernels are property-tested
+    /// and benchmarked against. Not for production use.
+    #[doc(hidden)]
+    pub fn predict_naive(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.inputs(), "input dimensionality");
+        let mut current = input.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            next.clear();
+            next.resize(layer.outputs, 0.0);
+            layer.forward_naive_into(&current, &mut next);
+            std::mem::swap(&mut current, &mut next);
+        }
+        current
+    }
+
+    /// [`Self::predict_into`] with the textbook one-output-at-a-time layer
+    /// loop instead of the blocked kernel — structurally the pre-kernel
+    /// production forward pass (scratch ping-pong, no per-layer
+    /// allocation), kept as the honest baseline the speedup gate measures
+    /// the blocked kernels against. Bit-for-bit identical results. Not for
+    /// production use.
+    #[doc(hidden)]
+    pub fn predict_into_naive<'s>(
+        &self,
+        input: &[f64],
+        scratch: &'s mut PredictScratch,
+    ) -> &'s [f64] {
+        assert_eq!(input.len(), self.inputs(), "input dimensionality");
+        let width = self.max_width();
+        scratch.a.resize(width, 0.0);
+        scratch.b.resize(width, 0.0);
+        scratch.a[..input.len()].copy_from_slice(input);
+        let PredictScratch { a, b } = scratch;
+        let (mut current, mut next) = (a, b);
+        let mut len = input.len();
+        for layer in &self.layers {
+            layer.forward_naive_into(&current[..len], &mut next[..layer.outputs]);
+            len = layer.outputs;
+            std::mem::swap(&mut current, &mut next);
+        }
+        &current[..len]
     }
 
     /// Total number of weights (biases included) across all layers.
@@ -357,12 +637,18 @@ impl Network {
     ///
     /// Returns the example's squared error before the update.
     ///
+    /// The inner loops are the vectorized counterparts of
+    /// [`Self::train_example_reference`] and produce bit-for-bit identical
+    /// weights: the forward pass runs the output-blocked kernel, delta
+    /// back-propagation accumulates with contiguous weight rows
+    /// (next-unit-outer, so each lower unit's sum still adds next-layer
+    /// contributions in ascending unit order), and the weight/velocity
+    /// update streams each row elementwise. No summation order changes —
+    /// only the instruction-level parallelism does.
+    ///
     /// # Panics
     ///
     /// Panics if `input`/`target` dimensionalities do not match the network.
-    // Index loops mirror the textbook backpropagation formulation and keep
-    // the weight-matrix addressing explicit.
-    #[allow(clippy::needless_range_loop)]
     pub fn train_example(
         &mut self,
         input: &[f64],
@@ -384,6 +670,103 @@ impl Network {
 
         // Output deltas: dE/dnet for squared error with linear outputs is
         // (y - t) * f'(y).
+        let last = self.layers.len() - 1;
+        let mut squared_error = 0.0;
+        let out_activation = self.layers[last].activation;
+        for ((delta, &y), &t) in self.deltas[last]
+            .iter_mut()
+            .zip(&self.scratch[last + 1])
+            .zip(target)
+        {
+            let err = y - t;
+            squared_error += err * err;
+            *delta = err * out_activation.derivative_from_output(y);
+        }
+
+        // Backward pass: propagate deltas. Next-layer weight rows are
+        // contiguous, so running the next-unit loop *outside* the
+        // lower-unit loop turns the strided gathers of the textbook loop
+        // into streaming elementwise accumulation — while each lower
+        // unit's sum still adds contributions in ascending next-unit
+        // order, exactly as the reference.
+        for l in (0..last).rev() {
+            let (lower, upper) = self.deltas.split_at_mut(l + 1);
+            let next_layer = &self.layers[l + 1];
+            let this_outputs = self.layers[l].outputs;
+            let stride = next_layer.inputs + 1;
+            lower[l].fill(0.0);
+            for (row, &delta) in next_layer.weights.chunks_exact(stride).zip(&upper[0][..]) {
+                for (sum, &w) in lower[l].iter_mut().zip(&row[..this_outputs]) {
+                    *sum += w * delta;
+                }
+            }
+            let activation = self.layers[l].activation;
+            for (sum, &y) in lower[l].iter_mut().zip(&self.scratch[l + 1]) {
+                *sum *= activation.derivative_from_output(y);
+            }
+        }
+
+        // Weight updates with momentum: each row's update is elementwise
+        // over contiguous weight/velocity rows and the input activations,
+        // with the shared `-lr * delta` factor hoisted (same product order
+        // as the reference, which multiplies `-lr * delta` first).
+        for (l, layer) in self.layers.iter_mut().enumerate() {
+            let input_act = &self.scratch[l];
+            let stride = layer.inputs + 1;
+            for (row, (v_row, &delta)) in layer.weights.chunks_exact_mut(stride).zip(
+                layer
+                    .velocity
+                    .chunks_exact_mut(stride)
+                    .zip(&self.deltas[l][..]),
+            ) {
+                let step = -learning_rate * delta;
+                for ((w, v), &x) in row[..layer.inputs]
+                    .iter_mut()
+                    .zip(&mut v_row[..layer.inputs])
+                    .zip(input_act)
+                {
+                    let update = step * x + momentum * *v;
+                    *w += update;
+                    *v = update;
+                }
+                let (w, v) = (&mut row[layer.inputs], &mut v_row[layer.inputs]); // bias
+                let update = step + momentum * *v;
+                *w += update;
+                *v = update;
+            }
+        }
+        squared_error
+    }
+
+    /// The textbook backpropagation step the vectorized
+    /// [`Self::train_example`] is property-tested against: one-output-at-
+    /// a-time forward, strided delta gathers, index-addressed updates.
+    /// Bit-for-bit identical weights and return value, just slower. Not
+    /// for production use.
+    #[doc(hidden)]
+    #[allow(clippy::needless_range_loop)]
+    pub fn train_example_reference(
+        &mut self,
+        input: &[f64],
+        target: &[f64],
+        learning_rate: f64,
+        momentum: f64,
+    ) -> f64 {
+        assert_eq!(input.len(), self.inputs(), "input dimensionality");
+        assert_eq!(target.len(), self.outputs(), "target dimensionality");
+        self.ensure_buffers();
+
+        // Forward pass, keeping every layer's activations.
+        self.scratch[0].clear();
+        self.scratch[0].extend_from_slice(input);
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (before, after) = self.scratch.split_at_mut(i + 1);
+            after[0].clear();
+            after[0].resize(layer.outputs, 0.0);
+            layer.forward_naive_into(&before[i], &mut after[0]);
+        }
+
+        // Output deltas.
         let last = self.layers.len() - 1;
         let mut squared_error = 0.0;
         for o in 0..self.layers[last].outputs {

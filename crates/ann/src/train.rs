@@ -164,13 +164,23 @@ pub struct TrainedModel {
 }
 
 /// Caller-owned scratch for allocation-free model and ensemble inference:
-/// a buffer for the scaled input row plus the network's ping-pong scratch.
+/// a buffer for scaled input rows (one row or a whole chunk matrix), the
+/// network's ping-pong scratch, and the batch kernels' staging buffers.
 /// One buffer per worker thread is the intended usage; it may be shared
 /// across models of different widths (it re-sizes as needed).
 #[derive(Debug, Clone, Default)]
 pub struct PredictBuffer {
     scaled: Vec<f64>,
     scratch: PredictScratch,
+    /// Normalized network outputs for one batch, before target unscaling.
+    values: Vec<f64>,
+    /// One member model's raw-scale chunk predictions (ensemble batch
+    /// paths accumulate member-outer over this).
+    pub(crate) member: Vec<f64>,
+    /// Per-row Welford running means for batched committee disagreement.
+    pub(crate) mean: Vec<f64>,
+    /// Per-row Welford running sums of squared deviations.
+    pub(crate) m2: Vec<f64>,
 }
 
 impl TrainedModel {
@@ -189,7 +199,9 @@ impl TrainedModel {
     pub fn predict_with(&self, features: &[f64], buf: &mut PredictBuffer) -> f64 {
         buf.scaled.clear();
         self.input_scaler.transform_into(features, &mut buf.scaled);
-        let PredictBuffer { scaled, scratch } = buf;
+        let PredictBuffer {
+            scaled, scratch, ..
+        } = buf;
         self.target_scaler
             .unscale(self.network.predict_into(scaled, scratch)[0])
     }
@@ -202,8 +214,10 @@ impl TrainedModel {
     /// Predicts raw-scale targets for a row-major matrix of raw feature
     /// rows (each [`TrainedModel::input_dims`] wide), appending one
     /// prediction per row to `out`. Equivalent to per-row
-    /// [`TrainedModel::predict`], bit for bit, without the per-call
-    /// allocations.
+    /// [`TrainedModel::predict`], bit for bit — but the whole chunk is
+    /// scaled into one matrix and pushed through the blocked
+    /// [`Network::predict_batch`] kernel instead of row-at-a-time forward
+    /// passes.
     ///
     /// # Panics
     ///
@@ -216,10 +230,37 @@ impl TrainedModel {
             "batch length {} is not a multiple of the feature width {dims}",
             rows.len()
         );
-        out.reserve(rows.len() / dims);
+        buf.scaled.clear();
         for row in rows.chunks_exact(dims) {
-            out.push(self.predict_with(row, buf));
+            self.input_scaler.transform_into(row, &mut buf.scaled);
         }
+        buf.values.clear();
+        let PredictBuffer {
+            scaled,
+            scratch,
+            values,
+            ..
+        } = buf;
+        self.network.predict_batch(scaled, values, scratch);
+        assert_eq!(values.len(), rows.len() / dims, "one prediction per row");
+        out.reserve(values.len());
+        out.extend(values.iter().map(|&y| self.target_scaler.unscale(y)));
+    }
+
+    /// [`TrainedModel::predict_with`] through the textbook per-output
+    /// forward loop instead of the blocked kernel — structurally the
+    /// pre-kernel production path, kept as the honest baseline the speedup
+    /// gate measures the blocked kernels against. Bit-for-bit identical to
+    /// [`TrainedModel::predict`], just slower. Not for production use.
+    #[doc(hidden)]
+    pub fn predict_reference_with(&self, features: &[f64], buf: &mut PredictBuffer) -> f64 {
+        buf.scaled.clear();
+        self.input_scaler.transform_into(features, &mut buf.scaled);
+        let PredictBuffer {
+            scaled, scratch, ..
+        } = buf;
+        self.target_scaler
+            .unscale(self.network.predict_into_naive(scaled, scratch)[0])
     }
 
     /// Serializes the model (network plus scalers) to a JSON [`Value`].
@@ -252,23 +293,28 @@ impl TrainedModel {
 }
 
 /// Mean absolute percentage error (in percent) of one output head over a
-/// pre-scaled row-major feature matrix (`dims` wide per row) with
-/// raw-scale targets. The early-stopping loop calls this every epoch, so
-/// the scaler transform is hoisted to the caller (done once per training
-/// run) and the forward passes reuse one scratch — zero allocations per
-/// epoch.
+/// pre-scaled row-major feature matrix with raw-scale targets. The
+/// early-stopping loop calls this every epoch, so the scaler transform is
+/// hoisted to the caller (done once per training run) and the whole set
+/// runs through the blocked [`Network::predict_batch`] kernel on reusable
+/// buffers — zero allocations and no scalar forward passes per epoch.
+/// Bit-for-bit identical to per-row `predict_into` evaluation.
 fn percent_error(
     network: &Network,
     target_scaler: &TargetScaler,
     head: usize,
     scaled_rows: &[f64],
-    dims: usize,
     targets: &[f64],
     scratch: &mut PredictScratch,
+    values: &mut Vec<f64>,
 ) -> f64 {
+    values.clear();
+    network.predict_batch(scaled_rows, values, scratch);
+    let heads = network.outputs();
+    assert_eq!(values.len(), targets.len() * heads, "one row per target");
     let mut total = 0.0;
-    for (row, &target) in scaled_rows.chunks_exact(dims).zip(targets) {
-        let y = target_scaler.unscale(network.predict_into(row, scratch)[head]);
+    for (ys, &target) in values.chunks_exact(heads).zip(targets) {
+        let y = target_scaler.unscale(ys[head]);
         total += 100.0 * (y - target).abs() / target.abs().max(1e-12);
     }
     total / targets.len() as f64
@@ -325,6 +371,7 @@ pub fn train_network(
     }
     let es_targets: Vec<f64> = es.iter().map(|s| s.target).collect();
     let mut es_scratch = PredictScratch::default();
+    let mut es_values = Vec::with_capacity(es.len());
 
     let mut network = Network::new(&layer_sizes(dims, config, 1), rng);
     // Best-epoch bookkeeping: a weights/velocity-only snapshot overwritten
@@ -353,9 +400,9 @@ pub fn train_network(
             &target_scaler,
             0,
             &es_inputs,
-            dims,
             &es_targets,
             &mut es_scratch,
+            &mut es_values,
         );
         if !es_error.is_finite() {
             // Exploding weights: further epochs only compound NaN/Inf.
@@ -421,7 +468,9 @@ impl MultiTrainedModel {
     pub fn predict_all_into(&self, features: &[f64], buf: &mut PredictBuffer, out: &mut Vec<f64>) {
         buf.scaled.clear();
         self.input_scaler.transform_into(features, &mut buf.scaled);
-        let PredictBuffer { scaled, scratch } = buf;
+        let PredictBuffer {
+            scaled, scratch, ..
+        } = buf;
         let heads = self.network.predict_into(scaled, scratch);
         out.extend(
             heads
@@ -443,7 +492,9 @@ impl MultiTrainedModel {
     pub fn predict_primary_with(&self, features: &[f64], buf: &mut PredictBuffer) -> f64 {
         buf.scaled.clear();
         self.input_scaler.transform_into(features, &mut buf.scaled);
-        let PredictBuffer { scaled, scratch } = buf;
+        let PredictBuffer {
+            scaled, scratch, ..
+        } = buf;
         self.target_scalers[self.primary]
             .unscale(self.network.predict_into(scaled, scratch)[self.primary])
     }
@@ -526,6 +577,7 @@ pub fn train_multi_network(
     }
     let es_targets: Vec<f64> = es.iter().map(|(_, row)| row[primary]).collect();
     let mut es_scratch = PredictScratch::default();
+    let mut es_values = Vec::with_capacity(es.len() * tasks);
 
     let mut network = Network::new(&layer_sizes(dims, config, tasks), rng);
     let mut best = NetworkSnapshot::default();
@@ -551,9 +603,9 @@ pub fn train_multi_network(
             &target_scalers[primary],
             primary,
             &es_inputs,
-            dims,
             &es_targets,
             &mut es_scratch,
+            &mut es_values,
         );
         if !es_error.is_finite() {
             diverged = true;

@@ -152,4 +152,89 @@ proptest! {
         let after = (net.predict(&[x])[0] - t).abs();
         prop_assert!(after <= before + 1e-9, "{before} -> {after}");
     }
+
+    /// The blocked batch kernel is bit-for-bit the textbook scalar path on
+    /// random topologies and batch sizes. Batch sizes up to 40 exercise
+    /// ragged lane tails (n % 8 != 0) and the topology strategy's hidden
+    /// widths of 1–11 exercise ragged unit tiles (units % 4 != 0).
+    #[test]
+    fn blocked_batch_matches_naive_bit_for_bit(
+        topology in arb_topology(),
+        seed in 0u64..1000,
+        n_rows in 0usize..41,
+        raw in prop::collection::vec(0.0f64..1.0, 41 * 4),
+    ) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let net = Network::new(&topology, &mut rng);
+        let dims = topology[0];
+        let rows: Vec<f64> = raw.iter().copied().take(n_rows * dims).collect();
+        let mut scratch = PredictScratch::default();
+        let mut outputs = Vec::new();
+        net.predict_batch(&rows, &mut outputs, &mut scratch);
+        let width = *topology.last().unwrap();
+        let mut naive_scratch = PredictScratch::default();
+        for (row, out) in rows.chunks_exact(dims).zip(outputs.chunks_exact(width)) {
+            prop_assert_eq!(
+                net.predict_into_naive(row, &mut naive_scratch),
+                out,
+                "blocked kernel diverged from the scalar reference"
+            );
+        }
+    }
+
+    /// The vectorized backprop step produces bit-for-bit the same network
+    /// as the textbook scalar reference after a run of presentations, for
+    /// random topologies (including multi-head outputs), learning rates,
+    /// and momenta.
+    #[test]
+    fn vectorized_trainer_matches_reference_bit_for_bit(
+        topology in arb_topology(),
+        seed in 0u64..1000,
+        steps in 1usize..24,
+        rate in 0.01f64..0.9,
+        momentum in 0.0f64..0.9,
+    ) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let fresh = Network::new(&topology, &mut rng);
+        let mut vectorized = fresh.clone();
+        let mut reference = fresh;
+        let (inputs, outputs) = (topology[0], *topology.last().unwrap());
+        let mut example_rng = Xoshiro256::seed_from(seed ^ 0x9e37);
+        for _ in 0..steps {
+            let x: Vec<f64> = (0..inputs).map(|_| example_rng.next_f64()).collect();
+            let t: Vec<f64> = (0..outputs).map(|_| example_rng.next_f64()).collect();
+            let err_v = vectorized.train_example(&x, &t, rate, momentum);
+            let err_r = reference.train_example_reference(&x, &t, rate, momentum);
+            prop_assert_eq!(err_v, err_r, "per-step error diverged");
+        }
+        prop_assert_eq!(
+            &vectorized, &reference,
+            "vectorized trainer diverged from the scalar reference"
+        );
+    }
+}
+
+/// Batches longer than one 256-point block must chunk correctly: the
+/// block-boundary seams (ends exactly on a boundary, one past, mid-block
+/// ragged tail) stay bit-for-bit equal to the scalar path.
+#[test]
+fn blocked_batch_crosses_block_boundaries() {
+    let mut rng = Xoshiro256::seed_from(42);
+    let net = Network::new(&[3, 7, 2], &mut rng);
+    for n_rows in [255, 256, 257, 512, 600] {
+        let mut rng = Xoshiro256::seed_from(n_rows as u64);
+        let rows: Vec<f64> = (0..n_rows * 3).map(|_| rng.next_f64()).collect();
+        let mut scratch = PredictScratch::default();
+        let mut outputs = Vec::new();
+        net.predict_batch(&rows, &mut outputs, &mut scratch);
+        assert_eq!(outputs.len(), n_rows * 2);
+        let mut naive_scratch = PredictScratch::default();
+        for (row, out) in rows.chunks_exact(3).zip(outputs.chunks_exact(2)) {
+            assert_eq!(
+                net.predict_into_naive(row, &mut naive_scratch),
+                out,
+                "diverged in a {n_rows}-point batch"
+            );
+        }
+    }
 }

@@ -9,7 +9,7 @@
 //! than `threads/1`; see also the `train_speedup` binary, which prints the
 //! speedup table directly.
 
-use archpredict_ann::{fit_ensemble, Dataset, Parallelism, Sample, TrainConfig};
+use archpredict_ann::{fit_ensemble, Dataset, Network, Parallelism, Sample, TrainConfig};
 use archpredict_stats::rng::Xoshiro256;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -77,5 +77,48 @@ fn bench_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training, bench_parallelism);
+/// The vectorized backprop step against the textbook scalar reference —
+/// the single-example kernel underneath every row of the other groups.
+/// `train_speedup` asserts the two paths stay bit-for-bit identical and
+/// enforces a minimum speedup; this group just shows the per-step cost.
+fn bench_train_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_kernel");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let mut rng = Xoshiro256::seed_from(9);
+    let fresh = Network::new(&[3, 16, 1], &mut rng);
+    let examples: Vec<([f64; 3], [f64; 1])> = (0..256)
+        .map(|_| {
+            let x = [rng.next_f64(), rng.next_f64(), rng.next_f64()];
+            ([x[0], x[1], x[2]], [0.3 + 0.4 * x[0] + 0.2 * x[1] * x[2]])
+        })
+        .collect();
+    group.bench_function("step/reference", |b| {
+        let mut net = fresh.clone();
+        b.iter(|| {
+            examples
+                .iter()
+                .map(|(x, t)| net.train_example_reference(x, t, 0.1, 0.5))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("step/vectorized", |b| {
+        let mut net = fresh.clone();
+        b.iter(|| {
+            examples
+                .iter()
+                .map(|(x, t)| net.train_example(x, t, 0.1, 0.5))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_training,
+    bench_parallelism,
+    bench_train_kernel
+);
 criterion_main!(benches);

@@ -72,7 +72,21 @@ fn bench_inference_throughput(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(3));
     group.throughput(Throughput::Elements(indices.len() as u64));
-    // Baseline: allocate-per-call predict, one point at a time.
+    // The pre-kernel reference: textbook one-output-at-a-time loops. This
+    // is the denominator of the speedup the blocked kernels must deliver.
+    group.bench_function("scalar_reference", |b| {
+        b.iter(|| {
+            indices
+                .iter()
+                .map(|&i| {
+                    fit.ensemble
+                        .predict_reference(&space.encode(&space.point(i)))
+                })
+                .sum::<f64>()
+        })
+    });
+    // Baseline: allocate-per-call predict, one point at a time (blocked
+    // single-point kernel, but fresh buffers every call).
     group.bench_function("point_at_a_time", |b| {
         b.iter(|| {
             indices

@@ -127,7 +127,7 @@ impl Encoder for PlainEncoder {
     }
 
     fn encode_into(&self, space: &DesignSpace, index: usize, out: &mut Vec<f64>) {
-        space.encode_into(&space.point(index), out);
+        space.encode_index_into(index, out);
     }
 }
 
@@ -148,7 +148,7 @@ impl Encoder for AppEncoder {
     }
 
     fn encode_into(&self, space: &DesignSpace, index: usize, out: &mut Vec<f64>) {
-        space.encode_into(&space.point(index), out);
+        space.encode_index_into(index, out);
         for slot in 0..self.apps {
             out.push(if slot == self.slot { 1.0 } else { 0.0 });
         }

@@ -4,9 +4,12 @@
 //! exponential design space from a model trained on 1–4 % of it. This
 //! module is the engine for that sweep: indices are encoded into row-major
 //! feature matrices chunk by chunk and pushed through the ensemble's
-//! allocation-free batch kernel ([`Ensemble::predict_batch_into`]), with
-//! chunks fanned out across scoped worker threads per the existing
-//! [`Parallelism`] knob.
+//! blocked matrix-matrix batch kernels ([`Ensemble::predict_batch_into`],
+//! [`Ensemble::disagreement_batch_into`] for query-by-committee scores),
+//! with chunks fanned out across scoped worker threads per the existing
+//! [`Parallelism`] knob. The `CHUNK` size here is also the block size the
+//! network kernel tiles internally, so each chunk is transposed once and
+//! streamed straight through.
 //!
 //! # Determinism contract
 //!
@@ -39,7 +42,7 @@ pub fn predict_indices(
     sweep(
         indices,
         parallelism,
-        |index, rows| space.encode_into(&space.point(index), rows),
+        |index, rows| space.encode_index_into(index, rows),
         space.encoded_width(),
         |rows, out, buf| ensemble.predict_batch_into(rows, out, buf),
     )
@@ -77,7 +80,7 @@ pub fn disagreement_indices(
         ensemble,
         indices,
         parallelism,
-        |index, rows| space.encode_into(&space.point(index), rows),
+        |index, rows| space.encode_index_into(index, rows),
         space.encoded_width(),
     )
 }
@@ -96,9 +99,7 @@ where
     E: Fn(usize, &mut Vec<f64>) + Sync,
 {
     sweep(indices, parallelism, encode, dims, |rows, out, buf| {
-        for row in rows.chunks_exact(dims) {
-            out.push(ensemble.disagreement_with(row, buf));
-        }
+        ensemble.disagreement_batch_into(rows, out, buf)
     })
 }
 
@@ -147,10 +148,14 @@ where
         for &i in index_chunk {
             encode(i, &mut rows);
         }
-        debug_assert_eq!(rows.len(), index_chunk.len() * dims, "encoder width");
+        // Hard asserts, not debug_asserts: a mis-sized encoder or scorer in
+        // a release build must abort, not silently misalign the chunk
+        // hand-off to the batch kernels (`copy_from_slice` would only catch
+        // it when lengths happen to differ).
+        assert_eq!(rows.len(), index_chunk.len() * dims, "encoder width");
         values.clear();
         score(&rows, &mut values, &mut buf);
-        debug_assert_eq!(values.len(), index_chunk.len(), "one value per row");
+        assert_eq!(values.len(), index_chunk.len(), "one value per row");
         out_chunk.copy_from_slice(&values);
     }
 }

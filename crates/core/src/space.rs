@@ -128,6 +128,16 @@ impl std::error::Error for SpaceError {}
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignSpace {
     params: Vec<Param>,
+    /// Per-parameter minimax range `(lo, hi)` over the space, precomputed
+    /// at construction so encoding a point does not re-fold the level
+    /// lists (the batched sweep encodes millions of points). `(0, 1)` for
+    /// parameters whose encoding doesn't scale (nominal, boolean).
+    ranges: Vec<(f64, f64)>,
+    /// Mixed-radix stride per parameter: `level(index, p) =
+    /// (index / strides[p]) % params[p].levels()`. Lets the hot sweep path
+    /// encode straight from an index without materializing a
+    /// [`DesignPoint`].
+    strides: Vec<usize>,
 }
 
 impl DesignSpace {
@@ -156,7 +166,30 @@ impl DesignSpace {
                 }
             }
         }
-        Ok(Self { params })
+        let ranges = params
+            .iter()
+            .map(|p| match p.kind() {
+                ParamKind::Cardinal(v) => fold_range(v.iter().copied()),
+                ParamKind::LinkedCardinal { choices, .. } => {
+                    fold_range(choices.iter().flatten().copied())
+                }
+                ParamKind::Nominal(_) | ParamKind::Boolean => (0.0, 1.0),
+            })
+            .collect();
+        let mut stride = 1;
+        let strides = params
+            .iter()
+            .map(|p| {
+                let s = stride;
+                stride *= p.levels();
+                s
+            })
+            .collect();
+        Ok(Self {
+            params,
+            ranges,
+            strides,
+        })
     }
 
     /// The parameters, in declaration order.
@@ -346,46 +379,62 @@ impl DesignSpace {
     /// batched inference (no allocation per point once the buffer is
     /// warm). Bit-for-bit identical to [`DesignSpace::encode`].
     pub fn encode_into(&self, point: &DesignPoint, features: &mut Vec<f64>) {
+        self.encode_levels_into(|p| point.level(p), features);
+    }
+
+    /// Encodes the point at `index` straight from its mixed-radix
+    /// decomposition, *appending* its `encoded_width()` features — the hot
+    /// path of batched sweeps: no [`DesignPoint`] is materialized and no
+    /// per-point allocation happens. Bit-for-bit identical to
+    /// `encode_into(&self.point(index), ..)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= size()`.
+    pub fn encode_index_into(&self, index: usize, features: &mut Vec<f64>) {
+        assert!(
+            index < self.size(),
+            "index {index} out of space ({} points)",
+            self.size()
+        );
+        self.encode_levels_into(
+            |p| (index / self.strides[p]) % self.params[p].levels(),
+            features,
+        );
+    }
+
+    /// Shared encoding body over a level accessor, using the precomputed
+    /// per-parameter minimax ranges.
+    fn encode_levels_into(&self, level: impl Fn(usize) -> usize, features: &mut Vec<f64>) {
         for (p, param) in self.params.iter().enumerate() {
+            let (lo, hi) = self.ranges[p];
             match param.kind() {
                 ParamKind::Cardinal(v) => {
-                    features.push(minimax(v[point.level(p)], v));
+                    features.push(minimax(v[level(p)], lo, hi));
                 }
                 ParamKind::Nominal(v) => {
                     for s in 0..v.len() {
-                        features.push(if s == point.level(p) { 1.0 } else { 0.0 });
+                        features.push(if s == level(p) { 1.0 } else { 0.0 });
                     }
                 }
-                ParamKind::Boolean => features.push(point.level(p) as f64),
+                ParamKind::Boolean => features.push(level(p) as f64),
                 ParamKind::LinkedCardinal { parent, choices } => {
-                    let value = choices[point.level(*parent)][point.level(p)];
-                    // Range over all rows, computed without materializing
-                    // the flattened level list (this runs per point in
-                    // batched sweeps).
-                    let lo = choices
-                        .iter()
-                        .flatten()
-                        .copied()
-                        .fold(f64::INFINITY, f64::min);
-                    let hi = choices
-                        .iter()
-                        .flatten()
-                        .copied()
-                        .fold(f64::NEG_INFINITY, f64::max);
-                    features.push(if hi > lo {
-                        (value - lo) / (hi - lo)
-                    } else {
-                        0.5
-                    });
+                    features.push(minimax(choices[level(*parent)][level(p)], lo, hi));
                 }
             }
         }
     }
 }
 
-fn minimax(value: f64, levels: &[f64]) -> f64 {
-    let min = levels.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = levels.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+/// `(lo, hi)` of a level list, the fold [`minimax`] scaling is defined
+/// over. Computed once per parameter at space construction.
+fn fold_range(levels: impl Iterator<Item = f64>) -> (f64, f64) {
+    levels.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+fn minimax(value: f64, min: f64, max: f64) -> f64 {
     if max > min {
         (value - min) / (max - min)
     } else {

@@ -20,6 +20,9 @@
 //!   HPCA 2003; paper §4).
 //! * [`linear`] — ordinary least-squares linear regression, the ablation
 //!   baseline against the paper's neural-network surrogate.
+//! * [`fastmath`] — deterministic, autovectorizable elementary functions
+//!   (currently `exp`), used by the neural-network kernels so hot loops
+//!   containing the sigmoid still vectorize.
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@
 //! ```
 
 pub mod describe;
+pub mod fastmath;
 pub mod json;
 pub mod kmeans;
 pub mod linear;

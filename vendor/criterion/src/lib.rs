@@ -61,18 +61,38 @@ impl From<String> for BenchmarkId {
 }
 
 /// Top-level benchmark driver.
+///
+/// Like upstream criterion, the driver built by `criterion_group!` (via
+/// [`Criterion::from_args`]) treats the first non-flag process argument as
+/// a substring filter on the full `group/benchmark` label — `cargo bench
+/// --bench prediction -- inference_throughput` runs only the matching
+/// benchmarks, which is what lets CI smoke-run the kernel groups without
+/// paying for the whole file.
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    filter: Option<String>,
+}
 
 impl Criterion {
+    /// Reads the benchmark filter from the command line (`cargo bench ...
+    /// -- <substring>`). Cargo's own `--bench` flag and other `-`-prefixed
+    /// arguments are ignored.
+    pub fn from_args() -> Self {
+        Self {
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+        }
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let filter = self.filter.clone();
         BenchmarkGroup {
             _criterion: self,
             name: name.into(),
             sample_size: 20,
             measurement_time: Duration::from_secs(2),
             throughput: None,
+            filter,
         }
     }
 
@@ -94,6 +114,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     measurement_time: Duration,
     throughput: Option<Throughput>,
+    filter: Option<String>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -122,12 +143,18 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Runs one benchmark in the group.
+    /// Runs one benchmark in the group (skipped when a command-line filter
+    /// is set and the `group/benchmark` label does not contain it).
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
     where
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
+        if let Some(filter) = &self.filter {
+            if !self.label(&id).contains(filter.as_str()) {
+                return;
+            }
+        }
         let mut bencher = Bencher {
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
@@ -153,6 +180,17 @@ impl BenchmarkGroup<'_> {
     /// kept for API compatibility).
     pub fn finish(self) {}
 
+    /// Full `group/benchmark` display label, the string filters match on.
+    fn label(&self, id: &BenchmarkId) -> String {
+        if self.name.is_empty() {
+            id.id.clone()
+        } else if id.id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        }
+    }
+
     fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
         let Some((best, mean)) = bencher.per_iter else {
             eprintln!(
@@ -161,13 +199,7 @@ impl BenchmarkGroup<'_> {
             );
             return;
         };
-        let label = if self.name.is_empty() {
-            id.id.clone()
-        } else if id.id.is_empty() {
-            self.name.clone()
-        } else {
-            format!("{}/{}", self.name, id.id)
-        };
+        let label = self.label(id);
         let thrpt = match self.throughput {
             Some(Throughput::Elements(n)) => {
                 format!("  thrpt: {:.0} elem/s", n as f64 / best.as_secs_f64())
@@ -250,7 +282,7 @@ impl Bencher {
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
         pub fn $name() {
-            let mut criterion = $crate::Criterion::default();
+            let mut criterion = $crate::Criterion::from_args();
             $( $target(&mut criterion); )+
         }
     };
@@ -294,5 +326,27 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
         assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut criterion = Criterion {
+            filter: Some("facade/sum".into()),
+        };
+        let mut ran = Vec::new();
+        let mut group = criterion.benchmark_group("facade");
+        group
+            .sample_size(1)
+            .measurement_time(Duration::from_millis(1));
+        group.bench_function("sum", |b| {
+            ran.push("sum");
+            b.iter(|| ());
+        });
+        group.bench_function("other", |b| {
+            ran.push("other");
+            b.iter(|| ());
+        });
+        group.finish();
+        assert_eq!(ran, ["sum"]);
     }
 }

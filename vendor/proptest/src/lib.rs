@@ -249,15 +249,36 @@ pub mod prelude {
 ///
 /// Supports the upstream form:
 ///
-/// ```ignore
+/// ```
+/// use proptest::prelude::*;
+///
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(64))]
 ///     #[test]
 ///     fn holds(x in 0usize..100, v in prop::collection::vec(0f64..1.0, 1..10)) {
 ///         prop_assert!(x < 100);
+///         prop_assert!(!v.is_empty());
 ///     }
 /// }
+/// #
+/// # // Doctests compile without the test harness, which strips `#[test]`
+/// # // items, so the form above is compile-checked only. Expand once more
+/// # // without the attribute and call it to actually run the loop.
+/// # proptest! {
+/// #     #![proptest_config(ProptestConfig::with_cases(16))]
+/// #     fn holds_without_harness(
+/// #         x in 0usize..100,
+/// #         v in prop::collection::vec(0f64..1.0, 1..10),
+/// #     ) {
+/// #         prop_assert!(x < 100);
+/// #         prop_assert!(!v.is_empty());
+/// #     }
+/// # }
+/// # holds_without_harness();
 /// ```
+// The `#[test]` in the example is the documented upstream form, and the
+// hidden second expansion drives the loop, so the doctest does execute.
+#[allow(clippy::test_attr_in_doctest)]
 #[macro_export]
 macro_rules! proptest {
     ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
