@@ -25,6 +25,10 @@
 //!   [`simulate::SimStats`] telemetry.
 //! * [`fault`] — deterministic, seeded fault injection for exercising the
 //!   retry/quarantine stack under reproducible failure schedules.
+//! * [`distributed`] — the multi-process simulation oracle: a coordinator
+//!   that fork/execs `archpredict-worker` processes and speaks a
+//!   length-prefixed pipe protocol, bit-for-bit identical to the
+//!   in-process oracle at every worker count.
 //! * [`campaign`] — the train–estimate–refine engine shared by every
 //!   driver: the canonical round loop (§3.3's procedure, steps 1–8),
 //!   generic over an [`campaign::Encoder`] and the sampling strategy,
@@ -75,6 +79,7 @@
 pub mod campaign;
 pub mod checkpoint;
 pub mod crossapp;
+pub mod distributed;
 pub mod explorer;
 pub mod fault;
 pub mod infer;
@@ -90,6 +95,7 @@ pub mod studies;
 
 pub use campaign::{AppEncoder, Campaign, CampaignConfig, Encoder, PlainEncoder};
 pub use checkpoint::{CheckpointError, ExplorerState};
+pub use distributed::{ProcessPoolOracle, SleepyEvaluator, SpecEvaluator, WorkerSpec};
 pub use explorer::{ExploreError, Explorer, ExplorerConfig, Round, TrueError};
 pub use fault::{FaultConfig, FaultInjectingOracle};
 pub use param::{Param, ParamKind, ParamValue};

@@ -233,6 +233,18 @@ pub trait PointEvaluator: Sync {
     fn parallelism(&self) -> Parallelism {
         Parallelism::Auto
     }
+
+    /// Backends that distribute whole batches themselves — e.g. the
+    /// multi-process [`crate::distributed::ProcessPoolOracle`] — override
+    /// this to claim the span fan-out. Returning `Some(results)` (one
+    /// [`SimResult`] per index, in input order) replaces the default
+    /// scoped-thread fan-out entirely; returning `None` (the default)
+    /// keeps it. Implementations must honor the module's determinism
+    /// contract: results depend only on their own index, never on how the
+    /// batch was split.
+    fn dispatch_batch(&self, _space: &DesignSpace, _indices: &[usize]) -> Option<Vec<SimResult>> {
+        None
+    }
 }
 
 impl<E: PointEvaluator> Oracle for E {
@@ -282,6 +294,16 @@ fn fan_out<E: PointEvaluator + ?Sized>(
     indices: &[usize],
     parallelism: Parallelism,
 ) -> Vec<SimResult> {
+    // Self-distributing backends (process pools) claim the whole span
+    // fan-out; the thread policy below only governs in-process workers.
+    if let Some(results) = evaluator.dispatch_batch(space, indices) {
+        assert_eq!(
+            results.len(),
+            indices.len(),
+            "dispatch_batch must return one result per index"
+        );
+        return results;
+    }
     let workers = parallelism.worker_count_with_env(indices.len(), ENV_SIM_THREADS);
     if workers <= 1 || indices.len() < 2 {
         return indices

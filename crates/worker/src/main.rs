@@ -1,0 +1,105 @@
+//! `archpredict-worker` — the child side of the distributed simulation
+//! oracle's pipe protocol (see `archpredict::distributed`).
+//!
+//! Lifecycle: echo the 8-byte magic+version handshake, receive one
+//! `CONFIG` frame describing the evaluator to build, then loop over
+//! `EVAL` spans — answering each index with a flushed `RESULT` frame the
+//! moment it finishes (streamed replies are what let the coordinator
+//! blame exactly the in-flight index when this process dies) and closing
+//! each span with `SPAN_DONE`. Exits 0 on `SHUTDOWN` or stdin EOF,
+//! nonzero on any protocol violation so the coordinator sees a crash,
+//! never a silent wedge.
+
+use archpredict::distributed::{proto, WorkerSpec};
+use archpredict::simulate::PointEvaluator;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+
+fn run() -> io::Result<()> {
+    let stdin = io::stdin().lock();
+    let mut input = BufReader::new(stdin);
+    let stdout = io::stdout().lock();
+    let mut output = BufWriter::new(stdout);
+
+    // Version handshake: read the coordinator's 8 bytes, verify, echo.
+    // A mismatch means a stale binary or a foreign parent — die loudly
+    // before anything tries to parse frames.
+    let mut hello = [0u8; 8];
+    input.read_exact(&mut hello)?;
+    if hello != proto::handshake() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "handshake mismatch: coordinator and worker disagree on magic/version",
+        ));
+    }
+    output.write_all(&hello)?;
+    output.flush()?;
+
+    // One CONFIG frame, exactly once, before any EVAL.
+    let config = proto::read_frame(&mut input)?;
+    let spec = match config.split_first() {
+        Some((&proto::OP_CONFIG, body)) => WorkerSpec::decode(body)?,
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected CONFIG as the first frame",
+            ))
+        }
+    };
+    let evaluator = spec.evaluator_in_worker();
+    let space = spec.space();
+
+    loop {
+        let frame = match proto::read_frame(&mut input) {
+            Ok(frame) => frame,
+            // EOF between frames: the coordinator closed our stdin
+            // (normal teardown). Mid-frame truncation is a real error.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match frame.split_first() {
+            Some((&proto::OP_EVAL, body)) => {
+                let indices = proto::decode_eval(body)?;
+                for index in &indices {
+                    let point = space.try_point(*index as usize).map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("index {index} out of range: {e}"),
+                        )
+                    })?;
+                    let result = evaluator.try_evaluate(&point);
+                    proto::write_frame(&mut output, &proto::encode_result(*index, &result))?;
+                    // Flush per result, not per span: the coordinator's
+                    // crash blame depends on seeing every completed
+                    // reply before this process can die.
+                    output.flush()?;
+                }
+                proto::write_frame(&mut output, &proto::encode_span_done(indices.len() as u32))?;
+                output.flush()?;
+            }
+            Some((&proto::OP_SHUTDOWN, _)) => return Ok(()),
+            Some((&op, _)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected opcode {op:#04x}"),
+                ))
+            }
+            None => return Err(io::Error::new(io::ErrorKind::InvalidData, "empty frame")),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // A broken pipe means the coordinator went away mid-write;
+            // that is its problem, not a protocol violation on our side.
+            if e.kind() == io::ErrorKind::BrokenPipe {
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("archpredict-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
