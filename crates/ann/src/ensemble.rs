@@ -8,6 +8,83 @@ use crate::train::{PredictBuffer, TrainedModel};
 use archpredict_stats::describe::Accumulator;
 use archpredict_stats::json::{JsonError, Value};
 
+/// Serialization format version stamped into every artifact header.
+///
+/// Bump this whenever anything that changes model *numerics* ships — the
+/// vectorized `fastmath` kernels redefined every trained weight, so a
+/// model persisted under one format mispredicts silently under another.
+/// Version 2 is the fastmath-kernel era; headerless JSON predates
+/// versioning and is treated as unknown legacy (loadable through the
+/// unchecked [`Ensemble::from_json`], rejected by
+/// [`Ensemble::from_json_checked`]).
+pub const MODEL_FORMAT_VERSION: u32 = 2;
+
+/// The versioned header stamped onto persisted model artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelHeader {
+    /// Serialization/numerics format ([`MODEL_FORMAT_VERSION`] today).
+    pub format: u32,
+    /// Fingerprint of the design space + encoding the model was trained
+    /// on (0 = not stamped). The trainer-side caller computes it; this
+    /// crate only carries and compares it.
+    pub fingerprint: u64,
+}
+
+impl ModelHeader {
+    /// The current-format header for a given space/encoder fingerprint.
+    pub fn current(fingerprint: u64) -> Self {
+        Self {
+            format: MODEL_FORMAT_VERSION,
+            fingerprint,
+        }
+    }
+
+    pub(crate) fn to_json_fields(self) -> Vec<(String, Value)> {
+        vec![
+            ("format".into(), Value::num(self.format as f64)),
+            // u64 as hex: JSON numbers are f64 and cannot carry the
+            // full 64 bits exactly.
+            (
+                "fingerprint".into(),
+                Value::Str(format!("{:016x}", self.fingerprint)),
+            ),
+        ]
+    }
+
+    /// Reads the header out of a parsed artifact, `None` when the JSON
+    /// predates versioning (no `format` key).
+    pub fn from_json_value(value: &Value) -> Result<Option<Self>, JsonError> {
+        let Ok(format) = value.get("format") else {
+            return Ok(None);
+        };
+        let fingerprint = value.get("fingerprint")?.as_str()?;
+        let fingerprint = u64::from_str_radix(fingerprint, 16)
+            .map_err(|_| JsonError::custom(format!("bad hex fingerprint {fingerprint:?}")))?;
+        Ok(Some(Self {
+            format: format.as_u64()? as u32,
+            fingerprint,
+        }))
+    }
+
+    /// Errors unless the header matches the current format and the
+    /// expected fingerprint — the registry's load-time compatibility gate.
+    pub fn check(self, expected_fingerprint: u64) -> Result<(), JsonError> {
+        if self.format != MODEL_FORMAT_VERSION {
+            return Err(JsonError::custom(format!(
+                "model format {} is incompatible with this build (format {MODEL_FORMAT_VERSION}); refit the model",
+                self.format
+            )));
+        }
+        if self.fingerprint != expected_fingerprint {
+            return Err(JsonError::custom(format!(
+                "model fingerprint {:016x} does not match the requested space/encoding {expected_fingerprint:016x}; refit the model",
+                self.fingerprint
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// An averaging ensemble of trained models.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Ensemble {
@@ -214,9 +291,20 @@ impl Ensemble {
         buf.m2 = m2;
     }
 
-    /// Serializes the ensemble to a JSON string.
+    /// Serializes the ensemble to a JSON string with the current
+    /// [`ModelHeader`] and a fingerprint of 0 ("not stamped"). Callers
+    /// that know what space/encoding produced the model should use
+    /// [`Ensemble::to_json_fingerprinted`] so loads can be checked.
     pub fn to_json(&self) -> String {
-        Value::Object(vec![(
+        self.to_json_fingerprinted(0)
+    }
+
+    /// Serializes the ensemble with a versioned header carrying
+    /// `fingerprint` (the trainer's space/encoder identity), so
+    /// [`Ensemble::from_json_checked`] can refuse incompatible artifacts.
+    pub fn to_json_fingerprinted(&self, fingerprint: u64) -> String {
+        let mut fields = ModelHeader::current(fingerprint).to_json_fields();
+        fields.push((
             "models".into(),
             Value::Array(
                 self.models
@@ -224,13 +312,46 @@ impl Ensemble {
                     .map(TrainedModel::to_json_value)
                     .collect(),
             ),
-        )])
-        .to_json()
+        ));
+        Value::Object(fields).to_json()
     }
 
     /// Deserializes an ensemble written by [`Ensemble::to_json`].
+    ///
+    /// Accepts both current headered artifacts and legacy headerless JSON
+    /// (written before versioning) without any compatibility check — use
+    /// [`Ensemble::from_json_checked`] when the artifact must match a
+    /// known space/encoding. A present-but-wrong format still fails: the
+    /// header, once written, is never ignored.
     pub fn from_json(text: &str) -> Result<Self, JsonError> {
         let value = Value::parse(text)?;
+        if let Some(header) = ModelHeader::from_json_value(&value)? {
+            if header.format != MODEL_FORMAT_VERSION {
+                return Err(JsonError::custom(format!(
+                    "model format {} is incompatible with this build (format {MODEL_FORMAT_VERSION}); refit the model",
+                    header.format
+                )));
+            }
+        }
+        Self::models_from_json_value(&value)
+    }
+
+    /// Deserializes an ensemble and enforces the artifact header: the
+    /// format must be current and the stored fingerprint must equal
+    /// `expected_fingerprint`. Legacy headerless JSON is rejected —
+    /// an unstamped artifact cannot prove what space it was trained on.
+    pub fn from_json_checked(text: &str, expected_fingerprint: u64) -> Result<Self, JsonError> {
+        let value = Value::parse(text)?;
+        let header = ModelHeader::from_json_value(&value)?.ok_or_else(|| {
+            JsonError::custom(
+                "artifact has no version header (pre-versioning legacy); refit the model",
+            )
+        })?;
+        header.check(expected_fingerprint)?;
+        Self::models_from_json_value(&value)
+    }
+
+    fn models_from_json_value(value: &Value) -> Result<Self, JsonError> {
         let models: Vec<TrainedModel> = value
             .get("models")?
             .as_array()?
@@ -310,5 +431,52 @@ mod tests {
         }
         assert_eq!(restored.len(), 3);
         assert!(Ensemble::from_json("{\"models\":[]}").is_err());
+    }
+
+    #[test]
+    fn header_carries_format_and_fingerprint() {
+        let ensemble = Ensemble::new(vec![trained(10)]);
+        let json = ensemble.to_json_fingerprinted(0xDEAD_BEEF_0123_4567);
+        let header = ModelHeader::from_json_value(&Value::parse(&json).unwrap())
+            .unwrap()
+            .expect("header present");
+        assert_eq!(header.format, MODEL_FORMAT_VERSION);
+        assert_eq!(header.fingerprint, 0xDEAD_BEEF_0123_4567);
+        let restored = Ensemble::from_json_checked(&json, 0xDEAD_BEEF_0123_4567).unwrap();
+        assert_eq!(restored.predict(&[0.5]), ensemble.predict(&[0.5]));
+    }
+
+    #[test]
+    fn checked_load_rejects_mismatches() {
+        let ensemble = Ensemble::new(vec![trained(11)]);
+        let json = ensemble.to_json_fingerprinted(1);
+        // Wrong fingerprint fails loudly.
+        let err = Ensemble::from_json_checked(&json, 2).unwrap_err();
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        // Legacy headerless JSON loads unchecked but never checked.
+        let legacy = Value::parse(&json)
+            .map(|v| match v {
+                Value::Object(fields) => Value::Object(
+                    fields
+                        .into_iter()
+                        .filter(|(k, _)| k == "models")
+                        .collect::<Vec<_>>(),
+                ),
+                _ => unreachable!(),
+            })
+            .unwrap()
+            .to_json();
+        assert!(Ensemble::from_json(&legacy).is_ok());
+        let err = Ensemble::from_json_checked(&legacy, 1).unwrap_err();
+        assert!(err.to_string().contains("header"), "{err}");
+        // A stale format version is rejected by both paths.
+        let stale = json.replacen(
+            &format!("\"format\":{MODEL_FORMAT_VERSION}.0"),
+            "\"format\":1.0",
+            1,
+        );
+        assert_ne!(stale, json, "format field should have been rewritten");
+        assert!(Ensemble::from_json(&stale).is_err());
+        assert!(Ensemble::from_json_checked(&stale, 1).is_err());
     }
 }

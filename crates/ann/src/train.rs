@@ -503,6 +503,88 @@ impl MultiTrainedModel {
     pub fn predict_primary(&self, features: &[f64]) -> f64 {
         self.predict_primary_with(features, &mut PredictBuffer::default())
     }
+
+    /// Serializes the model (network plus all scalers) to a JSON
+    /// [`Value`], mirroring [`TrainedModel::to_json_value`].
+    pub fn to_json_value(&self) -> Value {
+        Value::Object(vec![
+            ("network".into(), self.network.to_json_value()),
+            ("input_scaler".into(), self.input_scaler.to_json_value()),
+            (
+                "target_scalers".into(),
+                Value::Array(
+                    self.target_scalers
+                        .iter()
+                        .map(TargetScaler::to_json_value)
+                        .collect(),
+                ),
+            ),
+            ("primary".into(), Value::num(self.primary as f64)),
+            ("epochs".into(), Value::num(self.epochs as f64)),
+            ("best_es_error".into(), Value::num(self.best_es_error)),
+            ("diverged".into(), Value::Bool(self.diverged)),
+        ])
+    }
+
+    /// Deserializes a model written by
+    /// [`MultiTrainedModel::to_json_value`].
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let target_scalers: Vec<TargetScaler> = value
+            .get("target_scalers")?
+            .as_array()?
+            .iter()
+            .map(TargetScaler::from_json_value)
+            .collect::<Result<_, _>>()?;
+        if target_scalers.is_empty() {
+            return Err(JsonError::custom(
+                "multi-task model needs at least one head",
+            ));
+        }
+        let primary = value.get("primary")?.as_usize()?;
+        if primary >= target_scalers.len() {
+            return Err(JsonError::custom(format!(
+                "primary head {primary} out of range for {} heads",
+                target_scalers.len()
+            )));
+        }
+        Ok(Self {
+            network: Network::from_json_value(value.get("network")?)?,
+            input_scaler: MinMaxScaler::from_json_value(value.get("input_scaler")?)?,
+            target_scalers,
+            primary,
+            epochs: value.get("epochs")?.as_usize()?,
+            best_es_error: value.get("best_es_error")?.as_f64_or(f64::INFINITY)?,
+            diverged: value
+                .get("diverged")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
+        })
+    }
+
+    /// Serializes the model with a versioned [`ModelHeader`] carrying
+    /// `fingerprint`, mirroring [`Ensemble::to_json_fingerprinted`].
+    ///
+    /// [`ModelHeader`]: crate::ensemble::ModelHeader
+    /// [`Ensemble::to_json_fingerprinted`]: crate::ensemble::Ensemble::to_json_fingerprinted
+    pub fn to_json_fingerprinted(&self, fingerprint: u64) -> String {
+        let mut fields = crate::ensemble::ModelHeader::current(fingerprint).to_json_fields();
+        fields.push(("model".into(), self.to_json_value()));
+        Value::Object(fields).to_json()
+    }
+
+    /// Deserializes a model written by
+    /// [`MultiTrainedModel::to_json_fingerprinted`], enforcing the header
+    /// (current format, matching fingerprint).
+    pub fn from_json_checked(text: &str, expected_fingerprint: u64) -> Result<Self, JsonError> {
+        let value = Value::parse(text)?;
+        let header = crate::ensemble::ModelHeader::from_json_value(&value)?.ok_or_else(|| {
+            JsonError::custom(
+                "artifact has no version header (pre-versioning legacy); refit the model",
+            )
+        })?;
+        header.check(expected_fingerprint)?;
+        Self::from_json_value(value.get("model")?)
+    }
 }
 
 /// Trains one multi-output network on `train`, early-stopping on the
@@ -926,6 +1008,46 @@ mod tests {
             total += 100.0 * (m1.predict_primary(x) - y[0]).abs() / y[0].abs().max(1e-12);
         }
         assert_eq!(total / es.len() as f64, m1.best_es_error);
+    }
+
+    #[test]
+    fn multi_output_json_round_trip_is_exact() {
+        let (xs, ys) = make_multi_rows(120, 81);
+        let pairs = as_pairs(&xs, &ys);
+        let (train, es) = pairs.split_at(96);
+        let config = TrainConfig {
+            max_epochs: 120,
+            ..TrainConfig::default()
+        };
+        let mut rng = Xoshiro256::seed_from(82);
+        let model = train_multi_network(train, es, 1, &config, &mut rng);
+
+        // Round-tripped predictions are bit-exact (shortest-round-trip
+        // floats); the structs differ only in transient optimizer state
+        // (velocity), which serialization intentionally drops.
+        let probe = |m: &MultiTrainedModel| {
+            [[0.2, 0.9], [0.0, 0.0], [0.77, 0.33]]
+                .iter()
+                .flat_map(|x| m.predict_all(x))
+                .map(f64::to_bits)
+                .collect::<Vec<u64>>()
+        };
+        let back = MultiTrainedModel::from_json_value(
+            &Value::parse(&model.to_json_value().to_json()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(probe(&back), probe(&model));
+        assert_eq!(back.primary, model.primary);
+        assert_eq!(back.epochs, model.epochs);
+        assert_eq!(back.best_es_error.to_bits(), model.best_es_error.to_bits());
+        assert_eq!(back.tasks(), model.tasks());
+
+        // Headered round trip enforces the fingerprint.
+        let json = model.to_json_fingerprinted(42);
+        let back = MultiTrainedModel::from_json_checked(&json, 42).unwrap();
+        assert_eq!(probe(&back), probe(&model));
+        let err = MultiTrainedModel::from_json_checked(&json, 43).unwrap_err();
+        assert!(err.to_string().contains("fingerprint"), "{err}");
     }
 
     #[test]

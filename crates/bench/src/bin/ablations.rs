@@ -9,7 +9,9 @@
 //!    that the response surface needs nonlinear regression);
 //! 4. **random sampling** vs the §7 **active-learning** extension.
 
+use archpredict::campaign::{Encoder, PlainEncoder};
 use archpredict::explorer::{Explorer, ExplorerConfig};
+use archpredict::registry::ModelKey;
 use archpredict::sampling::Strategy;
 use archpredict::simulate::{CachedEvaluator, SimBudget, StudyEvaluator};
 use archpredict::studies::Study;
@@ -17,6 +19,7 @@ use archpredict_ann::train::train_network;
 use archpredict_ann::{fit_ensemble, Dataset, Sample, TrainConfig};
 use archpredict_bench::ExperimentOpts;
 use archpredict_stats::describe::Accumulator;
+use archpredict_stats::json::Value;
 use archpredict_stats::linear::LinearModel;
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_stats::sampling::sample_without_replacement;
@@ -108,39 +111,70 @@ fn main() {
     let (mean, sd) = mape(&|x| fit.ensemble.predict(x));
     println!("{:32} {mean:5.2}% ± {sd:.2}", "ANN ensemble (same data)");
 
-    // 4. Random vs active-learning sampling at the same budget.
+    // 4. Random vs active-learning sampling at the same budget, routed
+    //    through the model registry: a warm re-run reuses both persisted
+    //    ensembles instead of re-running the explorers.
     println!();
-    for (label, strategy) in [
-        ("random sampling (paper)", Strategy::Random),
+    let registry = opts.registry();
+    let fingerprint = PlainEncoder.fingerprint(&space);
+    for (label, encoder, strategy) in [
+        ("random sampling (paper)", "ablation", Strategy::Random),
         (
             "active learning (QBC, §7)",
+            "ablation-qbc4",
             Strategy::Active { pool_factor: 4 },
         ),
     ] {
-        let config = ExplorerConfig {
-            batch: 50,
-            target_error: 0.0,
-            max_samples: n_train,
-            train: scaled,
-            strategy,
-            seed: opts.seed,
-            ..ExplorerConfig::default()
-        };
-        let mut explorer = Explorer::new(&space, &evaluator, config);
-        explorer.run();
-        let trained: std::collections::HashSet<usize> =
-            explorer.sampled_indices().iter().copied().collect();
+        let key = ModelKey::new(study.name(), encoder, benchmark.name(), opts.seed, n_train);
+        let outcome = registry
+            .get_or_fit(&key, fingerprint, || {
+                let config = ExplorerConfig {
+                    batch: 50,
+                    target_error: 0.0,
+                    max_samples: n_train,
+                    train: scaled,
+                    strategy,
+                    seed: opts.seed,
+                    ..ExplorerConfig::default()
+                };
+                let mut explorer = Explorer::new(&space, &evaluator, config);
+                explorer.run();
+                let ensemble = explorer
+                    .ensemble()
+                    .ok_or("explorer fit no ensemble")?
+                    .clone();
+                // The trained set rides along so warm runs can exclude it
+                // from the error measurement exactly as a cold run would.
+                let sampled = Value::Array(
+                    explorer
+                        .sampled_indices()
+                        .iter()
+                        .map(|&i| Value::num(i as f64))
+                        .collect(),
+                );
+                Ok((ensemble, Value::Object(vec![("sampled".into(), sampled)])))
+            })
+            .unwrap_or_else(|e| panic!("registry {key}: {e}"));
+        let trained: std::collections::HashSet<usize> = outcome
+            .payload
+            .get("sampled")
+            .expect("payload has sampled set")
+            .as_array()
+            .expect("sampled is an array")
+            .iter()
+            .map(|v| v.as_usize().expect("sampled index"))
+            .collect();
         let mut acc = Accumulator::new();
         for (&i, (x, t)) in test_idx.iter().zip(&test) {
             if !trained.contains(&i) {
-                acc.add(100.0 * (explorer.predict(i) - t).abs() / t);
-                let _ = x;
+                acc.add(100.0 * (outcome.model.predict(x) - t).abs() / t);
             }
         }
         println!(
-            "{label:32} {:5.2}% ± {:.2}",
+            "{label:32} {:5.2}% ± {:.2}{}",
             acc.mean(),
-            acc.population_std_dev()
+            acc.population_std_dev(),
+            if outcome.warm { "  (warm)" } else { "" }
         );
     }
 }

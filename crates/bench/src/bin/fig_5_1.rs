@@ -3,27 +3,16 @@
 //! sampled, for the memory-system and processor studies.
 
 use archpredict::studies::Study;
-use archpredict_bench::{curve_for, CurveOpts, ExperimentOpts};
+use archpredict_bench::{run_figure, ExperimentOpts};
 use archpredict_workloads::Benchmark;
 
 fn main() {
     let opts = ExperimentOpts::from_args(&Benchmark::FEATURED);
-    let mut csv = String::new();
-    for study in Study::ALL {
-        for &benchmark in &opts.apps {
-            let result = curve_for(&CurveOpts {
-                study,
-                benchmark,
-                batch: opts.batch,
-                max_samples: opts.max_samples,
-                eval_points: opts.eval_points,
-                simpoint: false,
-                seed: opts.seed,
-                cache_dir: Some(format!("{}/simcache", opts.out_dir)),
-            });
-            println!("{}", result.curve.to_table());
-            csv.push_str(&result.curve.to_csv());
-        }
-    }
-    archpredict_bench::runner::write_artifact(&opts.out_path("fig_5_1.csv"), &csv);
+    let registry = opts.registry();
+    let curves: Vec<_> = Study::ALL
+        .iter()
+        .flat_map(|&study| opts.apps.iter().map(move |&b| (study, b)))
+        .map(|(study, benchmark)| opts.curve(study, benchmark))
+        .collect();
+    run_figure(&registry, &curves, &opts.out_path("fig_5_1.csv"), |_| {});
 }

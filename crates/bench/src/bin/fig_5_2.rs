@@ -2,34 +2,30 @@
 //! standard deviation of percentage error on the MemorySystem study.
 
 use archpredict::studies::Study;
-use archpredict_bench::{curve_for, CurveOpts, ExperimentOpts};
+use archpredict_bench::{run_figure, ExperimentOpts};
 use archpredict_workloads::Benchmark;
 
 fn main() {
     let opts = ExperimentOpts::from_args(&Benchmark::FEATURED);
-    let study = Study::MemorySystem;
-    let mut csv = String::new();
-    for &benchmark in &opts.apps {
-        let result = curve_for(&CurveOpts {
-            study,
-            benchmark,
-            batch: opts.batch,
-            max_samples: opts.max_samples,
-            eval_points: opts.eval_points,
-            simpoint: false,
-            seed: opts.seed,
-            cache_dir: Some(format!("{}/simcache", opts.out_dir)),
-        });
-        println!("{}", result.curve.to_table());
-        // Report the estimate's tracking quality, the figure's point.
-        let worst_gap = result
-            .curve
-            .points
-            .iter()
-            .filter_map(|p| p.true_mean.map(|t| (p.estimated_mean - t).abs()))
-            .fold(0.0_f64, f64::max);
-        println!("  worst |estimate - true| gap: {worst_gap:.2}%\n");
-        csv.push_str(&result.curve.to_csv());
-    }
-    archpredict_bench::runner::write_artifact(&opts.out_path("fig_5_2.csv"), &csv);
+    let registry = opts.registry();
+    let curves: Vec<_> = opts
+        .apps
+        .iter()
+        .map(|&b| opts.curve(Study::MemorySystem, b))
+        .collect();
+    run_figure(
+        &registry,
+        &curves,
+        &opts.out_path("fig_5_2.csv"),
+        |result| {
+            // Report the estimate's tracking quality, the figure's point.
+            let worst_gap = result
+                .curve
+                .points
+                .iter()
+                .filter_map(|p| p.true_mean.map(|t| (p.estimated_mean - t).abs()))
+                .fold(0.0_f64, f64::max);
+            println!("  worst |estimate - true| gap: {worst_gap:.2}%\n");
+        },
+    );
 }

@@ -4,29 +4,27 @@
 //! longest-running applications).
 
 use archpredict::studies::Study;
-use archpredict_bench::{curve_for, CurveOpts, ExperimentOpts};
+use archpredict_bench::{run_figure, ExperimentOpts};
 use archpredict_workloads::Benchmark;
 
 fn main() {
     let opts = ExperimentOpts::from_args(&Benchmark::FEATURED);
-    let mut csv = String::new();
-    for &benchmark in &opts.apps {
-        let result = curve_for(&CurveOpts {
-            study: Study::Processor,
-            benchmark,
-            batch: opts.batch,
-            max_samples: opts.max_samples,
-            eval_points: opts.eval_points,
-            simpoint: true,
-            seed: opts.seed,
-            cache_dir: Some(format!("{}/simcache", opts.out_dir)),
-        });
-        println!("{}", result.curve.to_table());
-        println!(
-            "  SimPoint reduces instructions per simulation by {:.1}x\n",
-            result.instructions_per_full_eval as f64 / result.instructions_per_training_eval as f64
-        );
-        csv.push_str(&result.curve.to_csv());
-    }
-    archpredict_bench::runner::write_artifact(&opts.out_path("fig_5_4.csv"), &csv);
+    let registry = opts.registry();
+    let curves: Vec<_> = opts
+        .apps
+        .iter()
+        .map(|&b| opts.curve(Study::Processor, b).with_simpoint(true))
+        .collect();
+    run_figure(
+        &registry,
+        &curves,
+        &opts.out_path("fig_5_4.csv"),
+        |result| {
+            println!(
+                "  SimPoint reduces instructions per simulation by {:.1}x\n",
+                result.instructions_per_full_eval as f64
+                    / result.instructions_per_training_eval as f64
+            );
+        },
+    );
 }

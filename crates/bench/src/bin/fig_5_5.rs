@@ -5,36 +5,33 @@
 //! asymmetry the paper calls out in §5.3.
 
 use archpredict::studies::Study;
-use archpredict_bench::{curve_for, CurveOpts, ExperimentOpts};
+use archpredict_bench::{run_figure, ExperimentOpts};
 use archpredict_workloads::Benchmark;
 
 fn main() {
     let opts = ExperimentOpts::from_args(&Benchmark::FEATURED);
-    let mut csv = String::new();
-    for &benchmark in &opts.apps {
-        let result = curve_for(&CurveOpts {
-            study: Study::Processor,
-            benchmark,
-            batch: opts.batch,
-            max_samples: opts.max_samples,
-            eval_points: opts.eval_points,
-            simpoint: true,
-            seed: opts.seed,
-            cache_dir: Some(format!("{}/simcache", opts.out_dir)),
-        });
-        println!("{}", result.curve.to_table());
-        let gaps: Vec<f64> = result
-            .curve
-            .points
-            .iter()
-            .filter_map(|p| p.true_mean.map(|t| p.estimated_mean - t))
-            .collect();
-        let under = gaps.iter().filter(|&&g| g < 0.0).count();
-        println!(
-            "  estimate below truth in {under}/{} rounds (expected under noise)\n",
-            gaps.len()
-        );
-        csv.push_str(&result.curve.to_csv());
-    }
-    archpredict_bench::runner::write_artifact(&opts.out_path("fig_5_5.csv"), &csv);
+    let registry = opts.registry();
+    let curves: Vec<_> = opts
+        .apps
+        .iter()
+        .map(|&b| opts.curve(Study::Processor, b).with_simpoint(true))
+        .collect();
+    run_figure(
+        &registry,
+        &curves,
+        &opts.out_path("fig_5_5.csv"),
+        |result| {
+            let gaps: Vec<f64> = result
+                .curve
+                .points
+                .iter()
+                .filter_map(|p| p.true_mean.map(|t| p.estimated_mean - t))
+                .collect();
+            let under = gaps.iter().filter(|&&g| g < 0.0).count();
+            println!(
+                "  estimate below truth in {under}/{} rounds (expected under noise)\n",
+                gaps.len()
+            );
+        },
+    );
 }

@@ -2,12 +2,18 @@
 //! ANN+SimPoint at three error levels per application.
 
 use archpredict::studies::Study;
-use archpredict_bench::{curve_for, reduction_analysis, CurveOpts, ExperimentOpts};
+use archpredict_bench::{reduction_analysis, run_curves, ExperimentOpts};
 use archpredict_workloads::Benchmark;
 
 fn main() {
     let opts = ExperimentOpts::from_args(&Benchmark::FEATURED);
+    let registry = opts.registry();
     let targets = [1.0, 2.0, 3.5];
+    let curves: Vec<_> = opts
+        .apps
+        .iter()
+        .map(|&b| opts.curve(Study::Processor, b).with_simpoint(true))
+        .collect();
     let mut csv = String::from(
         "app,target_error,achieved_error,samples,ann_factor,simpoint_factor,combined_factor\n",
     );
@@ -15,17 +21,7 @@ fn main() {
         "{:28} {:>7} {:>9} {:>8} {:>8} {:>9} {:>10}",
         "app", "target%", "achieved%", "samples", "ANNx", "SimPointx", "combinedx"
     );
-    for &benchmark in &opts.apps {
-        let result = curve_for(&CurveOpts {
-            study: Study::Processor,
-            benchmark,
-            batch: opts.batch,
-            max_samples: opts.max_samples,
-            eval_points: opts.eval_points,
-            simpoint: true,
-            seed: opts.seed,
-            cache_dir: Some(format!("{}/simcache", opts.out_dir)),
-        });
+    for result in run_curves(&registry, &curves) {
         for row in reduction_analysis(&result, &targets) {
             println!(
                 "{:28} {:>7.1} {:>9.2} {:>8} {:>8.1} {:>9.1} {:>10.1}",

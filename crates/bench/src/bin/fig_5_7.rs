@@ -3,24 +3,20 @@
 //! reduction; the combined factor is their product.
 
 use archpredict::studies::Study;
-use archpredict_bench::{curve_for, reduction_analysis, CurveOpts, ExperimentOpts};
+use archpredict_bench::{reduction_analysis, run_curves, ExperimentOpts};
 use archpredict_workloads::Benchmark;
 
 fn main() {
     let opts = ExperimentOpts::from_args(&Benchmark::FEATURED);
+    let registry = opts.registry();
     let targets = [1.0, 2.0, 3.5];
+    let curves: Vec<_> = opts
+        .apps
+        .iter()
+        .map(|&b| opts.curve(Study::Processor, b).with_simpoint(true))
+        .collect();
     let mut csv = String::from("app,achieved_error,factor_simpoint,factor_ann,factor_combined\n");
-    for &benchmark in &opts.apps {
-        let result = curve_for(&CurveOpts {
-            study: Study::Processor,
-            benchmark,
-            batch: opts.batch,
-            max_samples: opts.max_samples,
-            eval_points: opts.eval_points,
-            simpoint: true,
-            seed: opts.seed,
-            cache_dir: Some(format!("{}/simcache", opts.out_dir)),
-        });
+    for result in run_curves(&registry, &curves) {
         println!("{}", result.curve.label);
         println!(
             "  {:>10} | {:>9} {:>7} {:>10}",

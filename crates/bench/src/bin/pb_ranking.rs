@@ -12,6 +12,7 @@ use archpredict_workloads::{Benchmark, TraceGenerator};
 
 fn main() {
     let opts = ExperimentOpts::from_args(&[Benchmark::Mesa, Benchmark::Mcf]);
+    let mut csv = String::from("study,app,rank,param,abs_effect_ipc\n");
     for study in Study::ALL {
         let space = study.space();
         let params = space.params().len();
@@ -49,8 +50,17 @@ fn main() {
                     space.params()[*param].name(),
                     effect
                 );
+                csv.push_str(&format!(
+                    "{},{},{},{},{:.6}\n",
+                    study.name(),
+                    benchmark.name(),
+                    rank + 1,
+                    space.params()[*param].name(),
+                    effect
+                ));
             }
         }
         println!();
     }
+    archpredict_bench::runner::write_artifact(&opts.out_path("pb_ranking.csv"), &csv);
 }

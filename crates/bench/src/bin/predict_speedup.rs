@@ -15,8 +15,11 @@
 //! only check determinism. Usage:
 //!
 //! ```text
-//! cargo run --release --bin predict_speedup [points] [repeats]
+//! cargo run --release --bin predict_speedup [points] [repeats] [--output-json]
 //! ```
+//!
+//! `--output-json` writes `results/predict_speedup.json` (machine-readable
+//! mirror of the CSV rows plus run metadata) alongside the CSV.
 
 use archpredict::infer::predict_indices;
 use archpredict::studies::Study;
@@ -38,7 +41,13 @@ const SPEEDUP_ASSERT_MIN_POINTS: usize = 4_096;
 const MIN_BATCHED_SPEEDUP: f64 = 4.0;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (flags, positional): (Vec<String>, Vec<String>) =
+        std::env::args().skip(1).partition(|a| a.starts_with("--"));
+    let output_json = flags.iter().any(|f| f == "--output-json");
+    if let Some(unknown) = flags.iter().find(|f| *f != "--output-json") {
+        panic!("unknown flag {unknown} (supported: --output-json)");
+    }
+    let mut args = positional.into_iter();
     let points: usize = args
         .next()
         .map(|a| a.parse().expect("points must be a number"))
@@ -157,6 +166,25 @@ fn main() {
     }
     eprintln!("(every path produced bit-for-bit identical predictions)");
     write_artifact(Path::new("results/predict_speedup.csv"), &table);
+
+    if output_json {
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"study\": \"{}\",\n  \"points\": {points},\n  \"repeats\": {repeats},\n  \
+             \"cores\": {cores},\n  \"ensemble_members\": 10,\n  \
+             \"determinism\": \"bit_identical_all_paths\",\n  \"rows\": [\n",
+            Study::MemorySystem.name(),
+        ));
+        for (i, (path, seconds, speedup)) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            json.push_str(&format!(
+                "    {{\"path\": \"{path}\", \"seconds\": {seconds:.6}, \
+                 \"speedup_vs_baseline\": {speedup:.3}}}{comma}\n"
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        write_artifact(Path::new("results/predict_speedup.json"), &json);
+    }
 
     if points >= SPEEDUP_ASSERT_MIN_POINTS {
         let speedup = baseline / batched_1;

@@ -3,11 +3,12 @@
 //! applications.
 
 use archpredict::studies::Study;
-use archpredict_bench::{curve_for, CurveOpts, ExperimentOpts};
+use archpredict_bench::{run_curves, ExperimentOpts};
 use archpredict_workloads::Benchmark;
 
 fn main() {
     let opts = ExperimentOpts::from_args(&Benchmark::ALL);
+    let registry = opts.registry();
     let mut csv = String::from("study,app,percent_sampled,true_mean,est_mean,true_sd,est_sd\n");
     for study in Study::ALL {
         let space_size = study.space().size();
@@ -25,17 +26,12 @@ fn main() {
             "{:8} {:>7} | {:>9} {:>9} | {:>9} {:>9}",
             "app", "%space", "true mean", "est mean", "true sd", "est sd"
         );
-        for &benchmark in &opts.apps {
-            let result = curve_for(&CurveOpts {
-                study,
-                benchmark,
-                batch: opts.batch,
-                max_samples,
-                eval_points: opts.eval_points,
-                simpoint: false,
-                seed: opts.seed,
-                cache_dir: Some(format!("{}/simcache", opts.out_dir)),
-            });
+        let curves: Vec<_> = opts
+            .apps
+            .iter()
+            .map(|&b| opts.curve(study, b).with_max_samples(max_samples))
+            .collect();
+        for (result, &benchmark) in run_curves(&registry, &curves).iter().zip(&opts.apps) {
             for &target in &targets {
                 let Some(row) = result.curve.points.iter().find(|p| p.samples >= target) else {
                     continue;

@@ -13,8 +13,11 @@
 //!    multi-thread assertion necessarily stays gated on having ≥4 cores.
 //!
 //! ```text
-//! cargo run --release --bin train_speedup [samples] [repeats]
+//! cargo run --release --bin train_speedup [samples] [repeats] [--output-json]
 //! ```
+//!
+//! `--output-json` writes `results/train_speedup.json` (machine-readable
+//! mirror of the CSV rows plus run metadata) alongside the CSV.
 
 use archpredict_ann::{fit_ensemble, CvFit, Dataset, Network, Parallelism, Sample, TrainConfig};
 use archpredict_bench::write_artifact;
@@ -82,7 +85,13 @@ fn run_trainer(
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (flags, positional): (Vec<String>, Vec<String>) =
+        std::env::args().skip(1).partition(|a| a.starts_with("--"));
+    let output_json = flags.iter().any(|f| f == "--output-json");
+    if let Some(unknown) = flags.iter().find(|f| *f != "--output-json") {
+        panic!("unknown flag {unknown} (supported: --output-json)");
+    }
+    let mut args = positional.into_iter();
     let samples: usize = args
         .next()
         .map(|a| a.parse().expect("samples must be a number"))
@@ -180,6 +189,24 @@ fn main() {
         table.push_str(&format!("{path},{seconds:.6},{speedup:.3}\n"));
     }
     write_artifact(Path::new("results/train_speedup.csv"), &table);
+
+    if output_json {
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"samples\": {samples},\n  \"kernel_steps\": {steps},\n  \
+             \"repeats\": {repeats},\n  \"cores\": {cores},\n  \"folds\": 10,\n  \
+             \"determinism\": \"bit_identical_all_paths\",\n  \"rows\": [\n"
+        ));
+        for (i, (path, seconds, speedup)) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            json.push_str(&format!(
+                "    {{\"path\": \"{path}\", \"seconds\": {seconds:.6}, \
+                 \"speedup_vs_baseline\": {speedup:.3}}}{comma}\n"
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        write_artifact(Path::new("results/train_speedup.json"), &json);
+    }
 
     if steps >= KERNEL_ASSERT_MIN_STEPS {
         let kernel_speedup = ref_best / vec_best;

@@ -28,5 +28,6 @@ pub mod runner;
 
 pub use opts::ExperimentOpts;
 pub use runner::{
-    curve_for, reduction_analysis, write_artifact, CurveOpts, ReductionRow, StudyCurve,
+    curve_for, reduction_analysis, registered_curve_for, run_curves, run_figure, write_artifact,
+    CurveOpts, ReductionRow, StudyCurve,
 };

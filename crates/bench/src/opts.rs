@@ -1,5 +1,8 @@
 //! Minimal command-line options shared by all experiment binaries.
 
+use crate::runner::CurveOpts;
+use archpredict::registry::Registry;
+use archpredict::studies::Study;
 use archpredict_workloads::Benchmark;
 
 /// Options common to every experiment binary.
@@ -93,6 +96,33 @@ impl ExperimentOpts {
     pub fn out_path(&self, file: &str) -> std::path::PathBuf {
         std::fs::create_dir_all(&self.out_dir).expect("create output dir");
         std::path::Path::new(&self.out_dir).join(file)
+    }
+
+    /// Opens the model registry under the output directory
+    /// (`<out>/registry`) — warm artifacts shared by every figure binary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry directories cannot be created.
+    pub fn registry(&self) -> Registry {
+        Registry::open(std::path::Path::new(&self.out_dir).join("registry"))
+            .expect("open model registry")
+    }
+
+    /// Curve options for one study × application under these settings —
+    /// the stack assembly every figure binary used to copy-paste.
+    pub fn curve(&self, study: Study, benchmark: Benchmark) -> CurveOpts {
+        CurveOpts {
+            study,
+            benchmark,
+            batch: self.batch,
+            max_samples: self.max_samples,
+            eval_points: self.eval_points,
+            simpoint: false,
+            seed: self.seed,
+            cache_dir: Some(format!("{}/simcache", self.out_dir)),
+            quick: false,
+        }
     }
 }
 

@@ -1,7 +1,16 @@
 //! Shared experiment logic behind the table/figure binaries.
+//!
+//! The registry-backed entrypoints ([`registered_curve_for`],
+//! [`run_figure`]) are what the figure binaries call: each learning curve
+//! is keyed in the model registry by what produced it, the final ensemble
+//! is persisted as the artifact, and the whole curve rides along as the
+//! entry's payload — so a warm re-run of a figure binary performs **zero
+//! fits and zero simulations** (assert via [`StudyCurve::warm`] and
+//! [`Registry::fits_performed`]).
 
-use archpredict::campaign::seed_stream;
+use archpredict::campaign::{seed_stream, Encoder, PlainEncoder};
 use archpredict::explorer::{Explorer, ExplorerConfig, TrueError};
+use archpredict::registry::{ModelKey, Registry};
 use archpredict::report::LearningCurve;
 use archpredict::simulate::{
     CachedEvaluator, Oracle, PointEvaluator, SimBudget, SimPointEvaluator, SimStats, StudyEvaluator,
@@ -9,6 +18,7 @@ use archpredict::simulate::{
 use archpredict::studies::Study;
 use archpredict_ann::{Ensemble, Parallelism, TrainConfig};
 use archpredict_stats::describe::Accumulator;
+use archpredict_stats::json::{JsonError, Value};
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_workloads::{Benchmark, TraceGenerator};
 use std::path::Path;
@@ -38,6 +48,9 @@ pub struct CurveOpts {
     pub seed: u64,
     /// Directory for the persistent simulation cache (`None` = in-memory).
     pub cache_dir: Option<String>,
+    /// Use the quick simulation budget ([`SimBudget::quick`]) — for tests
+    /// and smoke gates; keyed separately in the registry.
+    pub quick: bool,
 }
 
 impl CurveOpts {
@@ -52,7 +65,52 @@ impl CurveOpts {
             simpoint: false,
             seed: 0x1BEC,
             cache_dir: Some("results/simcache".into()),
+            quick: false,
         }
+    }
+
+    /// Toggles SimPoint-estimated training (builder style).
+    pub fn with_simpoint(mut self, simpoint: bool) -> Self {
+        self.simpoint = simpoint;
+        self
+    }
+
+    /// Overrides the final training-set size (builder style).
+    pub fn with_max_samples(mut self, max_samples: usize) -> Self {
+        self.max_samples = max_samples;
+        self
+    }
+
+    /// Toggles the quick simulation budget (builder style).
+    pub fn with_quick(mut self, quick: bool) -> Self {
+        self.quick = quick;
+        self
+    }
+
+    /// The registry key for this curve run. The encoder string carries
+    /// every pipeline knob that changes the artifact beyond the key's
+    /// seed/budget fields: batch size, held-out count, SimPoint training,
+    /// quick budget.
+    pub fn key(&self) -> ModelKey {
+        let mut encoder = format!("curve-b{}-e{}", self.batch, self.eval_points);
+        if self.simpoint {
+            encoder.push_str("-sp");
+        }
+        if self.quick {
+            encoder.push_str("-quick");
+        }
+        ModelKey::new(
+            self.study.name(),
+            encoder,
+            self.benchmark.name(),
+            self.seed,
+            self.max_samples,
+        )
+    }
+
+    /// The space/encoder fingerprint this curve's artifact is stamped with.
+    pub fn fingerprint(&self) -> u64 {
+        PlainEncoder.fingerprint(&self.study.space())
     }
 }
 
@@ -67,9 +125,12 @@ pub struct StudyCurve {
     pub instructions_per_training_eval: u64,
     /// Instructions one *full* (truth) evaluation simulates.
     pub instructions_per_full_eval: u64,
+    /// `true` when this result was reconstructed from a warm registry
+    /// entry — zero fits and zero simulations were performed.
+    pub warm: bool,
 }
 
-fn truth_budget(study: Study, benchmark: Benchmark, simpoint: bool) -> StudyEvaluator {
+fn truth_budget(study: Study, benchmark: Benchmark, simpoint: bool, quick: bool) -> StudyEvaluator {
     let generator = TraceGenerator::new(benchmark);
     let budget = if simpoint {
         // Truth for SimPoint experiments is the whole program at the
@@ -80,6 +141,8 @@ fn truth_budget(study: Study, benchmark: Benchmark, simpoint: bool) -> StudyEval
             measured: SIMPOINT_INTERVAL_LEN as u64 - warmup,
             intervals: (0..generator.num_intervals()).collect(),
         }
+    } else if quick {
+        SimBudget::quick(&generator)
     } else {
         SimBudget::spread(&generator, 3, 8_000, 16_000)
     };
@@ -88,11 +151,18 @@ fn truth_budget(study: Study, benchmark: Benchmark, simpoint: bool) -> StudyEval
 
 /// Runs one application × study learning curve: explore with batches,
 /// recording the cross-validation estimate and the measured true error on
-/// a fixed held-out set after every round.
+/// a fixed held-out set after every round. Always cold — the registry
+/// entrypoint [`registered_curve_for`] wraps this with load-or-fit.
 pub fn curve_for(opts: &CurveOpts) -> StudyCurve {
+    curve_for_cold(opts).0
+}
+
+/// The cold path: runs the curve and also returns the final ensemble (the
+/// artifact [`registered_curve_for`] persists).
+fn curve_for_cold(opts: &CurveOpts) -> (StudyCurve, Option<Ensemble>) {
     let space = opts.study.space();
     let truth = CachedEvaluator::new(
-        truth_budget(opts.study, opts.benchmark, opts.simpoint),
+        truth_budget(opts.study, opts.benchmark, opts.simpoint, opts.quick),
         space.clone(),
     );
     let cache_tag = format!(
@@ -138,6 +208,7 @@ pub fn curve_for(opts: &CurveOpts) -> StudyCurve {
             space_size: space.size(),
             instructions_per_training_eval: training_instr,
             instructions_per_full_eval: truth.inner().instructions_per_evaluation(),
+            warm: false,
         }
     };
 
@@ -158,17 +229,110 @@ pub fn curve_for(opts: &CurveOpts) -> StudyCurve {
         let mut explorer =
             Explorer::new(&space, &training, explorer_config(TrainConfig::default()));
         run_curve(&mut explorer, &truth, &eval_set, opts, &mut curve);
+        let ensemble = explorer.ensemble().cloned();
 
         save_cache(&training, opts.cache_dir.as_deref(), &train_tag);
         save_cache(&truth, opts.cache_dir.as_deref(), &cache_tag);
-        finish(curve, per_eval)
+        (finish(curve, per_eval), ensemble)
     } else {
         let per_eval = truth.inner().instructions_per_evaluation();
         let mut explorer = Explorer::new(&space, &truth, explorer_config(TrainConfig::default()));
         run_curve(&mut explorer, &truth, &eval_set, opts, &mut curve);
+        let ensemble = explorer.ensemble().cloned();
         save_cache(&truth, opts.cache_dir.as_deref(), &cache_tag);
-        finish(curve, per_eval)
+        (finish(curve, per_eval), ensemble)
     }
+}
+
+/// Serializes a finished curve as a registry payload.
+fn study_curve_payload(result: &StudyCurve) -> Value {
+    Value::Object(vec![
+        ("curve".into(), result.curve.to_json_value()),
+        ("space_size".into(), Value::num(result.space_size as f64)),
+        (
+            "instructions_per_training_eval".into(),
+            Value::num(result.instructions_per_training_eval as f64),
+        ),
+        (
+            "instructions_per_full_eval".into(),
+            Value::num(result.instructions_per_full_eval as f64),
+        ),
+    ])
+}
+
+/// Reconstructs a [`StudyCurve`] from a warm registry payload.
+fn study_curve_from_payload(payload: &Value, warm: bool) -> Result<StudyCurve, JsonError> {
+    Ok(StudyCurve {
+        curve: LearningCurve::from_json_value(payload.get("curve")?)?,
+        space_size: payload.get("space_size")?.as_usize()?,
+        instructions_per_training_eval: payload.get("instructions_per_training_eval")?.as_u64()?,
+        instructions_per_full_eval: payload.get("instructions_per_full_eval")?.as_u64()?,
+        warm,
+    })
+}
+
+/// Load-or-run a learning curve through the model registry: a warm hit
+/// reconstructs the whole curve from the persisted payload — zero fits,
+/// zero simulations — while a miss runs [`curve_for`] once, persisting the
+/// final ensemble and the curve for every future caller.
+///
+/// # Panics
+///
+/// Panics on registry I/O/corruption or when the cold run produces no
+/// ensemble (acceptable in experiment binaries).
+pub fn registered_curve_for(registry: &Registry, opts: &CurveOpts) -> StudyCurve {
+    let key = opts.key();
+    let outcome = registry
+        .get_or_fit(&key, opts.fingerprint(), || {
+            let (result, ensemble) = curve_for_cold(opts);
+            let ensemble = ensemble.ok_or("curve run produced no ensemble")?;
+            Ok((ensemble, study_curve_payload(&result)))
+        })
+        .unwrap_or_else(|e| panic!("registry {key}: {e}"));
+    study_curve_from_payload(&outcome.payload, outcome.warm)
+        .unwrap_or_else(|e| panic!("registry payload for {key} unreadable: {e}"))
+}
+
+/// Runs each curve through `registry`, printing its table and warm/cold
+/// provenance. The shared loop body of every figure binary.
+pub fn run_curves(registry: &Registry, all_opts: &[CurveOpts]) -> Vec<StudyCurve> {
+    all_opts
+        .iter()
+        .map(|opts| {
+            let result = registered_curve_for(registry, opts);
+            println!("{}", result.curve.to_table());
+            println!(
+                "  [{}] {}\n",
+                opts.key().slug(),
+                if result.warm {
+                    "warm from registry (0 fits, 0 simulations)"
+                } else {
+                    "cold run, persisted to registry"
+                }
+            );
+            result
+        })
+        .collect()
+}
+
+/// The whole figure pipeline: run every curve through the registry,
+/// invoke `inspect` per curve (figure-specific commentary), concatenate
+/// the curve CSVs and write them to `out`. Returns the curves for
+/// further analysis.
+pub fn run_figure(
+    registry: &Registry,
+    all_opts: &[CurveOpts],
+    out: &Path,
+    mut inspect: impl FnMut(&StudyCurve),
+) -> Vec<StudyCurve> {
+    let results = run_curves(registry, all_opts);
+    let mut csv = String::new();
+    for result in &results {
+        inspect(result);
+        csv.push_str(&result.curve.to_csv());
+    }
+    write_artifact(out, &csv);
+    results
 }
 
 fn run_curve<E: Oracle, T: Oracle>(
@@ -391,7 +555,37 @@ mod tests {
             space_size: 20_000,
             instructions_per_training_eval: 10_000,
             instructions_per_full_eval: 80_000,
+            warm: false,
         }
+    }
+
+    #[test]
+    fn curve_keys_separate_pipeline_variants() {
+        let base = CurveOpts::new(Study::Processor, Benchmark::Mesa);
+        let sp = base.clone().with_simpoint(true);
+        let bigger = base.clone().with_max_samples(1_900);
+        assert_eq!(
+            base.key().slug(),
+            "processor-curve-b50-e300-mesa-0000000000001bec-950"
+        );
+        assert_ne!(base.key(), sp.key());
+        assert_ne!(base.key(), bigger.key());
+        assert_eq!(base.fingerprint(), sp.fingerprint());
+    }
+
+    #[test]
+    fn study_curve_payload_round_trips() {
+        let result = fake_curve();
+        let payload = study_curve_payload(&result);
+        let text = payload.to_json();
+        let back = study_curve_from_payload(&Value::parse(&text).unwrap(), true).unwrap();
+        assert!(back.warm);
+        assert_eq!(back.curve, result.curve);
+        assert_eq!(back.space_size, result.space_size);
+        assert_eq!(
+            back.instructions_per_full_eval,
+            result.instructions_per_full_eval
+        );
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! The acceptance gate for the registry refactor: a warm second run of
+//! the figure-bin entrypoint (`run_curves`, shared by every ported
+//! `fig_5_*` and `table_5_1` binary) performs **zero fits and zero
+//! simulations** for both studies.
+
+use archpredict::registry::Registry;
+use archpredict::studies::Study;
+use archpredict_bench::{run_curves, CurveOpts};
+use archpredict_workloads::Benchmark;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("archpredict_warmfig_{tag}_{}", std::process::id()))
+}
+
+#[test]
+fn warm_second_run_of_figure_curves_skips_all_fits_and_simulations() {
+    let root = temp_dir("registry");
+    let cache = temp_dir("simcache");
+    // One curve per study — the same (study, app) sweeps fig_5_2 and
+    // fig_5_3 drive, at the quick smoke budget.
+    let quick = |study: Study, benchmark: Benchmark| {
+        let mut opts = CurveOpts::new(study, benchmark)
+            .with_max_samples(20)
+            .with_quick(true);
+        opts.batch = 10;
+        opts.eval_points = 10;
+        opts.cache_dir = Some(cache.to_string_lossy().into_owned());
+        opts
+    };
+    let curves = [
+        quick(Study::MemorySystem, Benchmark::Gzip),
+        quick(Study::Processor, Benchmark::Mesa),
+    ];
+
+    let registry = Registry::open(&root).unwrap();
+    let cold = run_curves(&registry, &curves);
+    assert_eq!(registry.fits_performed(), 2);
+    assert!(cold.iter().all(|c| !c.warm));
+
+    // Remove the simulation cache: if the warm run simulated anything at
+    // all, the cache directory would reappear.
+    std::fs::remove_dir_all(&cache).ok();
+    assert!(!cache.exists());
+
+    let reopened = Registry::open(&root).unwrap();
+    let warm = run_curves(&reopened, &curves);
+    assert_eq!(reopened.fits_performed(), 0, "warm run must not fit");
+    assert!(warm.iter().all(|c| c.warm));
+    assert!(
+        !cache.exists(),
+        "warm run must not simulate (simcache was recreated)"
+    );
+
+    // The reconstructed curves are the cold curves, bit for bit.
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c.curve, w.curve);
+        assert_eq!(c.space_size, w.space_size);
+        assert_eq!(
+            c.instructions_per_training_eval,
+            w.instructions_per_training_eval
+        );
+        assert_eq!(c.instructions_per_full_eval, w.instructions_per_full_eval);
+    }
+
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::remove_dir_all(&cache).ok();
+}

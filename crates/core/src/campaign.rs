@@ -114,6 +114,22 @@ pub trait Encoder: Sync {
         self.encode_into(space, index, &mut out);
         out
     }
+
+    /// A stable fingerprint of this encoding over `space` — the identity
+    /// persisted model artifacts are stamped with
+    /// ([`archpredict_ann::ModelHeader`]). The default folds the space's
+    /// structural fingerprint with the encoded width; encoders whose
+    /// output depends on more state than the space (the one-hot
+    /// application slot, say) must fold that state in too, so two
+    /// encoders that encode differently never fingerprint equal.
+    fn fingerprint(&self, space: &DesignSpace) -> u64 {
+        use archpredict_stats::hash::fnv1a_64_extend;
+        let h = fnv1a_64_extend(
+            archpredict_stats::hash::FNV_OFFSET,
+            &space.fingerprint().to_le_bytes(),
+        );
+        fnv1a_64_extend(h, &(self.width(space) as u64).to_le_bytes())
+    }
 }
 
 /// The paper's encoding: the design point's own normalized features,
@@ -152,6 +168,18 @@ impl Encoder for AppEncoder {
         for slot in 0..self.apps {
             out.push(if slot == self.slot { 1.0 } else { 0.0 });
         }
+    }
+
+    fn fingerprint(&self, space: &DesignSpace) -> u64 {
+        use archpredict_stats::hash::fnv1a_64_extend;
+        let mut h = fnv1a_64_extend(
+            archpredict_stats::hash::FNV_OFFSET,
+            &space.fingerprint().to_le_bytes(),
+        );
+        h = fnv1a_64_extend(h, b"app-onehot");
+        h = fnv1a_64_extend(h, &(self.slot as u64).to_le_bytes());
+        h = fnv1a_64_extend(h, &(self.apps as u64).to_le_bytes());
+        h
     }
 }
 

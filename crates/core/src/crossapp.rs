@@ -125,6 +125,13 @@ impl CrossAppModel {
         &self.apps
     }
 
+    /// The pooled ensemble itself — the persistable artifact (the rest of
+    /// the struct is fit telemetry). [`crate::registry`] callers store
+    /// this and rebuild predictions with [`encode_with_app`].
+    pub fn ensemble(&self) -> &Ensemble {
+        &self.ensemble
+    }
+
     /// This fit as a campaign [`Round`] record, so cross-application runs
     /// flow into the same learning-curve CSVs
     /// ([`crate::report::LearningCurve`]) as explorer rounds —

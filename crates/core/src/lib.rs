@@ -38,6 +38,14 @@
 //!   the engine with the paper's plain design-point encoding.
 //! * [`persist`] — atomic (write-temp, fsync, rename) file persistence
 //!   shared by caches, checkpoints and reports.
+//! * [`registry`] — the on-disk model registry: content-hashed,
+//!   versioned artifacts keyed by `(study, encoder, app, seed, budget)`,
+//!   with [`registry::Registry::get_or_fit`] loading warm ensembles
+//!   (zero fits, zero simulations) or driving a campaign exactly once.
+//! * [`serve`] — the prediction daemon behind `archpredict-served`:
+//!   HTTP/1.1 over `std::net`, multiplexing campaigns and prediction
+//!   requests, coalescing concurrent predictions into one batched
+//!   `infer` sweep per tick.
 //! * [`sampling`] — random (paper) and active-learning (§7) strategies.
 //! * [`infer`] — the batched, allocation-free, parallel inference engine
 //!   behind full-space sweeps and committee scoring.
@@ -86,8 +94,10 @@ pub mod infer;
 pub mod multitask;
 pub mod param;
 pub mod persist;
+pub mod registry;
 pub mod report;
 pub mod sampling;
+pub mod serve;
 pub mod simulate;
 pub mod smarts;
 pub mod space;
@@ -99,6 +109,8 @@ pub use distributed::{ProcessPoolOracle, SleepyEvaluator, SpecEvaluator, WorkerS
 pub use explorer::{ExploreError, Explorer, ExplorerConfig, Round, TrueError};
 pub use fault::{FaultConfig, FaultInjectingOracle};
 pub use param::{Param, ParamKind, ParamValue};
+pub use registry::{FitOutcome, ModelKey, Registry, RegistryError, StudyFitSpec};
+pub use serve::{ServeConfig, Server, ServerHandle};
 pub use simulate::{
     CachedEvaluator, Oracle, PointEvaluator, RetryPolicy, RetryingOracle, SimBudget, SimError,
     SimPointEvaluator, SimResult, SimStats, StudyEvaluator,

@@ -173,6 +173,23 @@ pub struct MultiTaskModel {
 }
 
 impl MultiTaskModel {
+    /// Wraps a trained multi-output network loaded from elsewhere (e.g. a
+    /// [`crate::registry`] artifact); the primary-head index and epoch
+    /// count ride inside the model itself.
+    pub fn from_trained(model: MultiTrainedModel) -> Self {
+        Self {
+            primary: model.primary,
+            epochs: model.epochs,
+            model,
+        }
+    }
+
+    /// The underlying trained network — the persistable artifact that
+    /// [`crate::registry`] stores and [`Self::from_trained`] restores.
+    pub fn trained(&self) -> &MultiTrainedModel {
+        &self.model
+    }
+
     /// Predicts the primary metric (raw scale) for raw features.
     pub fn predict_primary(&self, features: &[f64]) -> f64 {
         self.model.predict_primary(features)

@@ -1,0 +1,862 @@
+//! The on-disk model registry: warm ensembles keyed by what produced them.
+//!
+//! Every driver used to refit its ensemble from scratch on each
+//! invocation even though the artifacts round-trip through JSON exactly.
+//! The registry closes that loop: a [`ModelKey`] — `(study, encoder, app,
+//! seed, budget)` — names one training run's outcome, and
+//! [`Registry::get_or_fit`] either loads the persisted artifact (zero
+//! fits, zero simulations) or runs the caller's fit exactly once and
+//! persists the result for every future caller.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <root>/
+//!   manifest.json          index: epoch + one entry per key
+//!   objects/<hash>.json    content-addressed model artifacts
+//!   leases/<slug>.lock     cross-process single-writer leases
+//! ```
+//!
+//! Artifacts are the versioned-header serializations of
+//! [`Ensemble`]/[`MultiTrainedModel`] (format version + space/encoder
+//! fingerprint), named by the FNV-1a hash of their bytes. The manifest
+//! maps keys to object names and carries a caller-defined JSON payload
+//! per entry (figure bins store their learning-curve rows there, so a
+//! warm re-run reconstructs the whole curve without simulating).
+//!
+//! # Crash safety and the single-writer discipline
+//!
+//! Both files are written through [`persist::write_atomic`], and the
+//! commit order is *object first, manifest second*: a kill between the
+//! two leaves an orphan object (harmless, unreferenced) — the manifest
+//! never references a torn or missing artifact. Loads still verify the
+//! object's content hash against the manifest before trusting it.
+//!
+//! Within a process, a per-key mutex makes concurrent `get_or_fit` calls
+//! collapse into exactly one fit (the losers block, then load warm).
+//! Across processes, a lease file (`O_CREAT|O_EXCL` with the holder's
+//! pid) serializes writers per key; a dead holder's lease is stolen, a
+//! live one is waited on. Manifest commits re-read the current manifest
+//! under the lease and bump its epoch, so concurrent writers of
+//! *different* keys merge instead of clobbering each other.
+
+use crate::campaign::{Campaign, CampaignConfig, Encoder, PlainEncoder};
+use crate::persist;
+use crate::sampling::Strategy;
+use crate::simulate::{CachedEvaluator, SimBudget, StudyEvaluator};
+use crate::studies::Study;
+use archpredict_ann::{Ensemble, MultiTrainedModel};
+use archpredict_stats::hash::fnv1a_64;
+use archpredict_stats::json::{JsonError, Value};
+use archpredict_workloads::{Benchmark, TraceGenerator};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// How long a writer waits on another process's live lease before giving
+/// up (a fit can legitimately take minutes; a poll is cheap).
+const LEASE_WAIT: Duration = Duration::from_secs(600);
+/// Lease poll interval.
+const LEASE_POLL: Duration = Duration::from_millis(50);
+
+/// What produced a model: the coordinates of one training run.
+///
+/// Two runs with equal keys produce bit-identical artifacts (the whole
+/// pipeline is deterministic in the seed), so the key is also the cache
+/// identity. The `encoder` string names the feature encoding *and* any
+/// training-pipeline variant that changes the artifact — `"plain"`,
+/// `"plain-qbc4"` (active learning, pool factor 4), `"plain-quick"`
+/// (quick simulation budget), `"plain-simpoint"`, …
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Study name (`"memory"` / `"processor"` / a caller-defined space).
+    pub study: String,
+    /// Encoding + pipeline variant (see type docs).
+    pub encoder: String,
+    /// Application/benchmark name.
+    pub app: String,
+    /// Master seed of the campaign.
+    pub seed: u64,
+    /// Sample budget (the campaign's `max_samples`).
+    pub budget: usize,
+}
+
+impl ModelKey {
+    /// Builds a key, taking anything string-like for the text fields.
+    pub fn new(
+        study: impl Into<String>,
+        encoder: impl Into<String>,
+        app: impl Into<String>,
+        seed: u64,
+        budget: usize,
+    ) -> Self {
+        Self {
+            study: study.into(),
+            encoder: encoder.into(),
+            app: app.into(),
+            seed,
+            budget,
+        }
+    }
+
+    /// Filesystem-safe identity: lowercased fields with anything outside
+    /// `[a-z0-9._-]` mapped to `_`, joined with the seed (hex) and budget.
+    pub fn slug(&self) -> String {
+        fn clean(s: &str) -> String {
+            s.chars()
+                .map(|c| match c.to_ascii_lowercase() {
+                    c @ ('a'..='z' | '0'..='9' | '.' | '-') => c,
+                    _ => '_',
+                })
+                .collect()
+        }
+        format!(
+            "{}-{}-{}-{:016x}-{}",
+            clean(&self.study),
+            clean(&self.encoder),
+            clean(&self.app),
+            self.seed,
+            self.budget
+        )
+    }
+}
+
+impl std::fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}/{} seed={:#x} budget={}",
+            self.study, self.encoder, self.app, self.seed, self.budget
+        )
+    }
+}
+
+/// Errors from registry operations.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Filesystem trouble (unreadable manifest, failed persist, …).
+    Io(std::io::Error),
+    /// An on-disk structure exists but cannot be trusted: unparsable
+    /// manifest, object bytes that don't match their recorded hash, a
+    /// model that fails to deserialize.
+    Corrupt(String),
+    /// The artifact exists but was produced for a different space,
+    /// encoding, or format era — refitting is required, silently
+    /// mispredicting is not an option.
+    Incompatible(String),
+    /// Another live process held the key's write lease past the wait
+    /// budget.
+    LeaseHeld {
+        /// The contended key.
+        key: ModelKey,
+        /// Pid recorded in the lease file.
+        holder: u32,
+    },
+    /// The caller's fit failed (campaign error, degenerate data, …).
+    Fit(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry I/O error: {e}"),
+            RegistryError::Corrupt(msg) => write!(f, "registry corrupt: {msg}"),
+            RegistryError::Incompatible(msg) => write!(f, "registry artifact incompatible: {msg}"),
+            RegistryError::LeaseHeld { key, holder } => write!(
+                f,
+                "write lease for {key} held by live process {holder} past the wait budget"
+            ),
+            RegistryError::Fit(msg) => write!(f, "fit failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<std::io::Error> for RegistryError {
+    fn from(e: std::io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+/// A model loaded or fitted through the registry.
+#[derive(Debug, Clone)]
+pub struct FitOutcome<M> {
+    /// The model (an [`Ensemble`] or [`MultiTrainedModel`]).
+    pub model: M,
+    /// The caller-defined payload persisted alongside it
+    /// ([`Value::Null`] when the fit stored none).
+    pub payload: Value,
+    /// `true` when the artifact came off disk — zero fits and zero
+    /// simulations were performed by this call.
+    pub warm: bool,
+}
+
+/// A campaign-driven fit specification for the paper's studies — the
+/// stack assembly (space, oracle, campaign) that every binary used to
+/// copy-paste, now behind [`Registry::get_or_fit_study`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyFitSpec {
+    /// Which study's space to model.
+    pub study: Study,
+    /// Which application to model.
+    pub benchmark: Benchmark,
+    /// Campaign policy (`seed` and `max_samples` become key fields).
+    pub config: CampaignConfig,
+    /// Use the quick simulation budget ([`SimBudget::quick`]) instead of
+    /// the evaluator's standard budget — for tests and smoke gates; the
+    /// variant is part of the key, so quick and standard artifacts never
+    /// alias.
+    pub quick: bool,
+}
+
+impl StudyFitSpec {
+    /// A standard-budget spec with the given campaign policy.
+    pub fn new(study: Study, benchmark: Benchmark, config: CampaignConfig) -> Self {
+        Self {
+            study,
+            benchmark,
+            config,
+            quick: false,
+        }
+    }
+
+    /// The encoder/pipeline-variant string this spec trains under.
+    pub fn encoder_name(&self) -> String {
+        let mut name = String::from("plain");
+        if let Strategy::Active { pool_factor } = self.config.strategy {
+            name.push_str(&format!("-qbc{pool_factor}"));
+        }
+        if self.quick {
+            name.push_str("-quick");
+        }
+        name
+    }
+
+    /// The registry key this spec resolves to.
+    pub fn key(&self) -> ModelKey {
+        ModelKey::new(
+            self.study.name(),
+            self.encoder_name(),
+            self.benchmark.name(),
+            self.config.seed,
+            self.config.max_samples,
+        )
+    }
+
+    /// The space/encoder fingerprint artifacts are stamped with.
+    pub fn fingerprint(&self) -> u64 {
+        PlainEncoder.fingerprint(&self.study.space())
+    }
+}
+
+/// Simulated crash points for the commit path, exercised by the
+/// kill-9-mid-persist tests. Not part of the public API.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Run the commit to completion (production behavior).
+    None,
+    /// Die after the object write, before the manifest update.
+    AfterObject,
+}
+
+/// In-process per-key fit locks, shared by every `Registry` instance so
+/// two handles onto the same directory still serialize their fits.
+fn key_lock(root: &Path, slug: &str) -> Arc<Mutex<()>> {
+    type LockMap = Mutex<HashMap<(PathBuf, String), Arc<Mutex<()>>>>;
+    static LOCKS: OnceLock<LockMap> = OnceLock::new();
+    let mut map = LOCKS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("key-lock map poisoned");
+    map.entry((root.to_path_buf(), slug.to_owned()))
+        .or_default()
+        .clone()
+}
+
+/// The on-disk artifact store (see module docs for layout and
+/// guarantees).
+#[derive(Debug)]
+pub struct Registry {
+    root: PathBuf,
+    /// Fits this instance actually performed (warm loads excluded) — the
+    /// telemetry the zero-fit warm-rerun gates assert on.
+    fits: AtomicU64,
+}
+
+/// One manifest entry (internal representation).
+#[derive(Debug, Clone)]
+struct Entry {
+    key: ModelKey,
+    kind: &'static str,
+    fingerprint: u64,
+    object: String,
+    hash: u64,
+    payload: Value,
+}
+
+struct Manifest {
+    epoch: u64,
+    entries: Vec<Entry>,
+}
+
+fn hex(x: u64) -> Value {
+    Value::Str(format!("{x:016x}"))
+}
+
+fn from_hex(value: &Value) -> Result<u64, JsonError> {
+    let s = value.as_str()?;
+    u64::from_str_radix(s, 16).map_err(|_| JsonError::custom(format!("bad hex u64 {s:?}")))
+}
+
+impl Registry {
+    /// Opens (creating if necessary) a registry rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory tree cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("objects"))?;
+        std::fs::create_dir_all(root.join("leases"))?;
+        Ok(Self {
+            root,
+            fits: AtomicU64::new(0),
+        })
+    }
+
+    /// The registry's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Fits this instance has actually run (warm loads don't count).
+    pub fn fits_performed(&self) -> u64 {
+        self.fits.load(Ordering::Relaxed)
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.root.join("manifest.json")
+    }
+
+    fn object_path(&self, object: &str) -> PathBuf {
+        self.root.join("objects").join(object)
+    }
+
+    fn lease_path(&self, slug: &str) -> PathBuf {
+        self.root.join("leases").join(format!("{slug}.lock"))
+    }
+
+    fn read_manifest(&self) -> Result<Manifest, RegistryError> {
+        let text = match std::fs::read_to_string(self.manifest_path()) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Manifest {
+                    epoch: 0,
+                    entries: Vec::new(),
+                })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        parse_manifest(&text).map_err(|e| {
+            RegistryError::Corrupt(format!(
+                "manifest {} unparsable: {e}",
+                self.manifest_path().display()
+            ))
+        })
+    }
+
+    /// Loads the warm artifact for `key` if one exists, verifying the
+    /// content hash and the versioned header against `fingerprint`.
+    ///
+    /// # Errors
+    ///
+    /// `Incompatible` when an artifact exists but was produced for a
+    /// different space/encoding/format; `Corrupt` when the on-disk state
+    /// fails verification; `Io` on filesystem trouble.
+    pub fn get(
+        &self,
+        key: &ModelKey,
+        fingerprint: u64,
+    ) -> Result<Option<FitOutcome<Ensemble>>, RegistryError> {
+        self.get_with(key, fingerprint, "ensemble", |text, fp| {
+            Ensemble::from_json_checked(text, fp)
+        })
+    }
+
+    /// [`Registry::get`] for multi-task models.
+    ///
+    /// # Errors
+    ///
+    /// As [`Registry::get`].
+    pub fn get_multi(
+        &self,
+        key: &ModelKey,
+        fingerprint: u64,
+    ) -> Result<Option<FitOutcome<MultiTrainedModel>>, RegistryError> {
+        self.get_with(key, fingerprint, "multi", |text, fp| {
+            MultiTrainedModel::from_json_checked(text, fp)
+        })
+    }
+
+    fn get_with<M>(
+        &self,
+        key: &ModelKey,
+        fingerprint: u64,
+        kind: &str,
+        load: impl Fn(&str, u64) -> Result<M, JsonError>,
+    ) -> Result<Option<FitOutcome<M>>, RegistryError> {
+        let manifest = self.read_manifest()?;
+        let Some(entry) = manifest.entries.iter().find(|e| e.key == *key) else {
+            return Ok(None);
+        };
+        if entry.kind != kind {
+            return Err(RegistryError::Incompatible(format!(
+                "{key} is a {} artifact, requested as {kind}",
+                entry.kind
+            )));
+        }
+        if entry.fingerprint != fingerprint {
+            return Err(RegistryError::Incompatible(format!(
+                "{key} was trained on space/encoding {:016x}, requested {fingerprint:016x}; refit",
+                entry.fingerprint
+            )));
+        }
+        let path = self.object_path(&entry.object);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            RegistryError::Corrupt(format!(
+                "manifest references missing/unreadable object {}: {e}",
+                path.display()
+            ))
+        })?;
+        let hash = fnv1a_64(text.as_bytes());
+        if hash != entry.hash {
+            return Err(RegistryError::Corrupt(format!(
+                "object {} content hash {hash:016x} != recorded {:016x}",
+                path.display(),
+                entry.hash
+            )));
+        }
+        let model = load(&text, fingerprint).map_err(|e| {
+            RegistryError::Incompatible(format!("object {} rejected: {e}", path.display()))
+        })?;
+        Ok(Some(FitOutcome {
+            model,
+            payload: entry.payload.clone(),
+            warm: true,
+        }))
+    }
+
+    /// Loads the warm artifact for `key` or runs `fit` exactly once and
+    /// persists its result. Concurrent callers (threads or processes) of
+    /// the same key collapse into one fit; the rest load warm.
+    ///
+    /// `fit` returns the model plus a JSON payload persisted with it
+    /// (learning-curve rows, telemetry — whatever a warm caller needs to
+    /// skip recomputation; [`Value::Null`] for none).
+    ///
+    /// # Errors
+    ///
+    /// As [`Registry::get`], plus `Fit` when the closure fails and
+    /// `LeaseHeld` when another live process wedges the key's lease.
+    pub fn get_or_fit(
+        &self,
+        key: &ModelKey,
+        fingerprint: u64,
+        fit: impl FnOnce() -> Result<(Ensemble, Value), String>,
+    ) -> Result<FitOutcome<Ensemble>, RegistryError> {
+        self.get_or_fit_with(
+            key,
+            fingerprint,
+            "ensemble",
+            Ensemble::from_json_checked,
+            |model, fp| model.to_json_fingerprinted(fp),
+            fit,
+        )
+    }
+
+    /// [`Registry::get_or_fit`] for multi-task models.
+    ///
+    /// # Errors
+    ///
+    /// As [`Registry::get_or_fit`].
+    pub fn get_or_fit_multi(
+        &self,
+        key: &ModelKey,
+        fingerprint: u64,
+        fit: impl FnOnce() -> Result<(MultiTrainedModel, Value), String>,
+    ) -> Result<FitOutcome<MultiTrainedModel>, RegistryError> {
+        self.get_or_fit_with(
+            key,
+            fingerprint,
+            "multi",
+            MultiTrainedModel::from_json_checked,
+            |model, fp| model.to_json_fingerprinted(fp),
+            fit,
+        )
+    }
+
+    fn get_or_fit_with<M>(
+        &self,
+        key: &ModelKey,
+        fingerprint: u64,
+        kind: &'static str,
+        load: impl Fn(&str, u64) -> Result<M, JsonError>,
+        store: impl Fn(&M, u64) -> String,
+        fit: impl FnOnce() -> Result<(M, Value), String>,
+    ) -> Result<FitOutcome<M>, RegistryError> {
+        // Fast path: warm artifact, no locks.
+        if let Some(outcome) = self.get_with(key, fingerprint, kind, &load)? {
+            return Ok(outcome);
+        }
+        let slug = key.slug();
+        // One fit per key per process: losers block here, then find the
+        // winner's artifact in the re-check.
+        let lock = key_lock(&self.root, &slug);
+        let _in_process = lock.lock().expect("registry key lock poisoned");
+        if let Some(outcome) = self.get_with(key, fingerprint, kind, &load)? {
+            return Ok(outcome);
+        }
+        // One writer per key across processes.
+        let lease = self.acquire_lease(key, &slug)?;
+        // A process that beat us to the lease may have committed while we
+        // waited for it.
+        if let Some(outcome) = self.get_with(key, fingerprint, kind, &load)? {
+            drop(lease);
+            return Ok(outcome);
+        }
+        let (model, payload) = fit().map_err(RegistryError::Fit)?;
+        self.fits.fetch_add(1, Ordering::Relaxed);
+        let text = store(&model, fingerprint);
+        self.commit(
+            key,
+            kind,
+            fingerprint,
+            &text,
+            payload.clone(),
+            CrashPoint::None,
+        )?;
+        drop(lease);
+        Ok(FitOutcome {
+            model,
+            payload,
+            warm: false,
+        })
+    }
+
+    /// Loads or campaign-fits a study model: the one-stop stack assembly
+    /// behind the figure binaries, the examples, and the serving daemon.
+    /// On a miss it builds the study's cached oracle, drives a
+    /// [`Campaign`] to the spec's budget, and persists the ensemble with
+    /// a telemetry payload (`samples`, `estimated_error`, `rounds`,
+    /// `unique_simulations`, `cache_hits`, `simulated_instructions`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Registry::get_or_fit`].
+    pub fn get_or_fit_study(
+        &self,
+        spec: &StudyFitSpec,
+    ) -> Result<FitOutcome<Ensemble>, RegistryError> {
+        let key = spec.key();
+        let fingerprint = spec.fingerprint();
+        self.get_or_fit(&key, fingerprint, || {
+            let space = spec.study.space();
+            let oracle = if spec.quick {
+                let generator = TraceGenerator::new(spec.benchmark);
+                CachedEvaluator::new(
+                    StudyEvaluator::with_budget(
+                        spec.study,
+                        spec.benchmark,
+                        SimBudget::quick(&generator),
+                    ),
+                    space.clone(),
+                )
+            } else {
+                spec.study.oracle(spec.benchmark)
+            };
+            let mut campaign = Campaign::new(&space, &oracle, spec.config.clone());
+            campaign.try_run().map_err(|e| e.to_string())?;
+            let ensemble = campaign
+                .ensemble()
+                .ok_or_else(|| "campaign produced no ensemble".to_owned())?
+                .clone();
+            let (mut unique, mut hits, mut instructions) = (0u64, 0u64, 0u64);
+            for round in campaign.history() {
+                unique += round.simulation.unique_simulations;
+                hits += round.simulation.cache_hits;
+                instructions += round.simulation.simulated_instructions;
+            }
+            let last = campaign.history().last().expect("ran at least one round");
+            let payload = Value::Object(vec![
+                ("samples".into(), Value::num(last.samples as f64)),
+                ("estimated_error".into(), Value::num(last.estimate.mean)),
+                ("rounds".into(), Value::num(campaign.history().len() as f64)),
+                ("unique_simulations".into(), Value::num(unique as f64)),
+                ("cache_hits".into(), Value::num(hits as f64)),
+                (
+                    "simulated_instructions".into(),
+                    Value::num(instructions as f64),
+                ),
+            ]);
+            Ok((ensemble, payload))
+        })
+    }
+
+    /// Commits one artifact: object first (atomic), then the manifest
+    /// (atomic) — the order the crash-safety guarantee rests on.
+    fn commit(
+        &self,
+        key: &ModelKey,
+        kind: &'static str,
+        fingerprint: u64,
+        text: &str,
+        payload: Value,
+        crash: CrashPoint,
+    ) -> Result<(), RegistryError> {
+        let hash = fnv1a_64(text.as_bytes());
+        let object = format!("{hash:016x}.json");
+        persist::write_atomic(&self.object_path(&object), text)?;
+        if crash == CrashPoint::AfterObject {
+            // Simulated kill -9 between the two writes: the object is
+            // durable but unreferenced, the manifest untouched.
+            return Ok(());
+        }
+        // Merge into the *current* manifest under the lease: concurrent
+        // commits of other keys (other processes) are preserved.
+        let mut manifest = self.read_manifest()?;
+        manifest.entries.retain(|e| e.key != *key);
+        manifest.entries.push(Entry {
+            key: key.clone(),
+            kind,
+            fingerprint,
+            object,
+            hash,
+            payload,
+        });
+        manifest.epoch += 1;
+        persist::write_atomic(&self.manifest_path(), &render_manifest(&manifest))?;
+        Ok(())
+    }
+
+    /// Test hook: run the full fit-and-commit path but die at `crash`.
+    /// Exercises the exact production commit code, simulating a kill -9
+    /// at the chosen point.
+    #[doc(hidden)]
+    pub fn commit_ensemble_with_crash(
+        &self,
+        key: &ModelKey,
+        fingerprint: u64,
+        ensemble: &Ensemble,
+        payload: Value,
+        crash: CrashPoint,
+    ) -> Result<(), RegistryError> {
+        let text = ensemble.to_json_fingerprinted(fingerprint);
+        self.commit(key, "ensemble", fingerprint, &text, payload, crash)
+    }
+
+    fn acquire_lease(&self, key: &ModelKey, slug: &str) -> Result<Lease, RegistryError> {
+        let path = self.lease_path(slug);
+        let deadline = Instant::now() + LEASE_WAIT;
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    use std::io::Write;
+                    // Holder identity for liveness checks and debugging.
+                    let _ = write!(file, "{}", std::process::id());
+                    return Ok(Lease { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder: Option<u32> = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse().ok());
+                    match holder {
+                        Some(pid) if process_alive(pid) => {
+                            if Instant::now() >= deadline {
+                                return Err(RegistryError::LeaseHeld {
+                                    key: key.clone(),
+                                    holder: pid,
+                                });
+                            }
+                            std::thread::sleep(LEASE_POLL);
+                        }
+                        // Dead holder or unreadable lease (the holder was
+                        // killed mid-write): steal it.
+                        _ => {
+                            let _ = std::fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+/// Held write lease; releasing is dropping (also on panic unwind).
+struct Lease {
+    path: PathBuf,
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Whether `pid` is a live process (Linux `/proc` probe; elsewhere,
+/// assume live and let the wait budget decide).
+fn process_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+const MANIFEST_FORMAT: f64 = 1.0;
+
+fn render_manifest(manifest: &Manifest) -> String {
+    Value::Object(vec![
+        ("format".into(), Value::num(MANIFEST_FORMAT)),
+        ("epoch".into(), hex(manifest.epoch)),
+        (
+            "entries".into(),
+            Value::Array(
+                manifest
+                    .entries
+                    .iter()
+                    .map(|e| {
+                        Value::Object(vec![
+                            ("study".into(), Value::Str(e.key.study.clone())),
+                            ("encoder".into(), Value::Str(e.key.encoder.clone())),
+                            ("app".into(), Value::Str(e.key.app.clone())),
+                            ("seed".into(), hex(e.key.seed)),
+                            ("budget".into(), Value::num(e.key.budget as f64)),
+                            ("kind".into(), Value::Str(e.kind.into())),
+                            ("fingerprint".into(), hex(e.fingerprint)),
+                            ("object".into(), Value::Str(e.object.clone())),
+                            ("hash".into(), hex(e.hash)),
+                            ("payload".into(), e.payload.clone()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_json()
+}
+
+fn parse_manifest(text: &str) -> Result<Manifest, JsonError> {
+    let value = Value::parse(text)?;
+    let format = value.get("format")?.as_f64()?;
+    if format != MANIFEST_FORMAT {
+        return Err(JsonError::custom(format!(
+            "manifest format {format} unsupported (this build reads {MANIFEST_FORMAT})"
+        )));
+    }
+    let epoch = from_hex(value.get("epoch")?)?;
+    let entries = value
+        .get("entries")?
+        .as_array()?
+        .iter()
+        .map(|e| {
+            let kind = match e.get("kind")?.as_str()? {
+                "ensemble" => "ensemble",
+                "multi" => "multi",
+                other => {
+                    return Err(JsonError::custom(format!(
+                        "unknown artifact kind {other:?}"
+                    )))
+                }
+            };
+            Ok(Entry {
+                key: ModelKey {
+                    study: e.get("study")?.as_str()?.to_owned(),
+                    encoder: e.get("encoder")?.as_str()?.to_owned(),
+                    app: e.get("app")?.as_str()?.to_owned(),
+                    seed: from_hex(e.get("seed")?)?,
+                    budget: e.get("budget")?.as_usize()?,
+                },
+                kind,
+                fingerprint: from_hex(e.get("fingerprint")?)?,
+                object: e.get("object")?.as_str()?.to_owned(),
+                hash: from_hex(e.get("hash")?)?,
+                payload: e.get("payload").ok().cloned().unwrap_or(Value::Null),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Manifest { epoch, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("archpredict_registry_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn slug_is_filesystem_safe() {
+        let key = ModelKey::new("Memory System", "plain/qbc", "gzip", 0xBEEF, 100);
+        assert_eq!(
+            key.slug(),
+            "memory_system-plain_qbc-gzip-000000000000beef-100"
+        );
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let manifest = Manifest {
+            epoch: 7,
+            entries: vec![Entry {
+                key: ModelKey::new("memory", "plain", "gzip", 0x1BEC, 150),
+                kind: "ensemble",
+                fingerprint: 0xABCD_EF01_2345_6789,
+                object: "0011223344556677.json".into(),
+                hash: 0x0011_2233_4455_6677,
+                payload: Value::Object(vec![("samples".into(), Value::num(150.0))]),
+            }],
+        };
+        let parsed = parse_manifest(&render_manifest(&manifest)).unwrap();
+        assert_eq!(parsed.epoch, 7);
+        assert_eq!(parsed.entries.len(), 1);
+        let e = &parsed.entries[0];
+        assert_eq!(e.key, manifest.entries[0].key);
+        assert_eq!(e.kind, "ensemble");
+        assert_eq!(e.fingerprint, 0xABCD_EF01_2345_6789);
+        assert_eq!(e.hash, 0x0011_2233_4455_6677);
+        assert_eq!(e.payload.get("samples").unwrap().as_usize().unwrap(), 150);
+    }
+
+    #[test]
+    fn empty_registry_misses_cleanly() {
+        let root = temp_root("miss");
+        let registry = Registry::open(&root).unwrap();
+        let key = ModelKey::new("memory", "plain", "gzip", 1, 10);
+        assert!(registry.get(&key, 42).unwrap().is_none());
+        assert_eq!(registry.fits_performed(), 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn stale_lease_of_dead_process_is_stolen() {
+        let root = temp_root("lease");
+        let registry = Registry::open(&root).unwrap();
+        let key = ModelKey::new("memory", "plain", "gzip", 1, 10);
+        // Pid 4_000_000 is far beyond this container's pid space.
+        std::fs::write(registry.lease_path(&key.slug()), "4000000").unwrap();
+        let lease = registry.acquire_lease(&key, &key.slug()).unwrap();
+        drop(lease);
+        assert!(!registry.lease_path(&key.slug()).exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

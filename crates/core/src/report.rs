@@ -13,6 +13,7 @@
 //! [`crate::persist::write_atomic`] path.
 
 use crate::campaign::{Round, TrueError};
+use archpredict_stats::json::{JsonError, Value};
 use std::path::Path;
 
 /// One row of a learning curve.
@@ -199,6 +200,108 @@ impl LearningCurve {
     pub fn first_reaching(&self, target: f64) -> Option<&CurvePoint> {
         self.points.iter().find(|p| p.estimated_mean <= target)
     }
+
+    /// JSON value carrying every field bit-exactly (floats render via
+    /// shortest-round-trip formatting) — the payload format the model
+    /// registry persists so warm re-runs reconstruct whole curves without
+    /// simulating.
+    pub fn to_json_value(&self) -> Value {
+        let opt = |v: Option<f64>| v.map_or(Value::Null, Value::num);
+        Value::Object(vec![
+            ("label".into(), Value::Str(self.label.clone())),
+            (
+                "points".into(),
+                Value::Array(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Value::Object(vec![
+                                ("samples".into(), Value::num(p.samples as f64)),
+                                ("percent_sampled".into(), Value::num(p.percent_sampled)),
+                                ("estimated_mean".into(), Value::num(p.estimated_mean)),
+                                ("estimated_std_dev".into(), Value::num(p.estimated_std_dev)),
+                                ("true_mean".into(), opt(p.true_mean)),
+                                ("true_std_dev".into(), opt(p.true_std_dev)),
+                                ("training_seconds".into(), Value::num(p.training_seconds)),
+                                (
+                                    "simulation_seconds".into(),
+                                    Value::num(p.simulation_seconds),
+                                ),
+                                (
+                                    "prediction_seconds".into(),
+                                    Value::num(p.prediction_seconds),
+                                ),
+                                ("mean_fold_epochs".into(), Value::num(p.mean_fold_epochs)),
+                                (
+                                    "unique_simulations".into(),
+                                    Value::num(p.unique_simulations as f64),
+                                ),
+                                (
+                                    "simulation_cache_hits".into(),
+                                    Value::num(p.simulation_cache_hits as f64),
+                                ),
+                                (
+                                    "simulated_instructions".into(),
+                                    Value::num(p.simulated_instructions as f64),
+                                ),
+                                ("sim_failures".into(), Value::num(p.sim_failures as f64)),
+                                ("sim_retries".into(), Value::num(p.sim_retries as f64)),
+                                (
+                                    "sim_quarantined".into(),
+                                    Value::num(p.sim_quarantined as f64),
+                                ),
+                                ("sim_resampled".into(), Value::num(p.sim_resampled as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses [`LearningCurve::to_json_value`] output.
+    ///
+    /// # Errors
+    ///
+    /// On missing fields or wrong types.
+    pub fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        let opt = |v: &Value| -> Result<Option<f64>, JsonError> {
+            match v {
+                Value::Null => Ok(None),
+                other => other.as_f64().map(Some),
+            }
+        };
+        let points = value
+            .get("points")?
+            .as_array()?
+            .iter()
+            .map(|p| {
+                Ok(CurvePoint {
+                    samples: p.get("samples")?.as_usize()?,
+                    percent_sampled: p.get("percent_sampled")?.as_f64()?,
+                    estimated_mean: p.get("estimated_mean")?.as_f64()?,
+                    estimated_std_dev: p.get("estimated_std_dev")?.as_f64()?,
+                    true_mean: opt(p.get("true_mean")?)?,
+                    true_std_dev: opt(p.get("true_std_dev")?)?,
+                    training_seconds: p.get("training_seconds")?.as_f64()?,
+                    simulation_seconds: p.get("simulation_seconds")?.as_f64()?,
+                    prediction_seconds: p.get("prediction_seconds")?.as_f64()?,
+                    mean_fold_epochs: p.get("mean_fold_epochs")?.as_f64()?,
+                    unique_simulations: p.get("unique_simulations")?.as_u64()?,
+                    simulation_cache_hits: p.get("simulation_cache_hits")?.as_u64()?,
+                    simulated_instructions: p.get("simulated_instructions")?.as_u64()?,
+                    sim_failures: p.get("sim_failures")?.as_u64()?,
+                    sim_retries: p.get("sim_retries")?.as_u64()?,
+                    sim_quarantined: p.get("sim_quarantined")?.as_u64()?,
+                    sim_resampled: p.get("sim_resampled")?.as_u64()?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(Self {
+            label: value.get("label")?.as_str()?.to_owned(),
+            points,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +433,25 @@ mod tests {
         assert_eq!(curve.first_reaching(2.0).unwrap().samples, 150);
         assert_eq!(curve.first_reaching(5.0).unwrap().samples, 100);
         assert!(curve.first_reaching(0.5).is_none());
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut curve = LearningCurve::new("mesa (memory)");
+        curve.push(&round(50, 8.0), None);
+        curve.push(
+            &round(100, 4.0 / 3.0),
+            Some(TrueError {
+                mean: 1.0 / 3.0,
+                std_dev: 0.1 + 0.2, // deliberately non-representable
+                points: 100,
+            }),
+        );
+        let json = curve.to_json_value().to_json();
+        let back = LearningCurve::from_json_value(&Value::parse(&json).unwrap()).unwrap();
+        // PartialEq over f64 fields: equality here means bit-identical
+        // (no NaNs are produced by push).
+        assert_eq!(back, curve);
     }
 
     #[test]

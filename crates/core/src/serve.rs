@@ -1,0 +1,769 @@
+//! The prediction daemon: a long-running session layer over the
+//! [`crate::registry`] store.
+//!
+//! Every figure binary pays full process-startup cost — load or fit the
+//! model, sweep, exit. The daemon amortizes that across requests: it
+//! holds warm ensembles in memory, multiplexes concurrent campaigns and
+//! prediction requests over plain HTTP/1.1 on `std::net` (no external
+//! dependencies, the same hand-rolled-protocol discipline as the worker
+//! crate's pipe protocol), and **coalesces** concurrent predictions
+//! against the same model into one batched [`crate::infer`] sweep per
+//! tick.
+//!
+//! # Protocol
+//!
+//! One request per connection (`Connection: close`), JSON bodies both
+//! ways. Seeds travel as 16-digit hex strings (JSON numbers are f64 and
+//! cannot carry a u64). Endpoints:
+//!
+//! | Method & path   | Body                                             | Effect |
+//! |-----------------|--------------------------------------------------|--------|
+//! | `GET /health`   | —                                                | liveness probe |
+//! | `GET /stats`    | —                                                | server counters |
+//! | `POST /fit`     | model spec (below)                               | load-or-fit via [`Registry::get_or_fit_study`] |
+//! | `POST /predict` | model spec + `"indices":[…]`                     | batched predictions |
+//! | `POST /shutdown`| —                                                | stop accepting |
+//!
+//! A model spec is `{"study":"memory","app":"gzip","seed":"00a5ceed",
+//! "budget":40}` plus optional `"quick":true` (quick simulation budget),
+//! `"batch"`, `"folds"`, `"target_error"`, and `"pool_factor"` (selects
+//! active learning). `/predict` never fits: it serves from memory or the
+//! registry's warm artifacts and errors if the model was never fitted —
+//! fitting is an explicit, expensive act.
+//!
+//! # Coalescing and bit-identity
+//!
+//! Concurrent `/predict` calls for one model elect a leader: the first
+//! arrival waits one tick for followers to pile in, concatenates all
+//! queued index lists, runs **one** [`infer::predict_indices`] sweep and
+//! scatters the results back. Because inference is per-index
+//! deterministic (each output depends only on its own index — the
+//! [`crate::infer`] determinism contract), coalesced predictions are
+//! bit-for-bit identical to what each caller would have computed alone,
+//! at any batch composition. Responses carry `SimStats`-style telemetry:
+//! model cache hit/miss, model age, and the size of the coalesced batch.
+
+use crate::campaign::CampaignConfig;
+use crate::infer;
+use crate::registry::{Registry, StudyFitSpec};
+use crate::sampling::Strategy;
+use crate::space::DesignSpace;
+use crate::studies::Study;
+use archpredict_ann::{Ensemble, Parallelism};
+use archpredict_stats::json::Value;
+use archpredict_workloads::Benchmark;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Upper bound on request bodies (a full-space index list is ~10 MB of
+/// JSON; anything past this is a client bug, not a workload).
+const MAX_BODY: usize = 64 << 20;
+
+/// Server policy.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Registry root the daemon loads from and fits into.
+    pub registry_root: PathBuf,
+    /// How long a coalescing leader waits for followers before sweeping.
+    pub tick: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            registry_root: PathBuf::from("results/registry"),
+            tick: Duration::from_millis(1),
+        }
+    }
+}
+
+/// A warm model held in memory, with its per-model coalescing state.
+struct ModelEntry {
+    space: DesignSpace,
+    ensemble: Ensemble,
+    loaded_at: Instant,
+    batch: Mutex<BatchState>,
+}
+
+#[derive(Default)]
+struct BatchState {
+    jobs: Vec<Job>,
+    leader_elected: bool,
+}
+
+struct Job {
+    indices: Vec<usize>,
+    slot: Arc<JobSlot>,
+}
+
+/// Where a follower waits for the leader's sweep to land.
+#[derive(Default)]
+struct JobSlot {
+    done: Mutex<Option<(Vec<f64>, BatchTelemetry)>>,
+    ready: Condvar,
+}
+
+/// What one coalesced sweep looked like, reported to every participant.
+#[derive(Debug, Clone, Copy)]
+struct BatchTelemetry {
+    /// Requests merged into the sweep (1 = no coalescing happened).
+    jobs: usize,
+    /// Total design-point indices in the sweep.
+    indices: usize,
+}
+
+/// Monotonic server counters, exposed at `GET /stats`.
+#[derive(Debug, Default)]
+struct ServeStats {
+    requests: AtomicU64,
+    predictions: AtomicU64,
+    predict_batches: AtomicU64,
+    coalesced_jobs: AtomicU64,
+    model_cache_hits: AtomicU64,
+    model_cache_misses: AtomicU64,
+    warm_loads: AtomicU64,
+    errors: AtomicU64,
+}
+
+struct ServerInner {
+    registry: Registry,
+    config: ServeConfig,
+    addr: SocketAddr,
+    models: Mutex<HashMap<String, Arc<ModelEntry>>>,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+}
+
+/// A bound (but not yet running) daemon.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    listener: TcpListener,
+}
+
+/// A daemon running on a background thread (test/embedding convenience).
+pub struct ServerHandle {
+    inner: Arc<ServerInner>,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+/// An error with an HTTP status attached.
+#[derive(Debug)]
+struct ServeError {
+    status: u16,
+    message: String,
+}
+
+impl ServeError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn not_found(message: impl Into<String>) -> Self {
+        Self {
+            status: 404,
+            message: message.into(),
+        }
+    }
+
+    fn internal(message: impl Into<String>) -> Self {
+        Self {
+            status: 500,
+            message: message.into(),
+        }
+    }
+}
+
+impl Server {
+    /// Binds the daemon to `addr` (use port 0 for an ephemeral port) over
+    /// the registry named in `config`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the socket cannot be bound or the registry root cannot be
+    /// created.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let registry = Registry::open(&config.registry_root)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            inner: Arc::new(ServerInner {
+                registry,
+                config,
+                addr,
+                models: Mutex::new(HashMap::new()),
+                stats: ServeStats::default(),
+                shutdown: AtomicBool::new(false),
+            }),
+            listener,
+        })
+    }
+
+    /// The bound address (the concrete port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Serves until `POST /shutdown`. Each connection is handled on its
+    /// own thread; one request per connection.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on accept-loop I/O errors; per-connection errors are
+    /// reported to that client and counted in `/stats`.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let inner = Arc::clone(&self.inner);
+            std::thread::spawn(move || handle_connection(stream, &inner));
+        }
+        Ok(())
+    }
+
+    /// Runs the daemon on a background thread and returns a handle for
+    /// shutdown. Used by the in-process tests; `archpredict-served` calls
+    /// [`Server::run`] directly.
+    pub fn spawn(self) -> ServerHandle {
+        let inner = Arc::clone(&self.inner);
+        let thread = std::thread::spawn(move || self.run());
+        ServerHandle { inner, thread }
+    }
+}
+
+impl ServerHandle {
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Stops the daemon and joins its thread.
+    pub fn shutdown(self) {
+        let _ = http_request(self.inner.addr, "POST", "/shutdown", None);
+        // Belt and braces: if the shutdown request raced, set the flag and
+        // poke the accept loop directly.
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.inner.addr);
+        let _ = self.thread.join();
+    }
+}
+
+/// Minimal HTTP/1.1 client for the daemon's protocol: one request, one
+/// JSON response. Returns `(status, parsed body)`. Shared by the load
+/// generator, the CI smoke gate, and the tests.
+///
+/// # Errors
+///
+/// On connection/transport failure or an unparsable response body.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, Value), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr} failed: {e}"))?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send failed: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read status failed: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read header failed: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad content-length {line:?}"))?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body failed: {e}"))?;
+    let text = String::from_utf8(body).map_err(|_| "response body not UTF-8".to_owned())?;
+    let value = Value::parse(&text).map_err(|e| format!("response not JSON: {e}"))?;
+    Ok((status, value))
+}
+
+fn handle_connection(stream: TcpStream, inner: &ServerInner) {
+    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let mut stream = stream;
+    let parsed = read_request(&mut stream);
+    let (method, path, body) = match parsed {
+        Ok(r) => r,
+        Err(e) => {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(&mut stream, 400, &format!("malformed request: {e}"));
+            return;
+        }
+    };
+    let result = match (method.as_str(), path.as_str()) {
+        ("GET", "/health") => Ok(Value::Object(vec![("ok".into(), Value::Bool(true))])),
+        ("GET", "/stats") => Ok(stats_json(inner)),
+        ("POST", "/fit") => handle_fit(inner, &body),
+        ("POST", "/predict") => handle_predict(inner, &body),
+        ("POST", "/shutdown") => {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            Ok(Value::Object(vec![("ok".into(), Value::Bool(true))]))
+        }
+        _ => Err(ServeError::not_found(format!(
+            "no endpoint {method} {path}"
+        ))),
+    };
+    match result {
+        Ok(value) => respond(&mut stream, 200, "OK", &value.to_json()),
+        Err(e) => {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(&mut stream, e.status, &e.message);
+        }
+    }
+    if inner.shutdown.load(Ordering::SeqCst) {
+        // Unblock the accept loop so `run` observes the flag.
+        let _ = TcpStream::connect(inner.addr);
+    }
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<(String, String, String), String> {
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut request_line = String::new();
+    reader
+        .read_line(&mut request_line)
+        .map_err(|e| e.to_string())?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_owned();
+    let path = parts.next().ok_or("request line missing path")?.to_owned();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().map_err(|_| "bad content-length")?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds {MAX_BODY}"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    let body = String::from_utf8(body).map_err(|_| "body not UTF-8")?;
+    Ok((method, path, body))
+}
+
+fn respond(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    let header = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
+    let reason = match status {
+        400 => "Bad Request",
+        404 => "Not Found",
+        409 => "Conflict",
+        _ => "Internal Server Error",
+    };
+    let body = Value::Object(vec![
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::Str(message.to_owned())),
+    ])
+    .to_json();
+    respond(stream, status, reason, &body);
+}
+
+fn stats_json(inner: &ServerInner) -> Value {
+    let s = &inner.stats;
+    let count = |c: &AtomicU64| Value::num(c.load(Ordering::Relaxed) as f64);
+    Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("requests".into(), count(&s.requests)),
+        ("predictions".into(), count(&s.predictions)),
+        ("predict_batches".into(), count(&s.predict_batches)),
+        ("coalesced_jobs".into(), count(&s.coalesced_jobs)),
+        ("model_cache_hits".into(), count(&s.model_cache_hits)),
+        ("model_cache_misses".into(), count(&s.model_cache_misses)),
+        ("warm_loads".into(), count(&s.warm_loads)),
+        ("errors".into(), count(&s.errors)),
+        (
+            "fits_performed".into(),
+            Value::num(inner.registry.fits_performed() as f64),
+        ),
+        (
+            "models_in_memory".into(),
+            Value::num(inner.models.lock().expect("model map poisoned").len() as f64),
+        ),
+    ])
+}
+
+/// Parses the model-spec fields shared by `/fit` and `/predict`.
+fn spec_from_json(body: &Value) -> Result<StudyFitSpec, ServeError> {
+    let field = |name: &str| {
+        body.get(name)
+            .map_err(|_| ServeError::bad_request(format!("missing field {name:?}")))
+    };
+    let study_name = field("study")?
+        .as_str()
+        .map_err(|e| ServeError::bad_request(format!("study: {e}")))?;
+    let study = Study::from_name(study_name)
+        .ok_or_else(|| ServeError::bad_request(format!("unknown study {study_name:?}")))?;
+    let app_name = field("app")?
+        .as_str()
+        .map_err(|e| ServeError::bad_request(format!("app: {e}")))?;
+    let benchmark = Benchmark::from_name(app_name)
+        .ok_or_else(|| ServeError::bad_request(format!("unknown app {app_name:?}")))?;
+    let seed_text = field("seed")?
+        .as_str()
+        .map_err(|e| ServeError::bad_request(format!("seed: {e}")))?;
+    let seed = u64::from_str_radix(seed_text, 16)
+        .map_err(|_| ServeError::bad_request(format!("seed {seed_text:?} is not hex")))?;
+    let budget = field("budget")?
+        .as_usize()
+        .map_err(|e| ServeError::bad_request(format!("budget: {e}")))?;
+    let mut config = CampaignConfig {
+        seed,
+        max_samples: budget,
+        ..CampaignConfig::default()
+    };
+    if let Ok(batch) = body.get("batch") {
+        config.batch = batch
+            .as_usize()
+            .map_err(|e| ServeError::bad_request(format!("batch: {e}")))?;
+    }
+    if let Ok(folds) = body.get("folds") {
+        config.folds = folds
+            .as_usize()
+            .map_err(|e| ServeError::bad_request(format!("folds: {e}")))?;
+    }
+    if let Ok(target) = body.get("target_error") {
+        config.target_error = target
+            .as_f64()
+            .map_err(|e| ServeError::bad_request(format!("target_error: {e}")))?;
+    }
+    if let Ok(pool) = body.get("pool_factor") {
+        let pool_factor = pool
+            .as_usize()
+            .map_err(|e| ServeError::bad_request(format!("pool_factor: {e}")))?;
+        config.strategy = Strategy::Active { pool_factor };
+    }
+    let quick = match body.get("quick") {
+        Ok(v) => v
+            .as_bool()
+            .map_err(|e| ServeError::bad_request(format!("quick: {e}")))?,
+        Err(_) => false,
+    };
+    Ok(StudyFitSpec {
+        study,
+        benchmark,
+        config,
+        quick,
+    })
+}
+
+/// Resolves a spec to a warm in-memory model. `fit` controls the miss
+/// path: `/fit` may run a campaign, `/predict` only loads what exists.
+/// Returns the entry plus how it was found (`"hit"`, `"warm"`, `"fitted"`).
+fn resolve_model(
+    inner: &ServerInner,
+    spec: &StudyFitSpec,
+    fit: bool,
+) -> Result<(Arc<ModelEntry>, &'static str, Value), ServeError> {
+    let slug = spec.key().slug();
+    {
+        let models = inner.models.lock().expect("model map poisoned");
+        if let Some(entry) = models.get(&slug) {
+            inner.stats.model_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(entry), "hit", Value::Null));
+        }
+    }
+    inner
+        .stats
+        .model_cache_misses
+        .fetch_add(1, Ordering::Relaxed);
+    // Fit/load outside the map lock: campaigns take minutes and other
+    // models must keep serving. The registry's own per-key discipline
+    // collapses duplicate concurrent fits.
+    let (outcome, how) = if fit {
+        let outcome = inner
+            .registry
+            .get_or_fit_study(spec)
+            .map_err(|e| ServeError::internal(e.to_string()))?;
+        let how = if outcome.warm { "warm" } else { "fitted" };
+        (outcome, how)
+    } else {
+        let found = inner
+            .registry
+            .get(&spec.key(), spec.fingerprint())
+            .map_err(|e| ServeError::internal(e.to_string()))?;
+        let outcome = found.ok_or_else(|| {
+            ServeError::not_found(format!("no model for {}: POST /fit first", spec.key()))
+        })?;
+        (outcome, "warm")
+    };
+    if how == "warm" {
+        inner.stats.warm_loads.fetch_add(1, Ordering::Relaxed);
+    }
+    let payload = outcome.payload.clone();
+    let entry = Arc::new(ModelEntry {
+        space: spec.study.space(),
+        ensemble: outcome.model,
+        loaded_at: Instant::now(),
+        batch: Mutex::new(BatchState::default()),
+    });
+    let mut models = inner.models.lock().expect("model map poisoned");
+    let entry = Arc::clone(models.entry(slug).or_insert(entry));
+    Ok((entry, how, payload))
+}
+
+fn handle_fit(inner: &ServerInner, body: &str) -> Result<Value, ServeError> {
+    let body =
+        Value::parse(body).map_err(|e| ServeError::bad_request(format!("body not JSON: {e}")))?;
+    let spec = spec_from_json(&body)?;
+    let (_, how, payload) = resolve_model(inner, &spec, true)?;
+    Ok(Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("model".into(), Value::Str(spec.key().slug())),
+        ("warm".into(), Value::Bool(how != "fitted")),
+        ("cache".into(), Value::Str(how.into())),
+        ("payload".into(), payload),
+        (
+            "fits_performed".into(),
+            Value::num(inner.registry.fits_performed() as f64),
+        ),
+    ]))
+}
+
+fn handle_predict(inner: &ServerInner, body: &str) -> Result<Value, ServeError> {
+    let body =
+        Value::parse(body).map_err(|e| ServeError::bad_request(format!("body not JSON: {e}")))?;
+    let spec = spec_from_json(&body)?;
+    let indices = body
+        .get("indices")
+        .map_err(|_| ServeError::bad_request("missing field \"indices\""))?
+        .as_array()
+        .map_err(|e| ServeError::bad_request(format!("indices: {e}")))?
+        .iter()
+        .map(|v| v.as_usize())
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| ServeError::bad_request(format!("indices: {e}")))?;
+    let (entry, how, _) = resolve_model(inner, &spec, false)?;
+    let space_size = entry.space.size();
+    if let Some(&bad) = indices.iter().find(|&&i| i >= space_size) {
+        return Err(ServeError::bad_request(format!(
+            "index {bad} out of range for {} ({space_size} points)",
+            spec.key()
+        )));
+    }
+    let (predictions, telemetry) = predict_coalesced(inner, &entry, indices);
+    inner
+        .stats
+        .predictions
+        .fetch_add(predictions.len() as u64, Ordering::Relaxed);
+    let age_ms = entry.loaded_at.elapsed().as_secs_f64() * 1e3;
+    Ok(Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("model".into(), Value::Str(spec.key().slug())),
+        (
+            "predictions".into(),
+            Value::Array(predictions.into_iter().map(Value::num).collect()),
+        ),
+        (
+            "stats".into(),
+            Value::Object(vec![
+                ("cache".into(), Value::Str(how.into())),
+                ("model_age_ms".into(), Value::num(age_ms)),
+                ("batch_jobs".into(), Value::num(telemetry.jobs as f64)),
+                ("batch_indices".into(), Value::num(telemetry.indices as f64)),
+                ("coalesced".into(), Value::Bool(telemetry.jobs > 1)),
+            ]),
+        ),
+    ]))
+}
+
+/// Queues one prediction job and either leads a coalesced sweep or waits
+/// for the elected leader's results (see module docs).
+fn predict_coalesced(
+    inner: &ServerInner,
+    entry: &ModelEntry,
+    indices: Vec<usize>,
+) -> (Vec<f64>, BatchTelemetry) {
+    let slot = Arc::new(JobSlot::default());
+    let is_leader = {
+        let mut state = entry.batch.lock().expect("batch state poisoned");
+        state.jobs.push(Job {
+            indices,
+            slot: Arc::clone(&slot),
+        });
+        let lead = !state.leader_elected;
+        state.leader_elected = true;
+        lead
+    };
+    if is_leader {
+        // Let concurrent callers pile onto the batch before sweeping.
+        std::thread::sleep(inner.config.tick);
+        let jobs = {
+            let mut state = entry.batch.lock().expect("batch state poisoned");
+            state.leader_elected = false;
+            std::mem::take(&mut state.jobs)
+        };
+        let all: Vec<usize> = jobs
+            .iter()
+            .flat_map(|j| j.indices.iter().copied())
+            .collect();
+        let predictions =
+            infer::predict_indices(&entry.ensemble, &entry.space, &all, Parallelism::Auto);
+        let telemetry = BatchTelemetry {
+            jobs: jobs.len(),
+            indices: all.len(),
+        };
+        inner.stats.predict_batches.fetch_add(1, Ordering::Relaxed);
+        inner
+            .stats
+            .coalesced_jobs
+            .fetch_add(telemetry.jobs as u64, Ordering::Relaxed);
+        let mut offset = 0;
+        for job in jobs {
+            let span = predictions[offset..offset + job.indices.len()].to_vec();
+            offset += job.indices.len();
+            *job.slot.done.lock().expect("job slot poisoned") = Some((span, telemetry));
+            job.slot.ready.notify_all();
+        }
+    }
+    let mut done = slot.done.lock().expect("job slot poisoned");
+    while done.is_none() {
+        done = slot.ready.wait(done).expect("job slot poisoned");
+    }
+    done.take().expect("checked above")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_full_and_minimal_bodies() {
+        let minimal =
+            Value::parse(r#"{"study":"memory","app":"gzip","seed":"00a5ceed","budget":40}"#)
+                .unwrap();
+        let spec = spec_from_json(&minimal).unwrap();
+        assert_eq!(spec.study, Study::MemorySystem);
+        assert_eq!(spec.benchmark, Benchmark::Gzip);
+        assert_eq!(spec.config.seed, 0x00A5_CEED);
+        assert_eq!(spec.config.max_samples, 40);
+        assert!(!spec.quick);
+        assert_eq!(spec.encoder_name(), "plain");
+
+        let full = Value::parse(
+            r#"{"study":"processor","app":"mcf","seed":"2a","budget":100,"quick":true,
+               "batch":25,"folds":5,"target_error":2.5,"pool_factor":4}"#,
+        )
+        .unwrap();
+        let spec = spec_from_json(&full).unwrap();
+        assert_eq!(spec.study, Study::Processor);
+        assert_eq!(spec.config.seed, 0x2A);
+        assert_eq!(spec.config.batch, 25);
+        assert_eq!(spec.config.folds, 5);
+        assert_eq!(spec.config.target_error, 2.5);
+        assert!(matches!(
+            spec.config.strategy,
+            Strategy::Active { pool_factor: 4 }
+        ));
+        assert!(spec.quick);
+        assert_eq!(spec.encoder_name(), "plain-qbc4-quick");
+    }
+
+    #[test]
+    fn spec_rejects_bad_fields() {
+        for body in [
+            r#"{"app":"gzip","seed":"1","budget":40}"#,
+            r#"{"study":"memory","app":"nope","seed":"1","budget":40}"#,
+            r#"{"study":"nope","app":"gzip","seed":"1","budget":40}"#,
+            r#"{"study":"memory","app":"gzip","seed":"zz","budget":40}"#,
+        ] {
+            let value = Value::parse(body).unwrap();
+            assert!(spec_from_json(&value).is_err(), "accepted {body}");
+        }
+    }
+
+    #[test]
+    fn health_stats_and_unknown_endpoints() {
+        let root =
+            std::env::temp_dir().join(format!("archpredict_serve_http_{}", std::process::id()));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                registry_root: root.clone(),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = server.spawn();
+        let addr = handle.addr();
+
+        let (status, body) = http_request(addr, "GET", "/health", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.get("ok").unwrap().as_bool().unwrap());
+
+        let (status, body) = http_request(addr, "GET", "/stats", None).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.get("predictions").unwrap().as_u64().unwrap(), 0);
+
+        let (status, body) = http_request(addr, "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        assert!(!body.get("ok").unwrap().as_bool().unwrap());
+
+        // Predicting a never-fitted model is a loud 404, not a fit.
+        let (status, _) = http_request(
+            addr,
+            "POST",
+            "/predict",
+            Some(r#"{"study":"memory","app":"gzip","seed":"7","budget":9,"indices":[0]}"#),
+        )
+        .unwrap();
+        assert_eq!(status, 404);
+
+        handle.shutdown();
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -351,6 +351,53 @@ impl DesignSpace {
         self.params.iter().map(|p| p.kind().encoded_width()).sum()
     }
 
+    /// A stable 64-bit fingerprint of the space's structure: parameter
+    /// names, kinds, and every level value, in declaration order (FNV-1a
+    /// over the exact bits). Two spaces fingerprint equal iff they index
+    /// and encode identically, so persisted model artifacts stamped with
+    /// this value fail loudly instead of mispredicting when a parameter
+    /// is added, reordered, or its levels change.
+    pub fn fingerprint(&self) -> u64 {
+        use archpredict_stats::hash::{fnv1a_64_extend, FNV_OFFSET};
+        let mut h = FNV_OFFSET;
+        let fold_f64s = |h: &mut u64, values: &mut dyn Iterator<Item = f64>| {
+            for v in values {
+                *h = fnv1a_64_extend(*h, &v.to_bits().to_le_bytes());
+            }
+        };
+        for p in &self.params {
+            h = fnv1a_64_extend(h, p.name().as_bytes());
+            // NUL separates name from payload (parameter names never
+            // contain it), so ("ab", "c") and ("a", "bc") differ.
+            h = fnv1a_64_extend(h, &[0]);
+            match p.kind() {
+                ParamKind::Cardinal(v) => {
+                    h = fnv1a_64_extend(h, b"cardinal");
+                    fold_f64s(&mut h, &mut v.iter().copied());
+                }
+                ParamKind::Nominal(v) => {
+                    h = fnv1a_64_extend(h, b"nominal");
+                    for s in v {
+                        h = fnv1a_64_extend(h, s.as_bytes());
+                        h = fnv1a_64_extend(h, &[0]);
+                    }
+                }
+                ParamKind::Boolean => {
+                    h = fnv1a_64_extend(h, b"boolean");
+                }
+                ParamKind::LinkedCardinal { parent, choices } => {
+                    h = fnv1a_64_extend(h, b"linked");
+                    h = fnv1a_64_extend(h, &(*parent as u64).to_le_bytes());
+                    for row in choices {
+                        h = fnv1a_64_extend(h, &(row.len() as u64).to_le_bytes());
+                        fold_f64s(&mut h, &mut row.iter().copied());
+                    }
+                }
+            }
+        }
+        h
+    }
+
     /// Iterates over every point of the space in index order.
     ///
     /// # Example
@@ -522,6 +569,42 @@ mod tests {
             let key: Vec<u64> = f.iter().map(|x| x.to_bits()).collect();
             assert!(seen.insert(key), "duplicate encoding at index {i}");
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure() {
+        let space = toy_space();
+        assert_eq!(space.fingerprint(), toy_space().fingerprint());
+        assert_eq!(space.fingerprint(), space.clone().fingerprint());
+        // Renaming, reordering, or changing one level value all change it.
+        let renamed = DesignSpace::new(vec![
+            Param::cardinal("rob2", [96.0, 128.0, 160.0]),
+            Param::nominal("policy", ["WT", "WB"]),
+            Param::boolean("prefetch"),
+            Param::linked_cardinal(
+                "regs",
+                0,
+                vec![vec![64.0, 80.0], vec![80.0, 96.0], vec![96.0, 112.0]],
+            ),
+        ])
+        .unwrap();
+        assert_ne!(space.fingerprint(), renamed.fingerprint());
+        let tweaked = DesignSpace::new(vec![
+            Param::cardinal("rob", [96.0, 128.0, 161.0]),
+            Param::nominal("policy", ["WT", "WB"]),
+            Param::boolean("prefetch"),
+            Param::linked_cardinal(
+                "regs",
+                0,
+                vec![vec![64.0, 80.0], vec![80.0, 96.0], vec![96.0, 112.0]],
+            ),
+        ])
+        .unwrap();
+        assert_ne!(space.fingerprint(), tweaked.fingerprint());
+        // Name/kind boundaries are framed: ("ab"+"c") != ("a"+"bc").
+        let a = DesignSpace::new(vec![Param::nominal("p", ["ab", "c"])]).unwrap();
+        let b = DesignSpace::new(vec![Param::nominal("p", ["a", "bc"])]).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -36,6 +36,11 @@ impl Study {
         }
     }
 
+    /// Parses a study from its lower-case name.
+    pub fn from_name(name: &str) -> Option<Study> {
+        Study::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
     /// The study's design space.
     pub fn space(self) -> DesignSpace {
         match self {

@@ -1,0 +1,58 @@
+//! `archpredict-served` — the prediction daemon (see `archpredict::serve`).
+//!
+//! Binds an HTTP/1.1 listener over a model registry and serves `/fit`
+//! and `/predict` until `POST /shutdown`. The first stdout line is
+//! always `archpredict-served listening on <addr>` so wrappers (the
+//! load generator, the CI smoke gate) can bind port 0 and scrape the
+//! concrete address.
+//!
+//! ```text
+//! archpredict-served [--addr 127.0.0.1:0] [--root results/registry] [--tick-ms 1]
+//! ```
+
+use archpredict::serve::{ServeConfig, Server};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn run() -> Result<(), String> {
+    let mut config = ServeConfig::default();
+    let mut addr = String::from("127.0.0.1:0");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--root" => config.registry_root = value("--root")?.into(),
+            "--tick-ms" => {
+                let ms: u64 = value("--tick-ms")?
+                    .parse()
+                    .map_err(|_| "--tick-ms requires an integer".to_owned())?;
+                config.tick = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => {
+                println!("usage: archpredict-served [--addr HOST:PORT] [--root DIR] [--tick-ms N]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    let server = Server::bind(addr.as_str(), config).map_err(|e| format!("bind {addr}: {e}"))?;
+    // Contract with wrappers: the address line is first, and flushed.
+    println!("archpredict-served listening on {}", server.local_addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("archpredict-served: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Deterministic, dependency-free content hashing (FNV-1a, 64-bit).
+//!
+//! The model registry keys artifacts by the hash of their bytes and
+//! fingerprints design spaces by folding their structure through the same
+//! function, so the choice here is part of the on-disk format: FNV-1a is
+//! simple enough to re-derive from the spec, stable across platforms, and
+//! plenty for content addressing (collisions are detected downstream by
+//! comparing the stored bytes' hash on load, not assumed away).
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a hash of `bytes`.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    fnv1a_64_extend(FNV_OFFSET, bytes)
+}
+
+/// Folds `bytes` into an in-progress FNV-1a state — the building block
+/// for hashing structured data as a sequence of byte runs without
+/// materializing one buffer.
+pub fn fnv1a_64_extend(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn extend_composes_with_one_shot() {
+        let whole = fnv1a_64(b"hello world");
+        let split = fnv1a_64_extend(fnv1a_64(b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn distinct_inputs_hash_differently() {
+        assert_ne!(fnv1a_64(b"model-a"), fnv1a_64(b"model-b"));
+    }
+}

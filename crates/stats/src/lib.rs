@@ -23,6 +23,8 @@
 //! * [`fastmath`] — deterministic, autovectorizable elementary functions
 //!   (currently `exp`), used by the neural-network kernels so hot loops
 //!   containing the sigmoid still vectorize.
+//! * [`hash`] — FNV-1a content hashing, used by the model registry for
+//!   artifact addressing and design-space fingerprints.
 //!
 //! # Example
 //!
@@ -40,6 +42,7 @@
 
 pub mod describe;
 pub mod fastmath;
+pub mod hash;
 pub mod json;
 pub mod kmeans;
 pub mod linear;

@@ -1,44 +1,71 @@
 //! The §7 active-learning extension: query-by-committee sampling vs the
 //! paper's uniform random sampling, on identical budgets.
 //!
+//! Both fits run through the model registry — the sampling strategy is
+//! part of the artifact key (`plain` vs `plain-qbc4`), so each variant
+//! persists separately and warm re-runs skip both campaigns.
+//!
 //! Run with: `cargo run --release --example active_learning`
 
-use archpredict::explorer::{Explorer, ExplorerConfig};
+use archpredict::campaign::CampaignConfig;
+use archpredict::registry::{Registry, StudyFitSpec};
 use archpredict::sampling::Strategy;
-use archpredict::simulate::{CachedEvaluator, SimBudget, StudyEvaluator};
 use archpredict::studies::Study;
-use archpredict_workloads::{Benchmark, TraceGenerator};
+use archpredict_stats::describe::Accumulator;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::sample_without_replacement;
+use archpredict_workloads::Benchmark;
 
 fn main() {
     let app = Benchmark::Gzip;
     let study = Study::MemorySystem;
     let space = study.space();
-    let generator = TraceGenerator::new(app);
-    let evaluator = CachedEvaluator::new(
-        StudyEvaluator::with_budget(study, app, SimBudget::spread(&generator, 2, 6_000, 12_000)),
-        space.clone(),
-    );
+    let evaluator = study.oracle(app);
+
+    // A fresh probe set for the true-error measurement, drawn from a
+    // stream the samplers never use. (At 250 of 23,040 points, overlap
+    // with either 300-point training set is negligible.)
+    let mut rng = Xoshiro256::seed_from(0x9E1D);
+    let probe = sample_without_replacement(space.size(), 250, &mut rng);
 
     let budget = 300;
+    let registry = Registry::open("results/registry").expect("registry");
     for (label, strategy) in [
         ("random (paper)", Strategy::Random),
         ("active (QBC)", Strategy::Active { pool_factor: 4 }),
     ] {
-        let config = ExplorerConfig {
-            batch: 50,
-            target_error: 0.0,
-            max_samples: budget,
-            strategy,
-            ..ExplorerConfig::default()
-        };
-        let mut explorer = Explorer::new(&space, &evaluator, config);
-        explorer.run();
-        let held_out = explorer.held_out_set(250);
-        let true_error = explorer.true_error(&held_out);
-        let estimate = explorer.history().last().expect("ran").estimate;
+        let spec = StudyFitSpec::new(
+            study,
+            app,
+            CampaignConfig {
+                batch: 50,
+                target_error: 0.0,
+                max_samples: budget,
+                strategy,
+                ..CampaignConfig::default()
+            },
+        );
+        let outcome = registry.get_or_fit_study(&spec).expect("fit or load");
+        let mut err = Accumulator::new();
+        for &i in &probe {
+            let actual = evaluator
+                .evaluate(&space.point(i))
+                .expect("fault-free evaluator");
+            let predicted = outcome.model.predict(&space.encode(&space.point(i)));
+            err.add(100.0 * (predicted - actual).abs() / actual);
+        }
+        let estimated = outcome
+            .payload
+            .get("estimated_error")
+            .unwrap()
+            .as_f64()
+            .unwrap();
         println!(
-            "{label:16} {budget} sims: true error {:.2}% ± {:.2} (estimated {:.2}%)",
-            true_error.mean, true_error.std_dev, estimate.mean
+            "{label:16} {budget} sims: true error {:.2}% ± {:.2} (estimated {:.2}%){}",
+            err.mean(),
+            err.population_std_dev(),
+            estimated,
+            if outcome.warm { "  [warm]" } else { "" },
         );
     }
 }

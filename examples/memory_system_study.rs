@@ -2,12 +2,18 @@
 //! the 23,040-point space with a few hundred cycle-level simulations, then
 //! use the model to find the best and worst memory hierarchies.
 //!
+//! The fit goes through [`archpredict::registry`]: the first run drives a
+//! campaign and persists the ensemble; re-runs load it warm and go
+//! straight to the whole-space ranking without a single simulation.
+//!
 //! Run with: `cargo run --release --example memory_system_study [app]`
 
-use archpredict::explorer::{Explorer, ExplorerConfig};
-use archpredict::simulate::{CachedEvaluator, SimBudget, StudyEvaluator};
+use archpredict::campaign::CampaignConfig;
+use archpredict::infer;
+use archpredict::registry::{Registry, StudyFitSpec};
 use archpredict::studies::Study;
-use archpredict_workloads::{Benchmark, TraceGenerator};
+use archpredict_ann::Parallelism;
+use archpredict_workloads::Benchmark;
 
 fn main() {
     let app = std::env::args()
@@ -22,31 +28,39 @@ fn main() {
         space.size()
     );
 
-    let generator = TraceGenerator::new(app);
-    let evaluator = CachedEvaluator::new(
-        StudyEvaluator::with_budget(study, app, SimBudget::spread(&generator, 2, 6_000, 12_000)),
-        space.clone(),
+    // One call assembles the whole Study -> Oracle -> Campaign stack on a
+    // cold start — and skips all of it on a warm one.
+    let registry = Registry::open("results/registry").expect("registry");
+    let spec = StudyFitSpec::new(
+        study,
+        app,
+        CampaignConfig {
+            batch: 50,
+            target_error: 3.0,
+            max_samples: 500,
+            ..CampaignConfig::default()
+        },
     );
-    let config = ExplorerConfig {
-        batch: 50,
-        target_error: 3.0,
-        max_samples: 500,
-        ..ExplorerConfig::default()
-    };
-    let mut explorer = Explorer::new(&space, &evaluator, config);
-    let round = explorer.run().clone();
+    let outcome = registry.get_or_fit_study(&spec).expect("fit or load");
+    let num = |field: &str| outcome.payload.get(field).unwrap().as_f64().unwrap();
     println!(
-        "{} simulations ({:.2}% of space): estimated error {:.2}%",
-        round.samples,
-        100.0 * round.fraction_sampled,
-        round.estimate.mean
+        "{}: {} simulations ({:.2}% of space): estimated error {:.2}%",
+        if outcome.warm {
+            "warm from registry"
+        } else {
+            "cold fit"
+        },
+        num("samples"),
+        100.0 * num("samples") / space.size() as f64,
+        num("estimated_error"),
     );
 
     // Rank the whole space by predicted IPC — something detailed
-    // simulation could never afford.
-    let mut ranked: Vec<(usize, f64)> = (0..space.size())
-        .map(|i| (i, explorer.predict(i)))
-        .collect();
+    // simulation could never afford. The batched kernel sweep covers all
+    // 23,040 points in well under a second.
+    let all: Vec<usize> = (0..space.size()).collect();
+    let predicted = infer::predict_indices(&outcome.model, &space, &all, Parallelism::Auto);
+    let mut ranked: Vec<(usize, f64)> = all.into_iter().zip(predicted).collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     println!("\npredicted best memory hierarchies:");
@@ -69,6 +83,7 @@ fn main() {
     println!("\npredicted worst: IPC~{worst_pred:.3} (point {worst_index})");
 
     // Validate the headline prediction with one real simulation.
+    let evaluator = study.oracle(app);
     let best_actual = evaluator
         .evaluate(&space.point(ranked[0].0))
         .expect("fault-free evaluator");

@@ -5,16 +5,23 @@
 //!
 //! Training data flows through the batch-first oracle stack — one cached
 //! oracle per metric head — so the fit reports full [`SimStats`]
-//! telemetry and the single-task baseline reuses the primary head's
-//! simulations straight from cache.
+//! telemetry. The trained multi-output network persists through the model
+//! registry (with the training-row indices riding in the payload), so a
+//! warm re-run reloads it and re-runs only the baseline and held-out
+//! measurements.
 //!
 //! Run with: `cargo run --release --example multitask`
 
-use archpredict::multitask::{fit_multitask_oracles, MetricsEvaluator, TargetMetric};
+use archpredict::campaign::{Encoder, PlainEncoder};
+use archpredict::multitask::{
+    fit_multitask_oracles, MetricsEvaluator, MultiTaskModel, TargetMetric,
+};
+use archpredict::registry::{ModelKey, Registry};
 use archpredict::simulate::{CachedEvaluator, Oracle, SimBudget, SimStats};
 use archpredict::studies::Study;
 use archpredict_ann::{train::train_network, Sample, TrainConfig};
 use archpredict_stats::describe::Accumulator;
+use archpredict_stats::json::Value;
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_stats::sampling::sample_without_replacement;
 use archpredict_workloads::{Benchmark, TraceGenerator};
@@ -43,29 +50,67 @@ fn main() {
     .collect();
     let head_refs: Vec<&CachedEvaluator<MetricsEvaluator>> = heads.iter().collect();
 
-    // Multi-task: all four heads, early-stopped on IPC (head 0).
-    eprintln!("simulating 200 training points x 4 heads...");
+    // Multi-task: all four heads, early-stopped on IPC (head 0). The
+    // artifact is a MultiTrainedModel, so it goes through the registry's
+    // multi-output path; the 4-head target layout is folded into the
+    // fingerprint so a single-output artifact can never satisfy this key.
+    let registry = Registry::open("results/registry").expect("registry");
+    let key = ModelKey::new(study.name(), "multitask-4head", app.name(), 13, 200);
+    let fingerprint = PlainEncoder.fingerprint(&space)
+        ^ archpredict_stats::hash::fnv1a_64(b"multitask:ipc+l2mpki+mispredict+l1dmpki");
     let config = TrainConfig::scaled_to(200);
-    let fit = fit_multitask_oracles(&space, &head_refs, 0, 200, &config, 13);
-    println!(
-        "multi-task fit: {} rows ({} dropped), {} unique sims, {} cache hits, {:.2}G instructions",
-        fit.indices.len(),
-        fit.dropped,
-        fit.simulation.unique_simulations,
-        fit.simulation.cache_hits,
-        fit.simulation.simulated_instructions as f64 / 1e9,
-    );
+    let outcome = registry
+        .get_or_fit_multi(&key, fingerprint, || {
+            eprintln!("simulating 200 training points x 4 heads...");
+            let fit = fit_multitask_oracles(&space, &head_refs, 0, 200, &config, 13);
+            println!(
+                "multi-task fit: {} rows ({} dropped), {} unique sims, {} cache hits, {:.2}G instructions",
+                fit.indices.len(),
+                fit.dropped,
+                fit.simulation.unique_simulations,
+                fit.simulation.cache_hits,
+                fit.simulation.simulated_instructions as f64 / 1e9,
+            );
+            let indices = Value::Array(
+                fit.indices
+                    .iter()
+                    .map(|&i| Value::num(i as f64))
+                    .collect(),
+            );
+            let payload = Value::Object(vec![
+                ("indices".into(), indices),
+                ("dropped".into(), Value::num(fit.dropped as f64)),
+            ]);
+            Ok((fit.model.trained().clone(), payload))
+        })
+        .expect("fit or load");
+    let model = MultiTaskModel::from_trained(outcome.model.clone());
+    let indices: Vec<usize> = outcome
+        .payload
+        .get("indices")
+        .expect("payload has training rows")
+        .as_array()
+        .expect("indices is an array")
+        .iter()
+        .map(|v| v.as_usize().expect("row index"))
+        .collect();
+    if outcome.warm {
+        println!(
+            "multi-task model warm from registry: {} training rows, {} heads",
+            indices.len(),
+            model.tasks()
+        );
+    }
 
     // Single-task baseline on the identical training rows — the primary
     // head's cache serves every repeat lookup.
     let mut reuse = SimStats::default();
-    let ipc_rows = head_refs[0].evaluate_batch(&space, &fit.indices, &mut reuse);
+    let ipc_rows = head_refs[0].evaluate_batch(&space, &indices, &mut reuse);
     println!(
         "baseline reuse: {} cache hits, {} new sims",
         reuse.cache_hits, reuse.unique_simulations
     );
-    let samples: Vec<Sample> = fit
-        .indices
+    let samples: Vec<Sample> = indices
         .iter()
         .zip(&ipc_rows)
         .filter_map(|(&i, r)| {
@@ -90,7 +135,7 @@ fn main() {
     for (&i, actual) in test_idx.iter().zip(&actuals) {
         let Ok(ipc) = actual else { continue };
         let x = space.encode(&space.point(i));
-        multi_err.add(100.0 * (fit.model.predict_primary(&x) - ipc).abs() / ipc);
+        multi_err.add(100.0 * (model.predict_primary(&x) - ipc).abs() / ipc);
         single_err.add(100.0 * (single.predict(&x) - ipc).abs() / ipc);
         probe.get_or_insert(x);
     }
@@ -106,7 +151,7 @@ fn main() {
         single_err.population_std_dev()
     );
     if let Some(x) = probe {
-        let preds = fit.model.predict_all(&x);
+        let preds = model.predict_all(&x);
         println!("\nauxiliary heads at one test point:");
         println!(
             "  ipc={:.3} l2_mpki={:.1} mispredict={:.3} l1d_mpki={:.1}",

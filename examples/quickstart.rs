@@ -3,13 +3,17 @@
 //! Shows the core loop on a toy "simulator" so it runs in seconds:
 //! define a space, plug in anything implementing `PointEvaluator`,
 //! explore until the error estimate is low, then query the model
-//! anywhere.
+//! anywhere. The fit goes through the model registry, so a second run
+//! loads the trained ensemble warm and performs zero simulations.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use archpredict::campaign::{Encoder, PlainEncoder};
 use archpredict::explorer::{Explorer, ExplorerConfig};
+use archpredict::registry::{ModelKey, Registry};
 use archpredict::simulate::PointEvaluator;
 use archpredict::{DesignPoint, DesignSpace, Param};
+use archpredict_stats::json::Value;
 
 /// A stand-in for a cycle-level simulator: some smooth nonlinear response.
 struct ToySimulator {
@@ -58,26 +62,54 @@ fn main() {
     let simulator = ToySimulator {
         space: space.clone(),
     };
-    let config = ExplorerConfig {
-        batch: 15,
-        target_error: 1.0, // stop at 1% estimated error
-        max_samples: 90,
-        train: archpredict_ann::TrainConfig::scaled_to(60),
-        ..ExplorerConfig::default()
-    };
-    let mut explorer = Explorer::new(&space, &simulator, config);
-    let round = explorer.run().clone();
+
+    // The registry keys the artifact by (study, encoder, app, seed,
+    // budget) and stamps it with the space fingerprint, so it reloads
+    // warm only while the space definition stays the same.
+    let registry = Registry::open("results/registry").expect("registry");
+    let key = ModelKey::new("quickstart", "plain", "toy", 0x1BEC, 90);
+    let outcome = registry
+        .get_or_fit(&key, PlainEncoder.fingerprint(&space), || {
+            let config = ExplorerConfig {
+                batch: 15,
+                target_error: 1.0, // stop at 1% estimated error
+                max_samples: 90,
+                train: archpredict_ann::TrainConfig::scaled_to(60),
+                ..ExplorerConfig::default()
+            };
+            let mut explorer = Explorer::new(&space, &simulator, config);
+            let round = explorer.run().clone();
+            let ensemble = explorer.ensemble().expect("explorer fit").clone();
+            let payload = Value::Object(vec![
+                ("samples".into(), Value::num(round.samples as f64)),
+                (
+                    "fraction_sampled".into(),
+                    Value::num(round.fraction_sampled),
+                ),
+                ("estimated_error".into(), Value::num(round.estimate.mean)),
+                ("estimated_sd".into(), Value::num(round.estimate.std_dev)),
+            ]);
+            Ok((ensemble, payload))
+        })
+        .expect("fit or load");
+    let num = |field: &str| outcome.payload.get(field).unwrap().as_f64().unwrap();
     println!(
-        "stopped after {} simulations ({:.1}% of the space): estimated error {:.2}% ± {:.2}",
-        round.samples,
-        100.0 * round.fraction_sampled,
-        round.estimate.mean,
-        round.estimate.std_dev
+        "{} after {} simulations ({:.1}% of the space): estimated error {:.2}% ± {:.2}",
+        if outcome.warm {
+            "warm from registry"
+        } else {
+            "fitted"
+        },
+        num("samples"),
+        100.0 * num("fraction_sampled"),
+        num("estimated_error"),
+        num("estimated_sd"),
     );
 
     // Query the model across the whole space without simulating it.
+    let predict = |i: usize| outcome.model.predict(&space.encode(&space.point(i)));
     let best = (0..space.size())
-        .max_by(|&a, &b| explorer.predict(a).total_cmp(&explorer.predict(b)))
+        .max_by(|&a, &b| predict(a).total_cmp(&predict(b)))
         .expect("nonempty space");
     let point = space.point(best);
     println!(
@@ -85,7 +117,7 @@ fn main() {
         space.number(&point, "cache_kb"),
         space.number(&point, "width"),
         space.choice(&point, "policy"),
-        explorer.predict(best),
+        predict(best),
         simulator.evaluate(&point),
     );
 }

@@ -3,12 +3,19 @@
 //! tiny systematic measurement units, then validate against reference
 //! simulation — the companion to `processor_study_simpoint.rs`.
 //!
+//! Like its companion, the SMARTS-trained ensemble persists through the
+//! registry under its own encoder tag (`smarts`); warm re-runs skip the
+//! whole exploration campaign.
+//!
 //! Run with: `cargo run --release --example smarts_study [app]`
 
+use archpredict::campaign::{Encoder, PlainEncoder};
 use archpredict::explorer::{Explorer, ExplorerConfig};
+use archpredict::registry::{ModelKey, Registry};
 use archpredict::simulate::{PointEvaluator, SimBudget, StudyEvaluator};
 use archpredict::smarts::{SmartsConfig, SmartsEvaluator};
 use archpredict::studies::Study;
+use archpredict_stats::json::Value;
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_stats::sampling::sample_without_replacement;
 use archpredict_workloads::{Benchmark, TraceGenerator};
@@ -29,19 +36,41 @@ fn main() {
         estimate.ipc, estimate.confidence, estimate.units
     );
 
-    let config = ExplorerConfig {
-        batch: 50,
-        target_error: 2.0,
-        max_samples: 400,
-        ..ExplorerConfig::default()
-    };
-    let mut explorer = Explorer::new(&space, &smarts, config);
-    let round = explorer.run().clone();
+    let registry = Registry::open("results/registry").expect("registry");
+    let key = ModelKey::new(study.name(), "smarts", app.name(), 0x1BEC, 400);
+    let outcome = registry
+        .get_or_fit(&key, PlainEncoder.fingerprint(&space), || {
+            let config = ExplorerConfig {
+                batch: 50,
+                target_error: 2.0,
+                max_samples: 400,
+                ..ExplorerConfig::default()
+            };
+            let mut explorer = Explorer::new(&space, &smarts, config);
+            let round = explorer.run().clone();
+            let ensemble = explorer.ensemble().expect("explorer fit").clone();
+            let payload = Value::Object(vec![
+                ("samples".into(), Value::num(round.samples as f64)),
+                (
+                    "fraction_sampled".into(),
+                    Value::num(round.fraction_sampled),
+                ),
+                ("estimated_error".into(), Value::num(round.estimate.mean)),
+            ]);
+            Ok((ensemble, payload))
+        })
+        .expect("fit or load");
+    let num = |field: &str| outcome.payload.get(field).unwrap().as_f64().unwrap();
     println!(
-        "{} SMARTS-sampled simulations ({:.2}% of space): estimated error {:.2}%",
-        round.samples,
-        100.0 * round.fraction_sampled,
-        round.estimate.mean
+        "{}: {} SMARTS-sampled simulations ({:.2}% of space): estimated error {:.2}%",
+        if outcome.warm {
+            "warm from registry"
+        } else {
+            "cold fit"
+        },
+        num("samples"),
+        100.0 * num("fraction_sampled"),
+        num("estimated_error"),
     );
 
     // Spot-check predictions against reference (denser-window) simulation.
@@ -59,7 +88,7 @@ fn main() {
     println!("\nspot checks vs reference simulation:");
     for i in sample_without_replacement(space.size(), 5, &mut rng) {
         let actual = reference.evaluate(&space.point(i));
-        let predicted = explorer.predict(i);
+        let predicted = outcome.model.predict(&space.encode(&space.point(i)));
         println!(
             "  point {i:>6}: predicted {predicted:.4}, reference {actual:.4} ({:+.2}%)",
             100.0 * (predicted - actual) / actual

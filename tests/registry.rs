@@ -1,0 +1,235 @@
+//! Registry integration: artifacts round-trip bit-for-bit, concurrent
+//! callers collapse into one fit, a kill -9 between the object and
+//! manifest writes never leaves the manifest pointing at a torn artifact,
+//! and stale artifacts fail loudly instead of mispredicting.
+
+use archpredict::registry::{CrashPoint, ModelKey, Registry, RegistryError};
+use archpredict::{DesignSpace, Param};
+use archpredict_ann::train::train_multi_network;
+use archpredict_ann::{fit_ensemble, Dataset, Ensemble, Sample, TrainConfig};
+use archpredict_stats::json::Value;
+use archpredict_stats::rng::Xoshiro256;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn temp_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("archpredict_regtest_{tag}_{}", std::process::id()))
+}
+
+fn tiny_space() -> DesignSpace {
+    DesignSpace::new(vec![
+        Param::cardinal("a", [1.0, 2.0, 4.0, 8.0]),
+        Param::cardinal("b", [1.0, 2.0, 3.0]),
+        Param::boolean("c"),
+    ])
+    .expect("valid space")
+}
+
+/// A fast synthetic ensemble fit: no simulation, a handful of epochs.
+fn tiny_ensemble(space: &DesignSpace, seed: u64) -> Ensemble {
+    let data: Dataset = (0..space.size())
+        .map(|i| {
+            let f = space.encode(&space.point(i));
+            let t = 0.5 + 0.3 * f[0] + 0.2 * f[1] * f[2];
+            Sample::new(f, t)
+        })
+        .collect();
+    let config = TrainConfig {
+        max_epochs: 30,
+        ..TrainConfig::default()
+    };
+    fit_ensemble(&data, 5, &config, seed).ensemble
+}
+
+#[test]
+fn ensemble_round_trip_is_bit_identical() {
+    let root = temp_root("roundtrip");
+    let space = tiny_space();
+    let fingerprint = space.fingerprint();
+    let key = ModelKey::new("test", "plain", "toy", 0xABCD, 24);
+
+    let registry = Registry::open(&root).unwrap();
+    let fitted = registry
+        .get_or_fit(&key, fingerprint, || {
+            Ok((
+                tiny_ensemble(&space, 1),
+                Value::Object(vec![("samples".into(), Value::num(24.0))]),
+            ))
+        })
+        .unwrap();
+    assert!(!fitted.warm);
+    assert_eq!(registry.fits_performed(), 1);
+
+    // A fresh instance (fresh process, in spirit) loads the artifact and
+    // predicts bit-identically to the in-memory ensemble at every point.
+    let reopened = Registry::open(&root).unwrap();
+    let warm = reopened.get(&key, fingerprint).unwrap().expect("warm hit");
+    assert!(warm.warm);
+    assert_eq!(warm.payload.get("samples").unwrap().as_usize().unwrap(), 24);
+    for i in 0..space.size() {
+        let x = space.encode(&space.point(i));
+        assert_eq!(
+            fitted.model.predict(&x).to_bits(),
+            warm.model.predict(&x).to_bits(),
+            "prediction diverged at point {i}"
+        );
+    }
+    assert_eq!(reopened.fits_performed(), 0);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn multi_model_round_trip_is_bit_identical() {
+    let root = temp_root("multi");
+    let space = tiny_space();
+    let fingerprint = space.fingerprint() ^ 0x4EAD;
+    let key = ModelKey::new("test", "multitask", "toy", 7, 24);
+
+    let rows: Vec<(Vec<f64>, Vec<f64>)> = (0..space.size())
+        .map(|i| {
+            let f = space.encode(&space.point(i));
+            let t = vec![0.5 + 0.3 * f[0], 2.0 - f[1]];
+            (f, t)
+        })
+        .collect();
+    let config = TrainConfig {
+        max_epochs: 30,
+        ..TrainConfig::default()
+    };
+
+    let registry = Registry::open(&root).unwrap();
+    let fitted = registry
+        .get_or_fit_multi(&key, fingerprint, || {
+            fn pairs(r: &[(Vec<f64>, Vec<f64>)]) -> Vec<(&[f64], &[f64])> {
+                r.iter()
+                    .map(|(f, t)| (f.as_slice(), t.as_slice()))
+                    .collect()
+            }
+            let (train, es) = rows.split_at(rows.len() - 4);
+            let mut rng = Xoshiro256::seed_from(7);
+            let model = train_multi_network(&pairs(train), &pairs(es), 0, &config, &mut rng);
+            Ok((model, Value::Null))
+        })
+        .unwrap();
+    assert!(!fitted.warm);
+
+    let warm = Registry::open(&root)
+        .unwrap()
+        .get_multi(&key, fingerprint)
+        .unwrap()
+        .expect("warm hit");
+    for i in 0..space.size() {
+        let x = space.encode(&space.point(i));
+        let (a, b) = (fitted.model.predict_all(&x), warm.model.predict_all(&x));
+        assert_eq!(a.len(), b.len());
+        for (head, (p, q)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                q.to_bits(),
+                "head {head} diverged at point {i}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn concurrent_get_or_fit_runs_exactly_one_fit() {
+    let root = temp_root("concurrent");
+    let space = tiny_space();
+    let fingerprint = space.fingerprint();
+    let key = ModelKey::new("test", "plain", "race", 3, 24);
+    let registry = Arc::new(Registry::open(&root).unwrap());
+    let fit_calls = Arc::new(AtomicUsize::new(0));
+
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                let fit_calls = Arc::clone(&fit_calls);
+                let space = &space;
+                let key = &key;
+                scope.spawn(move || {
+                    registry
+                        .get_or_fit(key, fingerprint, || {
+                            fit_calls.fetch_add(1, Ordering::SeqCst);
+                            Ok((tiny_ensemble(space, 9), Value::Null))
+                        })
+                        .unwrap()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    assert_eq!(fit_calls.load(Ordering::SeqCst), 1, "exactly one fit");
+    assert_eq!(registry.fits_performed(), 1);
+    assert_eq!(outcomes.iter().filter(|o| !o.warm).count(), 1);
+    let probe = space.encode(&space.point(0));
+    let bits = outcomes[0].model.predict(&probe).to_bits();
+    for o in &outcomes {
+        assert_eq!(o.model.predict(&probe).to_bits(), bits);
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn crash_between_object_and_manifest_never_tears_the_manifest() {
+    let root = temp_root("crash");
+    let space = tiny_space();
+    let fingerprint = space.fingerprint();
+    let key = ModelKey::new("test", "plain", "crash", 5, 24);
+    let ensemble = tiny_ensemble(&space, 5);
+
+    // Simulated kill -9 after the object write, before the manifest: the
+    // commit path dies exactly between its two atomic writes.
+    let registry = Registry::open(&root).unwrap();
+    registry
+        .commit_ensemble_with_crash(
+            &key,
+            fingerprint,
+            &ensemble,
+            Value::Null,
+            CrashPoint::AfterObject,
+        )
+        .unwrap();
+
+    // The next process sees a clean miss — never a torn artifact — and
+    // can fit and commit normally over the orphaned object.
+    let recovered = Registry::open(&root).unwrap();
+    assert!(recovered.get(&key, fingerprint).unwrap().is_none());
+    let outcome = recovered
+        .get_or_fit(&key, fingerprint, || Ok((ensemble.clone(), Value::Null)))
+        .unwrap();
+    assert!(!outcome.warm);
+    assert!(recovered.get(&key, fingerprint).unwrap().is_some());
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn stale_fingerprint_fails_loudly_instead_of_mispredicting() {
+    let root = temp_root("stale");
+    let space = tiny_space();
+    let fingerprint = space.fingerprint();
+    let key = ModelKey::new("test", "plain", "stale", 2, 24);
+
+    let registry = Registry::open(&root).unwrap();
+    registry
+        .get_or_fit(&key, fingerprint, || {
+            Ok((tiny_ensemble(&space, 2), Value::Null))
+        })
+        .unwrap();
+
+    // The space or encoding changed: the lookup must error, not serve the
+    // old model.
+    match registry.get(&key, fingerprint ^ 1) {
+        Err(RegistryError::Incompatible(msg)) => {
+            assert!(msg.contains("refit"), "actionable message: {msg}")
+        }
+        other => panic!("expected Incompatible, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
