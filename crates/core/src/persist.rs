@@ -5,25 +5,39 @@
 //! being either the complete old version or the complete new one. The
 //! standard recipe is write-to-sibling-temp, fsync, rename — rename within
 //! one directory is atomic on POSIX filesystems.
+//!
+//! Temp names are unique per writer (pid plus a process-wide counter), so
+//! concurrent [`write_atomic`] calls on the *same* destination never share
+//! a temp file: each writer renames its own complete bytes into place and
+//! the destination is always one writer's full contents, never a mix. A
+//! writer killed mid-write leaves its uniquely-named temp behind; the
+//! orphan is never referenced and never mistaken for live data.
 
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Sibling temp path for `path` (`<name>.tmp` in the same directory, so
-/// the final rename never crosses a filesystem boundary).
+/// Writer-unique sibling temp path for `path`
+/// (`<name>.<pid>.<seq>.tmp` in the same directory, so the final rename
+/// never crosses a filesystem boundary and never collides with a
+/// concurrent writer's in-flight temp).
 fn temp_sibling(path: &Path) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
     let mut name = path.file_name().unwrap_or_default().to_os_string();
-    name.push(".tmp");
+    name.push(format!(".{}.{}.tmp", std::process::id(), seq));
     path.with_file_name(name)
 }
 
 /// Atomically replaces the file at `path` with `contents`.
 ///
-/// Creates parent directories as needed, writes `<path>.tmp`, fsyncs it,
-/// then renames over `path`. The directory entry is fsynced best-effort
-/// (not all platforms allow opening directories), which is the standard
-/// durability/portability trade-off.
+/// Creates parent directories as needed, writes a writer-unique
+/// `<path>.<pid>.<seq>.tmp`, fsyncs it, then renames over `path`. The
+/// directory entry is fsynced best-effort (not all platforms allow
+/// opening directories), which is the standard durability/portability
+/// trade-off. Concurrent callers on one path are each atomic; the
+/// survivor is whichever rename lands last.
 pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -52,6 +66,18 @@ pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
 mod tests {
     use super::*;
 
+    fn tmp_residue(dir: &Path) -> Vec<PathBuf> {
+        fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|ext| ext == "tmp"))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     #[test]
     fn writes_and_replaces_contents() {
         let dir = std::env::temp_dir().join(format!("archpredict_persist_{}", std::process::id()));
@@ -60,21 +86,53 @@ mod tests {
         assert_eq!(fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
         write_atomic(&path, "a,b\n3,4\n").expect("replace");
         assert_eq!(fs::read_to_string(&path).unwrap(), "a,b\n3,4\n");
-        // No temp residue after a successful write.
-        assert!(!temp_sibling(&path).exists());
+        // No temp residue after successful writes.
+        assert!(tmp_residue(path.parent().unwrap()).is_empty());
         fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn stale_temp_file_is_overwritten_not_fatal() {
+    fn stale_temp_from_killed_writer_is_inert() {
         let dir =
             std::env::temp_dir().join(format!("archpredict_persist_stale_{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("artifact.csv");
-        // Simulate a kill mid-write from a previous run: a torn temp file.
-        fs::write(temp_sibling(&path), "torn garba").unwrap();
-        write_atomic(&path, "complete\n").expect("write over stale temp");
+        // Simulate a kill mid-write from a previous run: a torn temp in
+        // the old and new naming schemes. Neither is ever read or renamed.
+        fs::write(dir.join("artifact.csv.tmp"), "torn garba").unwrap();
+        fs::write(dir.join("artifact.csv.999999.0.tmp"), "torn garba").unwrap();
+        write_atomic(&path, "complete\n").expect("write alongside stale temps");
         assert_eq!(fs::read_to_string(&path).unwrap(), "complete\n");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_on_one_path_never_tear_the_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "archpredict_persist_concurrent_{}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("contended.json");
+        // Each writer's payload is self-describing and large enough that a
+        // shared temp file would tear visibly.
+        let payloads: Vec<String> = (0..8)
+            .map(|w| format!("writer-{w}-{}", "x".repeat(4096 + w)))
+            .collect();
+        std::thread::scope(|scope| {
+            for payload in &payloads {
+                scope.spawn(|| {
+                    for _ in 0..25 {
+                        write_atomic(&path, payload).expect("atomic write");
+                        let seen = fs::read_to_string(&path).expect("readable");
+                        assert!(payloads.contains(&seen), "file holds a torn mix of writers");
+                    }
+                });
+            }
+        });
+        let seen = fs::read_to_string(&path).unwrap();
+        assert!(payloads.contains(&seen));
+        assert!(tmp_residue(&dir).is_empty());
         fs::remove_dir_all(&dir).ok();
     }
 }

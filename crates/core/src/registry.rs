@@ -12,33 +12,47 @@
 //!
 //! ```text
 //! <root>/
-//!   manifest.json          index: epoch + one entry per key
+//!   entries/<slug>.json    one index record per key
 //!   objects/<hash>.json    content-addressed model artifacts
-//!   leases/<slug>.lock     cross-process single-writer leases
+//!   leases/<slug>.lock     cross-process fit leases
 //! ```
 //!
 //! Artifacts are the versioned-header serializations of
 //! [`Ensemble`]/[`MultiTrainedModel`] (format version + space/encoder
-//! fingerprint), named by the FNV-1a hash of their bytes. The manifest
-//! maps keys to object names and carries a caller-defined JSON payload
-//! per entry (figure bins store their learning-curve rows there, so a
+//! fingerprint), named by the FNV-1a hash of their bytes. Each entry
+//! file maps one key to its object name and carries a caller-defined
+//! JSON payload (figure bins store their learning-curve rows there, so a
 //! warm re-run reconstructs the whole curve without simulating).
 //!
-//! # Crash safety and the single-writer discipline
+//! # Crash safety and concurrency
 //!
-//! Both files are written through [`persist::write_atomic`], and the
-//! commit order is *object first, manifest second*: a kill between the
-//! two leaves an orphan object (harmless, unreferenced) — the manifest
-//! never references a torn or missing artifact. Loads still verify the
-//! object's content hash against the manifest before trusting it.
+//! The index is **one file per key**, not a monolithic manifest: a
+//! commit is two independent atomic writes (object, then entry — both
+//! through [`persist::write_atomic`]) and never a read-modify-write of
+//! shared state. Concurrent commits of different keys touch different
+//! files and cannot clobber each other *by construction*; concurrent
+//! commits of the same key are deterministic duplicates (same key ⇒
+//! bit-identical artifact), so last-writer-wins is also correct. The
+//! commit order — object first, entry second — means a kill between the
+//! two leaves an orphan object (harmless, unreferenced); an entry never
+//! references a torn or missing artifact. Loads still verify the
+//! object's content hash against the entry before trusting it.
 //!
-//! Within a process, a per-key mutex makes concurrent `get_or_fit` calls
-//! collapse into exactly one fit (the losers block, then load warm).
-//! Across processes, a lease file (`O_CREAT|O_EXCL` with the holder's
-//! pid) serializes writers per key; a dead holder's lease is stolen, a
-//! live one is waited on. Manifest commits re-read the current manifest
-//! under the lease and bump its epoch, so concurrent writers of
-//! *different* keys merge instead of clobbering each other.
+//! Fit *deduplication* is layered on top. Within a process, a per-key
+//! mutex collapses concurrent `get_or_fit` calls into exactly one fit
+//! (the losers block, then load warm). Across processes, a lease file
+//! serializes fitters per key: the lease is published with its contents
+//! (`pid nonce`) in one atomic step — write a private claim file, then
+//! `hard_link` it to the lock path, which fails if the lock exists — so
+//! a lease is never observed empty or half-written. A dead holder's
+//! lease is stolen by renaming it to a stealer-unique name and
+//! re-verifying the renamed bytes (same token, pid still dead) before
+//! discarding; a concurrently-replaced lease is restored via
+//! `hard_link`. This closes the observable steal races; the one
+//! theoretically unclosable window (two stealers plus two fresh
+//! acquisitions interleaving within syscalls) can at worst run a
+//! duplicate fit — never corrupt the store, because correctness rests on
+//! the commit structure above, not on the lease.
 
 use crate::campaign::{Campaign, CampaignConfig, Encoder, PlainEncoder};
 use crate::persist;
@@ -136,11 +150,11 @@ impl std::fmt::Display for ModelKey {
 /// Errors from registry operations.
 #[derive(Debug)]
 pub enum RegistryError {
-    /// Filesystem trouble (unreadable manifest, failed persist, …).
+    /// Filesystem trouble (unreadable entry, failed persist, …).
     Io(std::io::Error),
     /// An on-disk structure exists but cannot be trusted: unparsable
-    /// manifest, object bytes that don't match their recorded hash, a
-    /// model that fails to deserialize.
+    /// entry, object bytes that don't match their recorded hash, a
+    /// model that fails to deserialize, two keys colliding on one slug.
     Corrupt(String),
     /// The artifact exists but was produced for a different space,
     /// encoding, or format era — refitting is required, silently
@@ -259,7 +273,7 @@ impl StudyFitSpec {
 pub enum CrashPoint {
     /// Run the commit to completion (production behavior).
     None,
-    /// Die after the object write, before the manifest update.
+    /// Die after the object write, before the entry update.
     AfterObject,
 }
 
@@ -287,7 +301,7 @@ pub struct Registry {
     fits: AtomicU64,
 }
 
-/// One manifest entry (internal representation).
+/// One index record (internal representation of an entry file).
 #[derive(Debug, Clone)]
 struct Entry {
     key: ModelKey,
@@ -296,11 +310,6 @@ struct Entry {
     object: String,
     hash: u64,
     payload: Value,
-}
-
-struct Manifest {
-    epoch: u64,
-    entries: Vec<Entry>,
 }
 
 fn hex(x: u64) -> Value {
@@ -320,6 +329,7 @@ impl Registry {
     /// Fails if the directory tree cannot be created.
     pub fn open(root: impl Into<PathBuf>) -> std::io::Result<Self> {
         let root = root.into();
+        std::fs::create_dir_all(root.join("entries"))?;
         std::fs::create_dir_all(root.join("objects"))?;
         std::fs::create_dir_all(root.join("leases"))?;
         Ok(Self {
@@ -338,8 +348,8 @@ impl Registry {
         self.fits.load(Ordering::Relaxed)
     }
 
-    fn manifest_path(&self) -> PathBuf {
-        self.root.join("manifest.json")
+    fn entry_path(&self, slug: &str) -> PathBuf {
+        self.root.join("entries").join(format!("{slug}.json"))
     }
 
     fn object_path(&self, object: &str) -> PathBuf {
@@ -350,23 +360,28 @@ impl Registry {
         self.root.join("leases").join(format!("{slug}.lock"))
     }
 
-    fn read_manifest(&self) -> Result<Manifest, RegistryError> {
-        let text = match std::fs::read_to_string(self.manifest_path()) {
+    /// Reads the index record for `key`, `Ok(None)` on a clean miss.
+    /// Rejects a record whose stored key differs from the requested one
+    /// (two distinct keys sanitizing to one slug).
+    fn read_entry(&self, key: &ModelKey, slug: &str) -> Result<Option<Entry>, RegistryError> {
+        let path = self.entry_path(slug);
+        let text = match std::fs::read_to_string(&path) {
             Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok(Manifest {
-                    epoch: 0,
-                    entries: Vec::new(),
-                })
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e.into()),
         };
-        parse_manifest(&text).map_err(|e| {
-            RegistryError::Corrupt(format!(
-                "manifest {} unparsable: {e}",
-                self.manifest_path().display()
-            ))
-        })
+        let entry = parse_entry(&text).map_err(|e| {
+            RegistryError::Corrupt(format!("entry {} unparsable: {e}", path.display()))
+        })?;
+        if entry.key != *key {
+            return Err(RegistryError::Corrupt(format!(
+                "slug collision: {} holds the record for {} but {key} was requested \
+                 (rename the study/encoder/app so the sanitized slugs differ)",
+                path.display(),
+                entry.key
+            )));
+        }
+        Ok(Some(entry))
     }
 
     /// Loads the warm artifact for `key` if one exists, verifying the
@@ -409,8 +424,7 @@ impl Registry {
         kind: &str,
         load: impl Fn(&str, u64) -> Result<M, JsonError>,
     ) -> Result<Option<FitOutcome<M>>, RegistryError> {
-        let manifest = self.read_manifest()?;
-        let Some(entry) = manifest.entries.iter().find(|e| e.key == *key) else {
+        let Some(entry) = self.read_entry(key, &key.slug())? else {
             return Ok(None);
         };
         if entry.kind != kind {
@@ -428,7 +442,7 @@ impl Registry {
         let path = self.object_path(&entry.object);
         let text = std::fs::read_to_string(&path).map_err(|e| {
             RegistryError::Corrupt(format!(
-                "manifest references missing/unreadable object {}: {e}",
+                "entry references missing/unreadable object {}: {e}",
                 path.display()
             ))
         })?;
@@ -520,7 +534,7 @@ impl Registry {
         if let Some(outcome) = self.get_with(key, fingerprint, kind, &load)? {
             return Ok(outcome);
         }
-        // One writer per key across processes.
+        // One fitter per key across processes.
         let lease = self.acquire_lease(key, &slug)?;
         // A process that beat us to the lease may have committed while we
         // waited for it.
@@ -606,8 +620,10 @@ impl Registry {
         })
     }
 
-    /// Commits one artifact: object first (atomic), then the manifest
-    /// (atomic) — the order the crash-safety guarantee rests on.
+    /// Commits one artifact: object first (atomic), then the entry file
+    /// (atomic) — the order the crash-safety guarantee rests on. No
+    /// shared state is read back or merged, so commits of different keys
+    /// are independent by construction (see module docs).
     fn commit(
         &self,
         key: &ModelKey,
@@ -622,23 +638,18 @@ impl Registry {
         persist::write_atomic(&self.object_path(&object), text)?;
         if crash == CrashPoint::AfterObject {
             // Simulated kill -9 between the two writes: the object is
-            // durable but unreferenced, the manifest untouched.
+            // durable but unreferenced, the entry untouched.
             return Ok(());
         }
-        // Merge into the *current* manifest under the lease: concurrent
-        // commits of other keys (other processes) are preserved.
-        let mut manifest = self.read_manifest()?;
-        manifest.entries.retain(|e| e.key != *key);
-        manifest.entries.push(Entry {
+        let entry = Entry {
             key: key.clone(),
             kind,
             fingerprint,
             object,
             hash,
             payload,
-        });
-        manifest.epoch += 1;
-        persist::write_atomic(&self.manifest_path(), &render_manifest(&manifest))?;
+        };
+        persist::write_atomic(&self.entry_path(&key.slug()), &render_entry(&entry))?;
         Ok(())
     }
 
@@ -658,28 +669,43 @@ impl Registry {
         self.commit(key, "ensemble", fingerprint, &text, payload, crash)
     }
 
+    /// Acquires the cross-process fit lease for `slug` (see module docs
+    /// for the publish-by-hard-link and steal-by-rename protocol).
     fn acquire_lease(&self, key: &ModelKey, slug: &str) -> Result<Lease, RegistryError> {
+        static NONCE: AtomicU64 = AtomicU64::new(0);
         let path = self.lease_path(slug);
+        let token = format!(
+            "{} {}",
+            std::process::id(),
+            NONCE.fetch_add(1, Ordering::Relaxed)
+        );
+        // Private claim file: the lease's contents, staged under a name
+        // no other writer uses.
+        let claim = self
+            .root
+            .join("leases")
+            .join(format!("{slug}.claim-{}", token.replace(' ', "-")));
+        std::fs::write(&claim, &token)?;
         let deadline = Instant::now() + LEASE_WAIT;
         loop {
-            match std::fs::OpenOptions::new()
-                .write(true)
-                .create_new(true)
-                .open(&path)
-            {
-                Ok(mut file) => {
-                    use std::io::Write;
-                    // Holder identity for liveness checks and debugging.
-                    let _ = write!(file, "{}", std::process::id());
-                    return Ok(Lease { path });
+            // Publish atomically: link(claim, lock) fails if the lock
+            // exists, and the lock appears with its full contents — it is
+            // never observable empty or half-written.
+            match std::fs::hard_link(&claim, &path) {
+                Ok(()) => {
+                    let _ = std::fs::remove_file(&claim);
+                    return Ok(Lease { path, token });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    let holder: Option<u32> = std::fs::read_to_string(&path)
-                        .ok()
-                        .and_then(|s| s.trim().parse().ok());
+                    let contents = std::fs::read_to_string(&path).unwrap_or_default();
+                    let holder: Option<u32> = contents
+                        .split_whitespace()
+                        .next()
+                        .and_then(|s| s.parse().ok());
                     match holder {
                         Some(pid) if process_alive(pid) => {
                             if Instant::now() >= deadline {
+                                let _ = std::fs::remove_file(&claim);
                                 return Err(RegistryError::LeaseHeld {
                                     key: key.clone(),
                                     holder: pid,
@@ -687,27 +713,68 @@ impl Registry {
                             }
                             std::thread::sleep(LEASE_POLL);
                         }
-                        // Dead holder or unreadable lease (the holder was
-                        // killed mid-write): steal it.
-                        _ => {
-                            let _ = std::fs::remove_file(&path);
-                        }
+                        // Dead holder (or an unreadable legacy lease):
+                        // steal it, carefully.
+                        _ => self.steal_stale_lease(&path, slug, &token, &contents),
                     }
                 }
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    let _ = std::fs::remove_file(&claim);
+                    return Err(e.into());
+                }
             }
         }
+    }
+
+    /// Removes a lease observed stale (`observed` bytes named a dead
+    /// pid). Claims the file by renaming it to a stealer-unique name —
+    /// rename is atomic, so of N concurrent stealers exactly one gets
+    /// the inode — then re-verifies the renamed bytes. If they changed
+    /// (the lease was released and re-acquired between our read and our
+    /// rename), the freshly-acquired lease is put back via `hard_link`.
+    fn steal_stale_lease(&self, path: &Path, slug: &str, token: &str, observed: &str) {
+        let grave = self
+            .root
+            .join("leases")
+            .join(format!("{slug}.stale-{}", token.replace(' ', "-")));
+        if std::fs::rename(path, &grave).is_err() {
+            // Someone else stole or released it first; retry the acquire.
+            return;
+        }
+        let yanked = std::fs::read_to_string(&grave).unwrap_or_default();
+        let still_stale = yanked == observed
+            && !yanked
+                .split_whitespace()
+                .next()
+                .and_then(|s| s.parse().ok())
+                .is_some_and(process_alive);
+        if !still_stale {
+            // We yanked a live writer's fresh lease: restore it. If the
+            // restore loses a race with yet another acquirer, the worst
+            // case is a duplicate fit — commits stay safe regardless
+            // (module docs).
+            let _ = std::fs::hard_link(&grave, path);
+        }
+        let _ = std::fs::remove_file(&grave);
     }
 }
 
 /// Held write lease; releasing is dropping (also on panic unwind).
 struct Lease {
     path: PathBuf,
+    token: String,
 }
 
 impl Drop for Lease {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        // Remove only our own lease: if a stealer raced us and the path
+        // now holds someone else's token, leave it alone.
+        let ours = std::fs::read_to_string(&self.path)
+            .map(|s| s == self.token)
+            .unwrap_or(false);
+        if ours {
+            let _ = std::fs::remove_file(&self.path);
+        }
     }
 }
 
@@ -721,79 +788,56 @@ fn process_alive(pid: u32) -> bool {
     }
 }
 
-const MANIFEST_FORMAT: f64 = 1.0;
+const ENTRY_FORMAT: f64 = 2.0;
 
-fn render_manifest(manifest: &Manifest) -> String {
+fn render_entry(entry: &Entry) -> String {
     Value::Object(vec![
-        ("format".into(), Value::num(MANIFEST_FORMAT)),
-        ("epoch".into(), hex(manifest.epoch)),
-        (
-            "entries".into(),
-            Value::Array(
-                manifest
-                    .entries
-                    .iter()
-                    .map(|e| {
-                        Value::Object(vec![
-                            ("study".into(), Value::Str(e.key.study.clone())),
-                            ("encoder".into(), Value::Str(e.key.encoder.clone())),
-                            ("app".into(), Value::Str(e.key.app.clone())),
-                            ("seed".into(), hex(e.key.seed)),
-                            ("budget".into(), Value::num(e.key.budget as f64)),
-                            ("kind".into(), Value::Str(e.kind.into())),
-                            ("fingerprint".into(), hex(e.fingerprint)),
-                            ("object".into(), Value::Str(e.object.clone())),
-                            ("hash".into(), hex(e.hash)),
-                            ("payload".into(), e.payload.clone()),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
+        ("format".into(), Value::num(ENTRY_FORMAT)),
+        ("study".into(), Value::Str(entry.key.study.clone())),
+        ("encoder".into(), Value::Str(entry.key.encoder.clone())),
+        ("app".into(), Value::Str(entry.key.app.clone())),
+        ("seed".into(), hex(entry.key.seed)),
+        ("budget".into(), Value::num(entry.key.budget as f64)),
+        ("kind".into(), Value::Str(entry.kind.into())),
+        ("fingerprint".into(), hex(entry.fingerprint)),
+        ("object".into(), Value::Str(entry.object.clone())),
+        ("hash".into(), hex(entry.hash)),
+        ("payload".into(), entry.payload.clone()),
     ])
     .to_json()
 }
 
-fn parse_manifest(text: &str) -> Result<Manifest, JsonError> {
+fn parse_entry(text: &str) -> Result<Entry, JsonError> {
     let value = Value::parse(text)?;
     let format = value.get("format")?.as_f64()?;
-    if format != MANIFEST_FORMAT {
+    if format != ENTRY_FORMAT {
         return Err(JsonError::custom(format!(
-            "manifest format {format} unsupported (this build reads {MANIFEST_FORMAT})"
+            "entry format {format} unsupported (this build reads {ENTRY_FORMAT})"
         )));
     }
-    let epoch = from_hex(value.get("epoch")?)?;
-    let entries = value
-        .get("entries")?
-        .as_array()?
-        .iter()
-        .map(|e| {
-            let kind = match e.get("kind")?.as_str()? {
-                "ensemble" => "ensemble",
-                "multi" => "multi",
-                other => {
-                    return Err(JsonError::custom(format!(
-                        "unknown artifact kind {other:?}"
-                    )))
-                }
-            };
-            Ok(Entry {
-                key: ModelKey {
-                    study: e.get("study")?.as_str()?.to_owned(),
-                    encoder: e.get("encoder")?.as_str()?.to_owned(),
-                    app: e.get("app")?.as_str()?.to_owned(),
-                    seed: from_hex(e.get("seed")?)?,
-                    budget: e.get("budget")?.as_usize()?,
-                },
-                kind,
-                fingerprint: from_hex(e.get("fingerprint")?)?,
-                object: e.get("object")?.as_str()?.to_owned(),
-                hash: from_hex(e.get("hash")?)?,
-                payload: e.get("payload").ok().cloned().unwrap_or(Value::Null),
-            })
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok(Manifest { epoch, entries })
+    let kind = match value.get("kind")?.as_str()? {
+        "ensemble" => "ensemble",
+        "multi" => "multi",
+        other => {
+            return Err(JsonError::custom(format!(
+                "unknown artifact kind {other:?}"
+            )))
+        }
+    };
+    Ok(Entry {
+        key: ModelKey {
+            study: value.get("study")?.as_str()?.to_owned(),
+            encoder: value.get("encoder")?.as_str()?.to_owned(),
+            app: value.get("app")?.as_str()?.to_owned(),
+            seed: from_hex(value.get("seed")?)?,
+            budget: value.get("budget")?.as_usize()?,
+        },
+        kind,
+        fingerprint: from_hex(value.get("fingerprint")?)?,
+        object: value.get("object")?.as_str()?.to_owned(),
+        hash: from_hex(value.get("hash")?)?,
+        payload: value.get("payload").ok().cloned().unwrap_or(Value::Null),
+    })
 }
 
 #[cfg(test)]
@@ -814,27 +858,24 @@ mod tests {
     }
 
     #[test]
-    fn manifest_round_trips() {
-        let manifest = Manifest {
-            epoch: 7,
-            entries: vec![Entry {
-                key: ModelKey::new("memory", "plain", "gzip", 0x1BEC, 150),
-                kind: "ensemble",
-                fingerprint: 0xABCD_EF01_2345_6789,
-                object: "0011223344556677.json".into(),
-                hash: 0x0011_2233_4455_6677,
-                payload: Value::Object(vec![("samples".into(), Value::num(150.0))]),
-            }],
+    fn entry_round_trips() {
+        let entry = Entry {
+            key: ModelKey::new("memory", "plain", "gzip", 0x1BEC, 150),
+            kind: "ensemble",
+            fingerprint: 0xABCD_EF01_2345_6789,
+            object: "0011223344556677.json".into(),
+            hash: 0x0011_2233_4455_6677,
+            payload: Value::Object(vec![("samples".into(), Value::num(150.0))]),
         };
-        let parsed = parse_manifest(&render_manifest(&manifest)).unwrap();
-        assert_eq!(parsed.epoch, 7);
-        assert_eq!(parsed.entries.len(), 1);
-        let e = &parsed.entries[0];
-        assert_eq!(e.key, manifest.entries[0].key);
-        assert_eq!(e.kind, "ensemble");
-        assert_eq!(e.fingerprint, 0xABCD_EF01_2345_6789);
-        assert_eq!(e.hash, 0x0011_2233_4455_6677);
-        assert_eq!(e.payload.get("samples").unwrap().as_usize().unwrap(), 150);
+        let parsed = parse_entry(&render_entry(&entry)).unwrap();
+        assert_eq!(parsed.key, entry.key);
+        assert_eq!(parsed.kind, "ensemble");
+        assert_eq!(parsed.fingerprint, 0xABCD_EF01_2345_6789);
+        assert_eq!(parsed.hash, 0x0011_2233_4455_6677);
+        assert_eq!(
+            parsed.payload.get("samples").unwrap().as_usize().unwrap(),
+            150
+        );
     }
 
     #[test]
@@ -853,10 +894,66 @@ mod tests {
         let registry = Registry::open(&root).unwrap();
         let key = ModelKey::new("memory", "plain", "gzip", 1, 10);
         // Pid 4_000_000 is far beyond this container's pid space.
-        std::fs::write(registry.lease_path(&key.slug()), "4000000").unwrap();
+        std::fs::write(registry.lease_path(&key.slug()), "4000000 0").unwrap();
         let lease = registry.acquire_lease(&key, &key.slug()).unwrap();
         drop(lease);
         assert!(!registry.lease_path(&key.slug()).exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn lease_is_published_with_contents_and_released_only_by_owner() {
+        let root = temp_root("lease_token");
+        let registry = Registry::open(&root).unwrap();
+        let key = ModelKey::new("memory", "plain", "gzip", 2, 10);
+        let lease = registry.acquire_lease(&key, &key.slug()).unwrap();
+        let contents = std::fs::read_to_string(registry.lease_path(&key.slug())).unwrap();
+        let pid: u32 = contents.split_whitespace().next().unwrap().parse().unwrap();
+        assert_eq!(pid, std::process::id(), "lease names its holder");
+        // A stealer replaced the lease (simulating the ghost window):
+        // the original holder's release must not delete the new lease.
+        std::fs::write(registry.lease_path(&key.slug()), "4000001 9").unwrap();
+        drop(lease);
+        assert_eq!(
+            std::fs::read_to_string(registry.lease_path(&key.slug())).unwrap(),
+            "4000001 9",
+            "drop must not remove a lease it no longer owns"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn concurrent_stealers_of_one_stale_lease_converge_to_one_holder() {
+        let root = temp_root("steal_race");
+        let registry = Arc::new(Registry::open(&root).unwrap());
+        let key = ModelKey::new("memory", "plain", "gzip", 3, 10);
+        let slug = key.slug();
+        for _ in 0..20 {
+            std::fs::write(registry.lease_path(&slug), "4000000 0").unwrap();
+            let winners: Vec<bool> = std::thread::scope(|scope| {
+                (0..4)
+                    .map(|_| {
+                        let registry = Arc::clone(&registry);
+                        let key = &key;
+                        let slug = &slug;
+                        scope.spawn(move || {
+                            // Everyone must eventually acquire (they
+                            // serialize); each holds momentarily.
+                            let lease = registry.acquire_lease(key, slug).unwrap();
+                            let held = std::fs::read_to_string(registry.lease_path(slug))
+                                .unwrap_or_default();
+                            drop(lease);
+                            held.starts_with(&std::process::id().to_string())
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            assert!(winners.iter().all(|&w| w), "every acquirer saw its own pid");
+            assert!(!registry.lease_path(&slug).exists(), "all leases released");
+        }
         std::fs::remove_dir_all(&root).ok();
     }
 }

@@ -42,6 +42,22 @@
 //! bit-for-bit identical to what each caller would have computed alone,
 //! at any batch composition. Responses carry `SimStats`-style telemetry:
 //! model cache hit/miss, model age, and the size of the coalesced batch.
+//!
+//! # Resource bounds
+//!
+//! A long-lived daemon must not let one misbehaving client (or many
+//! distinct model specs) grow its footprint without limit:
+//!
+//! - at most [`ServeConfig::max_connections`] connection threads exist
+//!   at once — the accept loop blocks until a permit frees, so excess
+//!   clients queue in the kernel backlog instead of spawning threads;
+//! - request parsing bounds header count and per-line length, and the
+//!   socket carries read/write timeouts, so a stalled or malicious
+//!   client cannot pin a thread or buffer unbounded memory;
+//! - the in-memory model map holds at most [`ServeConfig::max_models`]
+//!   ensembles; beyond that the least-recently-used entry is evicted
+//!   (`models_evicted` in `/stats`) and reloads warm from the registry
+//!   on next use.
 
 use crate::campaign::CampaignConfig;
 use crate::infer;
@@ -63,6 +79,14 @@ use std::time::{Duration, Instant};
 /// Upper bound on request bodies (a full-space index list is ~10 MB of
 /// JSON; anything past this is a client bug, not a workload).
 const MAX_BODY: usize = 64 << 20;
+/// Upper bound on one request/header line.
+const MAX_HEADER_LINE: usize = 8 << 10;
+/// Upper bound on header count per request.
+const MAX_HEADERS: usize = 64;
+/// Per-operation socket timeout: a request must arrive, and a response
+/// drain, in bounded time (a fit may run for minutes between the two —
+/// the timeout is per read/write call, not per request).
+const IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Server policy.
 #[derive(Debug, Clone)]
@@ -71,6 +95,10 @@ pub struct ServeConfig {
     pub registry_root: PathBuf,
     /// How long a coalescing leader waits for followers before sweeping.
     pub tick: Duration,
+    /// Most connection threads alive at once (further accepts wait).
+    pub max_connections: usize,
+    /// Most warm models held in memory (least-recently-used eviction).
+    pub max_models: usize,
 }
 
 impl Default for ServeConfig {
@@ -78,7 +106,47 @@ impl Default for ServeConfig {
         Self {
             registry_root: PathBuf::from("results/registry"),
             tick: Duration::from_millis(1),
+            max_connections: 64,
+            max_models: 32,
         }
+    }
+}
+
+/// Counting semaphore bounding live connection threads.
+struct ConnectionGate {
+    free: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl ConnectionGate {
+    fn new(slots: usize) -> Self {
+        Self {
+            free: Mutex::new(slots.max(1)),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a slot frees, then claims it (released on drop).
+    fn acquire(self: &Arc<Self>) -> ConnectionPermit {
+        let mut free = self.free.lock().expect("connection gate poisoned");
+        while *free == 0 {
+            free = self.freed.wait(free).expect("connection gate poisoned");
+        }
+        *free -= 1;
+        ConnectionPermit {
+            gate: Arc::clone(self),
+        }
+    }
+}
+
+struct ConnectionPermit {
+    gate: Arc<ConnectionGate>,
+}
+
+impl Drop for ConnectionPermit {
+    fn drop(&mut self) {
+        *self.gate.free.lock().expect("connection gate poisoned") += 1;
+        self.gate.freed.notify_one();
     }
 }
 
@@ -87,6 +155,9 @@ struct ModelEntry {
     space: DesignSpace,
     ensemble: Ensemble,
     loaded_at: Instant,
+    /// Logical access stamp (from [`ServerInner::clock`]) for LRU
+    /// eviction.
+    last_used: AtomicU64,
     batch: Mutex<BatchState>,
 }
 
@@ -127,6 +198,7 @@ struct ServeStats {
     model_cache_hits: AtomicU64,
     model_cache_misses: AtomicU64,
     warm_loads: AtomicU64,
+    models_evicted: AtomicU64,
     errors: AtomicU64,
 }
 
@@ -135,6 +207,9 @@ struct ServerInner {
     config: ServeConfig,
     addr: SocketAddr,
     models: Mutex<HashMap<String, Arc<ModelEntry>>>,
+    /// Monotonic logical clock stamping model accesses for LRU eviction.
+    clock: AtomicU64,
+    gate: Arc<ConnectionGate>,
     stats: ServeStats,
     shutdown: AtomicBool,
 }
@@ -193,12 +268,15 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let registry = Registry::open(&config.registry_root)?;
         let addr = listener.local_addr()?;
+        let gate = Arc::new(ConnectionGate::new(config.max_connections));
         Ok(Self {
             inner: Arc::new(ServerInner {
                 registry,
                 config,
                 addr,
                 models: Mutex::new(HashMap::new()),
+                clock: AtomicU64::new(0),
+                gate,
                 stats: ServeStats::default(),
                 shutdown: AtomicBool::new(false),
             }),
@@ -212,7 +290,9 @@ impl Server {
     }
 
     /// Serves until `POST /shutdown`. Each connection is handled on its
-    /// own thread; one request per connection.
+    /// own thread; one request per connection; at most
+    /// [`ServeConfig::max_connections`] threads at once (further accepts
+    /// wait for a permit, queueing clients in the kernel backlog).
     ///
     /// # Errors
     ///
@@ -227,8 +307,12 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            let permit = self.inner.gate.acquire();
             let inner = Arc::clone(&self.inner);
-            std::thread::spawn(move || handle_connection(stream, &inner));
+            std::thread::spawn(move || {
+                let _permit = permit;
+                handle_connection(stream, &inner);
+            });
         }
         Ok(())
     }
@@ -322,6 +406,10 @@ pub fn http_request(
 fn handle_connection(stream: TcpStream, inner: &ServerInner) {
     inner.stats.requests.fetch_add(1, Ordering::Relaxed);
     let mut stream = stream;
+    // A stalled client must not pin this thread: every socket read and
+    // write is individually bounded.
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let parsed = read_request(&mut stream);
     let (method, path, body) = match parsed {
         Ok(r) => r,
@@ -357,19 +445,32 @@ fn handle_connection(stream: TcpStream, inner: &ServerInner) {
     }
 }
 
+/// Reads one line, erroring (instead of buffering without bound) past
+/// `max` bytes.
+fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> Result<String, String> {
+    let mut limited = reader.take(max as u64 + 1);
+    let mut line = String::new();
+    limited.read_line(&mut line).map_err(|e| e.to_string())?;
+    if line.len() > max {
+        return Err(format!("header line exceeds {max} bytes"));
+    }
+    Ok(line)
+}
+
 fn read_request(stream: &mut TcpStream) -> Result<(String, String, String), String> {
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut request_line = String::new();
-    reader
-        .read_line(&mut request_line)
-        .map_err(|e| e.to_string())?;
+    let request_line = read_line_bounded(&mut reader, MAX_HEADER_LINE)?;
     let mut parts = request_line.split_whitespace();
     let method = parts.next().ok_or("empty request line")?.to_owned();
     let path = parts.next().ok_or("request line missing path")?.to_owned();
     let mut content_length = 0usize;
+    let mut headers = 0usize;
     loop {
-        let mut line = String::new();
-        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if headers >= MAX_HEADERS {
+            return Err(format!("more than {MAX_HEADERS} header lines"));
+        }
+        headers += 1;
+        let line = read_line_bounded(&mut reader, MAX_HEADER_LINE)?;
         let line = line.trim_end();
         if line.is_empty() {
             break;
@@ -425,6 +526,7 @@ fn stats_json(inner: &ServerInner) -> Value {
         ("model_cache_hits".into(), count(&s.model_cache_hits)),
         ("model_cache_misses".into(), count(&s.model_cache_misses)),
         ("warm_loads".into(), count(&s.warm_loads)),
+        ("models_evicted".into(), count(&s.models_evicted)),
         ("errors".into(), count(&s.errors)),
         (
             "fits_performed".into(),
@@ -513,6 +615,10 @@ fn resolve_model(
     {
         let models = inner.models.lock().expect("model map poisoned");
         if let Some(entry) = models.get(&slug) {
+            entry.last_used.store(
+                inner.clock.fetch_add(1, Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
             inner.stats.model_cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((Arc::clone(entry), "hit", Value::Null));
         }
@@ -545,14 +651,31 @@ fn resolve_model(
         inner.stats.warm_loads.fetch_add(1, Ordering::Relaxed);
     }
     let payload = outcome.payload.clone();
+    let stamp = inner.clock.fetch_add(1, Ordering::Relaxed);
     let entry = Arc::new(ModelEntry {
         space: spec.study.space(),
         ensemble: outcome.model,
         loaded_at: Instant::now(),
+        last_used: AtomicU64::new(stamp),
         batch: Mutex::new(BatchState::default()),
     });
     let mut models = inner.models.lock().expect("model map poisoned");
+    // Bound the map: evict the least-recently-used model to make room.
+    // Evicted ensembles reload warm from the registry on next use; an
+    // in-flight coalesced sweep keeps its entry alive through its `Arc`.
+    while !models.contains_key(&slug) && models.len() >= inner.config.max_models.max(1) {
+        let Some(victim) = models
+            .iter()
+            .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+            .map(|(k, _)| k.clone())
+        else {
+            break;
+        };
+        models.remove(&victim);
+        inner.stats.models_evicted.fetch_add(1, Ordering::Relaxed);
+    }
     let entry = Arc::clone(models.entry(slug).or_insert(entry));
+    entry.last_used.store(stamp, Ordering::Relaxed);
     Ok((entry, how, payload))
 }
 
@@ -765,5 +888,69 @@ mod tests {
 
         handle.shutdown();
         std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// Sends raw bytes and returns the response status line.
+    fn raw_request(addr: SocketAddr, bytes: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(bytes).unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        status_line
+    }
+
+    #[test]
+    fn oversized_and_excessive_headers_are_rejected() {
+        let root =
+            std::env::temp_dir().join(format!("archpredict_serve_bounds_{}", std::process::id()));
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                registry_root: root.clone(),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = server.spawn();
+        let addr = handle.addr();
+
+        // One header line far past MAX_HEADER_LINE: refused, not buffered.
+        let huge = format!(
+            "GET /health HTTP/1.1\r\nX-Junk: {}\r\n\r\n",
+            "a".repeat(MAX_HEADER_LINE * 4)
+        );
+        assert!(raw_request(addr, huge.as_bytes()).contains("400"));
+
+        // More header lines than MAX_HEADERS: refused.
+        let mut many = String::from("GET /health HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS * 2) {
+            many.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert!(raw_request(addr, many.as_bytes()).contains("400"));
+
+        // A sane request still works after the abuse.
+        let (status, _) = http_request(addr, "GET", "/health", None).unwrap();
+        assert_eq!(status, 200);
+
+        handle.shutdown();
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn connection_gate_bounds_concurrency_and_releases() {
+        let gate = Arc::new(ConnectionGate::new(2));
+        let a = gate.acquire();
+        let _b = gate.acquire();
+        // Third acquire blocks until a permit drops.
+        let gate2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || {
+            let _c = gate2.acquire();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "third connection must wait");
+        drop(a);
+        waiter.join().unwrap();
     }
 }

@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! archpredict-served [--addr 127.0.0.1:0] [--root results/registry] [--tick-ms 1]
+//!                    [--max-connections 64] [--max-models 32]
 //! ```
 
 use archpredict::serve::{ServeConfig, Server};
@@ -32,8 +33,21 @@ fn run() -> Result<(), String> {
                     .map_err(|_| "--tick-ms requires an integer".to_owned())?;
                 config.tick = Duration::from_millis(ms);
             }
+            "--max-connections" => {
+                config.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|_| "--max-connections requires an integer".to_owned())?;
+            }
+            "--max-models" => {
+                config.max_models = value("--max-models")?
+                    .parse()
+                    .map_err(|_| "--max-models requires an integer".to_owned())?;
+            }
             "--help" | "-h" => {
-                println!("usage: archpredict-served [--addr HOST:PORT] [--root DIR] [--tick-ms N]");
+                println!(
+                    "usage: archpredict-served [--addr HOST:PORT] [--root DIR] [--tick-ms N] \
+                     [--max-connections N] [--max-models N]"
+                );
                 return Ok(());
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),

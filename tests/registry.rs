@@ -176,6 +176,46 @@ fn concurrent_get_or_fit_runs_exactly_one_fit() {
     std::fs::remove_dir_all(&root).ok();
 }
 
+/// Regression test for the cross-key commit race: the index used to be
+/// one manifest file merged read-modify-write, so two concurrent fits of
+/// *different* keys could interleave and the last writer silently
+/// dropped the other's entry. With one atomically-written entry file per
+/// key, every concurrent commit must survive.
+#[test]
+fn concurrent_commits_of_distinct_keys_all_survive() {
+    let root = temp_root("crosskey");
+    let space = tiny_space();
+    let fingerprint = space.fingerprint();
+    let registry = Arc::new(Registry::open(&root).unwrap());
+    let keys: Vec<ModelKey> = (0..8)
+        .map(|i| ModelKey::new("test", "plain", format!("app{i}"), i as u64, 24))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for key in &keys {
+            let registry = Arc::clone(&registry);
+            let space = &space;
+            scope.spawn(move || {
+                registry
+                    .get_or_fit(key, fingerprint, || {
+                        Ok((tiny_ensemble(space, key.seed), Value::Null))
+                    })
+                    .unwrap();
+            });
+        }
+    });
+
+    // Every key's entry survived every other key's concurrent commit.
+    let reopened = Registry::open(&root).unwrap();
+    for key in &keys {
+        assert!(
+            reopened.get(key, fingerprint).unwrap().is_some(),
+            "entry for {key} was clobbered by a concurrent commit"
+        );
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
 #[test]
 fn crash_between_object_and_manifest_never_tears_the_manifest() {
     let root = temp_root("crash");

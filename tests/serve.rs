@@ -51,6 +51,7 @@ fn served_predictions_are_bit_identical_and_second_fit_is_warm() {
         ServeConfig {
             registry_root: root.clone(),
             tick: Duration::from_millis(1),
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -151,6 +152,7 @@ fn predict_without_fit_refuses_and_daemon_reloads_across_restarts() {
     let config = || ServeConfig {
         registry_root: root.clone(),
         tick: Duration::from_millis(1),
+        ..ServeConfig::default()
     };
 
     let handle = Server::bind("127.0.0.1:0", config()).unwrap().spawn();
@@ -172,6 +174,66 @@ fn predict_without_fit_refuses_and_daemon_reloads_across_restarts() {
     assert_eq!(reply.get("fits_performed").unwrap().as_u64().unwrap(), 0);
     let (status, _) = http_request(handle.addr(), "POST", "/predict", Some(&body)).unwrap();
     assert_eq!(status, 200);
+    handle.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn model_map_is_bounded_and_evicted_models_reload_warm() {
+    let root = temp_root("evict");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            registry_root: root.clone(),
+            tick: Duration::from_millis(1),
+            max_models: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.spawn();
+    let addr = handle.addr();
+
+    let fit = |seed: u64| {
+        format!(
+            r#"{{"study":"memory","app":"gzip","seed":"{seed:x}","budget":{BUDGET},"batch":10,"quick":true}}"#
+        )
+    };
+    let (status, _) = http_request(addr, "POST", "/fit", Some(&fit(SEED))).unwrap();
+    assert_eq!(status, 200);
+    // A second distinct spec displaces the first from the 1-slot map.
+    let (status, _) = http_request(addr, "POST", "/fit", Some(&fit(SEED ^ 1))).unwrap();
+    assert_eq!(status, 200);
+
+    let (status, stats) = http_request(addr, "GET", "/stats", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        stats.get("models_in_memory").unwrap().as_u64().unwrap(),
+        1,
+        "map stays at max_models"
+    );
+    assert!(stats.get("models_evicted").unwrap().as_u64().unwrap() >= 1);
+
+    // The evicted model still serves: it reloads warm from the registry
+    // (no refit — fits_performed stays at 2).
+    let body = format!(
+        r#"{{"study":"memory","app":"gzip","seed":"{SEED:x}","budget":{BUDGET},"batch":10,"quick":true,"indices":[0,1,2]}}"#
+    );
+    let (status, reply) = http_request(addr, "POST", "/predict", Some(&body)).unwrap();
+    assert_eq!(status, 200, "evicted model must reload: {}", reply.to_json());
+    assert_eq!(
+        reply
+            .get("stats")
+            .unwrap()
+            .get("cache")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "warm"
+    );
+    let (_, stats) = http_request(addr, "GET", "/stats", None).unwrap();
+    assert_eq!(stats.get("fits_performed").unwrap().as_u64().unwrap(), 2);
+
     handle.shutdown();
     std::fs::remove_dir_all(&root).ok();
 }
