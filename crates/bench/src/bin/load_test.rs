@@ -20,57 +20,10 @@ use archpredict::registry::{Registry, StudyFitSpec};
 use archpredict::serve::http_request;
 use archpredict::studies::Study;
 use archpredict_ann::Parallelism;
-use archpredict_bench::write_artifact;
+use archpredict_bench::{locate_served_binary, write_artifact, Daemon};
 use archpredict_workloads::Benchmark;
-use std::io::{BufRead, BufReader};
-use std::net::SocketAddr;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::time::Instant;
-
-/// Environment override for the daemon binary's location.
-const ENV_SERVED_BIN: &str = "ARCHPREDICT_SERVED_BIN";
-
-/// Finds `archpredict-served` like the distributed oracle finds its
-/// worker: env override, then next to the current executable, then one
-/// directory up (bench binaries live in `target/<profile>/`).
-fn locate_served_binary() -> Result<PathBuf, String> {
-    if let Ok(path) = std::env::var(ENV_SERVED_BIN) {
-        let path = PathBuf::from(path);
-        if path.is_file() {
-            return Ok(path);
-        }
-        return Err(format!(
-            "{ENV_SERVED_BIN} points at {}, which does not exist",
-            path.display()
-        ));
-    }
-    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
-    let mut dir = exe.parent();
-    for _ in 0..2 {
-        if let Some(d) = dir {
-            let candidate = d.join("archpredict-served");
-            if candidate.is_file() {
-                return Ok(candidate);
-            }
-            dir = d.parent();
-        }
-    }
-    Err(
-        "archpredict-served binary not found: build it with `cargo build -p \
-         archpredict-served` or set ARCHPREDICT_SERVED_BIN"
-            .into(),
-    )
-}
-
-/// Kills the daemon child on drop so a panicking run doesn't leak it.
-struct DaemonGuard(std::process::Child);
-
-impl Drop for DaemonGuard {
-    fn drop(&mut self) {
-        let _ = self.0.kill();
-        let _ = self.0.wait();
-    }
-}
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
@@ -128,24 +81,12 @@ fn main() {
 
     // Spawn the real daemon on an ephemeral port and scrape its address.
     let bin = locate_served_binary().expect("daemon binary");
-    let mut child = std::process::Command::new(&bin)
-        .args(["--addr", "127.0.0.1:0", "--root", &root, "--tick-ms", "1"])
-        .stdout(std::process::Stdio::piped())
-        .spawn()
-        .expect("spawn archpredict-served");
-    let stdout = child.stdout.take().expect("piped stdout");
-    let guard = DaemonGuard(child);
-    let mut first_line = String::new();
-    BufReader::new(stdout)
-        .read_line(&mut first_line)
-        .expect("daemon address line");
-    let addr: SocketAddr = first_line
-        .trim()
-        .rsplit(' ')
-        .next()
-        .expect("address token")
-        .parse()
-        .expect("daemon printed its address");
+    let args: Vec<String> = ["--addr", "127.0.0.1:0", "--root", &root, "--tick-ms", "1"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let mut daemon = Daemon::spawn(&bin, &args, None).expect("spawn archpredict-served");
+    let addr = daemon.addr();
     eprintln!("load_test: daemon at {addr} (root {root})");
 
     // Fit (or warm-load) the model through the daemon.
@@ -267,7 +208,8 @@ fn main() {
 
     let (status, _) = http_request(addr, "POST", "/shutdown", None).expect("shutdown");
     assert_eq!(status, 200);
-    drop(guard);
+    let exit = daemon.wait().expect("reap daemon");
+    assert!(exit.success(), "daemon drained but exited {exit}");
 
     let mut table = String::from("clients,requests,p50_ms,p99_ms,predictions_per_sec\n");
     for (c, n, p50, p99, tput) in &rows {

@@ -1,0 +1,154 @@
+//! Daemon-spawning harness shared by the load generator, the chaos
+//! harness, and the CI smoke gates: locate the real `archpredict-served`
+//! binary, spawn it on an ephemeral (or pinned) port, scrape the
+//! address line it prints, and guarantee the child never outlives the
+//! harness — a panicking run kills the daemon on drop.
+//!
+//! The one protocol this module depends on is the daemon's stdout
+//! contract: the first line is always
+//! `archpredict-served listening on <addr>`, flushed before anything
+//! else, so wrappers can bind `127.0.0.1:0` and learn the concrete port.
+
+use archpredict::failpoint::ENV_FAILPOINTS;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus, Stdio};
+
+/// Environment override for the daemon binary's location.
+pub const ENV_SERVED_BIN: &str = "ARCHPREDICT_SERVED_BIN";
+
+/// Finds `archpredict-served` like the distributed oracle finds its
+/// worker: env override, then next to the current executable, then one
+/// directory up (bench binaries live in `target/<profile>/`).
+///
+/// # Errors
+///
+/// When the override points nowhere or no candidate exists — the message
+/// says how to build or point at the binary.
+pub fn locate_served_binary() -> Result<PathBuf, String> {
+    if let Ok(path) = std::env::var(ENV_SERVED_BIN) {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Ok(path);
+        }
+        return Err(format!(
+            "{ENV_SERVED_BIN} points at {}, which does not exist",
+            path.display()
+        ));
+    }
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut dir = exe.parent();
+    for _ in 0..2 {
+        if let Some(d) = dir {
+            let candidate = d.join("archpredict-served");
+            if candidate.is_file() {
+                return Ok(candidate);
+            }
+            dir = d.parent();
+        }
+    }
+    Err(
+        "archpredict-served binary not found: build it with `cargo build -p \
+         archpredict-served` or set ARCHPREDICT_SERVED_BIN"
+            .into(),
+    )
+}
+
+/// A running `archpredict-served` child: its scraped address, signal
+/// delivery, and kill-on-drop cleanup so no run leaks a daemon.
+pub struct Daemon {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Spawns the daemon at `bin` with `args` (the harness supplies
+    /// `--addr`, `--root`, …), blocks until it prints its address line,
+    /// and returns the running child.
+    ///
+    /// `failpoints` is the child's chaos schedule: `Some(plan)` sets
+    /// `ARCHPREDICT_FAILPOINTS` on the child, `None` scrubs any
+    /// inherited value so a "clean" daemon is actually clean.
+    ///
+    /// # Errors
+    ///
+    /// On spawn failure or a child that dies before printing its
+    /// address (e.g. a bind failure on a pinned port).
+    pub fn spawn(bin: &PathBuf, args: &[String], failpoints: Option<&str>) -> Result<Self, String> {
+        let mut command = Command::new(bin);
+        command.args(args).stdout(Stdio::piped());
+        match failpoints {
+            Some(plan) => {
+                command.env(ENV_FAILPOINTS, plan);
+            }
+            None => {
+                command.env_remove(ENV_FAILPOINTS);
+            }
+        }
+        let mut child = command
+            .spawn()
+            .map_err(|e| format!("spawn {}: {e}", bin.display()))?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut first_line = String::new();
+        if BufReader::new(stdout).read_line(&mut first_line).is_err() || first_line.is_empty() {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("daemon exited before printing its address line".into());
+        }
+        let addr: SocketAddr = match first_line.trim().rsplit(' ').next().map(str::parse) {
+            Some(Ok(addr)) => addr,
+            _ => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(format!("unparsable daemon address line {first_line:?}"));
+            }
+        };
+        Ok(Daemon { child, addr })
+    }
+
+    /// The daemon's bound address, scraped from its first stdout line.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's process id (for external signal delivery).
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Delivers `signal` (`"TERM"`, `"KILL"`, …) via `/usr/bin/kill`,
+    /// the same way an init system or an operator would.
+    ///
+    /// # Errors
+    ///
+    /// When the kill command cannot run or reports failure.
+    pub fn signal(&self, signal: &str) -> Result<(), String> {
+        let status = Command::new("/usr/bin/kill")
+            .args([format!("-{signal}"), self.pid().to_string()])
+            .status()
+            .map_err(|e| format!("run kill: {e}"))?;
+        if status.success() {
+            Ok(())
+        } else {
+            Err(format!("kill -{signal} {} failed", self.pid()))
+        }
+    }
+
+    /// Waits for the daemon to exit and reaps it. Safe to call after
+    /// the child already died (the status is cached by the OS/std).
+    ///
+    /// # Errors
+    ///
+    /// On an OS-level wait failure.
+    pub fn wait(&mut self) -> std::io::Result<ExitStatus> {
+        self.child.wait()
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}

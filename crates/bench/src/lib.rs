@@ -23,9 +23,11 @@
 //! paper-scale settings where feasible. Outputs are printed as aligned
 //! tables and written as CSV under `results/`.
 
+pub mod daemon;
 pub mod opts;
 pub mod runner;
 
+pub use daemon::{locate_served_binary, Daemon};
 pub use opts::ExperimentOpts;
 pub use runner::{
     curve_for, reduction_analysis, registered_curve_for, run_curves, run_figure, write_artifact,

@@ -76,6 +76,16 @@ pub const ENV_WORKER_BIN: &str = "ARCHPREDICT_WORKER_BIN";
 /// handshake before the coordinator gives up on it.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// Failpoint site evaluated before each `EVAL` frame send: firing makes
+/// the coordinator treat the worker as dead-idle (reap, respawn, retry
+/// the same span) — the between-spans death shape.
+pub const FP_SPAN_SEND: &str = "distributed.span.send";
+/// Failpoint site evaluated by `archpredict-worker` before each index it
+/// evaluates (the worker installs its plan from the environment). The
+/// `abort` action is a real mid-span worker death; `error` makes the
+/// worker exit after failing the current index.
+pub const FP_WORKER_EVAL: &str = "distributed.worker.eval";
+
 /// The coordinator ↔ worker wire protocol.
 ///
 /// Every frame is a little-endian `u32` payload length followed by the
@@ -839,8 +849,14 @@ impl ProcessPoolOracle {
             }
             let worker = slot.as_mut().expect("slot filled above");
             let indices: Vec<usize> = remaining.iter().map(|&(_, index)| index).collect();
-            let sent = proto::write_frame(&mut worker.stdin, &proto::encode_eval(&indices))
-                .and_then(|_| worker.stdin.flush());
+            // An injected send failure looks exactly like a worker that
+            // died idle between spans: the coordinator reaps, respawns,
+            // and retries the same indices.
+            let sent = match crate::failpoint::check(FP_SPAN_SEND) {
+                Some(failure) => Err(failure.into_io_error(FP_SPAN_SEND)),
+                None => proto::write_frame(&mut worker.stdin, &proto::encode_eval(&indices))
+                    .and_then(|_| worker.stdin.flush()),
+            };
             if sent.is_err() {
                 // The worker died idle, between spans: nothing was in
                 // flight, so nothing is blamed — just replace it.

@@ -25,6 +25,9 @@
 //!   [`simulate::SimStats`] telemetry.
 //! * [`fault`] — deterministic, seeded fault injection for exercising the
 //!   retry/quarantine stack under reproducible failure schedules.
+//! * [`failpoint`] — named, seeded fault sites compiled into the persist,
+//!   registry, serve and distributed paths; every chaos schedule is a
+//!   pure function of `(seed, site, hit count)` and therefore replayable.
 //! * [`distributed`] — the multi-process simulation oracle: a coordinator
 //!   that fork/execs `archpredict-worker` processes and speaks a
 //!   length-prefixed pipe protocol, bit-for-bit identical to the
@@ -89,6 +92,7 @@ pub mod checkpoint;
 pub mod crossapp;
 pub mod distributed;
 pub mod explorer;
+pub mod failpoint;
 pub mod fault;
 pub mod infer;
 pub mod multitask;
@@ -109,8 +113,8 @@ pub use distributed::{ProcessPoolOracle, SleepyEvaluator, SpecEvaluator, WorkerS
 pub use explorer::{ExploreError, Explorer, ExplorerConfig, Round, TrueError};
 pub use fault::{FaultConfig, FaultInjectingOracle};
 pub use param::{Param, ParamKind, ParamValue};
-pub use registry::{FitOutcome, ModelKey, Registry, RegistryError, StudyFitSpec};
-pub use serve::{ServeConfig, Server, ServerHandle};
+pub use registry::{FitOutcome, ModelKey, Registry, RegistryError, StudyFitSpec, SweepReport};
+pub use serve::{install_signal_handlers, shutdown_signaled, ServeConfig, Server, ServerHandle};
 pub use simulate::{
     CachedEvaluator, Oracle, PointEvaluator, RetryPolicy, RetryingOracle, SimBudget, SimError,
     SimPointEvaluator, SimResult, SimStats, StudyEvaluator,

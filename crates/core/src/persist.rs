@@ -13,10 +13,18 @@
 //! writer killed mid-write leaves its uniquely-named temp behind; the
 //! orphan is never referenced and never mistaken for live data.
 
+use crate::failpoint;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Failpoint site evaluated on every [`write_atomic`] call. `error`
+/// fails the write cleanly (nothing on disk changes); `torn` leaves a
+/// half-written, uniquely-named temp behind and then fails — the exact
+/// on-disk shape of a writer killed mid-write, which downstream code
+/// must treat as inert debris.
+pub const FP_WRITE_ATOMIC: &str = "persist.write_atomic";
 
 /// Writer-unique sibling temp path for `path`
 /// (`<name>.<pid>.<seq>.tmp` in the same directory, so the final rename
@@ -43,6 +51,19 @@ pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent)?;
         }
+    }
+    match failpoint::check(FP_WRITE_ATOMIC) {
+        Some(failpoint::Failure::Error(err)) => return Err(err),
+        Some(failpoint::Failure::Torn) => {
+            let tmp = temp_sibling(path);
+            let half = contents.len() / 2;
+            let _ = fs::write(&tmp, &contents.as_bytes()[..half]);
+            return Err(std::io::Error::other(format!(
+                "failpoint `{FP_WRITE_ATOMIC}`: torn write to {}",
+                tmp.display()
+            )));
+        }
+        None => {}
     }
     let tmp = temp_sibling(path);
     {

@@ -53,8 +53,18 @@
 //! acquisitions interleaving within syscalls) can at worst run a
 //! duplicate fit — never corrupt the store, because correctness rests on
 //! the commit structure above, not on the lease.
+//!
+//! Crashes leave debris — torn writer temps, orphaned lease claims and
+//! graves — that is inert by construction but accumulates forever.
+//! [`Registry::open`] sweeps it ([`Registry::sweep_debris`]), removing
+//! only files whose embedded writer pid is dead (live writers are never
+//! swept). The commit and lease paths also carry [`crate::failpoint`]
+//! sites ([`FP_COMMIT_OBJECT`], [`FP_COMMIT_ENTRY`],
+//! [`FP_LEASE_ACQUIRE`]) so chaos schedules can inject I/O failures at
+//! the exact points the crash-safety argument hinges on.
 
 use crate::campaign::{Campaign, CampaignConfig, Encoder, PlainEncoder};
+use crate::failpoint;
 use crate::persist;
 use crate::sampling::Strategy;
 use crate::simulate::{CachedEvaluator, SimBudget, StudyEvaluator};
@@ -74,6 +84,22 @@ use std::time::{Duration, Instant};
 const LEASE_WAIT: Duration = Duration::from_secs(600);
 /// Lease poll interval.
 const LEASE_POLL: Duration = Duration::from_millis(50);
+/// Age before a pid-less legacy `*.tmp` is treated as abandoned debris.
+/// Pid-carrying debris is judged by writer liveness instead, so live
+/// writers are never swept regardless of how long a write takes.
+const LEGACY_DEBRIS_AGE: Duration = Duration::from_secs(600);
+
+/// Failpoint site evaluated at the top of a commit, before the object
+/// write: firing fails the commit with nothing durable on disk.
+pub const FP_COMMIT_OBJECT: &str = "registry.commit.object";
+/// Failpoint site evaluated between the commit's two atomic writes —
+/// the "kill -9 after the object, before the entry" shape: the object
+/// is durable but unreferenced, the entry untouched, and the next
+/// reader sees a clean miss.
+pub const FP_COMMIT_ENTRY: &str = "registry.commit.entry";
+/// Failpoint site evaluated on lease acquisition (before the claim file
+/// is staged); firing fails `get_or_fit` with an I/O error.
+pub const FP_LEASE_ACQUIRE: &str = "registry.lease.acquire";
 
 /// What produced a model: the coordinates of one training run.
 ///
@@ -266,17 +292,6 @@ impl StudyFitSpec {
     }
 }
 
-/// Simulated crash points for the commit path, exercised by the
-/// kill-9-mid-persist tests. Not part of the public API.
-#[doc(hidden)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CrashPoint {
-    /// Run the commit to completion (production behavior).
-    None,
-    /// Die after the object write, before the entry update.
-    AfterObject,
-}
-
 /// In-process per-key fit locks, shared by every `Registry` instance so
 /// two handles onto the same directory still serialize their fits.
 fn key_lock(root: &Path, slug: &str) -> Arc<Mutex<()>> {
@@ -289,6 +304,68 @@ fn key_lock(root: &Path, slug: &str) -> Arc<Mutex<()>> {
     map.entry((root.to_path_buf(), slug.to_owned()))
         .or_default()
         .clone()
+}
+
+/// What [`Registry::sweep_debris`] removed: crash leftovers from dead
+/// writers, which would otherwise accumulate forever.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Torn writer temps (`<name>.<pid>.<seq>.tmp` of dead writers, plus
+    /// pid-less legacy `*.tmp` older than the age guard).
+    pub temps: usize,
+    /// Lease claim files (`<slug>.claim-<pid>-<nonce>`) of dead acquirers.
+    pub claims: usize,
+    /// Lease grave files (`<slug>.stale-<pid>-<nonce>`) of dead stealers.
+    pub graves: usize,
+}
+
+impl SweepReport {
+    /// Total files removed.
+    pub fn total(&self) -> usize {
+        self.temps + self.claims + self.graves
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DebrisKind {
+    Temp,
+    Claim,
+    Grave,
+}
+
+/// Classifies a filename as sweepable crash debris, extracting the
+/// embedded writer pid when the name carries one. Lease claims and
+/// graves only exist in `leases/`, so they are only recognized there —
+/// an entry or object whose *slug* happens to contain `.claim-` is
+/// never misclassified.
+fn classify_debris(name: &str, in_leases: bool) -> Option<(DebrisKind, Option<u32>)> {
+    if let Some(stem) = name.strip_suffix(".tmp") {
+        // Writer temp: `<name>.<pid>.<seq>.tmp`; anything else ending in
+        // `.tmp` is a pid-less legacy temp judged by age instead.
+        let mut parts = stem.rsplit('.');
+        let seq_ok = parts.next().is_some_and(|s| s.parse::<u64>().is_ok());
+        let pid = parts.next().and_then(|s| s.parse::<u32>().ok());
+        return Some((DebrisKind::Temp, if seq_ok { pid } else { None }));
+    }
+    if !in_leases {
+        return None;
+    }
+    for (marker, kind) in [
+        (".claim-", DebrisKind::Claim),
+        (".stale-", DebrisKind::Grave),
+    ] {
+        if let Some(idx) = name.rfind(marker) {
+            // The tail must be exactly `<pid>-<nonce>`: a live lock file
+            // (`<slug>.lock`) or any other suffix never matches.
+            let mut tail = name[idx + marker.len()..].split('-');
+            let pid = tail.next().and_then(|s| s.parse::<u32>().ok());
+            let nonce_ok = tail.next().is_some_and(|s| s.parse::<u64>().is_ok());
+            if pid.is_some() && nonce_ok && tail.next().is_none() {
+                return Some((kind, pid));
+            }
+        }
+    }
+    None
 }
 
 /// The on-disk artifact store (see module docs for layout and
@@ -332,10 +409,60 @@ impl Registry {
         std::fs::create_dir_all(root.join("entries"))?;
         std::fs::create_dir_all(root.join("objects"))?;
         std::fs::create_dir_all(root.join("leases"))?;
-        Ok(Self {
+        let registry = Self {
             root,
             fits: AtomicU64::new(0),
-        })
+        };
+        // Crashed writers leave torn temps and orphaned lease files that
+        // nothing ever reads or renames; sweep them (best-effort) so they
+        // don't pile up forever. Live writers are never swept — debris is
+        // only removed when its embedded writer pid is dead.
+        let _ = registry.sweep_debris();
+        Ok(registry)
+    }
+
+    /// Removes crash debris left by dead writers: torn `*.tmp` temps in
+    /// every registry directory, plus orphaned lease claim and grave
+    /// files in `leases/`. Files whose name embeds a still-live pid are
+    /// never touched (a live writer's in-flight temp, a claim mid-poll);
+    /// pid-less legacy temps are removed only past an age guard. Runs
+    /// automatically on [`Registry::open`]; exposed so harnesses can
+    /// sweep and report after a chaos run.
+    ///
+    /// # Errors
+    ///
+    /// Never fails on individual files (they may vanish concurrently);
+    /// errors only if a registry directory itself is unreadable.
+    pub fn sweep_debris(&self) -> std::io::Result<SweepReport> {
+        let mut report = SweepReport::default();
+        for dir in ["entries", "objects", "leases"] {
+            let in_leases = dir == "leases";
+            for item in std::fs::read_dir(self.root.join(dir))? {
+                let Ok(item) = item else { continue };
+                let name = item.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some((kind, pid)) = classify_debris(name, in_leases) else {
+                    continue;
+                };
+                let abandoned = match pid {
+                    Some(pid) => !process_alive(pid),
+                    None => item
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|m| m.elapsed().ok())
+                        .is_some_and(|age| age >= LEGACY_DEBRIS_AGE),
+                };
+                if abandoned && std::fs::remove_file(item.path()).is_ok() {
+                    match kind {
+                        DebrisKind::Temp => report.temps += 1,
+                        DebrisKind::Claim => report.claims += 1,
+                        DebrisKind::Grave => report.graves += 1,
+                    }
+                }
+            }
+        }
+        Ok(report)
     }
 
     /// The registry's root directory.
@@ -545,14 +672,7 @@ impl Registry {
         let (model, payload) = fit().map_err(RegistryError::Fit)?;
         self.fits.fetch_add(1, Ordering::Relaxed);
         let text = store(&model, fingerprint);
-        self.commit(
-            key,
-            kind,
-            fingerprint,
-            &text,
-            payload.clone(),
-            CrashPoint::None,
-        )?;
+        self.commit(key, kind, fingerprint, &text, payload.clone())?;
         drop(lease);
         Ok(FitOutcome {
             model,
@@ -624,6 +744,10 @@ impl Registry {
     /// (atomic) — the order the crash-safety guarantee rests on. No
     /// shared state is read back or merged, so commits of different keys
     /// are independent by construction (see module docs).
+    ///
+    /// Failpoints [`FP_COMMIT_OBJECT`] and [`FP_COMMIT_ENTRY`] bracket
+    /// the object write, so chaos schedules can fail a commit with
+    /// nothing durable or with an orphaned-but-unreferenced object.
     fn commit(
         &self,
         key: &ModelKey,
@@ -631,15 +755,15 @@ impl Registry {
         fingerprint: u64,
         text: &str,
         payload: Value,
-        crash: CrashPoint,
     ) -> Result<(), RegistryError> {
+        if let Some(failure) = failpoint::check(FP_COMMIT_OBJECT) {
+            return Err(failure.into_io_error(FP_COMMIT_OBJECT).into());
+        }
         let hash = fnv1a_64(text.as_bytes());
         let object = format!("{hash:016x}.json");
         persist::write_atomic(&self.object_path(&object), text)?;
-        if crash == CrashPoint::AfterObject {
-            // Simulated kill -9 between the two writes: the object is
-            // durable but unreferenced, the entry untouched.
-            return Ok(());
+        if let Some(failure) = failpoint::check(FP_COMMIT_ENTRY) {
+            return Err(failure.into_io_error(FP_COMMIT_ENTRY).into());
         }
         let entry = Entry {
             key: key.clone(),
@@ -653,26 +777,13 @@ impl Registry {
         Ok(())
     }
 
-    /// Test hook: run the full fit-and-commit path but die at `crash`.
-    /// Exercises the exact production commit code, simulating a kill -9
-    /// at the chosen point.
-    #[doc(hidden)]
-    pub fn commit_ensemble_with_crash(
-        &self,
-        key: &ModelKey,
-        fingerprint: u64,
-        ensemble: &Ensemble,
-        payload: Value,
-        crash: CrashPoint,
-    ) -> Result<(), RegistryError> {
-        let text = ensemble.to_json_fingerprinted(fingerprint);
-        self.commit(key, "ensemble", fingerprint, &text, payload, crash)
-    }
-
     /// Acquires the cross-process fit lease for `slug` (see module docs
     /// for the publish-by-hard-link and steal-by-rename protocol).
     fn acquire_lease(&self, key: &ModelKey, slug: &str) -> Result<Lease, RegistryError> {
         static NONCE: AtomicU64 = AtomicU64::new(0);
+        if let Some(failure) = failpoint::check(FP_LEASE_ACQUIRE) {
+            return Err(failure.into_io_error(FP_LEASE_ACQUIRE).into());
+        }
         let path = self.lease_path(slug);
         let token = format!(
             "{} {}",
@@ -885,6 +996,84 @@ mod tests {
         let key = ModelKey::new("memory", "plain", "gzip", 1, 10);
         assert!(registry.get(&key, 42).unwrap().is_none());
         assert_eq!(registry.fits_performed(), 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn debris_classification_is_precise() {
+        // Writer temps carry a pid; legacy temps don't.
+        assert_eq!(
+            classify_debris("entry.json.4000000.3.tmp", false),
+            Some((DebrisKind::Temp, Some(4_000_000)))
+        );
+        assert_eq!(
+            classify_debris("entry.json.tmp", false),
+            Some((DebrisKind::Temp, None))
+        );
+        // Claims and graves exist only under leases/.
+        assert_eq!(
+            classify_debris("slug.claim-4000000-7", true),
+            Some((DebrisKind::Claim, Some(4_000_000)))
+        );
+        assert_eq!(
+            classify_debris("slug.stale-4000000-7", true),
+            Some((DebrisKind::Grave, Some(4_000_000)))
+        );
+        assert_eq!(classify_debris("slug.claim-4000000-7", false), None);
+        // Live locks and ordinary artifacts are never debris, even when
+        // a slug pathologically contains the claim marker.
+        assert_eq!(classify_debris("slug.lock", true), None);
+        assert_eq!(classify_debris("slug.claim-4-0.lock", true), None);
+        assert_eq!(classify_debris("entry.json", false), None);
+        assert_eq!(classify_debris("0011223344556677.json", false), None);
+    }
+
+    #[test]
+    fn open_sweeps_dead_writers_but_never_live_ones() {
+        let root = temp_root("sweep");
+        {
+            let registry = Registry::open(&root).unwrap();
+            let me = std::process::id();
+            let leases = registry.root().join("leases");
+            let entries = registry.root().join("entries");
+            // Dead-writer debris (pid 4M is beyond this container's pid
+            // space): a torn temp, an orphaned claim, an orphaned grave.
+            std::fs::write(entries.join("e.json.4000000.0.tmp"), "torn").unwrap();
+            std::fs::write(leases.join("k.claim-4000000-0"), "4000000 0").unwrap();
+            std::fs::write(leases.join("k.stale-4000000-1"), "4000000 1").unwrap();
+            // Live-writer files that must survive: our own in-flight
+            // temp, our own claim, a fresh legacy temp (age guard), and
+            // a held lock.
+            std::fs::write(entries.join(format!("f.json.{me}.0.tmp")), "mine").unwrap();
+            std::fs::write(leases.join(format!("k.claim-{me}-1")), "live").unwrap();
+            std::fs::write(entries.join("legacy.json.tmp"), "fresh").unwrap();
+            std::fs::write(leases.join("k.lock"), format!("{me} 0")).unwrap();
+
+            let report = registry.sweep_debris().unwrap();
+            assert_eq!(
+                report,
+                SweepReport {
+                    temps: 1,
+                    claims: 1,
+                    graves: 1
+                }
+            );
+            assert_eq!(report.total(), 3);
+            assert!(!entries.join("e.json.4000000.0.tmp").exists());
+            assert!(!leases.join("k.claim-4000000-0").exists());
+            assert!(!leases.join("k.stale-4000000-1").exists());
+            assert!(entries.join(format!("f.json.{me}.0.tmp")).exists());
+            assert!(leases.join(format!("k.claim-{me}-1")).exists());
+            assert!(entries.join("legacy.json.tmp").exists());
+            assert!(leases.join("k.lock").exists());
+        }
+        // Reopening sweeps automatically; the survivors still survive.
+        let reopened = Registry::open(&root).unwrap();
+        assert!(reopened
+            .root()
+            .join("entries")
+            .join("legacy.json.tmp")
+            .exists());
         std::fs::remove_dir_all(&root).ok();
     }
 

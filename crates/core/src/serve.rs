@@ -18,11 +18,12 @@
 //!
 //! | Method & path   | Body                                             | Effect |
 //! |-----------------|--------------------------------------------------|--------|
-//! | `GET /health`   | —                                                | liveness probe |
+//! | `GET /health`   | —                                                | liveness probe (200 even while draining) |
+//! | `GET /ready`    | —                                                | readiness probe (503 once draining) |
 //! | `GET /stats`    | —                                                | server counters |
 //! | `POST /fit`     | model spec (below)                               | load-or-fit via [`Registry::get_or_fit_study`] |
 //! | `POST /predict` | model spec + `"indices":[…]`                     | batched predictions |
-//! | `POST /shutdown`| —                                                | stop accepting |
+//! | `POST /shutdown`| —                                                | graceful drain |
 //!
 //! A model spec is `{"study":"memory","app":"gzip","seed":"00a5ceed",
 //! "budget":40}` plus optional `"quick":true` (quick simulation budget),
@@ -43,14 +44,16 @@
 //! at any batch composition. Responses carry `SimStats`-style telemetry:
 //! model cache hit/miss, model age, and the size of the coalesced batch.
 //!
-//! # Resource bounds
+//! # Resource bounds and load shedding
 //!
 //! A long-lived daemon must not let one misbehaving client (or many
 //! distinct model specs) grow its footprint without limit:
 //!
 //! - at most [`ServeConfig::max_connections`] connection threads exist
-//!   at once — the accept loop blocks until a permit frees, so excess
-//!   clients queue in the kernel backlog instead of spawning threads;
+//!   at once — when all slots are taken the accept loop waits at most
+//!   [`ServeConfig::gate_wait`] for one to free, then **sheds** the
+//!   connection with `503` + `Retry-After` (`requests_shed` in `/stats`)
+//!   instead of blocking the accept loop behind a saturated gate;
 //! - request parsing bounds header count and per-line length, and the
 //!   socket carries read/write timeouts, so a stalled or malicious
 //!   client cannot pin a thread or buffer unbounded memory;
@@ -58,8 +61,27 @@
 //!   ensembles; beyond that the least-recently-used entry is evicted
 //!   (`models_evicted` in `/stats`) and reloads warm from the registry
 //!   on next use.
+//!
+//! # Lifecycle
+//!
+//! `POST /shutdown` — or SIGTERM/SIGINT once the binary calls
+//! [`install_signal_handlers`] — triggers a **graceful drain**: the
+//! listener closes first (new connections are refused, load balancers
+//! see `/ready` flip to 503 beforehand via the draining flag), in-flight
+//! connections get up to [`ServeConfig::drain_deadline`] to finish, and
+//! a final stats snapshot is flushed to stderr. `/health` stays 200
+//! through the drain — liveness and readiness are distinct signals.
+//!
+//! Each connection runs its handler under `catch_unwind`: a panicking
+//! handler answers that client `500`, increments `panics_caught`, and
+//! the daemon keeps serving. A panic inside a coalescing leader's sweep
+//! fails every follower in the batch with a `500` as well — no follower
+//! is left waiting on a dead leader. The dispatch path and the sweep
+//! carry [`crate::failpoint`] sites ([`FP_HANDLER`], [`FP_SWEEP`]) so
+//! chaos schedules can inject exactly these failures.
 
 use crate::campaign::CampaignConfig;
+use crate::failpoint;
 use crate::infer;
 use crate::registry::{Registry, StudyFitSpec};
 use crate::sampling::Strategy;
@@ -87,6 +109,52 @@ const MAX_HEADERS: usize = 64;
 /// drain, in bounded time (a fit may run for minutes between the two —
 /// the timeout is per read/write call, not per request).
 const IO_TIMEOUT: Duration = Duration::from_secs(30);
+/// How often the (nonblocking) accept loop re-checks the shutdown and
+/// signal flags while no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Failpoint site evaluated at the top of every request dispatch. The
+/// `panic` action exercises per-connection panic isolation; `error`
+/// fails the request with a `500`.
+pub const FP_HANDLER: &str = "serve.handler";
+/// Failpoint site evaluated inside the coalescing leader's sweep, under
+/// the same `catch_unwind` isolation as the inference itself — firing
+/// `panic` here must fail every follower in the batch, not hang them.
+pub const FP_SWEEP: &str = "serve.sweep";
+
+/// Set by the SIGTERM/SIGINT handler; the accept loop treats it exactly
+/// like `POST /shutdown`.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGTERM or SIGINT has been delivered after
+/// [`install_signal_handlers`].
+pub fn shutdown_signaled() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}
+
+/// Routes SIGTERM and SIGINT into the graceful-drain path: the handler
+/// only sets an atomic flag, which the accept loop polls every
+/// few milliseconds, so the daemon drains instead of dying mid-commit.
+/// Process-global; call once from the binary's `main`.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// No-op off Unix: the daemon still drains via `POST /shutdown`.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
 
 /// Server policy.
 #[derive(Debug, Clone)]
@@ -95,10 +163,17 @@ pub struct ServeConfig {
     pub registry_root: PathBuf,
     /// How long a coalescing leader waits for followers before sweeping.
     pub tick: Duration,
-    /// Most connection threads alive at once (further accepts wait).
+    /// Most connection threads alive at once (further accepts shed after
+    /// [`ServeConfig::gate_wait`]).
     pub max_connections: usize,
     /// Most warm models held in memory (least-recently-used eviction).
     pub max_models: usize,
+    /// How long the accept loop waits for a free connection slot before
+    /// shedding the connection with `503` + `Retry-After`.
+    pub gate_wait: Duration,
+    /// How long a drain (shutdown request or signal) waits for in-flight
+    /// connections to finish before giving up on them.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServeConfig {
@@ -108,34 +183,68 @@ impl Default for ServeConfig {
             tick: Duration::from_millis(1),
             max_connections: 64,
             max_models: 32,
+            gate_wait: Duration::from_secs(2),
+            drain_deadline: Duration::from_secs(30),
         }
     }
 }
 
 /// Counting semaphore bounding live connection threads.
 struct ConnectionGate {
+    capacity: usize,
     free: Mutex<usize>,
     freed: Condvar,
 }
 
 impl ConnectionGate {
     fn new(slots: usize) -> Self {
+        let capacity = slots.max(1);
         Self {
-            free: Mutex::new(slots.max(1)),
+            capacity,
+            free: Mutex::new(capacity),
             freed: Condvar::new(),
         }
     }
 
-    /// Blocks until a slot frees, then claims it (released on drop).
-    fn acquire(self: &Arc<Self>) -> ConnectionPermit {
+    /// Claims a slot (released on drop) if one frees within `wait`;
+    /// `None` means the caller should shed the connection — the accept
+    /// loop must never block indefinitely behind a saturated gate.
+    fn acquire_timeout(self: &Arc<Self>, wait: Duration) -> Option<ConnectionPermit> {
+        let deadline = Instant::now() + wait;
         let mut free = self.free.lock().expect("connection gate poisoned");
         while *free == 0 {
-            free = self.freed.wait(free).expect("connection gate poisoned");
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            free = self
+                .freed
+                .wait_timeout(free, left)
+                .expect("connection gate poisoned")
+                .0;
         }
         *free -= 1;
-        ConnectionPermit {
+        Some(ConnectionPermit {
             gate: Arc::clone(self),
+        })
+    }
+
+    /// Waits until every permit is back (all connection threads done) or
+    /// `deadline` passes; `true` means fully idle.
+    fn wait_idle(&self, deadline: Instant) -> bool {
+        let mut free = self.free.lock().expect("connection gate poisoned");
+        while *free < self.capacity {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            free = self
+                .freed
+                .wait_timeout(free, left)
+                .expect("connection gate poisoned")
+                .0;
         }
+        true
     }
 }
 
@@ -146,7 +255,9 @@ struct ConnectionPermit {
 impl Drop for ConnectionPermit {
     fn drop(&mut self) {
         *self.gate.free.lock().expect("connection gate poisoned") += 1;
-        self.gate.freed.notify_one();
+        // Both kinds of waiters (acquirers and the drain's wait_idle) may
+        // be parked on this condvar.
+        self.gate.freed.notify_all();
     }
 }
 
@@ -172,10 +283,15 @@ struct Job {
     slot: Arc<JobSlot>,
 }
 
-/// Where a follower waits for the leader's sweep to land.
+/// One job's share of a coalesced sweep, or why the sweep failed.
+type SweepShare = Result<(Vec<f64>, BatchTelemetry), String>;
+
+/// Where a follower waits for the leader's sweep to land. A leader that
+/// panics (or hits an injected sweep failure) fills every slot with the
+/// error before unwinding, so no follower is ever left waiting forever.
 #[derive(Default)]
 struct JobSlot {
-    done: Mutex<Option<(Vec<f64>, BatchTelemetry)>>,
+    done: Mutex<Option<SweepShare>>,
     ready: Condvar,
 }
 
@@ -200,6 +316,11 @@ struct ServeStats {
     warm_loads: AtomicU64,
     models_evicted: AtomicU64,
     errors: AtomicU64,
+    /// Connections refused with `503` because the gate stayed saturated
+    /// past [`ServeConfig::gate_wait`].
+    requests_shed: AtomicU64,
+    /// Handler panics contained by the per-connection `catch_unwind`.
+    panics_caught: AtomicU64,
 }
 
 struct ServerInner {
@@ -212,6 +333,9 @@ struct ServerInner {
     gate: Arc<ConnectionGate>,
     stats: ServeStats,
     shutdown: AtomicBool,
+    /// Set when the drain begins; `/ready` answers 503 from then on
+    /// while `/health` stays 200 (readiness vs liveness).
+    draining: AtomicBool,
 }
 
 /// A bound (but not yet running) daemon.
@@ -254,6 +378,13 @@ impl ServeError {
             message: message.into(),
         }
     }
+
+    fn unavailable(message: impl Into<String>) -> Self {
+        Self {
+            status: 503,
+            message: message.into(),
+        }
+    }
 }
 
 impl Server {
@@ -279,6 +410,7 @@ impl Server {
                 gate,
                 stats: ServeStats::default(),
                 shutdown: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
             }),
             listener,
         })
@@ -289,32 +421,78 @@ impl Server {
         self.inner.addr
     }
 
-    /// Serves until `POST /shutdown`. Each connection is handled on its
-    /// own thread; one request per connection; at most
-    /// [`ServeConfig::max_connections`] threads at once (further accepts
-    /// wait for a permit, queueing clients in the kernel backlog).
+    /// Serves until `POST /shutdown` or a handled signal, then drains
+    /// gracefully. Each connection is handled on its own thread; one
+    /// request per connection; at most [`ServeConfig::max_connections`]
+    /// threads at once — when the gate stays saturated past
+    /// [`ServeConfig::gate_wait`], further connections are shed with
+    /// `503` + `Retry-After` instead of queueing without bound.
+    ///
+    /// The accept loop is nonblocking and polls the shutdown/signal
+    /// flags every few milliseconds, so a SIGTERM is observed promptly
+    /// even when no connection ever arrives.
     ///
     /// # Errors
     ///
-    /// Fails only on accept-loop I/O errors; per-connection errors are
+    /// Fails only on accept-loop setup errors; per-connection errors are
     /// reported to that client and counted in `/stats`.
     pub fn run(self) -> std::io::Result<()> {
-        for stream in self.listener.incoming() {
-            if self.inner.shutdown.load(Ordering::SeqCst) {
+        self.listener.set_nonblocking(true)?;
+        loop {
+            if self.inner.shutdown.load(Ordering::SeqCst) || shutdown_signaled() {
                 break;
             }
-            let stream = match stream {
-                Ok(s) => s,
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
                 Err(_) => continue,
             };
-            let permit = self.inner.gate.acquire();
-            let inner = Arc::clone(&self.inner);
-            std::thread::spawn(move || {
-                let _permit = permit;
-                handle_connection(stream, &inner);
-            });
+            // The listener is nonblocking; the per-connection socket must
+            // not be (its reads are bounded by IO_TIMEOUT instead).
+            let _ = stream.set_nonblocking(false);
+            match self.inner.gate.acquire_timeout(self.inner.config.gate_wait) {
+                Some(permit) => {
+                    let inner = Arc::clone(&self.inner);
+                    std::thread::spawn(move || {
+                        let _permit = permit;
+                        handle_connection(stream, &inner);
+                    });
+                }
+                None => {
+                    self.inner
+                        .stats
+                        .requests_shed
+                        .fetch_add(1, Ordering::Relaxed);
+                    shed(stream);
+                }
+            }
         }
+        self.drain();
         Ok(())
+    }
+
+    /// Graceful drain: mark not-ready, close the listener **first** (new
+    /// connections are refused from here on), give in-flight connection
+    /// threads up to [`ServeConfig::drain_deadline`] to finish, then
+    /// flush a final stats snapshot to stderr.
+    fn drain(self) {
+        let Server { inner, listener } = self;
+        inner.draining.store(true, Ordering::SeqCst);
+        drop(listener);
+        let deadline = Instant::now() + inner.config.drain_deadline;
+        if !inner.gate.wait_idle(deadline) {
+            eprintln!(
+                "archpredict-served: drain deadline ({:?}) passed with connections in flight",
+                inner.config.drain_deadline
+            );
+        }
+        eprintln!(
+            "archpredict-served: drained; final stats {}",
+            stats_json(&inner).to_json()
+        );
     }
 
     /// Runs the daemon on a background thread and returns a handle for
@@ -333,13 +511,10 @@ impl ServerHandle {
         self.inner.addr
     }
 
-    /// Stops the daemon and joins its thread.
+    /// Stops the daemon (graceful drain included) and joins its thread.
+    /// The accept loop polls the flag, so no network poke is needed.
     pub fn shutdown(self) {
-        let _ = http_request(self.inner.addr, "POST", "/shutdown", None);
-        // Belt and braces: if the shutdown request raced, set the flag and
-        // poke the accept loop directly.
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.inner.addr);
         let _ = self.thread.join();
     }
 }
@@ -419,18 +594,21 @@ fn handle_connection(stream: TcpStream, inner: &ServerInner) {
             return;
         }
     };
-    let result = match (method.as_str(), path.as_str()) {
-        ("GET", "/health") => Ok(Value::Object(vec![("ok".into(), Value::Bool(true))])),
-        ("GET", "/stats") => Ok(stats_json(inner)),
-        ("POST", "/fit") => handle_fit(inner, &body),
-        ("POST", "/predict") => handle_predict(inner, &body),
-        ("POST", "/shutdown") => {
-            inner.shutdown.store(true, Ordering::SeqCst);
-            Ok(Value::Object(vec![("ok".into(), Value::Bool(true))]))
+    // Panic isolation: one request's panic answers that client with a
+    // 500 and leaves the daemon serving. The coalescing path guarantees
+    // a panicking leader fails its followers before unwinding to here.
+    let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        dispatch(inner, &method, &path, &body)
+    }));
+    let result = match dispatched {
+        Ok(result) => result,
+        Err(panic) => {
+            inner.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+            Err(ServeError::internal(format!(
+                "handler panicked: {}",
+                panic_message(panic.as_ref())
+            )))
         }
-        _ => Err(ServeError::not_found(format!(
-            "no endpoint {method} {path}"
-        ))),
     };
     match result {
         Ok(value) => respond(&mut stream, 200, "OK", &value.to_json()),
@@ -439,10 +617,108 @@ fn handle_connection(stream: TcpStream, inner: &ServerInner) {
             respond_error(&mut stream, e.status, &e.message);
         }
     }
-    if inner.shutdown.load(Ordering::SeqCst) {
-        // Unblock the accept loop so `run` observes the flag.
-        let _ = TcpStream::connect(inner.addr);
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic.downcast_ref::<&str>().copied().unwrap_or_else(|| {
+        panic
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .unwrap_or("opaque panic payload")
+    })
+}
+
+/// Whether the daemon is past the point of accepting new work.
+fn draining(inner: &ServerInner) -> bool {
+    inner.draining.load(Ordering::SeqCst)
+        || inner.shutdown.load(Ordering::SeqCst)
+        || shutdown_signaled()
+}
+
+fn health_json(inner: &ServerInner) -> Value {
+    let draining = draining(inner);
+    Value::Object(vec![
+        ("ok".into(), Value::Bool(true)),
+        ("ready".into(), Value::Bool(!draining)),
+        ("draining".into(), Value::Bool(draining)),
+    ])
+}
+
+fn dispatch(
+    inner: &ServerInner,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<Value, ServeError> {
+    if let Some(failure) = failpoint::check(FP_HANDLER) {
+        return Err(ServeError::internal(
+            failure.into_io_error(FP_HANDLER).to_string(),
+        ));
     }
+    match (method, path) {
+        // Liveness: 200 as long as the process can answer at all, even
+        // mid-drain. Readiness: 503 once draining — load balancers stop
+        // routing before the listener actually closes.
+        ("GET", "/health") => Ok(health_json(inner)),
+        ("GET", "/ready") => {
+            if draining(inner) {
+                Err(ServeError::unavailable("draining; not accepting new work"))
+            } else {
+                Ok(health_json(inner))
+            }
+        }
+        ("GET", "/stats") => Ok(stats_json(inner)),
+        ("POST", "/fit") => handle_fit(inner, body),
+        ("POST", "/predict") => handle_predict(inner, body),
+        ("POST", "/shutdown") => {
+            // Flip readiness before the accept loop notices, so probes
+            // observe the drain from the first possible moment.
+            inner.draining.store(true, Ordering::SeqCst);
+            inner.shutdown.store(true, Ordering::SeqCst);
+            Ok(Value::Object(vec![("ok".into(), Value::Bool(true))]))
+        }
+        _ => Err(ServeError::not_found(format!(
+            "no endpoint {method} {path}"
+        ))),
+    }
+}
+
+/// Refuses a connection the gate could not admit: `503` with
+/// `Retry-After` so well-behaved clients back off. Written on a
+/// short-lived thread with a tight timeout — the accept loop must not
+/// stall behind a client that won't read.
+fn shed(stream: TcpStream) {
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        // Drain (a bounded amount of) the request before closing: a
+        // socket closed with unread bytes resets the connection, which
+        // would destroy the 503 before the client could read it.
+        let mut discard = [0u8; 4096];
+        for _ in 0..16 {
+            match stream.read(&mut discard) {
+                Ok(n) if n == discard.len() => continue,
+                _ => break,
+            }
+        }
+        let body = Value::Object(vec![
+            ("ok".into(), Value::Bool(false)),
+            (
+                "error".into(),
+                Value::Str("server saturated; retry after backoff".into()),
+            ),
+        ])
+        .to_json();
+        let header = format!(
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+             Retry-After: 1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        let _ = stream.write_all(header.as_bytes());
+        let _ = stream.write_all(body.as_bytes());
+        let _ = stream.flush();
+    });
 }
 
 /// Reads one line, erroring (instead of buffering without bound) past
@@ -504,6 +780,7 @@ fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
         400 => "Bad Request",
         404 => "Not Found",
         409 => "Conflict",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
     let body = Value::Object(vec![
@@ -528,6 +805,8 @@ fn stats_json(inner: &ServerInner) -> Value {
         ("warm_loads".into(), count(&s.warm_loads)),
         ("models_evicted".into(), count(&s.models_evicted)),
         ("errors".into(), count(&s.errors)),
+        ("requests_shed".into(), count(&s.requests_shed)),
+        ("panics_caught".into(), count(&s.panics_caught)),
         (
             "fits_performed".into(),
             Value::num(inner.registry.fits_performed() as f64),
@@ -718,7 +997,7 @@ fn handle_predict(inner: &ServerInner, body: &str) -> Result<Value, ServeError> 
             spec.key()
         )));
     }
-    let (predictions, telemetry) = predict_coalesced(inner, &entry, indices);
+    let (predictions, telemetry) = predict_coalesced(inner, &entry, indices)?;
     inner
         .stats
         .predictions
@@ -746,11 +1025,16 @@ fn handle_predict(inner: &ServerInner, body: &str) -> Result<Value, ServeError> 
 
 /// Queues one prediction job and either leads a coalesced sweep or waits
 /// for the elected leader's results (see module docs).
+///
+/// The leader runs its sweep under `catch_unwind`: on a panic (or an
+/// injected [`FP_SWEEP`] failure) every queued follower's slot is filled
+/// with the error before the leader unwinds, so followers fail with a
+/// `500` instead of waiting forever on a dead leader.
 fn predict_coalesced(
     inner: &ServerInner,
     entry: &ModelEntry,
     indices: Vec<usize>,
-) -> (Vec<f64>, BatchTelemetry) {
+) -> Result<(Vec<f64>, BatchTelemetry), ServeError> {
     let slot = Arc::new(JobSlot::default());
     let is_leader = {
         let mut state = entry.batch.lock().expect("batch state poisoned");
@@ -774,30 +1058,62 @@ fn predict_coalesced(
             .iter()
             .flat_map(|j| j.indices.iter().copied())
             .collect();
-        let predictions =
-            infer::predict_indices(&entry.ensemble, &entry.space, &all, Parallelism::Auto);
-        let telemetry = BatchTelemetry {
-            jobs: jobs.len(),
-            indices: all.len(),
+        let swept = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(failure) = failpoint::check(FP_SWEEP) {
+                return Err(failure.into_io_error(FP_SWEEP).to_string());
+            }
+            Ok(infer::predict_indices(
+                &entry.ensemble,
+                &entry.space,
+                &all,
+                Parallelism::Auto,
+            ))
+        }));
+        let fill_all = |message: String| {
+            for job in &jobs {
+                *job.slot.done.lock().expect("job slot poisoned") = Some(Err(message.clone()));
+                job.slot.ready.notify_all();
+            }
         };
-        inner.stats.predict_batches.fetch_add(1, Ordering::Relaxed);
-        inner
-            .stats
-            .coalesced_jobs
-            .fetch_add(telemetry.jobs as u64, Ordering::Relaxed);
-        let mut offset = 0;
-        for job in jobs {
-            let span = predictions[offset..offset + job.indices.len()].to_vec();
-            offset += job.indices.len();
-            *job.slot.done.lock().expect("job slot poisoned") = Some((span, telemetry));
-            job.slot.ready.notify_all();
+        match swept {
+            Ok(Ok(predictions)) => {
+                let telemetry = BatchTelemetry {
+                    jobs: jobs.len(),
+                    indices: all.len(),
+                };
+                inner.stats.predict_batches.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .stats
+                    .coalesced_jobs
+                    .fetch_add(telemetry.jobs as u64, Ordering::Relaxed);
+                let mut offset = 0;
+                for job in jobs {
+                    let span = predictions[offset..offset + job.indices.len()].to_vec();
+                    offset += job.indices.len();
+                    *job.slot.done.lock().expect("job slot poisoned") = Some(Ok((span, telemetry)));
+                    job.slot.ready.notify_all();
+                }
+            }
+            Ok(Err(message)) => fill_all(format!("coalesced sweep failed: {message}")),
+            Err(panic) => {
+                fill_all(format!(
+                    "coalescing leader panicked: {}",
+                    panic_message(panic.as_ref())
+                ));
+                // The leader's own connection still reports the panic
+                // (500 + panics_caught) through handle_connection.
+                std::panic::resume_unwind(panic);
+            }
         }
     }
     let mut done = slot.done.lock().expect("job slot poisoned");
     while done.is_none() {
         done = slot.ready.wait(done).expect("job slot poisoned");
     }
-    done.take().expect("checked above")
+    match done.take().expect("checked above") {
+        Ok(result) => Ok(result),
+        Err(message) => Err(ServeError::internal(message)),
+    }
 }
 
 #[cfg(test)]
@@ -941,16 +1257,31 @@ mod tests {
     #[test]
     fn connection_gate_bounds_concurrency_and_releases() {
         let gate = Arc::new(ConnectionGate::new(2));
-        let a = gate.acquire();
-        let _b = gate.acquire();
-        // Third acquire blocks until a permit drops.
+        let a = gate.acquire_timeout(Duration::from_secs(5)).unwrap();
+        let _b = gate.acquire_timeout(Duration::from_secs(5)).unwrap();
+        // Third acquire waits until a permit drops.
         let gate2 = Arc::clone(&gate);
-        let waiter = std::thread::spawn(move || {
-            let _c = gate2.acquire();
-        });
+        let waiter =
+            std::thread::spawn(move || gate2.acquire_timeout(Duration::from_secs(5)).is_some());
         std::thread::sleep(Duration::from_millis(20));
         assert!(!waiter.is_finished(), "third connection must wait");
         drop(a);
-        waiter.join().unwrap();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn saturated_gate_times_out_instead_of_blocking_forever() {
+        let gate = Arc::new(ConnectionGate::new(1));
+        let held = gate.acquire_timeout(Duration::from_secs(5)).unwrap();
+        let start = Instant::now();
+        assert!(
+            gate.acquire_timeout(Duration::from_millis(30)).is_none(),
+            "saturated gate must shed, not block"
+        );
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        // Idle-wait sees the outstanding permit, then its return.
+        assert!(!gate.wait_idle(Instant::now() + Duration::from_millis(20)));
+        drop(held);
+        assert!(gate.wait_idle(Instant::now() + Duration::from_secs(5)));
     }
 }

@@ -1,17 +1,26 @@
 //! `archpredict-served` — the prediction daemon (see `archpredict::serve`).
 //!
 //! Binds an HTTP/1.1 listener over a model registry and serves `/fit`
-//! and `/predict` until `POST /shutdown`. The first stdout line is
-//! always `archpredict-served listening on <addr>` so wrappers (the
-//! load generator, the CI smoke gate) can bind port 0 and scrape the
-//! concrete address.
+//! and `/predict` until `POST /shutdown`, SIGTERM, or SIGINT — all three
+//! trigger the same graceful drain (close the listener, finish in-flight
+//! work under `--drain-ms`, flush final stats to stderr). The first
+//! stdout line is always `archpredict-served listening on <addr>` so
+//! wrappers (the load generator, the chaos harness, the CI smoke gate)
+//! can bind port 0 and scrape the concrete address.
+//!
+//! Setting `ARCHPREDICT_FAILPOINTS` enrolls the daemon in a
+//! deterministic chaos schedule (see `archpredict::failpoint`); a
+//! malformed plan is a fatal startup error, never a silently unfaulted
+//! run.
 //!
 //! ```text
 //! archpredict-served [--addr 127.0.0.1:0] [--root results/registry] [--tick-ms 1]
 //!                    [--max-connections 64] [--max-models 32]
+//!                    [--gate-wait-ms 2000] [--drain-ms 30000]
 //! ```
 
-use archpredict::serve::{ServeConfig, Server};
+use archpredict::failpoint;
+use archpredict::serve::{install_signal_handlers, ServeConfig, Server};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -24,15 +33,15 @@ fn run() -> Result<(), String> {
             args.next()
                 .ok_or_else(|| format!("{name} requires a value"))
         };
+        let millis = |name: &str, text: String| -> Result<Duration, String> {
+            text.parse()
+                .map(Duration::from_millis)
+                .map_err(|_| format!("{name} requires an integer millisecond count"))
+        };
         match arg.as_str() {
             "--addr" => addr = value("--addr")?,
             "--root" => config.registry_root = value("--root")?.into(),
-            "--tick-ms" => {
-                let ms: u64 = value("--tick-ms")?
-                    .parse()
-                    .map_err(|_| "--tick-ms requires an integer".to_owned())?;
-                config.tick = Duration::from_millis(ms);
-            }
+            "--tick-ms" => config.tick = millis("--tick-ms", value("--tick-ms")?)?,
             "--max-connections" => {
                 config.max_connections = value("--max-connections")?
                     .parse()
@@ -43,16 +52,26 @@ fn run() -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--max-models requires an integer".to_owned())?;
             }
+            "--gate-wait-ms" => {
+                config.gate_wait = millis("--gate-wait-ms", value("--gate-wait-ms")?)?;
+            }
+            "--drain-ms" => {
+                config.drain_deadline = millis("--drain-ms", value("--drain-ms")?)?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: archpredict-served [--addr HOST:PORT] [--root DIR] [--tick-ms N] \
-                     [--max-connections N] [--max-models N]"
+                     [--max-connections N] [--max-models N] [--gate-wait-ms N] [--drain-ms N]"
                 );
                 return Ok(());
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
     }
+    if failpoint::install_from_env().map_err(|e| format!("failpoints: {e}"))? {
+        eprintln!("archpredict-served: failpoint schedule installed from environment");
+    }
+    install_signal_handlers();
     let server = Server::bind(addr.as_str(), config).map_err(|e| format!("bind {addr}: {e}"))?;
     // Contract with wrappers: the address line is first, and flushed.
     println!("archpredict-served listening on {}", server.local_addr());

@@ -10,12 +10,16 @@
 //! nonzero on any protocol violation so the coordinator sees a crash,
 //! never a silent wedge.
 
-use archpredict::distributed::{proto, WorkerSpec};
+use archpredict::distributed::{proto, WorkerSpec, FP_WORKER_EVAL};
+use archpredict::failpoint;
 use archpredict::simulate::PointEvaluator;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
 
 fn run() -> io::Result<()> {
+    // Chaos schedules reach workers through the environment: an `abort`
+    // plan on the eval site is a real, deterministic mid-span death.
+    failpoint::install_from_env().map_err(io::Error::other)?;
     let stdin = io::stdin().lock();
     let mut input = BufReader::new(stdin);
     let stdout = io::stdout().lock();
@@ -61,6 +65,12 @@ fn run() -> io::Result<()> {
             Some((&proto::OP_EVAL, body)) => {
                 let indices = proto::decode_eval(body)?;
                 for index in &indices {
+                    if let Some(failure) = failpoint::check(FP_WORKER_EVAL) {
+                        // `abort`/`exit` died inside check; a returnable
+                        // failure exits nonzero so the coordinator sees
+                        // a crash blamed on exactly this index.
+                        return Err(failure.into_io_error(FP_WORKER_EVAL));
+                    }
                     let point = space.try_point(*index as usize).map_err(|e| {
                         io::Error::new(
                             io::ErrorKind::InvalidData,

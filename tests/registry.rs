@@ -1,9 +1,9 @@
 //! Registry integration: artifacts round-trip bit-for-bit, concurrent
-//! callers collapse into one fit, a kill -9 between the object and
-//! manifest writes never leaves the manifest pointing at a torn artifact,
-//! and stale artifacts fail loudly instead of mispredicting.
+//! callers collapse into one fit, and stale artifacts fail loudly
+//! instead of mispredicting. (Crash-mid-commit coverage lives in
+//! tests/failpoints.rs, driven by the deterministic failpoint layer.)
 
-use archpredict::registry::{CrashPoint, ModelKey, Registry, RegistryError};
+use archpredict::registry::{ModelKey, Registry, RegistryError};
 use archpredict::{DesignSpace, Param};
 use archpredict_ann::train::train_multi_network;
 use archpredict_ann::{fit_ensemble, Dataset, Ensemble, Sample, TrainConfig};
@@ -216,38 +216,9 @@ fn concurrent_commits_of_distinct_keys_all_survive() {
     std::fs::remove_dir_all(&root).ok();
 }
 
-#[test]
-fn crash_between_object_and_manifest_never_tears_the_manifest() {
-    let root = temp_root("crash");
-    let space = tiny_space();
-    let fingerprint = space.fingerprint();
-    let key = ModelKey::new("test", "plain", "crash", 5, 24);
-    let ensemble = tiny_ensemble(&space, 5);
-
-    // Simulated kill -9 after the object write, before the manifest: the
-    // commit path dies exactly between its two atomic writes.
-    let registry = Registry::open(&root).unwrap();
-    registry
-        .commit_ensemble_with_crash(
-            &key,
-            fingerprint,
-            &ensemble,
-            Value::Null,
-            CrashPoint::AfterObject,
-        )
-        .unwrap();
-
-    // The next process sees a clean miss — never a torn artifact — and
-    // can fit and commit normally over the orphaned object.
-    let recovered = Registry::open(&root).unwrap();
-    assert!(recovered.get(&key, fingerprint).unwrap().is_none());
-    let outcome = recovered
-        .get_or_fit(&key, fingerprint, || Ok((ensemble.clone(), Value::Null)))
-        .unwrap();
-    assert!(!outcome.warm);
-    assert!(recovered.get(&key, fingerprint).unwrap().is_some());
-    std::fs::remove_dir_all(&root).ok();
-}
+// The kill-9-between-the-two-commit-writes test lives in
+// tests/failpoints.rs now: the failpoint layer drives the crash through
+// the real `get_or_fit` path instead of a bespoke test hook.
 
 #[test]
 fn stale_fingerprint_fails_loudly_instead_of_mispredicting() {

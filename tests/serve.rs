@@ -220,7 +220,12 @@ fn model_map_is_bounded_and_evicted_models_reload_warm() {
         r#"{{"study":"memory","app":"gzip","seed":"{SEED:x}","budget":{BUDGET},"batch":10,"quick":true,"indices":[0,1,2]}}"#
     );
     let (status, reply) = http_request(addr, "POST", "/predict", Some(&body)).unwrap();
-    assert_eq!(status, 200, "evicted model must reload: {}", reply.to_json());
+    assert_eq!(
+        status,
+        200,
+        "evicted model must reload: {}",
+        reply.to_json()
+    );
     assert_eq!(
         reply
             .get("stats")
