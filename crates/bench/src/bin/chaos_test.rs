@@ -37,13 +37,13 @@ use archpredict::registry::{Registry, StudyFitSpec, FP_COMMIT_ENTRY, FP_COMMIT_O
 use archpredict::serve::{http_request, FP_HANDLER};
 use archpredict::simulate::{Oracle, RetryPolicy, RetryingOracle, SimStats};
 use archpredict::studies::Study;
+use archpredict::telemetry::Counter;
 use archpredict_ann::Parallelism;
 use archpredict_bench::{locate_served_binary, write_artifact, Daemon};
 use archpredict_stats::rng::Xoshiro256;
 use archpredict_workloads::Benchmark;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -88,12 +88,22 @@ struct SpecRef {
 
 /// Counters shared by the client threads of one round (and summed into
 /// run totals): the evidence that every request was answered or shed.
-#[derive(Default)]
 struct RoundCounters {
-    ok: AtomicU64,
-    retried: AtomicU64,
-    shed: AtomicU64,
-    refits: AtomicU64,
+    ok: Counter,
+    retried: Counter,
+    shed: Counter,
+    refits: Counter,
+}
+
+impl Default for RoundCounters {
+    fn default() -> Self {
+        Self {
+            ok: Counter::new("chaos.ok"),
+            retried: Counter::new("chaos.retried"),
+            shed: Counter::new("chaos.shed"),
+            refits: Counter::new("chaos.refits"),
+        }
+    }
 }
 
 /// The daemon's current address; disruption rounds replace the daemon,
@@ -294,10 +304,10 @@ fn main() {
         let row = (
             round,
             kind.label(),
-            counters.ok.load(Ordering::Relaxed),
-            counters.retried.load(Ordering::Relaxed),
-            counters.shed.load(Ordering::Relaxed),
-            counters.refits.load(Ordering::Relaxed),
+            counters.ok.get(),
+            counters.retried.get(),
+            counters.shed.get(),
+            counters.refits.get(),
             wall,
         );
         eprintln!(
@@ -311,7 +321,7 @@ fn main() {
             (&totals.shed, row.4),
             (&totals.refits, row.5),
         ] {
-            total.fetch_add(value, Ordering::Relaxed);
+            total.add(value);
         }
         rows.push(row);
     }
@@ -380,9 +390,9 @@ fn main() {
         "chaos_test: PASS — {rounds} rounds ({sigterms} sigterm, {sigkills} sigkill), \
          {total_requests} requests all answered ({} retried, {} shed, {} refits), \
          {worker_respawns} worker respawns healed",
-        totals.retried.load(Ordering::Relaxed),
-        totals.shed.load(Ordering::Relaxed),
-        totals.refits.load(Ordering::Relaxed),
+        totals.retried.get(),
+        totals.shed.get(),
+        totals.refits.get(),
     );
 
     // ---- Artifacts.
@@ -404,10 +414,10 @@ fn main() {
              \"debris_swept_on_reopen\": {},\n  \
              \"verdicts\": {{\n    \"artifacts_byte_identical\": true,\n    \
              \"predictions_bit_identical\": true,\n    \"registry_debris_free\": true\n  }},\n",
-            totals.ok.load(Ordering::Relaxed),
-            totals.retried.load(Ordering::Relaxed),
-            totals.shed.load(Ordering::Relaxed),
-            totals.refits.load(Ordering::Relaxed),
+            totals.ok.get(),
+            totals.retried.get(),
+            totals.shed.get(),
+            totals.refits.get(),
             swept.total(),
         ));
         json.push_str("  \"rows\": [\n");
@@ -558,11 +568,11 @@ fn fit_until_ok(
     loop {
         match http_request(addr.get(), "POST", "/fit", Some(&spec_ref.fit_body)) {
             Ok((200, reply)) => {
-                counters.ok.fetch_add(1, Ordering::Relaxed);
+                counters.ok.incr();
                 return reply;
             }
-            Ok((503, _)) => counters.shed.fetch_add(1, Ordering::Relaxed),
-            Ok((_, _)) | Err(_) => counters.retried.fetch_add(1, Ordering::Relaxed),
+            Ok((503, _)) => counters.shed.incr(),
+            Ok((_, _)) | Err(_) => counters.retried.incr(),
         };
         assert!(
             Instant::now() < deadline,
@@ -580,7 +590,7 @@ fn predict_until_ok(addr: &AddrCell, spec_ref: &SpecRef, counters: &RoundCounter
     loop {
         match http_request(addr.get(), "POST", "/predict", Some(&spec_ref.predict_body)) {
             Ok((200, reply)) => {
-                counters.ok.fetch_add(1, Ordering::Relaxed);
+                counters.ok.incr();
                 return reply
                     .get("predictions")
                     .unwrap()
@@ -590,13 +600,13 @@ fn predict_until_ok(addr: &AddrCell, spec_ref: &SpecRef, counters: &RoundCounter
                     .map(|v| v.as_f64().unwrap())
                     .collect();
             }
-            Ok((503, _)) => counters.shed.fetch_add(1, Ordering::Relaxed),
+            Ok((503, _)) => counters.shed.incr(),
             Ok((404, _)) => {
-                counters.refits.fetch_add(1, Ordering::Relaxed);
+                counters.refits.incr();
                 fit_until_ok(addr, spec_ref, counters);
                 continue;
             }
-            Ok((_, _)) | Err(_) => counters.retried.fetch_add(1, Ordering::Relaxed),
+            Ok((_, _)) | Err(_) => counters.retried.incr(),
         };
         assert!(
             Instant::now() < deadline,
@@ -620,18 +630,22 @@ fn assert_served_matches(spec_ref: &SpecRef, served: &[f64]) {
     }
 }
 
-/// The daemon must answer `/health` 200 shortly after every round
-/// (injected handler faults can 500 a few probes; kills cannot linger).
+/// The daemon must answer `/ready` 200 with `ready: true` shortly after
+/// every round (injected handler faults can 500 a few probes; kills
+/// cannot linger). Readiness is the right probe here, not liveness: a
+/// draining daemon still answers `/health` 200 but will never take the
+/// next round's work.
 fn health_check(addr: &AddrCell) {
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
-        if let Ok((200, health)) = http_request(addr.get(), "GET", "/health", None) {
-            assert!(health.get("ok").unwrap().as_bool().unwrap());
+        if let Ok((200, ready)) = http_request(addr.get(), "GET", "/ready", None) {
+            assert!(ready.get("ok").unwrap().as_bool().unwrap());
+            assert!(ready.get("ready").unwrap().as_bool().unwrap());
             return;
         }
         assert!(
             Instant::now() < deadline,
-            "daemon unhealthy 30s after the round ended"
+            "daemon not ready 30s after the round ended"
         );
         std::thread::sleep(Duration::from_millis(50));
     }

@@ -17,13 +17,56 @@
 use archpredict::campaign::CampaignConfig;
 use archpredict::infer;
 use archpredict::registry::{Registry, StudyFitSpec};
-use archpredict::serve::http_request;
+use archpredict::serve::{http_request, http_request_text};
 use archpredict::studies::Study;
 use archpredict_ann::Parallelism;
 use archpredict_bench::{locate_served_binary, write_artifact, Daemon};
 use archpredict_workloads::Benchmark;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
 use std::path::Path;
 use std::time::Instant;
+
+/// Counters the `/metrics` smoke gate requires by name: the serving
+/// funnel plus the inference and registry work it fans into. Names are
+/// part of the scrape contract — renaming one breaks dashboards, so it
+/// breaks this gate first.
+const REQUIRED_METRICS: &[&str] = &[
+    "serve.requests",
+    "serve.predictions",
+    "serve.predict_batches",
+    "serve.coalesced_jobs",
+    "serve.model_cache_hits",
+    "serve.model_cache_misses",
+    "serve.errors",
+    "infer.sweeps",
+    "infer.points",
+    "registry.fits",
+];
+
+/// Scrapes `GET /metrics` and parses the stable text format into a
+/// name → value map, asserting the versioned header is intact.
+fn scrape_metrics(addr: SocketAddr) -> BTreeMap<String, u64> {
+    let (status, text) = http_request_text(addr, "GET", "/metrics", None).expect("metrics scrape");
+    assert_eq!(status, 200, "metrics scrape failed: {text}");
+    let mut lines = text.lines();
+    assert_eq!(
+        lines.next(),
+        Some("# archpredict metrics v1"),
+        "metrics header is versioned"
+    );
+    lines
+        .map(|line| {
+            let (name, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("malformed metrics line {line:?}"));
+            let value: u64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("non-integer counter in {line:?}"));
+            (name.to_string(), value)
+        })
+        .collect()
+}
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
@@ -154,6 +197,17 @@ fn main() {
         served.len()
     );
 
+    // First metrics scrape, taken while the daemon already holds real
+    // traffic state (fit + bit-identity probe above): every required
+    // counter must exist before the load phases begin.
+    let before = scrape_metrics(addr);
+    for name in REQUIRED_METRICS {
+        assert!(
+            before.contains_key(*name),
+            "/metrics is missing required counter {name}"
+        );
+    }
+
     // Load phases.
     let mut rows: Vec<(usize, usize, f64, f64, f64)> = Vec::new();
     eprintln!(
@@ -196,6 +250,32 @@ fn main() {
         );
         rows.push((n_clients, latencies.len(), p50, p99, throughput));
     }
+
+    // Second scrape after the load ran through: counters are cumulative,
+    // so every one must be monotonic, and the serving funnel must have
+    // visibly moved.
+    let after = scrape_metrics(addr);
+    for (name, &was) in &before {
+        let now = *after
+            .get(name)
+            .unwrap_or_else(|| panic!("counter {name} disappeared between scrapes"));
+        assert!(
+            now >= was,
+            "counter {name} went backwards across scrapes: {was} -> {now}"
+        );
+    }
+    assert!(
+        after["serve.requests"] > before["serve.requests"],
+        "load phases did not move serve.requests"
+    );
+    assert!(
+        after["serve.predictions"] > before["serve.predictions"],
+        "load phases did not move serve.predictions"
+    );
+    eprintln!(
+        "load_test: /metrics smoke passed ({} counters, all monotonic)",
+        after.len()
+    );
 
     // Coalescing telemetry straight from the daemon.
     let (_, stats) = http_request(addr, "GET", "/stats", None).expect("stats");

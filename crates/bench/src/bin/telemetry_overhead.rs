@@ -1,0 +1,260 @@
+//! Telemetry overhead gate: the unified `core::telemetry` layer promises
+//! that instrumentation is free when nobody is looking — a disarmed span
+//! is one relaxed atomic load, a counter bump is one relaxed add — and
+//! close to free even with the JSONL trace sink armed. This bench holds
+//! that promise numerically on the two hot paths the paper's pipeline
+//! spends its time in: the batched inference sweep (`infer.sweep` span +
+//! counters per call) and the cached simulation batch (per-hit counter
+//! traffic), measured disarmed and then with `ARCHPREDICT_TRACE` armed.
+//!
+//! Both legs assert **bit-for-bit identical results** across the armed
+//! and disarmed runs — arming observability must never perturb the
+//! numbers — and at full workload size the armed best-of-N time must be
+//! within [`MAX_OVERHEAD_PCT`] percent of the disarmed one. Usage:
+//!
+//! ```text
+//! cargo run --release --bin telemetry_overhead [points] [sweeps] [repeats]
+//! ```
+//!
+//! Writes `results/telemetry_overhead.csv` and
+//! `results/telemetry_overhead.json` unconditionally: this bench *is*
+//! the machine-readable evidence for the overhead claim.
+
+use archpredict::infer::predict_indices;
+use archpredict::simulate::{CachedEvaluator, Oracle, SimBudget, SimStats, StudyEvaluator};
+use archpredict::studies::Study;
+use archpredict::telemetry;
+use archpredict_ann::{fit_ensemble, Dataset, Parallelism, Sample, TrainConfig};
+use archpredict_bench::write_artifact;
+use archpredict_stats::rng::Xoshiro256;
+use archpredict_stats::sampling::sample_without_replacement;
+use std::path::Path;
+use std::time::Instant;
+
+/// Maximum tolerated slowdown of the armed run over the disarmed run.
+const MAX_OVERHEAD_PCT: f64 = 2.0;
+
+/// Below this many swept points the timed regions are too short for a
+/// percent-level comparison; the run still measures and reports, but the
+/// gate is skipped (same policy as the speedup benches).
+const ASSERT_MIN_POINTS: usize = 4_096;
+
+struct Leg {
+    name: &'static str,
+    disarmed: f64,
+    armed: f64,
+}
+
+impl Leg {
+    fn overhead_pct(&self) -> f64 {
+        (self.armed / self.disarmed - 1.0) * 100.0
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let points: usize = args
+        .next()
+        .map(|a| a.parse().expect("points must be a number"))
+        .unwrap_or(8_192);
+    let sweeps: usize = args
+        .next()
+        .map(|a| a.parse().expect("sweeps must be a number"))
+        .unwrap_or(8);
+    let repeats: usize = args
+        .next()
+        .map(|a| a.parse().expect("repeats must be a number"))
+        .unwrap_or(5);
+    assert!(points > 0 && sweeps > 0 && repeats > 0);
+
+    // The trace sink is process-global; this bench owns it for the whole
+    // run. Start from a known-disarmed state whatever the environment
+    // carried in.
+    telemetry::clear_trace();
+    let trace_path = std::env::temp_dir().join(format!(
+        "archpredict_telemetry_overhead_{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&trace_path);
+
+    let study = Study::MemorySystem;
+    let space = study.space();
+    let points = points.min(space.size());
+    eprintln!(
+        "telemetry_overhead: {points} points x {sweeps} sweeps (predict leg), \
+         best of {repeats}, trace sink {}",
+        trace_path.display()
+    );
+
+    // ---- Predict leg: the batched inference sweep. ----
+    let mut rng = Xoshiro256::seed_from(2);
+    let data: Dataset = sample_without_replacement(space.size(), 300, &mut rng)
+        .into_iter()
+        .map(|i| {
+            let f = space.encode(&space.point(i));
+            let t = 0.5 + 0.3 * f[0];
+            Sample::new(f, t)
+        })
+        .collect();
+    let config = TrainConfig {
+        max_epochs: 100,
+        ..TrainConfig::default()
+    };
+    let fit = fit_ensemble(&data, 10, &config, 3);
+    let indices: Vec<usize> = (0..points).collect();
+    // `sweeps` separate calls per timed region: each call is one
+    // `infer.sweep` span, so the armed run pays `sweeps` JSONL appends —
+    // the per-call cost is what the gate bounds, not one amortized line.
+    let run_predict = || -> (f64, Vec<f64>) {
+        let mut best = f64::INFINITY;
+        let mut last = Vec::new();
+        for _ in 0..repeats {
+            let started = Instant::now();
+            for _ in 0..sweeps {
+                last = predict_indices(&fit.ensemble, &space, &indices, Parallelism::Fixed(1));
+            }
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        (best, last)
+    };
+    let (predict_disarmed, reference) = run_predict();
+    telemetry::install_trace(&trace_path).expect("arm trace sink");
+    let (predict_armed, armed_predictions) = run_predict();
+    telemetry::clear_trace();
+    assert_eq!(
+        reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        armed_predictions
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        "arming the trace sink changed the predictions"
+    );
+
+    // ---- Sim leg: the cached simulation batch. ----
+    let benchmark = archpredict_workloads::Benchmark::Gzip;
+    let generator = archpredict_workloads::TraceGenerator::new(benchmark);
+    let budget = SimBudget::spread(&generator, 2, 4_000, 8_000);
+    let unique: Vec<usize> = {
+        let n = 48.min(space.size());
+        let stride = space.size() / n;
+        (0..n).map(|i| i * stride).collect()
+    };
+    let mut sim_indices: Vec<usize> = Vec::new();
+    for _ in 0..3 {
+        sim_indices.extend_from_slice(&unique);
+    }
+    archpredict_stats::sampling::shuffle(&mut sim_indices, &mut rng);
+    let run_sim = || -> (f64, SimStats) {
+        let mut best = f64::INFINITY;
+        let mut last = SimStats::default();
+        for _ in 0..repeats {
+            let cached = CachedEvaluator::with_parallelism(
+                StudyEvaluator::with_budget(study, benchmark, budget.clone()),
+                space.clone(),
+                Parallelism::Fixed(1),
+            );
+            let mut stats = SimStats::default();
+            let started = Instant::now();
+            let results = cached.evaluate_batch(&space, &sim_indices, &mut stats);
+            best = best.min(started.elapsed().as_secs_f64());
+            assert!(results.iter().all(Result::is_ok));
+            last = stats;
+        }
+        (best, last)
+    };
+    let (sim_disarmed, stats_disarmed) = run_sim();
+    telemetry::install_trace(&trace_path).expect("re-arm trace sink");
+    let (sim_armed, stats_armed) = run_sim();
+    telemetry::clear_trace();
+    assert_eq!(
+        stats_disarmed.unique_simulations, stats_armed.unique_simulations,
+        "arming the trace sink changed the simulation work"
+    );
+    assert_eq!(stats_disarmed.cache_hits, stats_armed.cache_hits);
+
+    // The armed runs must have actually traced something: a sink that
+    // silently dropped events would make this whole comparison vacuous.
+    let traced = std::fs::read_to_string(&trace_path).expect("read trace file");
+    let span_lines = traced
+        .lines()
+        .filter(|l| l.contains("\"event\":\"span\""))
+        .count();
+    assert!(
+        span_lines >= sweeps,
+        "armed runs emitted only {span_lines} span events (expected >= {sweeps})"
+    );
+    let _ = std::fs::remove_file(&trace_path);
+
+    let legs = [
+        Leg {
+            name: "predict_sweep",
+            disarmed: predict_disarmed,
+            armed: predict_armed,
+        },
+        Leg {
+            name: "sim_batch",
+            disarmed: sim_disarmed,
+            armed: sim_armed,
+        },
+    ];
+
+    eprintln!(
+        "{:>14} {:>12} {:>12} {:>9}",
+        "leg", "disarmed s", "armed s", "overhead"
+    );
+    let mut table = String::from("leg,disarmed_seconds,armed_seconds,overhead_pct\n");
+    for leg in &legs {
+        eprintln!(
+            "{:>14} {:>12.4} {:>12.4} {:>8.2}%",
+            leg.name,
+            leg.disarmed,
+            leg.armed,
+            leg.overhead_pct()
+        );
+        table.push_str(&format!(
+            "{},{:.6},{:.6},{:.3}\n",
+            leg.name,
+            leg.disarmed,
+            leg.armed,
+            leg.overhead_pct()
+        ));
+    }
+    write_artifact(Path::new("results/telemetry_overhead.csv"), &table);
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"points\": {points},\n  \"sweeps\": {sweeps},\n  \"repeats\": {repeats},\n  \
+         \"span_events_observed\": {span_lines},\n  \
+         \"max_overhead_pct\": {MAX_OVERHEAD_PCT},\n  \
+         \"determinism\": \"bit_identical_armed_vs_disarmed\",\n  \"rows\": [\n"
+    ));
+    for (i, leg) in legs.iter().enumerate() {
+        let comma = if i + 1 < legs.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"leg\": \"{}\", \"disarmed_seconds\": {:.6}, \"armed_seconds\": {:.6}, \
+             \"overhead_pct\": {:.3}}}{comma}\n",
+            leg.name,
+            leg.disarmed,
+            leg.armed,
+            leg.overhead_pct()
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    write_artifact(Path::new("results/telemetry_overhead.json"), &json);
+
+    if points >= ASSERT_MIN_POINTS {
+        for leg in &legs {
+            let overhead = leg.overhead_pct();
+            assert!(
+                overhead < MAX_OVERHEAD_PCT,
+                "{} leg: armed run is {overhead:.2}% slower than disarmed \
+                 ({:.4}s vs {:.4}s); telemetry must stay under {MAX_OVERHEAD_PCT}%",
+                leg.name,
+                leg.armed,
+                leg.disarmed
+            );
+        }
+        eprintln!("overhead gate: both legs under {MAX_OVERHEAD_PCT}% (best of {repeats})");
+    } else {
+        eprintln!("(smoke run: <{ASSERT_MIN_POINTS} points, overhead assertion skipped)");
+    }
+}

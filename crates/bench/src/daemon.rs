@@ -8,12 +8,24 @@
 //! contract: the first line is always
 //! `archpredict-served listening on <addr>`, flushed before anything
 //! else, so wrappers can bind `127.0.0.1:0` and learn the concrete port.
+//! The address line says the listener exists; it does not say the daemon
+//! will accept work, so [`Daemon::spawn`] additionally blocks on the
+//! `GET /ready` probe — the same endpoint a load balancer would watch —
+//! before handing the child to the harness.
 
 use archpredict::failpoint::ENV_FAILPOINTS;
+use archpredict::serve::http_request;
 use std::io::{BufRead, BufReader};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+/// How long [`Daemon::spawn`] waits for the readiness probe to pass.
+/// Generous because CI machines can be slow to schedule the child, but
+/// chaos schedules (a handler failpoint can 500 a few probes) still fit
+/// comfortably inside it.
+const READY_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Environment override for the daemon binary's location.
 pub const ENV_SERVED_BIN: &str = "ARCHPREDICT_SERVED_BIN";
@@ -104,7 +116,25 @@ impl Daemon {
                 return Err(format!("unparsable daemon address line {first_line:?}"));
             }
         };
-        Ok(Daemon { child, addr })
+        let daemon = Daemon { child, addr };
+        // Readiness, not liveness: the listener existing is not the same
+        // as the daemon accepting work. A spawn that cannot pass `/ready`
+        // is dead on arrival for every harness, so fail it here (the
+        // `Daemon` drop kills the child).
+        daemon.wait_ready(READY_DEADLINE)?;
+        Ok(daemon)
+    }
+
+    /// Polls `GET /ready` until the daemon reports itself ready to accept
+    /// work (200 with `"ready": true`), or `deadline` elapses. See
+    /// [`wait_ready`].
+    ///
+    /// # Errors
+    ///
+    /// When the deadline passes without a ready answer; the message
+    /// carries the last observed probe outcome.
+    pub fn wait_ready(&self, deadline: Duration) -> Result<(), String> {
+        wait_ready(self.addr, deadline)
     }
 
     /// The daemon's bound address, scraped from its first stdout line.
@@ -150,5 +180,97 @@ impl Drop for Daemon {
     fn drop(&mut self) {
         let _ = self.child.kill();
         let _ = self.child.wait();
+    }
+}
+
+/// Polls `GET /ready` at `addr` until the daemon reports itself ready to
+/// accept work (200 with `"ready": true`), or `deadline` elapses.
+///
+/// Transient failures — connection refused during startup, a 500 from an
+/// armed handler failpoint — are retried; only the deadline is fatal. A
+/// draining daemon answers 503 forever, so a harness waiting on one fails
+/// here instead of hanging on its first real request. This is the one
+/// readiness wait every harness shares; none of them poll `/health`,
+/// which stays 200 on a daemon that will never take their work.
+///
+/// # Errors
+///
+/// When the deadline passes without a ready answer; the message carries
+/// the last observed probe outcome.
+pub fn wait_ready(addr: SocketAddr, deadline: Duration) -> Result<(), String> {
+    let give_up = Instant::now() + deadline;
+    let mut last: String;
+    loop {
+        match http_request(addr, "GET", "/ready", None) {
+            Ok((200, body)) if matches!(body.get("ready").and_then(|v| v.as_bool()), Ok(true)) => {
+                return Ok(());
+            }
+            Ok((status, _)) => last = format!("last probe answered {status}"),
+            Err(e) => last = format!("last probe failed: {e}"),
+        }
+        if Instant::now() >= give_up {
+            return Err(format!(
+                "daemon at {addr} not ready after {deadline:?} ({last})"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    /// Answers every connection at the returned address with `status` and
+    /// `body` until the listener is dropped with the thread.
+    fn fake_daemon(status: &'static str, body: &'static str) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake daemon");
+        let addr = listener.local_addr().expect("local addr");
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                let response = format!(
+                    "HTTP/1.1 {status}\r\nContent-Type: application/json\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = stream.write_all(response.as_bytes());
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn ready_wait_passes_a_ready_daemon() {
+        let addr = fake_daemon("200 OK", r#"{"ok":true,"ready":true,"draining":false}"#);
+        wait_ready(addr, Duration::from_secs(5)).expect("ready daemon passes the wait");
+    }
+
+    /// Regression for the `/health` -> `/ready` switch: a draining daemon
+    /// is alive (its `/health` would answer 200) but answers `/ready`
+    /// with 503, and the readiness wait must reject it instead of handing
+    /// it to a harness.
+    #[test]
+    fn ready_wait_rejects_a_draining_daemon() {
+        let addr = fake_daemon(
+            "503 Service Unavailable",
+            r#"{"ok":false,"error":"draining; not accepting new work"}"#,
+        );
+        let err = wait_ready(addr, Duration::from_millis(200))
+            .expect_err("draining daemon must fail the wait");
+        assert!(err.contains("503"), "error should carry the probe: {err}");
+    }
+
+    #[test]
+    fn ready_wait_requires_the_ready_flag_not_just_a_200() {
+        // A liveness-style answer (200 without `ready: true`) must not
+        // satisfy a readiness wait.
+        let addr = fake_daemon("200 OK", r#"{"ok":true,"ready":false,"draining":true}"#);
+        wait_ready(addr, Duration::from_millis(200))
+            .expect_err("200 with ready=false must fail the wait");
     }
 }

@@ -57,6 +57,7 @@ use crate::checkpoint::{ExplorerState, TrainSnapshot};
 use crate::sampling::Strategy;
 use crate::simulate::{Oracle, SimStats};
 use crate::space::DesignSpace;
+use crate::telemetry;
 use archpredict_ann::cross_validation::{fit_ensemble, ErrorEstimate, FoldRecord};
 use archpredict_ann::{Dataset, Ensemble, Parallelism, Sample, TrainConfig};
 use archpredict_stats::describe::Accumulator;
@@ -695,12 +696,14 @@ impl<'a, O: Oracle, C: Encoder> Campaign<'a, O, C> {
     /// error, so a failed round wastes no simulations — stepping again with
     /// more points available can succeed.
     pub fn try_step(&mut self) -> Result<&Round, ExploreError> {
+        let _round_span = telemetry::span("campaign.round");
         // 1. Choose fresh points. Under active learning with a trained
         // ensemble this scores candidates through the batched inference
         // path — that is the round's prediction work, so time it.
         let scoring =
             self.ensemble.is_some() && matches!(self.config.strategy, Strategy::Active { .. });
         let selection_started = std::time::Instant::now();
+        let select_span = telemetry::span("campaign.select");
         let parallelism = self.parallelism();
         let batch = match self.config.strategy {
             Strategy::Random => self.sampler.next_batch(self.config.batch),
@@ -717,6 +720,7 @@ impl<'a, O: Oracle, C: Encoder> Campaign<'a, O, C> {
                 )
             }
         };
+        drop(select_span);
         let prediction_seconds = if scoring {
             selection_started.elapsed().as_secs_f64()
         } else {
@@ -731,6 +735,7 @@ impl<'a, O: Oracle, C: Encoder> Campaign<'a, O, C> {
         // the space runs dry, so a faulty backend cannot starve the
         // training set.
         let sim_started = std::time::Instant::now();
+        let collect_span = telemetry::span("campaign.collect");
         let mut simulation = SimStats::default();
         let Self {
             evaluator,
@@ -758,6 +763,7 @@ impl<'a, O: Oracle, C: Encoder> Campaign<'a, O, C> {
                 quarantined.insert(index);
             },
         );
+        drop(collect_span);
         let simulation_seconds = sim_started.elapsed().as_secs_f64();
         // 3. Train the cross-validation ensemble, with the fold count
         // clamped to the training-set size (a tiny first batch would
@@ -769,13 +775,19 @@ impl<'a, O: Oracle, C: Encoder> Campaign<'a, O, C> {
             });
         }
         let started = std::time::Instant::now();
+        let fit_span = telemetry::span("campaign.fit");
         let fit_seed = self.rng.next_u64();
         let fit = fit_ensemble(&self.dataset, folds, &self.config.train, fit_seed);
+        drop(fit_span);
         let training_seconds = started.elapsed().as_secs_f64();
         self.ensemble = Some(fit.ensemble);
         self.last_fit_seed = Some(fit_seed);
         self.last_train = Some(TrainSnapshot::of(&self.config.train));
-        // 4. Record the estimate.
+        // 4. Record the estimate. The round's deterministic SimStats delta
+        // is mirrored into the process-wide telemetry counters here — once
+        // per round, after the per-round bookkeeping is final.
+        telemetry::record_sim(&simulation);
+        telemetry::CAMPAIGN_ROUNDS.incr();
         self.history.push(Round {
             samples: self.dataset.len(),
             fraction_sampled: self.dataset.len() as f64 / self.space.size() as f64,

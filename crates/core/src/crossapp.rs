@@ -100,6 +100,9 @@ impl CrossAppModel {
             );
         }
         let simulation_seconds = sim_started.elapsed().as_secs_f64();
+        // One deterministic delta per pooled fit, mirrored after the
+        // per-fit bookkeeping is final (see `telemetry::record_sim`).
+        crate::telemetry::record_sim(&simulation);
         let fit_seed = Xoshiro256::seed_from(seed)
             .derive(seed_stream::CROSSAPP_FIT)
             .next_u64();

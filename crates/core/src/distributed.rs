@@ -51,11 +51,12 @@
 use crate::simulate::{PointEvaluator, SimBudget, SimError, SimResult, StudyEvaluator};
 use crate::space::{DesignPoint, DesignSpace};
 use crate::studies::Study;
+use crate::telemetry::{self, Counter};
 use archpredict_workloads::{Benchmark, TraceGenerator};
 use std::io::{self, Write};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -102,7 +103,10 @@ pub mod proto {
     /// Magic bytes opening every stream.
     pub const MAGIC: [u8; 4] = *b"APWK";
     /// Protocol version (bumped on any framing or spec-encoding change).
-    pub const VERSION: u16 = 1;
+    /// Version 2 added the `u64` trace ID carried by `EVAL`, `RESULT`
+    /// and `SPAN_DONE`, propagating [`crate::telemetry`] trace context
+    /// across the process boundary.
+    pub const VERSION: u16 = 2;
     /// Frames larger than this are rejected as protocol desync (a length
     /// prefix of garbage bytes must not trigger a giant allocation).
     pub const MAX_FRAME: u32 = 1 << 26;
@@ -148,10 +152,14 @@ pub mod proto {
         Ok(payload)
     }
 
-    /// Encodes an `EVAL` payload: opcode, `u32` count, `u64` indices.
-    pub fn encode_eval(indices: &[usize]) -> Vec<u8> {
-        let mut p = Vec::with_capacity(5 + 8 * indices.len());
+    /// Encodes an `EVAL` payload: opcode, `u64` trace ID, `u32` count,
+    /// `u64` indices. The trace ID (0 = untraced) is echoed back in every
+    /// `RESULT` and the closing `SPAN_DONE`, tying worker events to the
+    /// coordinator-side request that caused them.
+    pub fn encode_eval(trace: u64, indices: &[usize]) -> Vec<u8> {
+        let mut p = Vec::with_capacity(13 + 8 * indices.len());
         p.push(OP_EVAL);
+        p.extend_from_slice(&trace.to_le_bytes());
         p.extend_from_slice(&(indices.len() as u32).to_le_bytes());
         for &index in indices {
             p.extend_from_slice(&(index as u64).to_le_bytes());
@@ -159,23 +167,28 @@ pub mod proto {
         p
     }
 
-    /// Decodes an `EVAL` body (everything after the opcode byte).
-    pub fn decode_eval(body: &[u8]) -> io::Result<Vec<u64>> {
-        if body.len() < 4 {
+    /// Decodes an `EVAL` body (everything after the opcode byte) into
+    /// `(trace, indices)`.
+    pub fn decode_eval(body: &[u8]) -> io::Result<(u64, Vec<u64>)> {
+        if body.len() < 12 {
             return Err(bad("truncated EVAL frame"));
         }
-        let count = u32::from_le_bytes([body[0], body[1], body[2], body[3]]) as usize;
-        let rest = &body[4..];
+        let trace = u64::from_le_bytes([
+            body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
+        ]);
+        let count = u32::from_le_bytes([body[8], body[9], body[10], body[11]]) as usize;
+        let rest = &body[12..];
         if rest.len() != 8 * count {
             return Err(bad(format!(
                 "EVAL frame claims {count} indices but carries {} bytes",
                 rest.len()
             )));
         }
-        Ok(rest
+        let indices = rest
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
-            .collect())
+            .collect();
+        Ok((trace, indices))
     }
 
     /// The wire tag for a [`SimResult`]: `0` = ok, else the error code.
@@ -202,10 +215,12 @@ pub mod proto {
         }
     }
 
-    /// Encodes a `RESULT` payload: opcode, `u64` index, tag, `f64` bits.
-    pub fn encode_result(index: u64, result: &SimResult) -> Vec<u8> {
-        let mut p = Vec::with_capacity(18);
+    /// Encodes a `RESULT` payload: opcode, `u64` trace ID (echoed from
+    /// the `EVAL` frame), `u64` index, tag, `f64` bits.
+    pub fn encode_result(trace: u64, index: u64, result: &SimResult) -> Vec<u8> {
+        let mut p = Vec::with_capacity(26);
         p.push(OP_RESULT);
+        p.extend_from_slice(&trace.to_le_bytes());
         p.extend_from_slice(&index.to_le_bytes());
         p.push(result_tag(result));
         let bits = match result {
@@ -216,40 +231,51 @@ pub mod proto {
         p
     }
 
-    /// Decodes a `RESULT` body (everything after the opcode byte).
-    pub fn decode_result(body: &[u8]) -> io::Result<(u64, SimResult)> {
-        if body.len() != 17 {
+    /// Decodes a `RESULT` body (everything after the opcode byte) into
+    /// `(trace, index, result)`.
+    pub fn decode_result(body: &[u8]) -> io::Result<(u64, u64, SimResult)> {
+        if body.len() != 25 {
             return Err(bad(format!("RESULT frame of {} bytes", body.len())));
         }
-        let index = u64::from_le_bytes([
+        let trace = u64::from_le_bytes([
             body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
         ]);
-        let tag = body[8];
+        let index = u64::from_le_bytes([
+            body[8], body[9], body[10], body[11], body[12], body[13], body[14], body[15],
+        ]);
+        let tag = body[16];
         let bits = u64::from_le_bytes([
-            body[9], body[10], body[11], body[12], body[13], body[14], body[15], body[16],
+            body[17], body[18], body[19], body[20], body[21], body[22], body[23], body[24],
         ]);
         let result = if tag == 0 {
             Ok(f64::from_bits(bits))
         } else {
             Err(error_from_tag(tag).ok_or_else(|| bad(format!("unknown error tag {tag}")))?)
         };
-        Ok((index, result))
+        Ok((trace, index, result))
     }
 
-    /// Encodes a `SPAN_DONE` payload: opcode, `u32` reply count.
-    pub fn encode_span_done(count: u32) -> Vec<u8> {
-        let mut p = Vec::with_capacity(5);
+    /// Encodes a `SPAN_DONE` payload: opcode, `u64` trace ID (echoed),
+    /// `u32` reply count.
+    pub fn encode_span_done(trace: u64, count: u32) -> Vec<u8> {
+        let mut p = Vec::with_capacity(13);
         p.push(OP_SPAN_DONE);
+        p.extend_from_slice(&trace.to_le_bytes());
         p.extend_from_slice(&count.to_le_bytes());
         p
     }
 
-    /// Decodes a `SPAN_DONE` body (everything after the opcode byte).
-    pub fn decode_span_done(body: &[u8]) -> io::Result<u32> {
-        if body.len() != 4 {
+    /// Decodes a `SPAN_DONE` body (everything after the opcode byte)
+    /// into `(trace, count)`.
+    pub fn decode_span_done(body: &[u8]) -> io::Result<(u64, u32)> {
+        if body.len() != 12 {
             return Err(bad(format!("SPAN_DONE frame of {} bytes", body.len())));
         }
-        Ok(u32::from_le_bytes([body[0], body[1], body[2], body[3]]))
+        let trace = u64::from_le_bytes([
+            body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
+        ]);
+        let count = u32::from_le_bytes([body[8], body[9], body[10], body[11]]);
+        Ok((trace, count))
     }
 }
 
@@ -624,10 +650,15 @@ impl PointEvaluator for SleepyEvaluator {
 enum Msg {
     /// The worker echoed the handshake correctly.
     Hello,
-    /// One index's result.
-    Result { index: u64, result: SimResult },
-    /// The worker finished its span (`count` replies sent).
-    SpanDone { count: u32 },
+    /// One index's result, echoing the span's trace ID.
+    Result {
+        trace: u64,
+        index: u64,
+        result: SimResult,
+    },
+    /// The worker finished its span (`count` replies sent), echoing the
+    /// span's trace ID.
+    SpanDone { trace: u64, count: u32 },
     /// The worker spoke garbage; the stream is unusable.
     Malformed(String),
 }
@@ -672,8 +703,8 @@ pub struct ProcessPoolOracle {
     /// [`ProcessPoolOracle::worker_pids`] never blocks on a running span
     /// (crash tests SIGKILL a worker *while* its span is in flight).
     pids: Vec<AtomicU32>,
-    respawns: AtomicU64,
-    timeouts: AtomicU64,
+    respawns: Counter,
+    timeouts: Counter,
 }
 
 impl std::fmt::Debug for Worker {
@@ -710,8 +741,8 @@ impl ProcessPoolOracle {
             span_timeout: span_timeout_from_env(),
             slots: (0..workers).map(|_| Mutex::new(None)).collect(),
             pids: (0..workers).map(|_| AtomicU32::new(0)).collect(),
-            respawns: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
+            respawns: Counter::mirroring("distributed.respawns", &telemetry::DISTRIBUTED_RESPAWNS),
+            timeouts: Counter::mirroring("distributed.timeouts", &telemetry::DISTRIBUTED_TIMEOUTS),
         })
     }
 
@@ -737,12 +768,12 @@ impl ProcessPoolOracle {
 
     /// Workers replaced after a crash, desync or deadline kill.
     pub fn respawns(&self) -> u64 {
-        self.respawns.load(Ordering::Relaxed)
+        self.respawns.get()
     }
 
     /// Spans whose deadline expired (each also counts a respawn).
     pub fn span_timeouts(&self) -> u64 {
-        self.timeouts.load(Ordering::Relaxed)
+        self.timeouts.get()
     }
 
     /// PIDs of the currently live workers (spawned lazily, so this is
@@ -820,6 +851,11 @@ impl ProcessPoolOracle {
     /// stream replies into `out`, and on death/deadline blame exactly the
     /// in-flight index, respawn, and reassign the unfinished remainder.
     fn run_span(&self, slot_index: usize, span: &[usize], out: &mut [SimResult]) {
+        let _span_event = telemetry::span("distributed.span");
+        // The thread's trace ID rides the EVAL frame to the worker, which
+        // echoes it in every RESULT and the closing SPAN_DONE — a reply
+        // carrying the wrong trace is a protocol desync like any other.
+        let trace = telemetry::current_trace();
         let mut slot = self.slots[slot_index].lock().expect("worker slot");
         // (position in `out`, design-point index) pairs still unanswered.
         let mut remaining: Vec<(usize, usize)> = span.iter().copied().enumerate().collect();
@@ -854,7 +890,7 @@ impl ProcessPoolOracle {
             // and retries the same indices.
             let sent = match crate::failpoint::check(FP_SPAN_SEND) {
                 Some(failure) => Err(failure.into_io_error(FP_SPAN_SEND)),
-                None => proto::write_frame(&mut worker.stdin, &proto::encode_eval(&indices))
+                None => proto::write_frame(&mut worker.stdin, &proto::encode_eval(trace, &indices))
                     .and_then(|_| worker.stdin.flush()),
             };
             if sent.is_err() {
@@ -862,7 +898,7 @@ impl ProcessPoolOracle {
                 // flight, so nothing is blamed — just replace it.
                 self.pids[slot_index].store(0, Ordering::Relaxed);
                 Self::reap(slot.take());
-                self.respawns.fetch_add(1, Ordering::Relaxed);
+                self.respawns.incr();
                 consecutive_failures += 1;
                 continue;
             }
@@ -888,15 +924,23 @@ impl ProcessPoolOracle {
                     },
                 };
                 match received {
-                    Msg::Result { index, result }
-                        if answered < remaining.len()
-                            && index as usize == remaining[answered].1 =>
+                    Msg::Result {
+                        trace: echoed,
+                        index,
+                        result,
+                    } if echoed == trace
+                        && answered < remaining.len()
+                        && index as usize == remaining[answered].1 =>
                     {
                         out[remaining[answered].0] = result;
                         answered += 1;
                     }
-                    Msg::SpanDone { count }
-                        if answered == remaining.len() && count as usize == answered =>
+                    Msg::SpanDone {
+                        trace: echoed,
+                        count,
+                    } if echoed == trace
+                        && answered == remaining.len()
+                        && count as usize == answered =>
                     {
                         break SpanOutcome::Done;
                     }
@@ -915,11 +959,11 @@ impl ProcessPoolOracle {
                 SpanOutcome::Done => remaining.clear(),
                 SpanOutcome::TimedOut | SpanOutcome::Died => {
                     if matches!(outcome, SpanOutcome::TimedOut) {
-                        self.timeouts.fetch_add(1, Ordering::Relaxed);
+                        self.timeouts.incr();
                     }
                     self.pids[slot_index].store(0, Ordering::Relaxed);
                     Self::reap(slot.take());
-                    self.respawns.fetch_add(1, Ordering::Relaxed);
+                    self.respawns.incr();
                     if answered >= remaining.len() {
                         // Death after the final reply but before
                         // SPAN_DONE: every result already landed.
@@ -970,13 +1014,20 @@ impl PointEvaluator for ProcessPoolOracle {
         let workers = self.workers.min(indices.len());
         let chunk = indices.len().div_ceil(workers);
         let mut results = vec![Ok(0.0); indices.len()];
+        // Trace context is thread-local; capture it here and re-attach
+        // inside each scoped worker thread so span frames carry the
+        // caller's trace ID across the process boundary.
+        let trace = telemetry::current_trace();
         std::thread::scope(|scope| {
             for (slot_index, (out, span)) in results
                 .chunks_mut(chunk)
                 .zip(indices.chunks(chunk))
                 .enumerate()
             {
-                scope.spawn(move || self.run_span(slot_index, span, out));
+                scope.spawn(move || {
+                    let _trace_scope = telemetry::set_trace(trace);
+                    self.run_span(slot_index, span, out);
+                });
             }
         });
         Some(results)
@@ -1020,11 +1071,15 @@ fn reader_loop(stdout: ChildStdout, tx: &mpsc::Sender<Msg>) {
         };
         let msg = match payload.split_first() {
             Some((&proto::OP_RESULT, body)) => match proto::decode_result(body) {
-                Ok((index, result)) => Msg::Result { index, result },
+                Ok((trace, index, result)) => Msg::Result {
+                    trace,
+                    index,
+                    result,
+                },
                 Err(e) => Msg::Malformed(e.to_string()),
             },
             Some((&proto::OP_SPAN_DONE, body)) => match proto::decode_span_done(body) {
-                Ok(count) => Msg::SpanDone { count },
+                Ok((trace, count)) => Msg::SpanDone { trace, count },
                 Err(e) => Msg::Malformed(e.to_string()),
             },
             Some((&op, _)) => Msg::Malformed(format!("unexpected opcode {op:#04x}")),
@@ -1097,12 +1152,12 @@ mod tests {
     fn frame_round_trip() {
         let mut pipe: Vec<u8> = Vec::new();
         proto::write_frame(&mut pipe, &[1, 2, 3]).unwrap();
-        proto::write_frame(&mut pipe, &proto::encode_span_done(7)).unwrap();
+        proto::write_frame(&mut pipe, &proto::encode_span_done(0xFEED, 7)).unwrap();
         let mut cursor = &pipe[..];
         assert_eq!(proto::read_frame(&mut cursor).unwrap(), vec![1, 2, 3]);
         let done = proto::read_frame(&mut cursor).unwrap();
         assert_eq!(done[0], proto::OP_SPAN_DONE);
-        assert_eq!(proto::decode_span_done(&done[1..]).unwrap(), 7);
+        assert_eq!(proto::decode_span_done(&done[1..]).unwrap(), (0xFEED, 7));
         // EOF at a frame boundary is an error the reader maps to death.
         assert!(proto::read_frame(&mut cursor).is_err());
     }
@@ -1119,10 +1174,12 @@ mod tests {
     #[test]
     fn eval_round_trip() {
         let indices = vec![0usize, 7, 23_039, usize::MAX >> 1];
-        let payload = proto::encode_eval(&indices);
+        let trace = 0xDEAD_BEEF_0123_4567u64;
+        let payload = proto::encode_eval(trace, &indices);
         assert_eq!(payload[0], proto::OP_EVAL);
-        let decoded = proto::decode_eval(&payload[1..]).unwrap();
+        let (echoed, decoded) = proto::decode_eval(&payload[1..]).unwrap();
         let expected: Vec<u64> = indices.iter().map(|&i| i as u64).collect();
+        assert_eq!(echoed, trace);
         assert_eq!(decoded, expected);
         assert!(proto::decode_eval(&payload[1..payload.len() - 1]).is_err());
     }
@@ -1140,10 +1197,12 @@ mod tests {
             Err(SimError::TimedOut),
             Err(SimError::Quarantined),
         ];
+        let trace = 0x0123_4567_89AB_CDEFu64;
         for (i, result) in cases.iter().enumerate() {
-            let payload = proto::encode_result(i as u64, result);
+            let payload = proto::encode_result(trace, i as u64, result);
             assert_eq!(payload[0], proto::OP_RESULT);
-            let (index, decoded) = proto::decode_result(&payload[1..]).unwrap();
+            let (echoed, index, decoded) = proto::decode_result(&payload[1..]).unwrap();
+            assert_eq!(echoed, trace);
             assert_eq!(index, i as u64);
             match (result, &decoded) {
                 (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits(), "case {i}"),
@@ -1153,8 +1212,8 @@ mod tests {
         }
         assert!(proto::decode_result(&[0u8; 16]).is_err());
         // Unknown error tag.
-        let mut bogus = proto::encode_result(0, &Err(SimError::Crashed));
-        bogus[9] = 99;
+        let mut bogus = proto::encode_result(trace, 0, &Err(SimError::Crashed));
+        bogus[17] = 99;
         assert!(proto::decode_result(&bogus[1..]).is_err());
     }
 

@@ -11,9 +11,9 @@
 
 use crate::simulate::{Oracle, SimError, SimResult, SimStats};
 use crate::space::DesignSpace;
+use crate::telemetry::{self, Counter};
 use archpredict_stats::rng::Xoshiro256;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Fault schedule configuration for [`FaultInjectingOracle`].
@@ -100,7 +100,7 @@ pub struct FaultInjectingOracle<O> {
     /// Attempts seen per index (shared across batches, so retries of an
     /// index advance its schedule).
     attempts: Mutex<HashMap<usize, u64>>,
-    injected: AtomicU64,
+    injected: Counter,
 }
 
 impl<O: Oracle> FaultInjectingOracle<O> {
@@ -115,7 +115,7 @@ impl<O: Oracle> FaultInjectingOracle<O> {
             inner,
             config,
             attempts: Mutex::new(HashMap::new()),
-            injected: AtomicU64::new(0),
+            injected: Counter::mirroring("fault.injected", &telemetry::FAULT_INJECTED),
         }
     }
 
@@ -131,7 +131,7 @@ impl<O: Oracle> FaultInjectingOracle<O> {
 
     /// Total faults injected so far.
     pub fn injected(&self) -> u64 {
-        self.injected.load(Ordering::Relaxed)
+        self.injected.get()
     }
 }
 
@@ -157,7 +157,7 @@ impl<O: Oracle> Oracle for FaultInjectingOracle<O> {
                 match self.config.fault_for(index, *attempt) {
                     Some(error) => {
                         stats.failures += 1;
-                        self.injected.fetch_add(1, Ordering::Relaxed);
+                        self.injected.incr();
                         results.push(Err(error));
                     }
                     None => {
@@ -184,7 +184,7 @@ mod tests {
     use crate::simulate::{PointEvaluator, RetryingOracle};
     use crate::space::DesignPoint;
     use crate::studies::Study;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     struct CountingEvaluator {
         calls: AtomicUsize,

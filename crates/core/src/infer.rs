@@ -21,6 +21,7 @@
 //! established for `fit_ensemble`.
 
 use crate::space::DesignSpace;
+use crate::telemetry;
 use archpredict_ann::{Ensemble, Parallelism, PredictBuffer};
 
 /// Points encoded and predicted per inner batch. Bounds each worker's
@@ -117,6 +118,11 @@ where
     E: Fn(usize, &mut Vec<f64>) + Sync,
     F: Fn(&[f64], &mut Vec<f64>, &mut PredictBuffer) + Sync,
 {
+    // Telemetry: counters are deterministic (sweep and point counts do
+    // not depend on the worker split); timing lives in the span only.
+    let _span = telemetry::span("infer.sweep");
+    telemetry::INFER_SWEEPS.incr();
+    telemetry::INFER_POINTS.add(indices.len() as u64);
     let mut out = vec![0.0; indices.len()];
     let workers = parallelism.worker_count(indices.len().div_ceil(CHUNK));
     if workers <= 1 {

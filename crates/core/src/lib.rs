@@ -61,6 +61,10 @@
 //!   ensembles can train on.
 //! * [`report`] — learning curves, CSV/tables for regenerating the
 //!   paper's figures.
+//! * [`telemetry`] — the unified observability layer: process-wide
+//!   metric counters behind the daemon's `GET /metrics`, JSONL span
+//!   events (`ARCHPREDICT_TRACE=path`), and cross-process trace-ID
+//!   propagation through the APWK wire protocol.
 //!
 //! # Quickstart
 //!
@@ -106,6 +110,7 @@ pub mod simulate;
 pub mod smarts;
 pub mod space;
 pub mod studies;
+pub mod telemetry;
 
 pub use campaign::{AppEncoder, Campaign, CampaignConfig, Encoder, PlainEncoder};
 pub use checkpoint::{CheckpointError, ExplorerState};

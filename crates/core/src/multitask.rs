@@ -359,6 +359,9 @@ pub fn fit_multitask_oracles<O: Oracle + ?Sized>(
         }
     }
 
+    // One deterministic delta per multi-task fit, mirrored after the
+    // per-fit bookkeeping is final (see `telemetry::record_sim`).
+    crate::telemetry::record_sim(&simulation);
     let fit_seed = Xoshiro256::seed_from(seed)
         .derive(seed_stream::FIT)
         .next_u64();

@@ -69,6 +69,7 @@ use crate::persist;
 use crate::sampling::Strategy;
 use crate::simulate::{CachedEvaluator, SimBudget, StudyEvaluator};
 use crate::studies::Study;
+use crate::telemetry::{self, Counter};
 use archpredict_ann::{Ensemble, MultiTrainedModel};
 use archpredict_stats::hash::fnv1a_64;
 use archpredict_stats::json::{JsonError, Value};
@@ -374,8 +375,9 @@ fn classify_debris(name: &str, in_leases: bool) -> Option<(DebrisKind, Option<u3
 pub struct Registry {
     root: PathBuf,
     /// Fits this instance actually performed (warm loads excluded) — the
-    /// telemetry the zero-fit warm-rerun gates assert on.
-    fits: AtomicU64,
+    /// telemetry the zero-fit warm-rerun gates assert on. Mirrored into
+    /// the process-wide `registry.fits` counter.
+    fits: Counter,
 }
 
 /// One index record (internal representation of an entry file).
@@ -411,7 +413,7 @@ impl Registry {
         std::fs::create_dir_all(root.join("leases"))?;
         let registry = Self {
             root,
-            fits: AtomicU64::new(0),
+            fits: Counter::mirroring("registry.fits", &telemetry::REGISTRY_FITS),
         };
         // Crashed writers leave torn temps and orphaned lease files that
         // nothing ever reads or renames; sweep them (best-effort) so they
@@ -472,7 +474,7 @@ impl Registry {
 
     /// Fits this instance has actually run (warm loads don't count).
     pub fn fits_performed(&self) -> u64 {
-        self.fits.load(Ordering::Relaxed)
+        self.fits.get()
     }
 
     fn entry_path(&self, slug: &str) -> PathBuf {
@@ -649,6 +651,7 @@ impl Registry {
         store: impl Fn(&M, u64) -> String,
         fit: impl FnOnce() -> Result<(M, Value), String>,
     ) -> Result<FitOutcome<M>, RegistryError> {
+        let _span = telemetry::span("registry.get_or_fit");
         // Fast path: warm artifact, no locks.
         if let Some(outcome) = self.get_with(key, fingerprint, kind, &load)? {
             return Ok(outcome);
@@ -669,8 +672,10 @@ impl Registry {
             drop(lease);
             return Ok(outcome);
         }
+        let fit_span = telemetry::span("registry.fit");
         let (model, payload) = fit().map_err(RegistryError::Fit)?;
-        self.fits.fetch_add(1, Ordering::Relaxed);
+        drop(fit_span);
+        self.fits.incr();
         let text = store(&model, fingerprint);
         self.commit(key, kind, fingerprint, &text, payload.clone())?;
         drop(lease);

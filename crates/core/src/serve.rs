@@ -20,7 +20,8 @@
 //! |-----------------|--------------------------------------------------|--------|
 //! | `GET /health`   | —                                                | liveness probe (200 even while draining) |
 //! | `GET /ready`    | —                                                | readiness probe (503 once draining) |
-//! | `GET /stats`    | —                                                | server counters |
+//! | `GET /stats`    | —                                                | server counters (JSON view) |
+//! | `GET /metrics`  | —                                                | process-wide [`crate::telemetry`] registry (plain text) |
 //! | `POST /fit`     | model spec (below)                               | load-or-fit via [`Registry::get_or_fit_study`] |
 //! | `POST /predict` | model spec + `"indices":[…]`                     | batched predictions |
 //! | `POST /shutdown`| —                                                | graceful drain |
@@ -87,6 +88,7 @@ use crate::registry::{Registry, StudyFitSpec};
 use crate::sampling::Strategy;
 use crate::space::DesignSpace;
 use crate::studies::Study;
+use crate::telemetry::{self, Counter};
 use archpredict_ann::{Ensemble, Parallelism};
 use archpredict_stats::json::Value;
 use archpredict_workloads::Benchmark;
@@ -305,22 +307,66 @@ struct BatchTelemetry {
 }
 
 /// Monotonic server counters, exposed at `GET /stats`.
-#[derive(Debug, Default)]
+///
+/// Each counter is instance-scoped (this server's `/stats` view) and
+/// mirrors into the process-wide [`crate::telemetry`] registry behind
+/// `GET /metrics` — one increment updates both, and in-process test
+/// servers keep authoritative per-instance counts.
+#[derive(Debug)]
 struct ServeStats {
-    requests: AtomicU64,
-    predictions: AtomicU64,
-    predict_batches: AtomicU64,
-    coalesced_jobs: AtomicU64,
-    model_cache_hits: AtomicU64,
-    model_cache_misses: AtomicU64,
-    warm_loads: AtomicU64,
-    models_evicted: AtomicU64,
-    errors: AtomicU64,
+    requests: Counter,
+    predictions: Counter,
+    predict_batches: Counter,
+    coalesced_jobs: Counter,
+    model_cache_hits: Counter,
+    model_cache_misses: Counter,
+    warm_loads: Counter,
+    models_evicted: Counter,
+    errors: Counter,
     /// Connections refused with `503` because the gate stayed saturated
     /// past [`ServeConfig::gate_wait`].
-    requests_shed: AtomicU64,
+    requests_shed: Counter,
     /// Handler panics contained by the per-connection `catch_unwind`.
-    panics_caught: AtomicU64,
+    panics_caught: Counter,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        Self {
+            requests: Counter::mirroring("serve.requests", &telemetry::SERVE_REQUESTS),
+            predictions: Counter::mirroring("serve.predictions", &telemetry::SERVE_PREDICTIONS),
+            predict_batches: Counter::mirroring(
+                "serve.predict_batches",
+                &telemetry::SERVE_PREDICT_BATCHES,
+            ),
+            coalesced_jobs: Counter::mirroring(
+                "serve.coalesced_jobs",
+                &telemetry::SERVE_COALESCED_JOBS,
+            ),
+            model_cache_hits: Counter::mirroring(
+                "serve.model_cache_hits",
+                &telemetry::SERVE_MODEL_CACHE_HITS,
+            ),
+            model_cache_misses: Counter::mirroring(
+                "serve.model_cache_misses",
+                &telemetry::SERVE_MODEL_CACHE_MISSES,
+            ),
+            warm_loads: Counter::mirroring("serve.warm_loads", &telemetry::SERVE_WARM_LOADS),
+            models_evicted: Counter::mirroring(
+                "serve.models_evicted",
+                &telemetry::SERVE_MODELS_EVICTED,
+            ),
+            errors: Counter::mirroring("serve.errors", &telemetry::SERVE_ERRORS),
+            requests_shed: Counter::mirroring(
+                "serve.requests_shed",
+                &telemetry::SERVE_REQUESTS_SHED,
+            ),
+            panics_caught: Counter::mirroring(
+                "serve.panics_caught",
+                &telemetry::SERVE_PANICS_CAUGHT,
+            ),
+        }
+    }
 }
 
 struct ServerInner {
@@ -462,10 +508,7 @@ impl Server {
                     });
                 }
                 None => {
-                    self.inner
-                        .stats
-                        .requests_shed
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.inner.stats.requests_shed.incr();
                     shed(stream);
                 }
             }
@@ -532,6 +575,23 @@ pub fn http_request(
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, Value), String> {
+    let (status, text) = http_request_text(addr, method, path, body)?;
+    let value = Value::parse(&text).map_err(|e| format!("response not JSON: {e}"))?;
+    Ok((status, value))
+}
+
+/// [`http_request`] without the JSON parse: returns the raw body text.
+/// The client for non-JSON endpoints (`GET /metrics`).
+///
+/// # Errors
+///
+/// On connection/transport failure or a malformed response envelope.
+pub fn http_request_text(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr} failed: {e}"))?;
     let body = body.unwrap_or("");
     let request = format!(
@@ -574,12 +634,11 @@ pub fn http_request(
         .read_exact(&mut body)
         .map_err(|e| format!("read body failed: {e}"))?;
     let text = String::from_utf8(body).map_err(|_| "response body not UTF-8".to_owned())?;
-    let value = Value::parse(&text).map_err(|e| format!("response not JSON: {e}"))?;
-    Ok((status, value))
+    Ok((status, text))
 }
 
 fn handle_connection(stream: TcpStream, inner: &ServerInner) {
-    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+    inner.stats.requests.incr();
     let mut stream = stream;
     // A stalled client must not pin this thread: every socket read and
     // write is individually bounded.
@@ -589,11 +648,23 @@ fn handle_connection(stream: TcpStream, inner: &ServerInner) {
     let (method, path, body) = match parsed {
         Ok(r) => r,
         Err(e) => {
-            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            inner.stats.errors.incr();
             respond_error(&mut stream, 400, &format!("malformed request: {e}"));
             return;
         }
     };
+    // The metrics scrape is plain text, not JSON, and must stay cheap
+    // and infallible — it bypasses the JSON dispatch (and its failpoint)
+    // entirely.
+    if method == "GET" && path == "/metrics" {
+        respond_text(&mut stream, 200, "OK", &telemetry::render_metrics());
+        return;
+    }
+    // Stamp the request with a fresh trace ID: every span this thread
+    // opens downstream — registry fit, campaign round, inference sweep,
+    // worker dispatch — carries it, reconstructing the causal tree.
+    let _trace_scope = telemetry::set_trace(telemetry::fresh_trace_id());
+    let _request_span = telemetry::span("serve.request");
     // Panic isolation: one request's panic answers that client with a
     // 500 and leaves the daemon serving. The coalescing path guarantees
     // a panicking leader fails its followers before unwinding to here.
@@ -603,7 +674,7 @@ fn handle_connection(stream: TcpStream, inner: &ServerInner) {
     let result = match dispatched {
         Ok(result) => result,
         Err(panic) => {
-            inner.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+            inner.stats.panics_caught.incr();
             Err(ServeError::internal(format!(
                 "handler panicked: {}",
                 panic_message(panic.as_ref())
@@ -613,7 +684,7 @@ fn handle_connection(stream: TcpStream, inner: &ServerInner) {
     match result {
         Ok(value) => respond(&mut stream, 200, "OK", &value.to_json()),
         Err(e) => {
-            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            inner.stats.errors.incr();
             respond_error(&mut stream, e.status, &e.message);
         }
     }
@@ -765,8 +836,23 @@ fn read_request(stream: &mut TcpStream) -> Result<(String, String, String), Stri
 }
 
 fn respond(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    respond_with_type(stream, status, reason, "application/json", body);
+}
+
+/// Plain-text response — the `/metrics` scrape format.
+fn respond_text(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    respond_with_type(stream, status, reason, "text/plain; charset=utf-8", body);
+}
+
+fn respond_with_type(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) {
     let header = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
@@ -793,7 +879,7 @@ fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
 
 fn stats_json(inner: &ServerInner) -> Value {
     let s = &inner.stats;
-    let count = |c: &AtomicU64| Value::num(c.load(Ordering::Relaxed) as f64);
+    let count = |c: &Counter| Value::num(c.get() as f64);
     Value::Object(vec![
         ("ok".into(), Value::Bool(true)),
         ("requests".into(), count(&s.requests)),
@@ -898,14 +984,11 @@ fn resolve_model(
                 inner.clock.fetch_add(1, Ordering::Relaxed),
                 Ordering::Relaxed,
             );
-            inner.stats.model_cache_hits.fetch_add(1, Ordering::Relaxed);
+            inner.stats.model_cache_hits.incr();
             return Ok((Arc::clone(entry), "hit", Value::Null));
         }
     }
-    inner
-        .stats
-        .model_cache_misses
-        .fetch_add(1, Ordering::Relaxed);
+    inner.stats.model_cache_misses.incr();
     // Fit/load outside the map lock: campaigns take minutes and other
     // models must keep serving. The registry's own per-key discipline
     // collapses duplicate concurrent fits.
@@ -927,7 +1010,7 @@ fn resolve_model(
         (outcome, "warm")
     };
     if how == "warm" {
-        inner.stats.warm_loads.fetch_add(1, Ordering::Relaxed);
+        inner.stats.warm_loads.incr();
     }
     let payload = outcome.payload.clone();
     let stamp = inner.clock.fetch_add(1, Ordering::Relaxed);
@@ -951,7 +1034,7 @@ fn resolve_model(
             break;
         };
         models.remove(&victim);
-        inner.stats.models_evicted.fetch_add(1, Ordering::Relaxed);
+        inner.stats.models_evicted.incr();
     }
     let entry = Arc::clone(models.entry(slug).or_insert(entry));
     entry.last_used.store(stamp, Ordering::Relaxed);
@@ -997,11 +1080,8 @@ fn handle_predict(inner: &ServerInner, body: &str) -> Result<Value, ServeError> 
             spec.key()
         )));
     }
-    let (predictions, telemetry) = predict_coalesced(inner, &entry, indices)?;
-    inner
-        .stats
-        .predictions
-        .fetch_add(predictions.len() as u64, Ordering::Relaxed);
+    let (predictions, batch) = predict_coalesced(inner, &entry, indices)?;
+    inner.stats.predictions.add(predictions.len() as u64);
     let age_ms = entry.loaded_at.elapsed().as_secs_f64() * 1e3;
     Ok(Value::Object(vec![
         ("ok".into(), Value::Bool(true)),
@@ -1015,9 +1095,9 @@ fn handle_predict(inner: &ServerInner, body: &str) -> Result<Value, ServeError> 
             Value::Object(vec![
                 ("cache".into(), Value::Str(how.into())),
                 ("model_age_ms".into(), Value::num(age_ms)),
-                ("batch_jobs".into(), Value::num(telemetry.jobs as f64)),
-                ("batch_indices".into(), Value::num(telemetry.indices as f64)),
-                ("coalesced".into(), Value::Bool(telemetry.jobs > 1)),
+                ("batch_jobs".into(), Value::num(batch.jobs as f64)),
+                ("batch_indices".into(), Value::num(batch.indices as f64)),
+                ("coalesced".into(), Value::Bool(batch.jobs > 1)),
             ]),
         ),
     ]))
@@ -1062,6 +1142,9 @@ fn predict_coalesced(
             if let Some(failure) = failpoint::check(FP_SWEEP) {
                 return Err(failure.into_io_error(FP_SWEEP).to_string());
             }
+            // The leader's trace covers the whole coalesced sweep, so
+            // followers' work is attributed to the request that led it.
+            let _sweep_span = telemetry::span("serve.sweep");
             Ok(infer::predict_indices(
                 &entry.ensemble,
                 &entry.space,
@@ -1077,20 +1160,17 @@ fn predict_coalesced(
         };
         match swept {
             Ok(Ok(predictions)) => {
-                let telemetry = BatchTelemetry {
+                let batch = BatchTelemetry {
                     jobs: jobs.len(),
                     indices: all.len(),
                 };
-                inner.stats.predict_batches.fetch_add(1, Ordering::Relaxed);
-                inner
-                    .stats
-                    .coalesced_jobs
-                    .fetch_add(telemetry.jobs as u64, Ordering::Relaxed);
+                inner.stats.predict_batches.incr();
+                inner.stats.coalesced_jobs.add(batch.jobs as u64);
                 let mut offset = 0;
                 for job in jobs {
                     let span = predictions[offset..offset + job.indices.len()].to_vec();
                     offset += job.indices.len();
-                    *job.slot.done.lock().expect("job slot poisoned") = Some(Ok((span, telemetry)));
+                    *job.slot.done.lock().expect("job slot poisoned") = Some(Ok((span, batch)));
                     job.slot.ready.notify_all();
                 }
             }

@@ -48,6 +48,7 @@
 use crate::persist::write_atomic;
 use crate::space::{DesignPoint, DesignSpace};
 use crate::studies::Study;
+use crate::telemetry::Counter;
 use archpredict_ann::Parallelism;
 use archpredict_sim::simulate_with_warmup;
 use archpredict_simpoint::SimPointPlan;
@@ -55,7 +56,6 @@ use archpredict_stats::rng::Xoshiro256;
 use archpredict_workloads::{Benchmark, TraceGenerator};
 use std::collections::{BTreeSet, HashMap};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -155,16 +155,31 @@ impl SimStats {
         self.unique_simulations + self.cache_hits
     }
 
-    /// Adds another record's counters into this one.
+    /// Adds another record's counters into this one. This is the **only**
+    /// way records combine — every accumulation site (campaign rounds,
+    /// cross-app pooling, multi-task fits, distributed spans) goes through
+    /// here. The exhaustive destructuring makes field coverage a compile
+    /// error to miss: adding a field to [`SimStats`] breaks this function
+    /// (and its coverage test) until the field is merged.
     pub fn merge(&mut self, other: &SimStats) {
-        self.unique_simulations += other.unique_simulations;
-        self.cache_hits += other.cache_hits;
-        self.simulated_instructions += other.simulated_instructions;
-        self.wall_seconds += other.wall_seconds;
-        self.failures += other.failures;
-        self.retries += other.retries;
-        self.quarantined += other.quarantined;
-        self.resampled += other.resampled;
+        let SimStats {
+            unique_simulations,
+            cache_hits,
+            simulated_instructions,
+            wall_seconds,
+            failures,
+            retries,
+            quarantined,
+            resampled,
+        } = *other;
+        self.unique_simulations += unique_simulations;
+        self.cache_hits += cache_hits;
+        self.simulated_instructions += simulated_instructions;
+        self.wall_seconds += wall_seconds;
+        self.failures += failures;
+        self.retries += retries;
+        self.quarantined += quarantined;
+        self.resampled += resampled;
     }
 }
 
@@ -507,7 +522,7 @@ pub struct CachedEvaluator<E> {
     space: DesignSpace,
     shards: Vec<Mutex<HashMap<usize, f64>>>,
     parallelism: Parallelism,
-    hits: AtomicU64,
+    hits: Counter,
 }
 
 impl<E: PointEvaluator> CachedEvaluator<E> {
@@ -527,7 +542,7 @@ impl<E: PointEvaluator> CachedEvaluator<E> {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             parallelism,
-            hits: AtomicU64::new(0),
+            hits: Counter::new("sim.cache.hits"),
         }
     }
 
@@ -571,7 +586,7 @@ impl<E: PointEvaluator> CachedEvaluator<E> {
     /// Cumulative evaluations served without simulating, over the cache's
     /// lifetime.
     pub fn cache_hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Seeds the cache with previously computed results (e.g. loaded from
@@ -670,7 +685,7 @@ impl<E: PointEvaluator> CachedEvaluator<E> {
     pub fn evaluate(&self, point: &DesignPoint) -> SimResult {
         let index = self.space.index(point);
         if let Some(v) = self.lookup(index) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.incr();
             return Ok(v);
         }
         let v = self.inner.try_evaluate(point)?;
@@ -722,7 +737,7 @@ impl<E: PointEvaluator> Oracle for CachedEvaluator<E> {
         }
         let hits = (indices.len() - misses.len()) as u64;
         let failed = values.iter().filter(|r| r.is_err()).count() as u64;
-        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.hits.add(hits);
         stats.unique_simulations += misses.len() as u64 - failed;
         stats.failures += failed;
         stats.cache_hits += hits;
@@ -794,7 +809,7 @@ pub struct RetryingOracle<O> {
     inner: O,
     policy: RetryPolicy,
     quarantine: Mutex<BTreeSet<usize>>,
-    backoff_nanos: AtomicU64,
+    backoff_nanos: Counter,
 }
 
 impl<O: Oracle> RetryingOracle<O> {
@@ -809,7 +824,7 @@ impl<O: Oracle> RetryingOracle<O> {
             inner,
             policy,
             quarantine: Mutex::new(BTreeSet::new()),
-            backoff_nanos: AtomicU64::new(0),
+            backoff_nanos: Counter::new("sim.retry.virtual_backoff_nanos"),
         }
     }
 
@@ -835,7 +850,7 @@ impl<O: Oracle> RetryingOracle<O> {
 
     /// Total backoff the retry schedule *would* have slept, in seconds.
     pub fn virtual_backoff_seconds(&self) -> f64 {
-        self.backoff_nanos.load(Ordering::Relaxed) as f64 * 1e-9
+        self.backoff_nanos.get() as f64 * 1e-9
     }
 
     /// Seeds the quarantine set (e.g. from a previous run's persisted
@@ -922,8 +937,7 @@ impl<O: Oracle> Oracle for RetryingOracle<O> {
             stats.retries += next.len() as u64;
             live = next;
         }
-        self.backoff_nanos
-            .fetch_add((backoff * 1e9) as u64, Ordering::Relaxed);
+        self.backoff_nanos.add((backoff * 1e9) as u64);
         results
     }
 }
@@ -1142,6 +1156,56 @@ mod tests {
             (a.failures, a.retries, a.quarantined, a.resampled),
             (3, 3, 1, 4)
         );
+    }
+
+    /// Field-coverage gate for [`SimStats::merge`]: every field is given a
+    /// distinct value and every field of the result is checked through an
+    /// exhaustive destructuring. Adding a [`SimStats`] field without
+    /// merging it fails to compile here (and in `merge` itself) before it
+    /// can silently drop telemetry.
+    #[test]
+    fn stats_merge_covers_every_field() {
+        let lhs = SimStats {
+            unique_simulations: 1,
+            cache_hits: 2,
+            simulated_instructions: 4,
+            wall_seconds: 8.0,
+            failures: 16,
+            retries: 32,
+            quarantined: 64,
+            resampled: 128,
+        };
+        let rhs = SimStats {
+            unique_simulations: 256,
+            cache_hits: 512,
+            simulated_instructions: 1024,
+            wall_seconds: 2048.0,
+            failures: 4096,
+            retries: 8192,
+            quarantined: 16384,
+            resampled: 32768,
+        };
+        let mut merged = lhs;
+        merged.merge(&rhs);
+        // Exhaustive: a new field must appear here or this stops compiling.
+        let SimStats {
+            unique_simulations,
+            cache_hits,
+            simulated_instructions,
+            wall_seconds,
+            failures,
+            retries,
+            quarantined,
+            resampled,
+        } = merged;
+        assert_eq!(unique_simulations, 1 + 256);
+        assert_eq!(cache_hits, 2 + 512);
+        assert_eq!(simulated_instructions, 4 + 1024);
+        assert!((wall_seconds - (8.0 + 2048.0)).abs() < 1e-12);
+        assert_eq!(failures, 16 + 4096);
+        assert_eq!(retries, 32 + 8192);
+        assert_eq!(quarantined, 64 + 16384);
+        assert_eq!(resampled, 128 + 32768);
     }
 
     #[test]

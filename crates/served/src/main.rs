@@ -21,6 +21,7 @@
 
 use archpredict::failpoint;
 use archpredict::serve::{install_signal_handlers, ServeConfig, Server};
+use archpredict::telemetry;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -70,6 +71,12 @@ fn run() -> Result<(), String> {
     }
     if failpoint::install_from_env().map_err(|e| format!("failpoints: {e}"))? {
         eprintln!("archpredict-served: failpoint schedule installed from environment");
+    }
+    if telemetry::install_trace_from_env().map_err(|e| format!("trace sink: {e}"))? {
+        eprintln!(
+            "archpredict-served: trace events -> {}",
+            telemetry::trace_path().unwrap_or_default().display()
+        );
     }
     install_signal_handlers();
     let server = Server::bind(addr.as_str(), config).map_err(|e| format!("bind {addr}: {e}"))?;

@@ -13,6 +13,7 @@
 use archpredict::distributed::{proto, WorkerSpec, FP_WORKER_EVAL};
 use archpredict::failpoint;
 use archpredict::simulate::PointEvaluator;
+use archpredict::telemetry;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
 
@@ -20,6 +21,10 @@ fn run() -> io::Result<()> {
     // Chaos schedules reach workers through the environment: an `abort`
     // plan on the eval site is a real, deterministic mid-span death.
     failpoint::install_from_env().map_err(io::Error::other)?;
+    // Trace context arrives two ways: the JSONL sink path through the
+    // inherited ARCHPREDICT_TRACE variable, and the per-span trace ID on
+    // each EVAL frame. One shared file collects the whole process tree.
+    telemetry::install_trace_from_env()?;
     let stdin = io::stdin().lock();
     let mut input = BufReader::new(stdin);
     let stdout = io::stdout().lock();
@@ -63,7 +68,12 @@ fn run() -> io::Result<()> {
         };
         match frame.split_first() {
             Some((&proto::OP_EVAL, body)) => {
-                let indices = proto::decode_eval(body)?;
+                let (trace, indices) = proto::decode_eval(body)?;
+                // Adopt the coordinator's trace for this span: the span
+                // event and every RESULT echo carry it, so one grep of
+                // the shared event log crosses the process boundary.
+                let _trace_scope = telemetry::set_trace(trace);
+                let span_event = telemetry::span("worker.span");
                 for index in &indices {
                     if let Some(failure) = failpoint::check(FP_WORKER_EVAL) {
                         // `abort`/`exit` died inside check; a returnable
@@ -78,13 +88,21 @@ fn run() -> io::Result<()> {
                         )
                     })?;
                     let result = evaluator.try_evaluate(&point);
-                    proto::write_frame(&mut output, &proto::encode_result(*index, &result))?;
+                    proto::write_frame(&mut output, &proto::encode_result(trace, *index, &result))?;
                     // Flush per result, not per span: the coordinator's
                     // crash blame depends on seeing every completed
                     // reply before this process can die.
                     output.flush()?;
                 }
-                proto::write_frame(&mut output, &proto::encode_span_done(indices.len() as u32))?;
+                // Emit the span before SPAN_DONE goes out: the moment the
+                // coordinator sees the span complete it may tear the pool
+                // down (kill, not drain), and the event must already be
+                // appended by then.
+                drop(span_event);
+                proto::write_frame(
+                    &mut output,
+                    &proto::encode_span_done(trace, indices.len() as u32),
+                )?;
                 output.flush()?;
             }
             Some((&proto::OP_SHUTDOWN, _)) => return Ok(()),

@@ -23,15 +23,14 @@ use std::path::PathBuf;
 use std::sync::OnceLock;
 use std::time::Duration;
 
-/// Locates the worker binary, building it first if this test binary was
-/// compiled without it (`cargo test -p archpredict`). Built once per
-/// process; concurrent tests share the result.
+/// Builds (a no-op when fresh) and locates the worker binary. Built
+/// once per process; concurrent tests share the result. Always goes
+/// through cargo: `cargo test -p archpredict` does not track the worker
+/// as a dependency, so a previously built binary may speak a stale
+/// protocol.
 fn worker_binary() -> &'static PathBuf {
     static BINARY: OnceLock<PathBuf> = OnceLock::new();
     BINARY.get_or_init(|| {
-        if let Ok(path) = locate_worker_binary() {
-            return path;
-        }
         let mut build = std::process::Command::new(env!("CARGO"));
         build.args(["build", "-p", "archpredict-worker"]);
         if !cfg!(debug_assertions) {

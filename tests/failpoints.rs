@@ -200,14 +200,13 @@ fn injected_error_pattern_replays_identically_across_reinstalls() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Locates the worker binary, building it first if this test binary was
-/// compiled without it (`cargo test -p archpredict`).
+/// Builds (a no-op when fresh) and locates the worker binary. Always
+/// goes through cargo: `cargo test -p archpredict` does not track the
+/// worker as a dependency, so a previously built binary may predate the
+/// sources this test asserts against.
 fn worker_binary() -> &'static PathBuf {
     static BINARY: OnceLock<PathBuf> = OnceLock::new();
     BINARY.get_or_init(|| {
-        if let Ok(path) = locate_worker_binary() {
-            return path;
-        }
         let mut build = std::process::Command::new(env!("CARGO"));
         build.args(["build", "-p", "archpredict-worker"]);
         if !cfg!(debug_assertions) {
